@@ -1,0 +1,31 @@
+//! Wall-clock benches of the 3-D algorithms (experiment F6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipch_geom::gen3d::sphere_plus_interior;
+use ipch_hull3d::parallel::unsorted3d::{upper_hull3_unsorted, Unsorted3Params};
+use ipch_hull3d::seq::giftwrap::upper_hull3_giftwrap;
+use ipch_hull3d::seq::Seq3Stats;
+use ipch_pram::{Machine, Shm};
+
+fn bench_hull3d(c: &mut Criterion) {
+    let pts = sphere_plus_interior(24, 600, 1);
+    let mut group = c.benchmark_group("hull3d");
+    group.sample_size(10);
+    group.bench_function("giftwrap_n600_h24", |b| {
+        b.iter(|| {
+            let mut st = Seq3Stats::default();
+            upper_hull3_giftwrap(&pts, &mut st)
+        })
+    });
+    group.bench_function("theorem6_n600_h24", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(1);
+            let mut shm = Shm::new();
+            upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hull3d);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Wall-clock benches of the PRAM-simulated parallel algorithms
+//! (experiment F6). These time the *simulation*, which is how expensive it
+//! is to reproduce the paper's step counts — the machine-independent
+//! metrics live in the `tables` harness.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ipch_geom::generators::{circle_plus_interior, uniform_disk};
+use ipch_geom::point::sorted_by_x;
+use ipch_hull2d::parallel::dac::upper_hull_dac;
+use ipch_hull2d::parallel::logstar::{upper_hull_logstar, LogstarParams};
+use ipch_hull2d::parallel::presorted::{upper_hull_presorted, PresortedParams};
+use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+use ipch_pram::{Machine, Shm};
+
+fn bench_parallel2d(c: &mut Criterion) {
+    let n = 4096;
+    let sorted = sorted_by_x(&uniform_disk(n, 1));
+    let unsorted_pts = circle_plus_interior(32, n, 1);
+
+    let mut group = c.benchmark_group("parallel2d");
+    group.sample_size(10);
+    group.bench_function("presorted_const_time", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(1);
+            let mut shm = Shm::new();
+            upper_hull_presorted(&mut m, &mut shm, &sorted, &PresortedParams::default())
+        })
+    });
+    group.bench_function("logstar", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(2);
+            let mut shm = Shm::new();
+            upper_hull_logstar(&mut m, &mut shm, &sorted, &LogstarParams::default())
+        })
+    });
+    group.bench_function("unsorted_theorem5", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(3);
+            let mut shm = Shm::new();
+            upper_hull_unsorted(&mut m, &mut shm, &unsorted_pts, &UnsortedParams::default())
+        })
+    });
+    group.bench_function("dac_fallback", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(4);
+            let mut shm = Shm::new();
+            upper_hull_dac(&mut m, &mut shm, &unsorted_pts, false)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel2d);
+criterion_main!(benches);

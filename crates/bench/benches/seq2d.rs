@@ -1,0 +1,57 @@
+//! Wall-clock benches for the sequential 2-D baselines (experiment F6).
+//!
+//! Two workloads per algorithm: small output (h = 16) and full output
+//! (on-circle, h = n) at the same n — the output-sensitivity story in
+//! real time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ipch_geom::generators::{circle_plus_interior, on_circle};
+use ipch_hull2d::seq::{chan, graham, jarvis, ks, monotone, SeqStats};
+
+fn bench_seq2d(c: &mut Criterion) {
+    let n = 20_000;
+    let small_h = circle_plus_interior(16, n, 1);
+    let big_h = on_circle(n, 1);
+
+    let mut group = c.benchmark_group("seq2d");
+    group.sample_size(10);
+    for (wname, pts) in [("h16", &small_h), ("h=n", &big_h)] {
+        group.bench_with_input(BenchmarkId::new("monotone", wname), pts, |b, pts| {
+            b.iter(|| {
+                let mut st = SeqStats::default();
+                monotone::upper_hull(pts, &mut st)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("graham", wname), pts, |b, pts| {
+            b.iter(|| {
+                let mut st = SeqStats::default();
+                graham::upper_hull(pts, &mut st)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ks", wname), pts, |b, pts| {
+            b.iter(|| {
+                let mut st = SeqStats::default();
+                ks::upper_hull(pts, &mut st)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chan", wname), pts, |b, pts| {
+            b.iter(|| {
+                let mut st = SeqStats::default();
+                chan::upper_hull(pts, &mut st)
+            })
+        });
+        // jarvis on h = n is O(n²): bench it only on the small-h workload
+        if wname == "h16" {
+            group.bench_with_input(BenchmarkId::new("jarvis", wname), pts, |b, pts| {
+                b.iter(|| {
+                    let mut st = SeqStats::default();
+                    jarvis::upper_hull(pts, &mut st)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_seq2d);
+criterion_main!(benches);

@@ -1,0 +1,790 @@
+//! The experiment implementations (DESIGN.md §3: T1–T10, F1–F5).
+//!
+//! Every function returns a [`Table`]; the `tables` binary prints it and
+//! writes the CSV. `quick` shrinks sweeps to CI size. All runs are seeded
+//! and deterministic.
+
+use ipch_geom::gen3d;
+use ipch_geom::generators as g2;
+use ipch_geom::point::sorted_by_x;
+use ipch_geom::{Point2, UpperHull};
+use ipch_hull2d::parallel::dac::upper_hull_dac;
+use ipch_hull2d::parallel::folklore::upper_hull_folklore_full;
+use ipch_hull2d::parallel::invariant::{hull_of_hulls, HbConfig};
+use ipch_hull2d::parallel::logstar::{upper_hull_logstar, LogstarParams};
+use ipch_hull2d::parallel::presorted::{upper_hull_presorted, PresortedParams};
+use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+use ipch_hull2d::seq::{self, SeqStats};
+use ipch_hull3d::parallel::unsorted3d::{upper_hull3_unsorted, Unsorted3Params};
+use ipch_hull3d::seq::Seq3Stats;
+use ipch_lp::alon_megiddo::{solve_lp2_am, AmConfig};
+use ipch_lp::constraint::{Halfplane, Objective2};
+use ipch_lp::inplace_bridge::{find_bridge_inplace_traced, IbConfig};
+use ipch_pram::rng::SplitMix64;
+use ipch_pram::{schedule, Machine, Shm, EMPTY};
+
+use crate::table::{f, Table};
+
+fn machine(seed: u64) -> (Machine, Shm) {
+    (Machine::new(seed), Shm::new())
+}
+
+/// T1 — presorted O(1)-time algorithm (Lemma 2.5): steps flat in n.
+pub fn t1(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t1",
+        "presorted hull: O(1) steps, O(n log n) work (Lemma 2.5)",
+        &["dist", "n", "steps", "work", "work/nlogn", "peak", "rand_nodes", "swept"],
+    );
+    let ns: &[usize] = if quick { &[512, 2048] } else { &[512, 2048, 8192, 16384] };
+    let dists: [(&str, fn(usize, u64) -> Vec<Point2>); 3] = [
+        ("square", g2::uniform_square),
+        ("disk", g2::uniform_disk),
+        ("circle", g2::on_circle),
+    ];
+    for (name, gen) in dists {
+        for &n in ns {
+            let pts = sorted_by_x(&gen(n, 42));
+            let (mut m, mut shm) = machine(7);
+            let (out, rep) = upper_hull_presorted(&mut m, &mut shm, &pts, &PresortedParams::default());
+            assert_eq!(out.hull, UpperHull::of(&pts));
+            let nlogn = n as f64 * (n as f64).log2();
+            t.row(vec![
+                name.into(),
+                n.to_string(),
+                m.metrics.total_steps().to_string(),
+                m.metrics.total_work().to_string(),
+                f(m.metrics.total_work() as f64 / nlogn),
+                m.metrics.peak_processors.to_string(),
+                rep.randomized_nodes.to_string(),
+                rep.swept_failures.to_string(),
+            ]);
+        }
+    }
+    t.note("expected: steps saturate to a constant as n grows; work/(n log n) bounded");
+    t
+}
+
+/// T2 — log* algorithm (Theorem 2): steps ~ log* n, work O(n)/level.
+pub fn t2(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t2",
+        "log*-time hull (Theorem 2): steps, depth, work/n, Lemma-7 time at p = n/log*n",
+        &["n", "steps", "depth", "work/n", "T(p=n/log*n)"],
+    );
+    let ns: &[usize] = if quick { &[512, 4096] } else { &[512, 4096, 32768, 131072] };
+    for &n in ns {
+        let pts = sorted_by_x(&g2::uniform_disk(n, 11));
+        let (mut m, mut shm) = machine(3);
+        let (out, rep) = upper_hull_logstar(&mut m, &mut shm, &pts, &LogstarParams::default());
+        assert_eq!(out.hull, UpperHull::of(&pts));
+        let logstar = 3u64; // log* n for any feasible n
+        let p = (n as u64 / logstar).max(1);
+        let sched = schedule::simulate_with_p(&m.metrics, p, schedule::DEFAULT_TC);
+        t.row(vec![
+            n.to_string(),
+            m.metrics.total_steps().to_string(),
+            rep.depth.to_string(),
+            f(m.metrics.total_work() as f64 / n as f64),
+            f(sched.time),
+        ]);
+    }
+    t.note("expected: steps/depth essentially flat (log* n ≤ 4 at any feasible n)");
+    t
+}
+
+/// T3 — unsorted 2-D (Theorem 5): work/n tracks log h, not log n.
+pub fn t3(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t3",
+        "unsorted 2-D hull (Theorem 5): work vs output size h",
+        &["n", "h", "log2(h)", "steps", "work", "work/n", "levels", "fallback"],
+    );
+    let n = if quick { 2048 } else { 8192 };
+    let hs: &[usize] = if quick { &[8, 64, 512] } else { &[8, 32, 128, 512, 2048] };
+    let seeds: u64 = if quick { 2 } else { 5 };
+    for &h in hs {
+        // average across seeds: individual runs vary with splitter luck
+        let mut steps = 0.0;
+        let mut work = 0.0;
+        let mut levels = 0.0;
+        let mut fellback = false;
+        for seed in 0..seeds {
+            let pts = g2::circle_plus_interior(h, n, 17 + seed);
+            let (mut m, mut shm) = machine(5 + seed);
+            let (out, trace) =
+                upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+            assert_eq!(out.hull, UpperHull::of(&pts));
+            steps += m.metrics.total_steps() as f64;
+            work += m.metrics.total_work() as f64;
+            levels += trace.levels.len() as f64;
+            fellback |= trace.fallback;
+        }
+        let s = seeds as f64;
+        t.row(vec![
+            n.to_string(),
+            h.to_string(),
+            f((h as f64).log2()),
+            f(steps / s),
+            f(work / s),
+            f(work / s / n as f64),
+            f(levels / s),
+            fellback.to_string(),
+        ]);
+    }
+    // n-sweep at fixed h: work/n should be ~constant in n
+    let h = 32;
+    for &n in if quick { &[2048usize, 8192][..] } else { &[2048usize, 8192, 32768][..] } {
+        let pts = g2::circle_plus_interior(h, n, 19);
+        let (mut m, mut shm) = machine(6);
+        let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+        assert_eq!(out.hull, UpperHull::of(&pts));
+        t.row(vec![
+            n.to_string(),
+            h.to_string(),
+            f((h as f64).log2()),
+            m.metrics.total_steps().to_string(),
+            m.metrics.total_work().to_string(),
+            f(m.metrics.total_work() as f64 / n as f64),
+            trace.levels.len().to_string(),
+            trace.fallback.to_string(),
+        ]);
+    }
+    t.note("expected: work/n grows with log h at fixed n and saturates once l ≥ √n triggers the fallback;");
+    t.note("at fixed h, work/n is insensitive to n (output sensitivity)");
+    t
+}
+
+/// T4 — output-sensitivity crossover vs baselines.
+pub fn t4(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t4",
+        "crossover: Theorem-5 work vs non-output-sensitive DAC and sequential baselines",
+        &["h", "uns_work", "dac_work", "uns/dac", "ks_ops", "chan_ops", "jarvis_ops", "quickhull_ops", "monotone_ops"],
+    );
+    let n = if quick { 2048 } else { 8192 };
+    let hs: &[usize] = if quick { &[8, 128] } else { &[8, 32, 128, 512, 2048] };
+    for &h in hs {
+        let pts = g2::circle_plus_interior(h, n, 23);
+        let (mut m1, mut s1) = machine(1);
+        let (o1, _) = upper_hull_unsorted(&mut m1, &mut s1, &pts, &UnsortedParams::default());
+        let (mut m2, mut s2) = machine(2);
+        let o2 = upper_hull_dac(&mut m2, &mut s2, &pts, false);
+        assert_eq!(o1.hull, o2.hull);
+        let ops = |algo: fn(&[Point2], &mut SeqStats) -> UpperHull| {
+            let mut st = SeqStats::default();
+            algo(&pts, &mut st);
+            st.total()
+        };
+        t.row(vec![
+            h.to_string(),
+            m1.metrics.total_work().to_string(),
+            m2.metrics.total_work().to_string(),
+            f(m1.metrics.total_work() as f64 / m2.metrics.total_work() as f64),
+            ops(seq::ks::upper_hull).to_string(),
+            ops(seq::chan::upper_hull).to_string(),
+            ops(seq::jarvis::upper_hull).to_string(),
+            ops(seq::quickhull::upper_hull).to_string(),
+            ops(seq::monotone::upper_hull).to_string(),
+        ]);
+    }
+    t.note("expected: uns/dac < 1 for small h, approaching/crossing 1 as h -> n;");
+    t.note("jarvis degrades with h; ks/chan grow only in log h");
+    t
+}
+
+/// T5 — unsorted 3-D (Theorem 6): work vs h, probe counts, fallback.
+pub fn t5(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t5",
+        "unsorted 3-D hull (Theorem 6): work vs output size",
+        &["n", "h_req", "facets", "steps", "work", "work/n", "probes", "fallback", "giftwrap_ops", "es_probe_ops"],
+    );
+    let n = if quick { 500 } else { 1500 };
+    let hs: &[usize] = if quick { &[12, 96] } else { &[12, 48, 192, 768] };
+    for &h in hs {
+        let pts = gen3d::sphere_plus_interior(h, n, 29);
+        let (mut m, mut shm) = machine(4);
+        let (out, trace) = upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default());
+        ipch_hull3d::verify_upper_hull3(&pts, &out.facets, false).expect("t5 verify");
+        let mut st = Seq3Stats::default();
+        ipch_hull3d::seq::giftwrap::upper_hull3_giftwrap(&pts, &mut st);
+        let mut st_es = Seq3Stats::default();
+        ipch_hull3d::seq::es::upper_hull3_probing(&pts, &mut st_es, 31);
+        t.row(vec![
+            n.to_string(),
+            h.to_string(),
+            out.facets.len().to_string(),
+            m.metrics.total_steps().to_string(),
+            m.metrics.total_work().to_string(),
+            f(m.metrics.total_work() as f64 / n as f64),
+            (trace.probe_facets + trace.backstop_probes).to_string(),
+            trace.fallback.to_string(),
+            st.total().to_string(),
+            st_es.total().to_string(),
+        ]);
+    }
+    t.note("expected: work grows with h then saturates at the fallback (min{n log^2 h, n log n} shape);");
+    t.note("probe count tracks the facet count (output sensitivity)");
+    t
+}
+
+/// T6 — Alon–Megiddo LP and in-place bridge finding: O(1) rounds.
+pub fn t6(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t6",
+        "LP probes (Lemma 2.2 / §3.3): rounds stay constant as m grows",
+        &["m", "am_rounds_avg", "am_rounds_max", "am_fail", "ib_rounds_avg", "ib_rounds_max", "ib_fail", "ib_base_avg"],
+    );
+    let ms: &[usize] = if quick { &[256, 2048] } else { &[256, 1024, 4096, 16384, 65536] };
+    let seeds: u64 = if quick { 3 } else { 8 };
+    for &mm in ms {
+        let mut am_rounds = vec![];
+        let mut am_fail = 0;
+        let mut ib_rounds = vec![];
+        let mut ib_fail = 0;
+        let mut ib_base = vec![];
+        for seed in 0..seeds {
+            // AM on tangent-constraint instances
+            let mut rng = SplitMix64::new(seed + 100);
+            let cs: Vec<Halfplane> = (0..mm)
+                .map(|_| {
+                    let th = rng.next_f64() * std::f64::consts::TAU;
+                    Halfplane { a: -th.cos(), b: -th.sin(), c: -1.0 - rng.next_f64() }
+                })
+                .collect();
+            let obj = Objective2 { cx: 0.3, cy: 0.95 };
+            let (mut m, mut shm) = machine(seed);
+            match solve_lp2_am(&mut m, &mut shm, &cs, &obj, &AmConfig::default()) {
+                Some((_, tr)) => am_rounds.push(tr.rounds as f64),
+                None => am_fail += 1,
+            }
+            // in-place bridge on a disk instance
+            let pts = g2::uniform_disk(mm, seed + 200);
+            let hull = UpperHull::of(&pts);
+            let mid = hull.vertices.len() / 2;
+            let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
+            let active: Vec<usize> = (0..mm).collect();
+            let (mut m2, mut shm2) = machine(seed + 50);
+            let (b, tr) =
+                find_bridge_inplace_traced(&mut m2, &mut shm2, &pts, &active, x0, &IbConfig::default());
+            if b.is_some() {
+                ib_rounds.push(tr.rounds as f64);
+                ib_base.push(tr.base_size as f64);
+            } else {
+                ib_fail += 1;
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let max = |v: &[f64]| v.iter().cloned().fold(0.0, f64::max);
+        t.row(vec![
+            mm.to_string(),
+            f(avg(&am_rounds)),
+            f(max(&am_rounds)),
+            am_fail.to_string(),
+            f(avg(&ib_rounds)),
+            f(max(&ib_rounds)),
+            ib_fail.to_string(),
+            f(avg(&ib_base)),
+        ]);
+    }
+    t.note("expected: round counts concentrate on a small constant independent of m; failures rare");
+    t
+}
+
+/// T7 — random sample (Lemma 3.1): size in [k/2, 4k], uniform.
+pub fn t7(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t7",
+        "random sample (Lemma 3.1): size bounds and uniformity",
+        &["k", "trials", "avg_size", "in_bounds_frac", "chi2_norm", "vote_failures"],
+    );
+    let mcount = 2000;
+    let trials: u64 = if quick { 100 } else { 400 };
+    for &k in &[4usize, 8, 16, 32, 64] {
+        let active: Vec<usize> = (0..mcount).collect();
+        let mut sizes = vec![];
+        let mut inb = 0usize;
+        let mut counts = vec![0u64; mcount];
+        let mut vote_failures = 0usize;
+        for seed in 0..trials {
+            let (mut m, mut shm) = machine(seed * 31 + k as u64);
+            let out = ipch_inplace::sample::random_sample(&mut m, &mut shm, &active, mcount, k, 4);
+            sizes.push(out.sample.len() as f64);
+            if out.size_in_bounds(k) {
+                inb += 1;
+            }
+            for &e in &out.sample {
+                counts[e] += 1;
+            }
+            let (mut m2, mut shm2) = machine(seed * 37 + k as u64);
+            if ipch_inplace::vote::random_vote(&mut m2, &mut shm2, &active, mcount, k, 4).is_none()
+            {
+                vote_failures += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let expect = total as f64 / mcount as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        // normalized: chi2 / dof ≈ 1 under uniformity
+        t.row(vec![
+            k.to_string(),
+            trials.to_string(),
+            f(sizes.iter().sum::<f64>() / sizes.len() as f64),
+            f(inb as f64 / trials as f64),
+            f(chi2 / (mcount - 1) as f64),
+            vote_failures.to_string(),
+        ]);
+    }
+    t.note("expected: avg size ~2k, in-bounds fraction -> 1 as k grows, chi2/dof ~ 1, no vote failures");
+    t
+}
+
+/// T8 — compaction (Lemmas 2.1, 3.2): O(1) steps, bounded workspace.
+pub fn t8(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t8",
+        "approximate compaction: Ragde (Lemma 2.1) and in-place (Lemma 3.2)",
+        &["m", "k", "pattern", "det_steps", "det_area", "rand_ok_frac", "ipc_rounds", "ipc_workspace"],
+    );
+    let ms: &[usize] = if quick { &[1024, 4096] } else { &[1024, 4096, 16384, 65536] };
+    for &mm in ms {
+        for (pat, mk) in [
+            ("random", 0usize),
+            ("clustered", 1),
+            ("stride", 2),
+        ] {
+            let k = 4usize;
+            let occupied: Vec<usize> = match mk {
+                0 => {
+                    let mut rng = SplitMix64::new(mm as u64);
+                    let mut s = std::collections::BTreeSet::new();
+                    while s.len() < k {
+                        s.insert(rng.next_below(mm as u64) as usize);
+                    }
+                    s.into_iter().collect()
+                }
+                1 => (0..k).map(|i| mm / 2 + i).collect(),
+                _ => (0..k).map(|i| i * (mm / k)).collect(),
+            };
+            // deterministic Ragde
+            let (mut m, mut shm) = machine(1);
+            let src = shm.alloc("src", mm, EMPTY);
+            for &i in &occupied {
+                shm.host_set(src, i, i as i64);
+            }
+            let det = ipch_inplace::ragde::ragde_compact_det(&mut m, &mut shm, src, k).unwrap();
+            let det_steps = m.metrics.steps;
+            let det_area = shm.len(det.dst);
+            // randomized success rate
+            let trials = 50;
+            let mut ok = 0;
+            for seed in 0..trials {
+                let (mut m2, mut shm2) = machine(seed);
+                let s2 = shm2.alloc("src", mm, EMPTY);
+                for &i in &occupied {
+                    shm2.host_set(s2, i, i as i64);
+                }
+                if ipch_inplace::ragde::ragde_compact_rand(&mut m2, &mut shm2, s2, k, 4).is_some()
+                {
+                    ok += 1;
+                }
+            }
+            // in-place compaction
+            let (mut m3, mut shm3) = machine(2);
+            let s3 = shm3.alloc("src", mm, EMPTY);
+            for &i in &occupied {
+                shm3.host_set(s3, i, i as i64);
+            }
+            let ipc = ipch_inplace::compact::inplace_compact(&mut m3, &mut shm3, s3, k, 0.2)
+                .expect("t8 ipc");
+            t.row(vec![
+                mm.to_string(),
+                k.to_string(),
+                pat.into(),
+                det_steps.to_string(),
+                det_area.to_string(),
+                f(ok as f64 / trials as f64),
+                ipc.rounds.to_string(),
+                ipc.workspace_cells.to_string(),
+            ]);
+        }
+    }
+    t.note("expected: det steps constant (2) for all m; rand success ~1; ipc rounds ~1/delta; workspace o(m)");
+    t
+}
+
+/// T9 — failure sweeping ablation (§2.3).
+pub fn t9(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t9",
+        "failure sweeping (§2.3): forced failures are always recovered",
+        &["algo", "n", "mode", "failures", "swept", "overflow", "correct"],
+    );
+    let n = if quick { 1000 } else { 3000 };
+    // presorted with a crippled randomized finder
+    for seed in 0..3u64 {
+        let pts = sorted_by_x(&g2::uniform_disk(n, seed + 40));
+        let params = PresortedParams {
+            small_threshold: Some(48),
+            ib: IbConfig { max_rounds: 0, ..IbConfig::default() },
+            sweep_bound: Some(4096),
+            ..PresortedParams::default()
+        };
+        let (mut m, mut shm) = machine(seed);
+        let (out, rep) = upper_hull_presorted(&mut m, &mut shm, &pts, &params);
+        t.row(vec![
+            "presorted".into(),
+            n.to_string(),
+            "crippled-finder".into(),
+            rep.swept_failures.to_string(),
+            rep.swept_failures.to_string(),
+            rep.sweep_overflow.to_string(),
+            (out.hull == UpperHull::of(&pts)).to_string(),
+        ]);
+    }
+    // unsorted: sweeping on vs off with a crippled finder
+    for &sweeping in &[true, false] {
+        let pts = g2::uniform_disk(n, 77);
+        let params = UnsortedParams {
+            ib: IbConfig { max_rounds: 0, ..IbConfig::default() },
+            disable_sweeping: !sweeping,
+            ..UnsortedParams::default()
+        };
+        let (mut m, mut shm) = machine(9);
+        let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &params);
+        let failures: usize = trace.levels.iter().map(|l| l.failures).sum();
+        t.row(vec![
+            "unsorted".into(),
+            n.to_string(),
+            if sweeping { "sweep-on" } else { "sweep-off" }.into(),
+            failures.to_string(),
+            trace.swept.to_string(),
+            "false".into(),
+            (out.hull == UpperHull::of(&pts)).to_string(),
+        ]);
+    }
+    t.note("expected: correctness holds in every mode; sweeping resolves failures immediately,");
+    t.note("without it the run leans on retries/fallback (more levels)");
+    t
+}
+
+/// T10 — point-hull invariance (Lemma 2.6): hull-of-hulls costs.
+pub fn t10(quick: bool) -> Table {
+    let mut t = Table::new(
+        "t10",
+        "hull-of-hulls (Lemma 2.6): constant combine time over m groups of q points",
+        &["groups_m", "group_q", "steps", "work", "charged_work", "correct"],
+    );
+    let cases: &[(usize, usize)] = if quick {
+        &[(8, 32), (32, 32)]
+    } else {
+        &[(8, 32), (32, 32), (128, 32), (32, 128), (128, 128)]
+    };
+    for &(gm, gq) in cases {
+        let n = gm * gq;
+        let pts = sorted_by_x(&g2::uniform_disk(n, 61));
+        let groups: Vec<UpperHull> = (0..gm)
+            .map(|i| {
+                let ids: Vec<usize> = (i * gq..(i + 1) * gq).collect();
+                let sub: Vec<Point2> = ids.iter().map(|&j| pts[j]).collect();
+                UpperHull::new(
+                    ipch_geom::hull_chain::upper_hull_indices(&sub)
+                        .into_iter()
+                        .map(|j| ids[j])
+                        .collect(),
+                )
+            })
+            .collect();
+        let (mut m, mut shm) = machine(13);
+        let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default());
+        t.row(vec![
+            gm.to_string(),
+            gq.to_string(),
+            m.metrics.total_steps().to_string(),
+            m.metrics.work.to_string(),
+            m.metrics.charged_work.to_string(),
+            (h == UpperHull::of(&pts)).to_string(),
+        ]);
+    }
+    t.note("expected: steps grow (at most) with log m, independent of q; charged work carries the √q primitive cost");
+    t
+}
+
+/// F1 — Lemma 5.1: subproblem-size decay under the (15/16)^i envelope.
+pub fn f1(quick: bool) -> Table {
+    let mut t = Table::new(
+        "f1",
+        "subproblem-size decay (Lemma 5.1)",
+        &["level", "problems", "max_size", "envelope_(15/16)^i*n", "active"],
+    );
+    let n = if quick { 2048 } else { 8192 };
+    let pts = g2::uniform_disk(n, 3);
+    let (mut m, mut shm) = machine(21);
+    let (_, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+    for l in &trace.levels {
+        t.row(vec![
+            l.level.to_string(),
+            l.problems.to_string(),
+            l.max_size.to_string(),
+            f((15.0f64 / 16.0).powi(l.level as i32) * n as f64),
+            l.active_points.to_string(),
+        ]);
+    }
+    t.note("expected: max_size decays geometrically, tracking (or beating) the (15/16)^i envelope");
+    t
+}
+
+/// F2 — Lemma 6.1: 3-D region-size decay.
+pub fn f2(quick: bool) -> Table {
+    let mut t = Table::new(
+        "f2",
+        "3-D region-size decay (Lemma 6.1)",
+        &["level", "regions", "max_size", "envelope_(15/16)^i*n", "active", "facets"],
+    );
+    let n = if quick { 500 } else { 1200 };
+    let pts = gen3d::in_ball(n, 5);
+    let (mut m, mut shm) = machine(23);
+    let (_, trace) = upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default());
+    for (i, l) in trace.levels.iter().enumerate() {
+        t.row(vec![
+            i.to_string(),
+            l.regions.to_string(),
+            l.max_size.to_string(),
+            f((15.0f64 / 16.0).powi(i as i32) * n as f64),
+            l.active_points.to_string(),
+            l.facets.to_string(),
+        ]);
+    }
+    t.note("expected: geometric decay of max region size (4-way splits beat the 2-D rate)");
+    t
+}
+
+/// F3 — §4.1 step 3: growth of the lower bound l and the fallback trigger.
+pub fn f3(quick: bool) -> Table {
+    let mut t = Table::new(
+        "f3",
+        "phase mechanics: growth of l = edges + problems (fallback at l ≥ √n)",
+        &["input", "phase", "l", "threshold", "fallback"],
+    );
+    let n = if quick { 1024 } else { 4096 };
+    for (name, pts) in [
+        ("on_circle(h=n)", g2::on_circle(n, 9)),
+        ("disk", g2::uniform_disk(n, 9)),
+        ("h=16", g2::circle_plus_interior(16, n, 9)),
+    ] {
+        let (mut m, mut shm) = machine(31);
+        let (_, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+        let thr = ((n as f64).sqrt().ceil() as usize).max(32);
+        for (ph, &l) in trace.l_history.iter().enumerate() {
+            t.row(vec![
+                name.into(),
+                ph.to_string(),
+                l.to_string(),
+                thr.to_string(),
+                trace.fallback.to_string(),
+            ]);
+        }
+        if trace.l_history.is_empty() {
+            t.row(vec![
+                name.into(),
+                "-".into(),
+                "-".into(),
+                thr.to_string(),
+                trace.fallback.to_string(),
+            ]);
+        }
+    }
+    t.note("expected: l races to the threshold on h=n inputs (early fallback), stays tiny for small h");
+    t
+}
+
+/// F4 — Lemma 2.4: the O(k) time / n^{1+1/k} processor trade-off.
+pub fn f4(quick: bool) -> Table {
+    let mut t = Table::new(
+        "f4",
+        "folklore trade-off (Lemma 2.4): time O(k), processors n^{1+1/k}",
+        &["k", "n", "steps", "peak_procs", "n^{1+1/k}", "peak/bound"],
+    );
+    let n = if quick { 1024 } else { 4096 };
+    let pts = sorted_by_x(&g2::uniform_disk(n, 7));
+    for k in 1..=5usize {
+        let (mut m, mut shm) = machine(k as u64);
+        let out = upper_hull_folklore_full(&mut m, &mut shm, &pts, k);
+        assert_eq!(out.hull, UpperHull::of(&pts));
+        let bound = (n as f64).powf(1.0 + 1.0 / k as f64);
+        t.row(vec![
+            k.to_string(),
+            n.to_string(),
+            m.metrics.total_steps().to_string(),
+            m.metrics.peak_processors.to_string(),
+            f(bound),
+            f(m.metrics.peak_processors as f64 / bound),
+        ]);
+    }
+    t.note("expected: steps grow ~linearly in k while peak processors fall toward n");
+    t
+}
+
+/// F5 — Lemma 7 (Matias–Vishkin): simulated time vs physical processors.
+pub fn f5(quick: bool) -> Table {
+    let mut t = Table::new(
+        "f5",
+        "processor allocation (Lemma 7): T = t + w/p + log t as p varies",
+        &["p", "T", "ideal_T", "overhead"],
+    );
+    let n = if quick { 2048 } else { 8192 };
+    let pts = g2::uniform_disk(n, 2);
+    let (mut m, mut shm) = machine(41);
+    let (out, _) = upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+    assert_eq!(out.hull, UpperHull::of(&pts));
+    for c in schedule::sweep_p(&m.metrics, 1 << 20, schedule::DEFAULT_TC) {
+        t.row(vec![
+            c.p.to_string(),
+            f(c.time),
+            f(c.ideal_time),
+            f(c.time - c.ideal_time),
+        ]);
+    }
+    t.note("expected: T ~ w/p for small p, flattening to t once p saturates the parallelism");
+    t
+}
+
+/// A1 — ablation: random-vote splitter (paper §3.1) vs deterministic
+/// mid-extent splitter.
+pub fn a1(quick: bool) -> Table {
+    use ipch_hull2d::parallel::unsorted::SplitterPolicy;
+    let mut t = Table::new(
+        "a1",
+        "ablation: splitter policy (random vote vs mid-extent)",
+        &["dist", "policy", "steps", "work", "levels", "max_level_size@5"],
+    );
+    let n = if quick { 2048 } else { 8192 };
+    for (dname, pts) in [
+        ("disk", g2::uniform_disk(n, 3)),
+        ("clustered", {
+            // adversarial for mid-extent: mass on one side
+            let mut v = g2::uniform_disk(n - 8, 5);
+            for i in 0..8 {
+                v.push(Point2::new(1000.0 + i as f64, -(i as f64)));
+            }
+            v
+        }),
+    ] {
+        for (pname, policy) in [
+            ("vote", SplitterPolicy::RandomVote),
+            ("mid-x", SplitterPolicy::MidExtent),
+        ] {
+            let params = UnsortedParams {
+                splitter: policy,
+                ..UnsortedParams::default()
+            };
+            let (mut m, mut shm) = machine(9);
+            let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &params);
+            assert_eq!(out.hull, UpperHull::of(&pts), "{dname}/{pname}");
+            let deep = trace.levels.get(5).map(|l| l.max_size).unwrap_or(0);
+            t.row(vec![
+                dname.into(),
+                pname.into(),
+                m.metrics.total_steps().to_string(),
+                m.metrics.total_work().to_string(),
+                trace.levels.len().to_string(),
+                deep.to_string(),
+            ]);
+        }
+    }
+    t.note("expected: similar on benign inputs; the random vote keeps its balance guarantee on skewed mass");
+    t
+}
+
+/// A2 — ablation: vote/sample workspace parameter k (the 16k workspace).
+pub fn a2(quick: bool) -> Table {
+    let mut t = Table::new(
+        "a2",
+        "ablation: sample parameter k (16k workspace) vs vote failures and cost",
+        &["vote_k", "steps", "work", "level_failures", "swept"],
+    );
+    let n = if quick { 2048 } else { 8192 };
+    let pts = g2::uniform_disk(n, 7);
+    for k in [2usize, 4, 8, 16, 32] {
+        let params = UnsortedParams {
+            vote_k: k,
+            ..UnsortedParams::default()
+        };
+        let (mut m, mut shm) = machine(11);
+        let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &params);
+        assert_eq!(out.hull, UpperHull::of(&pts), "k={k}");
+        let failures: usize = trace.levels.iter().map(|l| l.failures).sum();
+        t.row(vec![
+            k.to_string(),
+            m.metrics.total_steps().to_string(),
+            m.metrics.total_work().to_string(),
+            failures.to_string(),
+            trace.swept.to_string(),
+        ]);
+    }
+    t.note("expected: tiny k makes votes flakier (more failures/sweeps); large k pays more sampling work");
+    t
+}
+
+/// A3 — ablation: charged Cole sort vs the executed bitonic network in
+/// the DAC fallback.
+pub fn a3(quick: bool) -> Table {
+    use ipch_hull2d::parallel::dac::{upper_hull_dac_with, SortMode};
+    let mut t = Table::new(
+        "a3",
+        "ablation: sort substrate in the DAC hull (charged Cole vs executed bitonic)",
+        &["n", "mode", "steps", "executed_work", "charged_work"],
+    );
+    let ns: &[usize] = if quick { &[1024, 4096] } else { &[1024, 4096, 16384] };
+    for &n in ns {
+        let pts = g2::uniform_disk(n, 13);
+        for (name, mode) in [
+            ("cole(charged)", SortMode::ChargedCole),
+            ("bitonic(executed)", SortMode::ExecutedBitonic),
+        ] {
+            let (mut m, mut shm) = machine(2);
+            let out = upper_hull_dac_with(&mut m, &mut shm, &pts, false, mode);
+            assert_eq!(out.hull, UpperHull::of(&pts));
+            t.row(vec![
+                n.to_string(),
+                name.into(),
+                m.metrics.total_steps().to_string(),
+                m.metrics.work.to_string(),
+                m.metrics.charged_work.to_string(),
+            ]);
+        }
+    }
+    t.note("expected: bitonic trades the charged log-n bound for executed log²n layers — every comparator measured");
+    t
+}
+
+/// All experiments in order.
+pub fn all(quick: bool) -> Vec<Table> {
+    vec![
+        t1(quick),
+        t2(quick),
+        t3(quick),
+        t4(quick),
+        t5(quick),
+        t6(quick),
+        t7(quick),
+        t8(quick),
+        t9(quick),
+        t10(quick),
+        f1(quick),
+        f2(quick),
+        f3(quick),
+        f4(quick),
+        f5(quick),
+        a1(quick),
+        a2(quick),
+        a3(quick),
+    ]
+}

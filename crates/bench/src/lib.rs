@@ -1,0 +1,17 @@
+//! # ipch-bench — the experiment harness
+//!
+//! The paper is a theory paper with no measured tables; DESIGN.md defines
+//! the experiment set (T1–T10, F1–F5) that turns each theorem into a
+//! measurable claim. This crate regenerates every one of them:
+//!
+//! * `cargo run --release -p ipch-bench --bin tables -- all` prints every
+//!   experiment as an aligned table and writes CSVs under
+//!   `bench_results/`.
+//! * `cargo bench` runs the criterion wall-clock benches (experiment F6).
+//!
+//! Pass `--quick` for reduced sweeps (CI-sized).
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;

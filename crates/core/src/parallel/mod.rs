@@ -1,0 +1,11 @@
+//! Parallel (CRCW PRAM) convex-hull algorithms — the paper's contribution.
+
+pub mod brute;
+pub mod dac;
+pub mod folklore;
+pub mod invariant;
+pub mod logstar;
+pub mod merge;
+pub mod presorted;
+pub mod trace;
+pub mod unsorted;

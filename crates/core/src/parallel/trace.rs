@@ -1,0 +1,36 @@
+//! Execution traces for the unsorted-input algorithm (experiments T3, F1,
+//! F3 read these).
+
+/// One recursion level's statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LevelRecord {
+    /// Global level counter (across phases).
+    pub level: usize,
+    /// Active subproblems entering the level.
+    pub problems: usize,
+    /// Largest subproblem size (F1 checks the (15/16)^i envelope).
+    pub max_size: usize,
+    /// Total active (non-dead) points.
+    pub active_points: usize,
+    /// Subproblems whose randomized bridge-finding failed this level.
+    pub failures: usize,
+}
+
+/// Full trace of one unsorted-algorithm run.
+#[derive(Clone, Debug, Default)]
+pub struct UnsortedTrace {
+    /// Per-level records.
+    pub levels: Vec<LevelRecord>,
+    /// Phases completed (each ends with a prefix-sum compaction).
+    pub phases: usize,
+    /// The lower bound `l` (edges found + problems remaining) recorded at
+    /// each phase end (F3 plots its growth toward the fallback trigger).
+    pub l_history: Vec<usize>,
+    /// Whether the O(log n)-time non-output-sensitive fallback ran.
+    pub fallback: bool,
+    /// Failures re-solved by the sweeping oracle.
+    pub swept: usize,
+    /// Hull edges found by the marriage-before-conquest phase itself
+    /// (excludes fallback edges).
+    pub probe_edges: usize,
+}

@@ -1,0 +1,765 @@
+//! The unsorted-input output-sensitive algorithm (paper §4.1–§4.2,
+//! Theorem 5): 2-D upper hull in O(log n) time and O(n log h) work, with
+//! very high probability, on a randomized CRCW PRAM.
+//!
+//! Marriage-before-conquest, in place: every point has a virtual processor
+//! and a *problem number*; subproblems are never compacted (points stay
+//! where they are, the problem number is the only bookkeeping). Each level,
+//! every active problem in parallel:
+//!
+//! 1. **Random vote** (§3.1) picks a splitter uniformly from the problem's
+//!    points; **in-place bridge finding** (§3.3) finds the hull edge above
+//!    it. A problem that exceeds its constant budget *fails*.
+//! 2. **Failure sweeping** compacts the failed problem ids (Ragde) and
+//!    re-solves each with the super-linear brute-force oracle.
+//! 3. At phase ends (every ~(log n)/32 levels), a parallel **prefix sum**
+//!    compacts the problem numbering and computes `l` = edges found +
+//!    problems left — a lower bound on h. Once `l` crosses the threshold,
+//!    the algorithm has certified that h is large and switches to the
+//!    non-output-sensitive O(log n)-time fallback
+//!    ([`super::dac::upper_hull_dac`], the Atallah–Goodrich role).
+//! 4. **Split**: one concurrent step moves every active point to child
+//!    problem 2j−1 / 2j by its side of the found edge; points under the
+//!    edge die holding a pointer to it. The bridge endpoints stay alive as
+//!    the children's anchors (Kirkpatrick–Seidel's trick, which guarantees
+//!    the edges adjacent to a found edge remain discoverable).
+//!
+//! Work is O(n log h): a point participates in O(log h)-ish levels before
+//! the edge above it is found (Lemma 5.3 / Seidel's analysis), and dead
+//! points cost nothing. Time is O(log n): subproblem sizes decay
+//! geometrically (Lemma 5.1 — experiment F1 measures the (15/16)^i
+//! envelope) and each level is O(1).
+
+use ipch_geom::{Point2, UpperHull};
+use ipch_lp::bridge::{bridge_brute, Bridge};
+use ipch_lp::inplace_bridge::{find_bridge_inplace, IbConfig};
+use ipch_pram::prefix::compact_indices;
+use ipch_pram::{Machine, Metrics, Shm, WritePolicy, EMPTY};
+
+use super::dac::upper_hull_dac;
+use super::trace::{LevelRecord, UnsortedTrace};
+use crate::HullOutput;
+
+/// How each subproblem picks the abscissa its bridge is probed at
+/// (ablation A1 compares these).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SplitterPolicy {
+    /// The paper's §3.1 random vote: a uniformly random problem point.
+    #[default]
+    RandomVote,
+    /// Deterministic mid-extent abscissa (quickhull-flavoured; loses the
+    /// paper's probabilistic balance guarantee but skips the vote steps).
+    MidExtent,
+}
+
+/// Tuning parameters; defaults follow the paper with laptop-scale
+/// constants (the paper's n^{1/32}-style exponents only separate regimes
+/// at astronomical n — see DESIGN.md §6).
+#[derive(Clone, Debug)]
+pub struct UnsortedParams {
+    /// Levels per phase; `None` = max(2, ⌈log₂n / 8⌉) (paper: (log n)/32).
+    pub levels_per_phase: Option<usize>,
+    /// Fallback trigger on `l`; `None` = max(32, ⌈√n⌉) (paper: n^{1/32}).
+    pub fallback_threshold: Option<usize>,
+    /// Safety cap on total levels; `None` = 4·log₂n + 16.
+    pub max_levels: Option<usize>,
+    /// In-place bridge-finder tuning.
+    pub ib: IbConfig,
+    /// Sample-size parameter for the random vote (workspace 16k).
+    pub vote_k: usize,
+    /// Disable step 2 (failure sweeping) — the T9 ablation knob. Failed
+    /// problems are simply retried at later levels.
+    pub disable_sweeping: bool,
+    /// Splitter selection (ablation A1).
+    pub splitter: SplitterPolicy,
+}
+
+impl Default for UnsortedParams {
+    fn default() -> Self {
+        Self {
+            levels_per_phase: None,
+            fallback_threshold: None,
+            max_levels: None,
+            ib: IbConfig {
+                max_rounds: 10,
+                ..IbConfig::default()
+            },
+            vote_k: 8,
+            disable_sweeping: false,
+            splitter: SplitterPolicy::default(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Sol {
+    /// Bridge found: split about it.
+    Bridge {
+        a: usize,
+        b: usize,
+        edge: usize,
+        lchild: i64,
+        rchild: i64,
+    },
+    /// Problem retired (singleton / single column): points withdrawn.
+    Retire,
+    /// Unsolved this level (failure without sweeping): points stay put.
+    Pending,
+}
+
+/// Run the unsorted 2-D algorithm. Returns the hull output and the trace.
+///
+/// # Examples
+///
+/// ```
+/// use ipch_geom::generators::circle_plus_interior;
+/// use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+/// use ipch_pram::{Machine, Shm};
+///
+/// let points = circle_plus_interior(12, 400, 1); // n = 400, hull size 12
+/// let mut machine = Machine::new(7);
+/// let mut shm = Shm::new();
+/// let (out, trace) =
+///     upper_hull_unsorted(&mut machine, &mut shm, &points, &UnsortedParams::default());
+/// ipch_hull2d::verify_upper_hull(&points, &out.hull).unwrap();
+/// out.verify_pointers(&points).unwrap();
+/// assert!(machine.metrics.total_steps() > 0);
+/// assert!(!trace.levels.is_empty());
+/// ```
+pub fn upper_hull_unsorted(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point2],
+    params: &UnsortedParams,
+) -> (HullOutput, UnsortedTrace) {
+    let n = points.len();
+    let mut trace = UnsortedTrace::default();
+    if n == 0 {
+        return (
+            HullOutput {
+                hull: UpperHull::new(vec![]),
+                edge_above: vec![],
+            },
+            trace,
+        );
+    }
+    let logn = (n.max(2) as f64).log2();
+    let levels_per_phase = params
+        .levels_per_phase
+        .unwrap_or(((logn / 8.0).ceil() as usize).max(2));
+    let fallback_threshold = params
+        .fallback_threshold
+        .unwrap_or(((n as f64).sqrt().ceil() as usize).max(32));
+    let max_levels = params.max_levels.unwrap_or((4.0 * logn) as usize + 16);
+    let sweep_bound = ((n as f64).powf(0.25).ceil() as usize).max(4);
+
+    // shared state: problem number per point (EMPTY = dead/retired),
+    // edge pointer per point
+    let prob = shm.alloc("uns.prob", n, 0);
+    let above = shm.alloc("uns.above", n, EMPTY);
+
+    let mut problems: Vec<Vec<usize>> = vec![(0..n).collect()];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut level = 0usize;
+    let mut level_in_phase = 0usize;
+    let mut fallback_edges: Vec<(usize, usize)> = Vec::new();
+
+    'outer: while !problems.is_empty() {
+        m.metrics.begin_phase("probe");
+        if level >= max_levels {
+            run_fallback(m, shm, points, &problems, &mut fallback_edges, &mut trace);
+            break 'outer;
+        }
+        let rec = LevelRecord {
+            level,
+            problems: problems.len(),
+            max_size: problems.iter().map(|p| p.len()).max().unwrap_or(0),
+            active_points: problems.iter().map(|p| p.len()).sum(),
+            failures: 0,
+        };
+        trace.levels.push(rec);
+        let ri = trace.levels.len() - 1;
+
+        // ---- step 1: vote + bridge per problem, in parallel -------------
+        let mut sols: Vec<Sol> = vec![Sol::Pending; problems.len()];
+        let mut failed: Vec<usize> = Vec::new();
+        let mut children: Vec<Metrics> = Vec::new();
+        for (j, ids) in problems.iter().enumerate() {
+            let mut child = m.child((level as u64) << 32 | j as u64);
+            let mut scratch = Shm::new();
+            sols[j] = solve_problem(
+                &mut child,
+                &mut scratch,
+                points,
+                ids,
+                params,
+                &mut edges,
+            );
+            if matches!(sols[j], Sol::Pending) {
+                failed.push(j);
+            }
+            children.push(child.metrics);
+        }
+        m.metrics.absorb_parallel(&children);
+        trace.levels[ri].failures = failed.len();
+
+        // ---- step 2: failure sweeping -----------------------------------
+        m.metrics.begin_phase("sweep");
+        if !failed.is_empty() && !params.disable_sweeping {
+            let flags = shm.alloc("uns.fail", problems.len(), EMPTY);
+            let ff = failed.clone();
+            m.step(shm, 0..problems.len(), move |ctx| {
+                let j = ctx.pid;
+                if ff.binary_search(&j).is_ok() {
+                    ctx.write(flags, j, j as i64);
+                }
+            });
+            let comp = ipch_inplace::ragde::ragde_compact_det(m, shm, flags, sweep_bound);
+            let sweep_list: Vec<usize> = match comp {
+                Some(c) => shm
+                    .slice(c.dst)
+                    .iter()
+                    .copied()
+                    .filter(|&x| x != EMPTY)
+                    .map(|x| x as usize)
+                    .collect(),
+                None => failed.clone(),
+            };
+            let mut sweep_children: Vec<Metrics> = Vec::new();
+            for j in sweep_list {
+                let mut child = m.child(j as u64 ^ 0xfa11);
+                let mut scratch = Shm::new();
+                sols[j] = sweep_problem(
+                    &mut child,
+                    &mut scratch,
+                    points,
+                    &problems[j],
+                    params,
+                    &mut edges,
+                );
+                if !matches!(sols[j], Sol::Pending) {
+                    trace.swept += 1;
+                }
+                sweep_children.push(child.metrics);
+            }
+            m.metrics.absorb_parallel(&sweep_children);
+        }
+
+        // ---- step 4: split (one concurrent step over active points) -----
+        m.metrics.begin_phase("split");
+        let mut next_lists: Vec<Vec<usize>> = vec![Vec::new(); problems.len() * 2];
+        for (j, s) in sols.iter_mut().enumerate() {
+            if let Sol::Bridge { lchild, rchild, .. } = s {
+                *lchild = (2 * j) as i64;
+                *rchild = (2 * j + 1) as i64;
+            }
+        }
+        let sols_ref = &sols;
+        let active: Vec<usize> = problems.iter().flatten().copied().collect();
+        m.step_with_policy(shm, &active, WritePolicy::Arbitrary, |ctx| {
+            let i = ctx.pid;
+            let j = ctx.read(prob, i) as usize;
+            match sols_ref[j] {
+                // pending problems park at their left-child slot so the
+                // renumbering below sees a consistent 2·#problems id space
+                Sol::Pending => ctx.write(prob, i, (2 * j) as i64),
+                Sol::Retire => ctx.write(prob, i, EMPTY),
+                Sol::Bridge {
+                    a,
+                    b,
+                    edge,
+                    lchild,
+                    rchild,
+                } => {
+                    let p = points[i];
+                    if i == a || (i != b && p.x < points[a].x) {
+                        ctx.write(prob, i, lchild);
+                    } else if i == b || p.x > points[b].x {
+                        ctx.write(prob, i, rchild);
+                    } else {
+                        ctx.write(prob, i, EMPTY);
+                        ctx.write(above, i, edge as i64);
+                    }
+                }
+            }
+        });
+        // host-side rebuild of the problem lists (in-model: the lists are
+        // implicit in `prob`; rebuilding is bookkeeping, not PRAM work)
+        for (j, ids) in problems.iter().enumerate() {
+            match sols[j] {
+                Sol::Pending => {
+                    // keep as-is for the next level under its old number;
+                    // park it at slot 2j (left child slot)
+                    next_lists[2 * j] = ids.clone();
+                }
+                Sol::Retire => {}
+                Sol::Bridge { .. } => {
+                    for &i in ids {
+                        let v = shm.get(prob, i);
+                        if v != EMPTY {
+                            next_lists[v as usize].push(i);
+                        }
+                    }
+                }
+            }
+        }
+        // renumber densely and rewrite problem numbers (one step)
+        let mut new_problems: Vec<Vec<usize>> = Vec::new();
+        let mut remap: Vec<i64> = vec![EMPTY; next_lists.len()];
+        for (slot, lst) in next_lists.into_iter().enumerate() {
+            if lst.len() >= 2 {
+                remap[slot] = new_problems.len() as i64;
+                new_problems.push(lst);
+            } else if lst.len() == 1 {
+                remap[slot] = -2; // singleton: retire (hull vertex)
+            }
+        }
+        let remap_ref = &remap;
+        let still: Vec<usize> = problems.iter().flatten().copied().collect();
+        m.step(shm, &still, |ctx| {
+            let i = ctx.pid;
+            let v = ctx.read(prob, i);
+            if v == EMPTY {
+                return;
+            }
+            let r = remap_ref[v as usize];
+            ctx.write(prob, i, if r == -2 { EMPTY } else { r });
+        });
+        problems = new_problems;
+
+        // ---- step 3: phase bookkeeping ----------------------------------
+        m.metrics.begin_phase("compact");
+        level += 1;
+        level_in_phase += 1;
+        if level_in_phase >= levels_per_phase {
+            level_in_phase = 0;
+            trace.phases += 1;
+            // parallel prefix sum over the problem-id space (the paper's
+            // compaction) — executed, O(log) steps
+            let pflags = shm.alloc("uns.pflags", problems.len().max(1), 0);
+            for j in 0..problems.len() {
+                shm.host_set(pflags, j, 1);
+            }
+            let (_, count) = compact_indices(m, shm, pflags);
+            let l = edges.len() + count;
+            trace.l_history.push(l);
+            if l >= fallback_threshold {
+                run_fallback(m, shm, points, &problems, &mut fallback_edges, &mut trace);
+                break 'outer;
+            }
+        }
+    }
+    m.metrics.end_phase();
+    trace.probe_edges = edges.len();
+
+    // ---- assembly ---------------------------------------------------------
+    let mut chain: Vec<usize> = Vec::new();
+    for &(u, v) in edges.iter().chain(fallback_edges.iter()) {
+        chain.push(u);
+        chain.push(v);
+    }
+    if chain.is_empty() {
+        // no edges at all: single point / single column input
+        let top = (0..n)
+            .max_by(|&a, &b| points[a].cmp_xy(&points[b]))
+            .unwrap();
+        let hull = UpperHull::new(vec![top]);
+        return (
+            HullOutput {
+                hull,
+                edge_above: vec![usize::MAX; n],
+            },
+            trace,
+        );
+    }
+    chain.sort_by(|&a, &b| points[a].cmp_xy(&points[b]));
+    chain.dedup();
+    super::merge::strictify(points, &mut chain);
+    let hull = UpperHull::new(chain);
+
+    // map probe edges to final (strictified) edge indices; then one step
+    // where every point resolves its pointer (dead points translate their
+    // recorded edge, survivors/vertices take the covering edge)
+    let mut edge_map: Vec<i64> = vec![EMPTY; edges.len()];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        let xm = (points[u].x + points[v].x) / 2.0;
+        if let Some(f) = final_edge_over(points, &hull, xm) {
+            edge_map[e] = f as i64;
+        }
+    }
+    m.charge(1, edges.len() as u64 + n as u64);
+    let mut edge_above = vec![usize::MAX; n];
+    for i in 0..n {
+        let rec = shm.get(above, i);
+        if rec != EMPTY {
+            let f = edge_map[rec as usize];
+            if f != EMPTY {
+                edge_above[i] = f as usize;
+                continue;
+            }
+        }
+        if let Some(f) = final_edge_over(points, &hull, points[i].x) {
+            edge_above[i] = f;
+        }
+    }
+    (HullOutput { hull, edge_above }, trace)
+}
+
+/// Solve one subproblem: random vote for the splitter, then in-place
+/// bridge finding. Emits the edge into `edges` on success.
+fn solve_problem(
+    child: &mut Machine,
+    scratch: &mut Shm,
+    points: &[Point2],
+    ids: &[usize],
+    params: &UnsortedParams,
+    edges: &mut Vec<(usize, usize)>,
+) -> Sol {
+    if ids.len() <= 1 {
+        return Sol::Retire;
+    }
+    let universe = points.len();
+    let maxx = combine_max_x(child, scratch, points, ids);
+    let mut x0 = match params.splitter {
+        SplitterPolicy::RandomVote => {
+            // random vote (Corollary 3.1)
+            let Some(s) =
+                ipch_inplace::vote::random_vote(child, scratch, ids, universe, params.vote_k, 4)
+            else {
+                return Sol::Pending;
+            };
+            points[s].x
+        }
+        SplitterPolicy::MidExtent => {
+            let minx = -combine_max_x_neg(child, scratch, points, ids);
+            (minx + maxx) / 2.0
+        }
+    };
+    // splitter in the rightmost column? (one Combining-Max step)
+    if x0 >= maxx {
+        // probe the edge *arriving* at the rightmost column instead
+        let Some(second) = combine_max_x_below(child, scratch, points, ids, maxx) else {
+            return Sol::Retire; // single column: top is a hull vertex
+        };
+        x0 = (second + maxx) / 2.0;
+    }
+    match find_bridge_inplace(child, scratch, points, ids, x0, &params.ib) {
+        Some((b, _)) => {
+            let edge = edges.len();
+            edges.push((b.left, b.right));
+            Sol::Bridge {
+                a: b.left,
+                b: b.right,
+                edge,
+                lchild: 0,
+                rchild: 0,
+            }
+        }
+        None => Sol::Pending,
+    }
+}
+
+/// Sweeping oracle: brute-force for small problems (the paper's n^{3/4}
+/// processors cover any whp-failing problem), generous-budget retry for
+/// improbably-large failures.
+fn sweep_problem(
+    child: &mut Machine,
+    scratch: &mut Shm,
+    points: &[Point2],
+    ids: &[usize],
+    params: &UnsortedParams,
+    edges: &mut Vec<(usize, usize)>,
+) -> Sol {
+    if ids.len() <= 1 {
+        return Sol::Retire;
+    }
+    let maxx = combine_max_x(child, scratch, points, ids);
+    let Some(second) = combine_max_x_below(child, scratch, points, ids, maxx) else {
+        return Sol::Retire;
+    };
+    // deterministic splitter: the middle of the problem's x-extent
+    let minx = -combine_max_x_neg(child, scratch, points, ids);
+    let x0 = (minx + maxx) / 2.0;
+    let x0 = if x0 >= maxx { (second + maxx) / 2.0 } else { x0 };
+    let b: Option<Bridge> = if ids.len() <= 512 {
+        bridge_brute(child, scratch, points, ids, x0)
+    } else {
+        let retry = IbConfig {
+            max_rounds: 64,
+            ..params.ib
+        };
+        find_bridge_inplace(child, scratch, points, ids, x0, &retry).map(|(b, _)| b)
+    };
+    match b {
+        Some(b) => {
+            let edge = edges.len();
+            edges.push((b.left, b.right));
+            Sol::Bridge {
+                a: b.left,
+                b: b.right,
+                edge,
+                lchild: 0,
+                rchild: 0,
+            }
+        }
+        None => Sol::Pending,
+    }
+}
+
+fn combine_max_x(m: &mut Machine, shm: &mut Shm, points: &[Point2], ids: &[usize]) -> f64 {
+    let cell = shm.alloc("uns.maxx", 1, i64::MIN);
+    m.step_with_policy(shm, ids, WritePolicy::CombineMax, |ctx| {
+        let i = ctx.pid;
+        ctx.write(cell, 0, ipch_lp::constraint::f64_key(points[i].x));
+    });
+    let key = shm.get(cell, 0);
+    ids.iter()
+        .map(|&i| points[i].x)
+        .find(|&x| ipch_lp::constraint::f64_key(x) == key)
+        .unwrap()
+}
+
+fn combine_max_x_neg(m: &mut Machine, shm: &mut Shm, points: &[Point2], ids: &[usize]) -> f64 {
+    let cell = shm.alloc("uns.minx", 1, i64::MIN);
+    m.step_with_policy(shm, ids, WritePolicy::CombineMax, |ctx| {
+        let i = ctx.pid;
+        ctx.write(cell, 0, ipch_lp::constraint::f64_key(-points[i].x));
+    });
+    let key = shm.get(cell, 0);
+    ids.iter()
+        .map(|&i| -points[i].x)
+        .find(|&x| ipch_lp::constraint::f64_key(x) == key)
+        .unwrap()
+}
+
+/// Max x strictly below `below`; `None` if the problem is a single column.
+fn combine_max_x_below(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point2],
+    ids: &[usize],
+    below: f64,
+) -> Option<f64> {
+    let cell = shm.alloc("uns.max2", 1, i64::MIN);
+    m.step_with_policy(shm, ids, WritePolicy::CombineMax, |ctx| {
+        let i = ctx.pid;
+        if points[i].x < below {
+            ctx.write(cell, 0, ipch_lp::constraint::f64_key(points[i].x));
+        }
+    });
+    let key = shm.get(cell, 0);
+    if key == i64::MIN {
+        return None;
+    }
+    ids.iter()
+        .map(|&i| points[i].x)
+        .find(|&x| ipch_lp::constraint::f64_key(x) == key)
+}
+
+fn run_fallback(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point2],
+    problems: &[Vec<usize>],
+    fallback_edges: &mut Vec<(usize, usize)>,
+    trace: &mut UnsortedTrace,
+) {
+    trace.fallback = true;
+    let actives: Vec<usize> = problems.iter().flatten().copied().collect();
+    if actives.len() < 2 {
+        return;
+    }
+    let sub: Vec<Point2> = actives.iter().map(|&i| points[i]).collect();
+    let out = upper_hull_dac(m, shm, &sub, false);
+    for w in out.hull.vertices.windows(2) {
+        fallback_edges.push((actives[w[0]], actives[w[1]]));
+    }
+}
+
+fn final_edge_over(points: &[Point2], hull: &UpperHull, x: f64) -> Option<usize> {
+    let vs = &hull.vertices;
+    if vs.len() < 2 || x < points[vs[0]].x || x > points[vs[vs.len() - 1]].x {
+        return None;
+    }
+    let (mut lo, mut hi) = (0usize, vs.len() - 1);
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if points[vs[mid]].x <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{
+        circle_plus_interior, collinear_on_line, grid, on_circle, uniform_disk, uniform_square,
+    };
+    use ipch_geom::hull_chain::verify_upper_hull;
+
+    fn run(points: &[Point2], seed: u64, params: &UnsortedParams) -> (HullOutput, UnsortedTrace, Machine) {
+        let mut m = Machine::new(seed);
+        let mut shm = Shm::new();
+        let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, points, params);
+        (out, trace, m)
+    }
+
+    #[test]
+    fn matches_oracle_random() {
+        for seed in 0..6 {
+            let pts = uniform_disk(1000, seed);
+            let (out, _, _) = run(&pts, seed, &UnsortedParams::default());
+            verify_upper_hull(&pts, &out.hull).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(out.hull, UpperHull::of(&pts), "seed {seed}");
+            out.verify_pointers(&pts).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn degenerate_and_tiny_inputs() {
+        let cases: Vec<Vec<Point2>> = vec![
+            vec![],
+            vec![Point2::new(1.0, 1.0)],
+            vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)],
+            vec![Point2::new(0.0, 0.0), Point2::new(0.0, 1.0)], // one column
+            collinear_on_line(50, -1.0, 2.0, 1),
+            grid(100),
+            ipch_geom::generators::duplicated(
+                &[Point2::new(0.0, 0.0), Point2::new(2.0, 1.0), Point2::new(4.0, 0.0)],
+                30,
+            ),
+        ];
+        for (i, pts) in cases.iter().enumerate() {
+            let (out, _, _) = run(pts, i as u64 + 10, &UnsortedParams::default());
+            verify_upper_hull(pts, &out.hull).unwrap_or_else(|e| panic!("case {i}: {e}"));
+            // compare by coordinates: duplicate inputs admit several id
+            // choices for the same geometric hull
+            let got: Vec<Point2> = out.hull.vertices.iter().map(|&v| pts[v]).collect();
+            let expect: Vec<Point2> = UpperHull::of(pts).vertices.iter().map(|&v| pts[v]).collect();
+            assert_eq!(got, expect, "case {i}");
+            out.verify_pointers(pts).unwrap_or_else(|e| panic!("case {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn output_sensitive_work() {
+        // fixed n, growing h: total work should grow like log h (before the
+        // fallback saturates it)
+        let n = 8192;
+        let mut works = Vec::new();
+        for h in [8usize, 64] {
+            let pts = circle_plus_interior(h, n, 3);
+            let (out, _, m) = run(&pts, 5, &UnsortedParams::default());
+            assert_eq!(out.hull, UpperHull::of(&pts), "h={h}");
+            works.push(m.metrics.total_work());
+        }
+        // 8× more hull edges should cost well under 8× the work
+        assert!(
+            works[1] < 4 * works[0],
+            "not output-sensitive: {works:?}"
+        );
+    }
+
+    #[test]
+    fn large_h_triggers_fallback() {
+        let pts = on_circle(4096, 7);
+        let (out, trace, _) = run(&pts, 2, &UnsortedParams::default());
+        assert!(trace.fallback, "h = n must certify and fall back");
+        assert_eq!(out.hull, UpperHull::of(&pts));
+        out.verify_pointers(&pts).unwrap();
+    }
+
+    #[test]
+    fn small_h_avoids_fallback() {
+        let pts = circle_plus_interior(8, 4096, 9);
+        let (out, trace, _) = run(&pts, 3, &UnsortedParams::default());
+        assert!(!trace.fallback, "h = 8 must finish by probing");
+        assert_eq!(out.hull, UpperHull::of(&pts));
+    }
+
+    #[test]
+    fn logarithmic_levels() {
+        for n in [1024usize, 8192] {
+            let pts = uniform_square(n, 11);
+            let (_, trace, _) = run(&pts, 4, &UnsortedParams::default());
+            let cap = 3 * (n as f64).log2() as usize + 8;
+            assert!(
+                trace.levels.len() <= cap,
+                "n={n}: {} levels",
+                trace.levels.len()
+            );
+        }
+    }
+
+    #[test]
+    fn subproblem_sizes_decay() {
+        // Lemma 5.1 flavor: max subproblem size decays geometrically
+        let pts = uniform_disk(8192, 13);
+        let (_, trace, _) = run(&pts, 6, &UnsortedParams::default());
+        if trace.levels.len() >= 7 {
+            let early = trace.levels[0].max_size as f64;
+            let later = trace.levels[6].max_size as f64;
+            assert!(
+                later < early * 0.8,
+                "no decay: {early} -> {later}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweeping_ablation_still_correct() {
+        let pts = uniform_disk(2000, 17);
+        let params = UnsortedParams {
+            disable_sweeping: true,
+            ..UnsortedParams::default()
+        };
+        let (out, _, _) = run(&pts, 7, &params);
+        assert_eq!(out.hull, UpperHull::of(&pts));
+    }
+
+    #[test]
+    fn phase_breakdown_recorded() {
+        let pts = uniform_disk(800, 21);
+        let (_, _, m) = run(&pts, 1, &UnsortedParams::default());
+        let probe = m.metrics.phase("probe").expect("probe phase");
+        assert!(probe.steps > 0);
+        let split = m.metrics.phase("split").expect("split phase");
+        assert!(split.steps > 0);
+        // phases partition the totals
+        let sum: u64 = m.metrics.phases.iter().map(|p| p.steps).sum();
+        assert_eq!(sum, m.metrics.steps);
+    }
+
+    #[test]
+    fn mid_extent_splitter_is_correct() {
+        for seed in 0..4 {
+            let pts = uniform_disk(1200, seed + 30);
+            let params = UnsortedParams {
+                splitter: SplitterPolicy::MidExtent,
+                ..UnsortedParams::default()
+            };
+            let (out, _, _) = run(&pts, seed, &params);
+            assert_eq!(out.hull, UpperHull::of(&pts), "seed {seed}");
+            out.verify_pointers(&pts).unwrap();
+        }
+    }
+
+    #[test]
+    fn forced_failures_swept() {
+        let pts = uniform_disk(3000, 19);
+        let params = UnsortedParams {
+            ib: IbConfig {
+                max_rounds: 0,
+                ..IbConfig::default()
+            },
+            ..UnsortedParams::default()
+        };
+        let (out, trace, _) = run(&pts, 8, &params);
+        assert!(trace.swept > 0);
+        assert_eq!(out.hull, UpperHull::of(&pts));
+    }
+}

@@ -1,0 +1,189 @@
+//! Chan's algorithm (1996) — the other classic O(n log h) baseline.
+//!
+//! Chronologically it postdates the paper, but it is the algorithm a
+//! modern reader benchmarks output-sensitive hulls against, so the T4
+//! table includes it. Scheme: guess m = 2^(2^t); build ⌈n/m⌉ group hulls
+//! (monotone chain); gift-wrap across groups using O(log m) tangent
+//! queries per step; abort and square the guess after m wrap steps.
+
+use ipch_geom::point::argsort_xy;
+use ipch_geom::predicates::orient2d_sign;
+use ipch_geom::{Point2, UpperHull};
+
+use super::SeqStats;
+
+/// Upper hull in O(n log h) time.
+pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
+    let n = pts.len();
+    if n <= 2 {
+        let mut v: Vec<usize> = (0..n).collect();
+        v.sort_by(|&a, &b| pts[a].cmp_xy(&pts[b]));
+        v.dedup_by(|a, b| pts[*a].x == pts[*b].x);
+        return UpperHull::new(v);
+    }
+    let order = argsort_xy(pts);
+    let mut t = 1u32;
+    loop {
+        let m = (1usize << (1usize << t).min(30)).min(n);
+        if let Some(h) = attempt(pts, &order, m, stats) {
+            return h;
+        }
+        t += 1;
+    }
+}
+
+fn attempt(
+    pts: &[Point2],
+    order: &[usize],
+    m: usize,
+    stats: &mut SeqStats,
+) -> Option<UpperHull> {
+    let n = pts.len();
+    // group hulls over contiguous runs of the sorted order
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for chunk in order.chunks(m) {
+        // monotone chain over the chunk (already x-sorted)
+        let mut st: Vec<usize> = Vec::new();
+        for &i in chunk {
+            while let Some(&t) = st.last() {
+                if pts[t].x == pts[i].x {
+                    st.pop();
+                } else {
+                    break;
+                }
+            }
+            while st.len() >= 2 {
+                stats.orientation_tests += 1;
+                if orient2d_sign(pts[st[st.len() - 2]], pts[st[st.len() - 1]], pts[i]) >= 0 {
+                    st.pop();
+                } else {
+                    break;
+                }
+            }
+            st.push(i);
+        }
+        groups.push(st);
+    }
+
+    // gift-wrap from the global leftmost-top to rightmost-top
+    let start = *order
+        .iter()
+        .take_while(|&&i| pts[i].x == pts[order[0]].x)
+        .max_by(|&&a, &&b| pts[a].y.partial_cmp(&pts[b].y).unwrap())
+        .unwrap();
+    let end = *order
+        .iter()
+        .rev()
+        .take_while(|&&i| pts[i].x == pts[order[n - 1]].x)
+        .max_by(|&&a, &&b| pts[a].y.partial_cmp(&pts[b].y).unwrap())
+        .unwrap();
+
+    let mut chain = vec![start];
+    let mut cur = start;
+    for _ in 0..m {
+        if cur == end {
+            return Some(UpperHull::new(chain));
+        }
+        let mut next: Option<usize> = None;
+        for g in &groups {
+            if let Some(c) = best_slope_vertex(pts, g, cur, stats) {
+                next = match next {
+                    None => Some(c),
+                    Some(b) => {
+                        stats.orientation_tests += 1;
+                        let s = orient2d_sign(pts[cur], pts[b], pts[c]);
+                        if s > 0 || (s == 0 && pts[cur].dist2(&pts[c]) > pts[cur].dist2(&pts[b]))
+                        {
+                            Some(c)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+        }
+        let nx = next?;
+        chain.push(nx);
+        cur = nx;
+    }
+    if cur == end {
+        return Some(UpperHull::new(chain));
+    }
+    None // wrap count exceeded m: guess too small
+}
+
+/// The vertex of group hull `g` strictly right of `cur` maximizing the
+/// slope from `cur` (the wrap tangent), by binary search on the convex
+/// chain — the slope sequence over the suffix is unimodal.
+fn best_slope_vertex(
+    pts: &[Point2],
+    g: &[usize],
+    cur: usize,
+    stats: &mut SeqStats,
+) -> Option<usize> {
+    // suffix of vertices with x > cur.x
+    let lo = g.partition_point(|&i| pts[i].x <= pts[cur].x);
+    let s = &g[lo..];
+    if s.is_empty() {
+        return None;
+    }
+    let better = |a: usize, b: usize, stats: &mut SeqStats| -> bool {
+        // slope(cur→a) > slope(cur→b)? i.e. a strictly above line cur→b;
+        // collinear ties prefer the farther vertex (skips interior
+        // collinear points so the wrap stays strict)
+        stats.orientation_tests += 1;
+        let s = orient2d_sign(pts[cur], pts[b], pts[a]);
+        s > 0 || (s == 0 && pts[cur].dist2(&pts[a]) > pts[cur].dist2(&pts[b]))
+    };
+    let (mut l, mut r) = (0usize, s.len() - 1);
+    while l < r {
+        let mid = (l + r) / 2;
+        if better(s[mid + 1], s[mid], stats) {
+            l = mid + 1;
+        } else {
+            r = mid;
+        }
+    }
+    Some(s[l])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{circle_plus_interior, on_circle, uniform_disk};
+    use ipch_geom::hull_chain::verify_upper_hull;
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..6 {
+            for n in [1usize, 2, 5, 50, 700] {
+                let pts = uniform_disk(n, seed);
+                let mut st = SeqStats::default();
+                let h = upper_hull(&pts, &mut st);
+                verify_upper_hull(&pts, &h).unwrap_or_else(|e| panic!("seed {seed} n {n}: {e}"));
+                assert_eq!(h, UpperHull::of(&pts), "seed {seed} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_on_hull() {
+        let pts = on_circle(300, 1);
+        let mut st = SeqStats::default();
+        let h = upper_hull(&pts, &mut st);
+        assert_eq!(h, UpperHull::of(&pts));
+    }
+
+    #[test]
+    fn output_sensitive_ops() {
+        let n = 20_000;
+        let small = circle_plus_interior(8, n, 2);
+        let big = circle_plus_interior(1024, n, 2);
+        let mut s1 = SeqStats::default();
+        let mut s2 = SeqStats::default();
+        upper_hull(&small, &mut s1);
+        upper_hull(&big, &mut s2);
+        assert!(s1.total() < s2.total());
+        assert!(s2.total() < 40 * s1.total(), "{} vs {}", s1.total(), s2.total());
+    }
+}

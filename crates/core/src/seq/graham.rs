@@ -1,0 +1,144 @@
+//! Graham's scan (1972) — the classic O(n log n) full-hull baseline.
+//!
+//! Sorts by polar angle around the lowest point, then scans. We expose the
+//! full hull and derive the upper chain from it so the baseline tables can
+//! report a like-for-like "upper hull" object.
+
+use ipch_geom::predicates::orient2d_sign;
+use ipch_geom::{Point2, UpperHull};
+
+use super::SeqStats;
+
+/// Full convex hull (counter-clockwise vertex ids) by Graham's scan.
+pub fn convex_hull(pts: &[Point2], stats: &mut SeqStats) -> Vec<usize> {
+    let n = pts.len();
+    if n == 0 {
+        return vec![];
+    }
+    // pivot: lowest y, then lowest x
+    let pivot = (0..n)
+        .min_by(|&a, &b| {
+            pts[a]
+                .y
+                .partial_cmp(&pts[b].y)
+                .unwrap()
+                .then(pts[a].x.partial_cmp(&pts[b].x).unwrap())
+        })
+        .unwrap();
+    let mut order: Vec<usize> = (0..n).filter(|&i| i != pivot).collect();
+    let p0 = pts[pivot];
+    order.sort_by(|&a, &b| {
+        stats.orientation_tests += 1;
+        let s = orient2d_sign(p0, pts[a], pts[b]);
+        match s.cmp(&0) {
+            std::cmp::Ordering::Equal => {
+                // closer first on collinear rays
+                p0.dist2(&pts[a]).partial_cmp(&p0.dist2(&pts[b])).unwrap()
+            }
+            o => o.reverse(), // CCW first
+        }
+    });
+    // drop coincident-with-pivot duplicates
+    order.retain(|&i| pts[i] != p0);
+
+    let mut st: Vec<usize> = vec![pivot];
+    for &i in &order {
+        while st.len() >= 2 {
+            stats.orientation_tests += 1;
+            if orient2d_sign(pts[st[st.len() - 2]], pts[st[st.len() - 1]], pts[i]) <= 0 {
+                st.pop();
+            } else {
+                break;
+            }
+        }
+        st.push(i);
+    }
+    st
+}
+
+/// Upper hull derived from the Graham full hull: the CCW cycle from the
+/// max-(x, y) vertex to the min-(x, y) vertex, reversed into left-to-right
+/// order.
+pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
+    let cycle = convex_hull(pts, stats);
+    if cycle.len() <= 1 {
+        return UpperHull::new(cycle);
+    }
+    // upper-chain endpoints: among x-ties the *highest* vertex (vertical
+    // hull edges belong to the sides, not the upper chain)
+    let upper_key = |i: usize| (pts[cycle[i]].x, pts[cycle[i]].y);
+    let lo = (0..cycle.len())
+        .min_by(|&a, &b| {
+            let (ka, kb) = (upper_key(a), upper_key(b));
+            ka.0.partial_cmp(&kb.0).unwrap().then(kb.1.partial_cmp(&ka.1).unwrap())
+        })
+        .unwrap();
+    let hi = (0..cycle.len())
+        .max_by(|&a, &b| {
+            let (ka, kb) = (upper_key(a), upper_key(b));
+            ka.0.partial_cmp(&kb.0).unwrap().then(ka.1.partial_cmp(&kb.1).unwrap())
+        })
+        .unwrap();
+    // CCW cycle: walking hi → lo passes over the top
+    let mut chain: Vec<usize> = Vec::new();
+    let mut i = hi;
+    loop {
+        chain.push(cycle[i]);
+        if i == lo {
+            break;
+        }
+        i = (i + 1) % cycle.len();
+    }
+    chain.reverse();
+    // strict x-monotonicity: drop any vertical-tie artifacts at the ends
+    chain.dedup_by(|a, b| pts[*a].x == pts[*b].x);
+    UpperHull::new(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{grid, uniform_disk, uniform_square};
+    use ipch_geom::hull_chain::{is_ccw_convex_polygon, verify_upper_hull};
+
+    #[test]
+    fn full_hull_is_convex_and_matches_oracle_size() {
+        for seed in 0..5 {
+            let pts = uniform_disk(300, seed);
+            let mut st = SeqStats::default();
+            let cycle = convex_hull(&pts, &mut st);
+            assert!(is_ccw_convex_polygon(&pts, &cycle));
+            let oracle = ipch_geom::hull_chain::convex_hull_indices(&pts);
+            assert_eq!(cycle.len(), oracle.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn upper_hull_matches_oracle() {
+        for seed in 0..5 {
+            let pts = uniform_square(400, seed + 10);
+            let mut st = SeqStats::default();
+            let h = upper_hull(&pts, &mut st);
+            verify_upper_hull(&pts, &h).unwrap();
+            assert_eq!(h, UpperHull::of(&pts), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn degenerate_grid() {
+        let pts = grid(64);
+        let mut st = SeqStats::default();
+        let h = upper_hull(&pts, &mut st);
+        verify_upper_hull(&pts, &h).unwrap();
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut st = SeqStats::default();
+        assert!(convex_hull(&[], &mut st).is_empty());
+        let one = vec![Point2::new(1.0, 1.0)];
+        assert_eq!(convex_hull(&one, &mut st), vec![0]);
+        let two = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0)];
+        assert_eq!(convex_hull(&two, &mut st).len(), 2);
+    }
+}

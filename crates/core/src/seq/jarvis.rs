@@ -1,0 +1,116 @@
+//! Jarvis march (gift wrapping, 1973) — the O(nh) output-sensitive
+//! baseline. For small h it beats O(n log n); for h = Θ(n) it degrades to
+//! O(n²). The T4 crossover table plots exactly this trade-off against
+//! Kirkpatrick–Seidel and the paper's parallel method.
+
+use ipch_geom::predicates::orient2d_sign;
+use ipch_geom::{Point2, UpperHull};
+
+use super::SeqStats;
+
+/// Upper hull by wrapping from the leftmost to the rightmost point.
+pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
+    let n = pts.len();
+    if n == 0 {
+        return UpperHull::new(vec![]);
+    }
+    let start = (0..n).min_by(|&a, &b| pts[a].cmp_xy(&pts[b])).unwrap();
+    let end = (0..n)
+        .max_by(|&a, &b| {
+            // rightmost; among x-ties the highest (upper-hull endpoint)
+            pts[a]
+                .x
+                .partial_cmp(&pts[b].x)
+                .unwrap()
+                .then(pts[a].y.partial_cmp(&pts[b].y).unwrap())
+        })
+        .unwrap();
+    // among leftmost x-ties the highest starts the upper chain
+    let start = (0..n)
+        .filter(|&i| pts[i].x == pts[start].x)
+        .max_by(|&a, &b| pts[a].y.partial_cmp(&pts[b].y).unwrap())
+        .unwrap();
+
+    let mut chain = vec![start];
+    let mut cur = start;
+    while cur != end {
+        // wrap: the next vertex makes every other point lie right of
+        // (clockwise from) the directed edge cur → next
+        let mut next = usize::MAX;
+        for cand in 0..n {
+            if cand == cur || pts[cand].x <= pts[cur].x {
+                continue;
+            }
+            if next == usize::MAX {
+                next = cand;
+                continue;
+            }
+            stats.orientation_tests += 1;
+            let s = orient2d_sign(pts[cur], pts[next], pts[cand]);
+            if s > 0
+                || (s == 0 && pts[cur].dist2(&pts[cand]) > pts[cur].dist2(&pts[next]))
+            {
+                next = cand;
+            }
+        }
+        if next == usize::MAX {
+            break; // no point strictly right of cur (degenerate x-ties)
+        }
+        chain.push(next);
+        cur = next;
+    }
+    UpperHull::new(chain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{circle_plus_interior, collinear_on_line, uniform_disk};
+    use ipch_geom::hull_chain::verify_upper_hull;
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..5 {
+            let pts = uniform_disk(300, seed);
+            let mut st = SeqStats::default();
+            let h = upper_hull(&pts, &mut st);
+            verify_upper_hull(&pts, &h).unwrap();
+            assert_eq!(h, UpperHull::of(&pts), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn work_scales_with_h() {
+        // same n, different h: orientation tests should scale ~h
+        let n = 3000;
+        let small = circle_plus_interior(8, n, 1);
+        let large = circle_plus_interior(512, n, 1);
+        let mut s1 = SeqStats::default();
+        let mut s2 = SeqStats::default();
+        upper_hull(&small, &mut s1);
+        upper_hull(&large, &mut s2);
+        assert!(
+            s2.orientation_tests > 10 * s1.orientation_tests,
+            "{} vs {}",
+            s1.orientation_tests,
+            s2.orientation_tests
+        );
+    }
+
+    #[test]
+    fn collinear_input() {
+        let pts = collinear_on_line(100, 1.0, 0.0, 3);
+        let mut st = SeqStats::default();
+        let h = upper_hull(&pts, &mut st);
+        verify_upper_hull(&pts, &h).unwrap();
+        assert_eq!(h.num_edges(), 1);
+    }
+
+    #[test]
+    fn tiny() {
+        let mut st = SeqStats::default();
+        assert!(upper_hull(&[], &mut st).is_empty());
+        let one = vec![Point2::new(0.0, 0.0)];
+        assert_eq!(upper_hull(&one, &mut st).vertices, vec![0]);
+    }
+}

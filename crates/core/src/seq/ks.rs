@@ -1,0 +1,362 @@
+//! Kirkpatrick–Seidel "ultimate" convex hull — the O(n log h) sequential
+//! output-sensitive baseline (1986), whose marriage-before-conquest
+//! paradigm the paper's unsorted algorithm parallelizes (§4.1: "the
+//! algorithm uses the 'marriage-before-conquest' paradigm of Kirkpatrick
+//! and Seidel").
+//!
+//! Structure: find the bridge over the median abscissa *first* (linear
+//! time, by pairing points and pruning against the median slope), emit it,
+//! and recurse only on the points outside the bridge's x-span. Points
+//! under the bridge are discarded before ever being sorted — that is where
+//! the log h (instead of log n) comes from.
+
+use ipch_geom::predicates::orient2d_sign;
+use ipch_geom::{Point2, UpperHull};
+
+use super::SeqStats;
+
+/// Upper hull in O(n log h) time.
+pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
+    let n = pts.len();
+    if n == 0 {
+        return UpperHull::new(vec![]);
+    }
+    // Upper-hull endpoints: leftmost (max y on ties), rightmost (max y).
+    let lmin = (0..n)
+        .min_by(|&a, &b| {
+            pts[a]
+                .x
+                .partial_cmp(&pts[b].x)
+                .unwrap()
+                .then(pts[b].y.partial_cmp(&pts[a].y).unwrap())
+        })
+        .unwrap();
+    let rmax = (0..n)
+        .max_by(|&a, &b| {
+            pts[a]
+                .x
+                .partial_cmp(&pts[b].x)
+                .unwrap()
+                .then(pts[a].y.partial_cmp(&pts[b].y).unwrap())
+        })
+        .unwrap();
+    if pts[lmin].x == pts[rmax].x {
+        return UpperHull::new(vec![rmax]);
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let ids: Vec<usize> = (0..n)
+        .filter(|&i| {
+            // keep only points inside the slab (plus the endpoints)
+            i == lmin || i == rmax || (pts[i].x >= pts[lmin].x && pts[i].x <= pts[rmax].x)
+        })
+        .collect();
+    connect(pts, &ids, lmin, rmax, &mut edges, stats);
+    edges.sort_by(|a, b| pts[a.0].cmp_xy(&pts[b.0]));
+    let mut verts: Vec<usize> = Vec::with_capacity(edges.len() + 1);
+    for (i, e) in edges.iter().enumerate() {
+        if i == 0 {
+            verts.push(e.0);
+        }
+        verts.push(e.1);
+    }
+    if verts.is_empty() {
+        verts.push(rmax);
+    }
+    // bridges over collinear runs return the tightest contact pair, so the
+    // assembled chain can carry collinear interior vertices; collapse them
+    // into a strict chain (O(h) pass)
+    let mut strict: Vec<usize> = Vec::with_capacity(verts.len());
+    for v in verts {
+        while strict.len() >= 2
+            && orient2d_sign(pts[strict[strict.len() - 2]], pts[strict[strict.len() - 1]], pts[v])
+                >= 0
+        {
+            strict.pop();
+        }
+        strict.push(v);
+    }
+    UpperHull::new(strict)
+}
+
+/// Emit the upper-hull edges between endpoint ids `l` and `r` over the
+/// candidate set `ids` (which must contain `l` and `r`).
+fn connect(
+    pts: &[Point2],
+    ids: &[usize],
+    l: usize,
+    r: usize,
+    edges: &mut Vec<(usize, usize)>,
+    stats: &mut SeqStats,
+) {
+    if pts[l].x >= pts[r].x {
+        return;
+    }
+    if ids.len() == 2 {
+        edges.push((l, r));
+        return;
+    }
+    // median abscissa, forced strictly below the maximum so a straddling
+    // bridge exists
+    let mut xs: Vec<f64> = ids.iter().map(|&i| pts[i].x).collect();
+    let mid = xs.len() / 2;
+    xs.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).unwrap());
+    stats.comparisons += ids.len() as u64;
+    let mut xm = xs[mid];
+    let xmax = pts[r].x;
+    if xm >= xmax {
+        xm = xs
+            .iter()
+            .copied()
+            .filter(|&x| x < xmax)
+            .fold(f64::MIN, f64::max);
+    }
+
+    let (a, b) = bridge(pts, ids, xm, stats);
+    edges.push((a, b));
+
+    if pts[l].x < pts[a].x {
+        let left: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&i| pts[i].x < pts[a].x || i == a || i == l)
+            .collect();
+        connect(pts, &left, l, a, edges, stats);
+    }
+    if pts[b].x < pts[r].x {
+        let right: Vec<usize> = ids
+            .iter()
+            .copied()
+            .filter(|&i| pts[i].x > pts[b].x || i == b || i == r)
+            .collect();
+        connect(pts, &right, b, r, edges, stats);
+    }
+}
+
+/// KS linear-time bridge over `x = xm`: prune-and-search on paired slopes.
+fn bridge(pts: &[Point2], ids: &[usize], xm: f64, stats: &mut SeqStats) -> (usize, usize) {
+    let mut cand: Vec<usize> = ids.to_vec();
+    for _round in 0..64 {
+        if cand.len() <= 8 {
+            return bridge_brute_small(pts, ids, &cand, xm, stats);
+        }
+        // pair up; same-x pairs drop the lower point
+        let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(cand.len() / 2);
+        let mut next: Vec<usize> = Vec::with_capacity(cand.len() / 2 + 1);
+        let mut it = cand.chunks_exact(2);
+        for ch in &mut it {
+            let (mut p, mut q) = (ch[0], ch[1]);
+            if pts[p].x > pts[q].x {
+                std::mem::swap(&mut p, &mut q);
+            }
+            if pts[p].x == pts[q].x {
+                stats.comparisons += 1;
+                next.push(if pts[p].y >= pts[q].y { p } else { q });
+            } else {
+                pairs.push((p, q));
+            }
+        }
+        next.extend_from_slice(it.remainder());
+        if pairs.is_empty() {
+            cand = next;
+            continue;
+        }
+        // median slope
+        let mut slopes: Vec<f64> = pairs
+            .iter()
+            .map(|&(p, q)| (pts[q].y - pts[p].y) / (pts[q].x - pts[p].x))
+            .collect();
+        stats.comparisons += slopes.len() as u64;
+        let midk = slopes.len() / 2;
+        slopes.select_nth_unstable_by(midk, |a, b| a.partial_cmp(b).unwrap());
+        let k = slopes[midk];
+
+        // contact set of the supporting line with slope k
+        let key = |i: usize| pts[i].y - k * pts[i].x;
+        let mut best = f64::NEG_INFINITY;
+        for &i in &cand {
+            best = best.max(key(i));
+        }
+        stats.comparisons += cand.len() as u64;
+        let eps = 1e-12 * (1.0 + best.abs());
+        let contacts: Vec<usize> = cand.iter().copied().filter(|&i| key(i) >= best - eps).collect();
+        let cmin = contacts
+            .iter()
+            .copied()
+            .min_by(|&a, &b| pts[a].x.partial_cmp(&pts[b].x).unwrap())
+            .unwrap();
+        let cmax = contacts
+            .iter()
+            .copied()
+            .max_by(|&a, &b| pts[a].x.partial_cmp(&pts[b].x).unwrap())
+            .unwrap();
+
+        if pts[cmin].x <= xm && pts[cmax].x > xm {
+            // straddling contacts: the bridge is the adjacent pair around xm
+            let a = contacts
+                .iter()
+                .copied()
+                .filter(|&i| pts[i].x <= xm)
+                .max_by(|&a, &b| pts[a].x.partial_cmp(&pts[b].x).unwrap())
+                .unwrap();
+            let b = contacts
+                .iter()
+                .copied()
+                .filter(|&i| pts[i].x > xm)
+                .min_by(|&a, &b| pts[a].x.partial_cmp(&pts[b].x).unwrap())
+                .unwrap();
+            return (a, b);
+        }
+        if pts[cmax].x <= xm {
+            // bridge slope < k: left points of steep pairs are out
+            for (p, q) in pairs {
+                let s = (pts[q].y - pts[p].y) / (pts[q].x - pts[p].x);
+                stats.comparisons += 1;
+                if s >= k {
+                    next.push(q);
+                } else {
+                    next.push(p);
+                    next.push(q);
+                }
+            }
+        } else {
+            // bridge slope > k: right points of shallow pairs are out
+            for (p, q) in pairs {
+                let s = (pts[q].y - pts[p].y) / (pts[q].x - pts[p].x);
+                stats.comparisons += 1;
+                if s <= k {
+                    next.push(p);
+                } else {
+                    next.push(p);
+                    next.push(q);
+                }
+            }
+        }
+        cand = next;
+    }
+    // numerical stall: fall back to the exact small-case search
+    bridge_brute_small(pts, ids, &cand, xm, stats)
+}
+
+/// Exact bridge among `cand` (which contains the bridge endpoints),
+/// verified against the full candidate set `ids`.
+fn bridge_brute_small(
+    pts: &[Point2],
+    ids: &[usize],
+    cand: &[usize],
+    xm: f64,
+    stats: &mut SeqStats,
+) -> (usize, usize) {
+    let mut best: Option<(usize, usize)> = None;
+    for &p in cand {
+        for &q in cand {
+            if !(pts[p].x <= xm && xm < pts[q].x) {
+                continue;
+            }
+            let all_below = ids.iter().all(|&w| {
+                stats.orientation_tests += 1;
+                orient2d_sign(pts[p], pts[q], pts[w]) <= 0
+            });
+            if all_below {
+                // prefer the tightest straddling pair (canonical contacts)
+                best = match best {
+                    None => Some((p, q)),
+                    Some((bp, bq)) => {
+                        if pts[p].x > pts[bp].x || (pts[p].x == pts[bp].x && pts[q].x < pts[bq].x)
+                        {
+                            Some((p, q))
+                        } else {
+                            Some((bp, bq))
+                        }
+                    }
+                };
+            }
+        }
+    }
+    best.expect("bridge endpoints are preserved by pruning")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{circle_plus_interior, on_circle, uniform_disk, uniform_square};
+    use ipch_geom::hull_chain::verify_upper_hull;
+
+    #[test]
+    fn matches_oracle_on_random_inputs() {
+        for seed in 0..8 {
+            for n in [3usize, 10, 100, 1000] {
+                let pts = uniform_disk(n, seed);
+                let mut st = SeqStats::default();
+                let h = upper_hull(&pts, &mut st);
+                verify_upper_hull(&pts, &h).unwrap_or_else(|e| panic!("seed {seed} n {n}: {e}"));
+                assert_eq!(h, UpperHull::of(&pts), "seed {seed} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_circle() {
+        let pts = on_circle(500, 3);
+        let mut st = SeqStats::default();
+        let h = upper_hull(&pts, &mut st);
+        assert_eq!(h, UpperHull::of(&pts));
+    }
+
+    #[test]
+    fn work_scales_with_log_h_not_n() {
+        // fixed n, growing h: ops should grow roughly like n·log h
+        let n = 20_000;
+        let mut ops = Vec::new();
+        for h in [8usize, 64, 512] {
+            let pts = circle_plus_interior(h, n, 7);
+            let mut st = SeqStats::default();
+            upper_hull(&pts, &mut st);
+            ops.push(st.total());
+        }
+        // h : 8 → 512 is a 64× change but ops should grow far less than 8×
+        assert!(
+            ops[2] < 8 * ops[0],
+            "ops grew too fast: {ops:?} — not output-sensitive"
+        );
+    }
+
+    #[test]
+    fn beats_monotone_on_small_h() {
+        let n = 50_000;
+        let pts = circle_plus_interior(8, n, 9);
+        let mut ks = SeqStats::default();
+        upper_hull(&pts, &mut ks);
+        let mut mc = SeqStats::default();
+        super::super::monotone::upper_hull(&pts, &mut mc);
+        assert!(
+            ks.total() < mc.total(),
+            "KS {} !< monotone {}",
+            ks.total(),
+            mc.total()
+        );
+    }
+
+    #[test]
+    fn tiny_and_degenerate() {
+        let mut st = SeqStats::default();
+        assert!(upper_hull(&[], &mut st).is_empty());
+        let one = vec![Point2::new(0.0, 1.0)];
+        assert_eq!(upper_hull(&one, &mut st).vertices, vec![0]);
+        let dup = vec![Point2::new(1.0, 1.0); 5];
+        let h = upper_hull(&dup, &mut st);
+        assert_eq!(h.vertices.len(), 1);
+        let two = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let h2 = upper_hull(&two, &mut st);
+        verify_upper_hull(&two, &h2).unwrap();
+    }
+
+    #[test]
+    fn square_distribution() {
+        for seed in 0..4 {
+            let pts = uniform_square(800, seed + 20);
+            let mut st = SeqStats::default();
+            let h = upper_hull(&pts, &mut st);
+            assert_eq!(h, UpperHull::of(&pts), "seed {seed}");
+        }
+    }
+}

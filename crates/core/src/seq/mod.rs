@@ -1,0 +1,29 @@
+//! Sequential baselines.
+//!
+//! Each algorithm returns the upper hull as vertex ids into the (never
+//! reordered) input and reports a [`SeqStats`] with its orientation-test
+//! count — the machine-independent work measure the T4 comparison tables
+//! use alongside wall-clock.
+
+pub mod chan;
+pub mod graham;
+pub mod jarvis;
+pub mod ks;
+pub mod monotone;
+pub mod quickhull;
+
+/// Work counters for a sequential run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Orientation tests performed.
+    pub orientation_tests: u64,
+    /// Comparisons performed (sorting, median finding, …).
+    pub comparisons: u64,
+}
+
+impl SeqStats {
+    /// Total counted operations.
+    pub fn total(&self) -> u64 {
+        self.orientation_tests + self.comparisons
+    }
+}

@@ -1,0 +1,72 @@
+//! Andrew's monotone chain — the O(n log n) (O(n) presorted) baseline.
+
+use ipch_geom::hull_chain::UpperHull;
+use ipch_geom::point::argsort_xy;
+use ipch_geom::predicates::orient2d_sign;
+use ipch_geom::Point2;
+
+use super::SeqStats;
+
+/// Upper hull of points already sorted by (x, y), counting operations.
+pub fn upper_hull_sorted(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
+    let mut st: Vec<usize> = Vec::new();
+    for i in 0..pts.len() {
+        while let Some(&t) = st.last() {
+            stats.comparisons += 1;
+            if pts[t].x == pts[i].x {
+                st.pop();
+            } else {
+                break;
+            }
+        }
+        while st.len() >= 2 {
+            stats.orientation_tests += 1;
+            if orient2d_sign(pts[st[st.len() - 2]], pts[st[st.len() - 1]], pts[i]) >= 0 {
+                st.pop();
+            } else {
+                break;
+            }
+        }
+        st.push(i);
+    }
+    UpperHull::new(st)
+}
+
+/// Upper hull of unsorted points (sort + scan), ids into the original
+/// (unmoved) array.
+pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
+    let order = argsort_xy(pts);
+    let nn = pts.len() as u64;
+    stats.comparisons += if nn > 1 { nn * nn.ilog2() as u64 } else { 0 };
+    let sorted: Vec<Point2> = order.iter().map(|&i| pts[i]).collect();
+    let h = upper_hull_sorted(&sorted, stats);
+    UpperHull::new(h.vertices.into_iter().map(|i| order[i]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{circle_plus_interior, uniform_disk};
+    use ipch_geom::hull_chain::verify_upper_hull;
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..5 {
+            let pts = uniform_disk(500, seed);
+            let mut st = SeqStats::default();
+            let h = upper_hull(&pts, &mut st);
+            verify_upper_hull(&pts, &h).unwrap();
+            assert_eq!(h, UpperHull::of(&pts));
+            assert!(st.orientation_tests > 0);
+        }
+    }
+
+    #[test]
+    fn linear_tests_on_sorted_input() {
+        let pts = circle_plus_interior(50, 2000, 1);
+        let sorted = ipch_geom::point::sorted_by_x(&pts);
+        let mut st = SeqStats::default();
+        upper_hull_sorted(&sorted, &mut st);
+        assert!(st.orientation_tests <= 2 * 2000, "{}", st.orientation_tests);
+    }
+}

@@ -1,0 +1,146 @@
+//! Quickhull — the widely deployed practical baseline. Expected
+//! O(n log n) on random inputs, Θ(n²) worst case; *not* output-sensitive
+//! in the Kirkpatrick–Seidel sense (it recurses before discarding, the
+//! exact trade-off the paper's marriage-before-conquest reverses), which
+//! makes it an instructive column in the T4 table.
+
+use ipch_geom::predicates::orient2d_sign;
+use ipch_geom::{Point2, UpperHull};
+
+use super::SeqStats;
+
+/// Upper hull by quickhull.
+pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
+    let n = pts.len();
+    if n == 0 {
+        return UpperHull::new(vec![]);
+    }
+    // endpoints: extreme x, max y on ties
+    let l = (0..n)
+        .min_by(|&a, &b| {
+            pts[a]
+                .x
+                .partial_cmp(&pts[b].x)
+                .unwrap()
+                .then(pts[b].y.partial_cmp(&pts[a].y).unwrap())
+        })
+        .unwrap();
+    let r = (0..n)
+        .max_by(|&a, &b| {
+            pts[a]
+                .x
+                .partial_cmp(&pts[b].x)
+                .unwrap()
+                .then(pts[a].y.partial_cmp(&pts[b].y).unwrap())
+        })
+        .unwrap();
+    if pts[l].x == pts[r].x {
+        return UpperHull::new(vec![r]);
+    }
+    let above: Vec<usize> = (0..n)
+        .filter(|&i| {
+            stats.orientation_tests += 1;
+            i != l && i != r && orient2d_sign(pts[l], pts[r], pts[i]) > 0
+        })
+        .collect();
+    let mut chain = vec![l];
+    expand(pts, l, r, &above, &mut chain, stats);
+    chain.push(r);
+    UpperHull::new(chain)
+}
+
+/// Emit the chain vertices strictly between `a` and `b` (which subtend the
+/// candidate set `set`, all strictly above segment a→b).
+fn expand(
+    pts: &[Point2],
+    a: usize,
+    b: usize,
+    set: &[usize],
+    chain: &mut Vec<usize>,
+    stats: &mut SeqStats,
+) {
+    if set.is_empty() {
+        return;
+    }
+    // farthest point from the line a→b (ties: leftmost keeps determinism)
+    let dist = |i: usize| {
+        let (pa, pb, p) = (pts[a], pts[b], pts[i]);
+        ((pb.x - pa.x) * (pa.y - p.y) - (pa.x - p.x) * (pb.y - pa.y)).abs()
+    };
+    let far = *set
+        .iter()
+        .max_by(|&&i, &&j| dist(i).partial_cmp(&dist(j)).unwrap())
+        .unwrap();
+    let left: Vec<usize> = set
+        .iter()
+        .copied()
+        .filter(|&i| {
+            stats.orientation_tests += 1;
+            i != far && orient2d_sign(pts[a], pts[far], pts[i]) > 0
+        })
+        .collect();
+    let right: Vec<usize> = set
+        .iter()
+        .copied()
+        .filter(|&i| {
+            stats.orientation_tests += 1;
+            i != far && orient2d_sign(pts[far], pts[b], pts[i]) > 0
+        })
+        .collect();
+    expand(pts, a, far, &left, chain, stats);
+    chain.push(far);
+    expand(pts, far, b, &right, chain, stats);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{
+        circle_plus_interior, collinear_on_line, grid, on_circle, uniform_disk,
+    };
+    use ipch_geom::hull_chain::verify_upper_hull;
+
+    #[test]
+    fn matches_oracle() {
+        for seed in 0..6 {
+            for n in [1usize, 2, 3, 20, 400] {
+                let pts = uniform_disk(n, seed);
+                let mut st = SeqStats::default();
+                let h = upper_hull(&pts, &mut st);
+                verify_upper_hull(&pts, &h).unwrap_or_else(|e| panic!("seed {seed} n {n}: {e}"));
+                assert_eq!(h, UpperHull::of(&pts), "seed {seed} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        for (i, pts) in [
+            grid(81),
+            collinear_on_line(50, 2.0, 1.0, 1),
+            on_circle(200, 2),
+            vec![Point2::new(1.0, 0.0); 7],
+            vec![Point2::new(0.0, 0.0), Point2::new(0.0, 5.0)],
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut st = SeqStats::default();
+            let h = upper_hull(pts, &mut st);
+            verify_upper_hull(pts, &h).unwrap_or_else(|e| panic!("case {i}: {e}"));
+            let got: Vec<Point2> = h.vertices.iter().map(|&v| pts[v]).collect();
+            let expect: Vec<Point2> =
+                UpperHull::of(pts).vertices.iter().map(|&v| pts[v]).collect();
+            assert_eq!(got, expect, "case {i}");
+        }
+    }
+
+    #[test]
+    fn efficient_on_small_h() {
+        let pts = circle_plus_interior(8, 20_000, 3);
+        let mut st = SeqStats::default();
+        upper_hull(&pts, &mut st);
+        // one farthest-point pass discards almost everything
+        assert!(st.orientation_tests < 6 * 20_000, "{}", st.orientation_tests);
+    }
+}

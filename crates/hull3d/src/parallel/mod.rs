@@ -1,0 +1,4 @@
+//! Parallel 3-D hull on the CRCW PRAM simulator.
+
+pub mod probe;
+pub mod unsorted3d;

@@ -1,0 +1,250 @@
+//! In-place 3-D facet finding (the d = 3 instance of paper §3.3).
+//!
+//! Identical structure to the 2-D in-place bridge finder, with the paper's
+//! 3-D parameters: base size k = p^{1/4}, the deterministic base solver is
+//! the exact brute-force facet probe ([`ipch_lp::bridge::facet_brute`],
+//! Observation 2.2 with d = 3, n⁴ work on the base), survivors are points
+//! strictly above the candidate facet's plane, sampled into the next base
+//! at the escalating rate p_j, and the round is finished by the in-place
+//! compaction of §3.2 once the survivors are few.
+
+use ipch_geom::predicates::orient3d_sign;
+use ipch_geom::Point3;
+use ipch_inplace::compact::inplace_compact;
+use ipch_inplace::sample::random_sample_with_p;
+use ipch_lp::bridge::facet_brute;
+use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
+
+use crate::facet::Facet;
+
+/// Tuning of the in-place facet finder.
+#[derive(Clone, Copy, Debug)]
+pub struct FpConfig {
+    /// Base parameter k; `None` = ⌈p^{1/4}⌉ clamped ≥ 4 (the paper's 3-D
+    /// choice).
+    pub k: Option<usize>,
+    /// Rounds before the compaction finish (paper's β).
+    pub beta: usize,
+    /// Dart-throwing retries per sample.
+    pub sample_attempts: usize,
+    /// Hard round cap before reporting failure.
+    pub max_rounds: usize,
+}
+
+impl Default for FpConfig {
+    fn default() -> Self {
+        Self {
+            k: None,
+            beta: 4,
+            sample_attempts: 4,
+            max_rounds: 16,
+        }
+    }
+}
+
+/// Find the upper-hull facet of the scattered subset `active` pierced by
+/// the vertical line through `(x0, y0)`, in place. `None` = outside the
+/// subset's xy-hull or round cap exceeded (the failure the caller sweeps).
+pub fn find_facet_inplace(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point3],
+    active: &[usize],
+    x0: f64,
+    y0: f64,
+    cfg: &FpConfig,
+) -> Option<Facet> {
+    let p = active.len();
+    if p < 3 {
+        return None;
+    }
+    let universe = points.len();
+    let k = cfg
+        .k
+        .unwrap_or(((p as f64).powf(0.25).ceil() as usize).max(4));
+    let capacity = 24 * k;
+
+    // tiny problems: direct brute (p⁴ stays within a constant of p·16k³)
+    if p <= 24 {
+        return facet_brute(m, shm, points, active, x0, y0).map(|(a, b, c)| Facet { a, b, c });
+    }
+
+    let surv = shm.alloc("fp.surv", universe, 0);
+    m.step(shm, active, |ctx| {
+        let i = ctx.pid;
+        ctx.write(surv, i, 1);
+    });
+
+    let mut p_j = 2.0 * k as f64 / p as f64;
+    let mut best: Option<Facet> = None;
+    for round in 0..cfg.max_rounds {
+        let survivors: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| shm.get(surv, i) != 0)
+            .collect();
+
+        let mut base: Vec<usize> = Vec::new();
+        if round >= cfg.beta || survivors.len() <= 4 * k {
+            let sarr = shm.alloc("fp.sarr", universe, EMPTY);
+            m.step(shm, &survivors, |ctx| {
+                let i = ctx.pid;
+                ctx.write(sarr, i, i as i64);
+            });
+            if let Some(c) = inplace_compact(m, shm, sarr, capacity, 0.34) {
+                for s in 0..shm.len(c.slots) {
+                    let v = shm.get(c.slots, s);
+                    if v != EMPTY {
+                        base.push(v as usize);
+                    }
+                }
+            } else {
+                let out = random_sample_with_p(
+                    m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+                );
+                base.extend_from_slice(&out.sample);
+            }
+        } else {
+            let out = random_sample_with_p(
+                m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+            );
+            base.extend_from_slice(&out.sample);
+        }
+        if let Some(f) = best {
+            for id in f.ids() {
+                if !base.contains(&id) {
+                    base.push(id);
+                }
+            }
+        }
+        p_j = (p_j * 2.0 * k as f64).min(1.0);
+        if base.len() > capacity || base.len() < 3 {
+            continue;
+        }
+
+        let mut child = m.child(round as u64 ^ 0xface);
+        let sol = facet_brute(&mut child, shm, points, &base, x0, y0);
+        m.metrics.absorb(&child.metrics);
+        let Some((a, b, c)) = sol else { continue };
+        let facet = Facet { a, b, c };
+        best = Some(facet);
+
+        // survivor step: one concurrent step over the active set
+        let (pa, pb, pc) = (points[a], points[b], points[c]);
+        m.step_with_policy(shm, active, WritePolicy::Arbitrary, |ctx| {
+            let i = ctx.pid;
+            let above = orient3d_sign(pa, pb, pc, points[i]) < 0;
+            ctx.write(surv, i, if above { 1 } else { 0 });
+        });
+        let nsurv = active.iter().filter(|&&i| shm.get(surv, i) != 0).count();
+        if nsurv == 0 {
+            return Some(facet);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facet::xy_contains;
+    use ipch_geom::gen3d::{in_ball, sphere_plus_interior};
+    use ipch_geom::Point2;
+
+    fn verify_facet(points: &[Point3], active: &[usize], x0: f64, y0: f64, f: Facet) {
+        assert!(xy_contains(points, &f, Point2::new(x0, y0)));
+        for &i in active {
+            assert!(
+                orient3d_sign(points[f.a], points[f.b], points[f.c], points[i]) >= 0,
+                "point {i} above probe facet"
+            );
+        }
+    }
+
+    #[test]
+    fn probes_random_balls() {
+        for seed in 0..5 {
+            let pts = in_ball(600, seed);
+            let active: Vec<usize> = (0..pts.len()).collect();
+            let mut m = Machine::new(seed);
+            let mut shm = Shm::new();
+            // the centroid is interior, so a facet must exist above it
+            let f = find_facet_inplace(
+                &mut m,
+                &mut shm,
+                &pts,
+                &active,
+                0.0,
+                0.0,
+                &FpConfig::default(),
+            )
+            .unwrap_or_else(|| panic!("seed {seed}: no facet"));
+            verify_facet(&pts, &active, 0.0, 0.0, f);
+        }
+    }
+
+    #[test]
+    fn probe_matches_oracle_facet() {
+        let pts = sphere_plus_interior(16, 300, 2);
+        let active: Vec<usize> = (0..pts.len()).collect();
+        let mut m = Machine::new(7);
+        let mut shm = Shm::new();
+        let f = find_facet_inplace(&mut m, &mut shm, &pts, &active, 0.05, -0.03, &FpConfig::default())
+            .expect("facet");
+        verify_facet(&pts, &active, 0.05, -0.03, f);
+        // all three vertices must be sphere (hull) points
+        for v in f.ids() {
+            let p = pts[v];
+            assert!((p.x * p.x + p.y * p.y + p.z * p.z - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn outside_projection_returns_none() {
+        let pts = in_ball(200, 3);
+        let active: Vec<usize> = (0..pts.len()).collect();
+        let mut m = Machine::new(8);
+        let mut shm = Shm::new();
+        assert!(find_facet_inplace(
+            &mut m,
+            &mut shm,
+            &pts,
+            &active,
+            10.0,
+            10.0,
+            &FpConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn scattered_subsets() {
+        let pts = in_ball(900, 4);
+        let active: Vec<usize> = (0..pts.len()).filter(|i| i % 2 == 0).collect();
+        let mut m = Machine::new(9);
+        let mut shm = Shm::new();
+        let f =
+            find_facet_inplace(&mut m, &mut shm, &pts, &active, 0.0, 0.0, &FpConfig::default())
+                .expect("facet");
+        for v in f.ids() {
+            assert_eq!(v % 2, 0, "facet vertex outside the active subset");
+        }
+        verify_facet(&pts, &active, 0.0, 0.0, f);
+    }
+
+    #[test]
+    fn work_near_linear() {
+        let n = 4000;
+        let pts = in_ball(n, 5);
+        let active: Vec<usize> = (0..n).collect();
+        let mut m = Machine::new(10);
+        let mut shm = Shm::new();
+        find_facet_inplace(&mut m, &mut shm, &pts, &active, 0.0, 0.0, &FpConfig::default())
+            .unwrap();
+        assert!(
+            m.metrics.total_work() < 1000 * n as u64,
+            "work {}",
+            m.metrics.total_work()
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Exact brute-force 3-D upper hull — the O(n⁴) test oracle.
+//!
+//! A triple is an upper-hull facet iff its plane supports the whole set
+//! (no point strictly above) and, to keep the facet set minimal on inputs
+//! with coplanar points, no on-plane point lies strictly inside the
+//! triangle's projection. On general-position inputs this is exactly the
+//! unique facet triangulation of the upper hull.
+
+use ipch_geom::predicates::{orient2d_sign, orient3d_sign};
+use ipch_geom::Point3;
+
+use super::Seq3Stats;
+use crate::facet::{oriented_facet, Facet};
+
+/// All upper-hull facets of `points` by exhaustive search.
+pub fn upper_hull3_brute(points: &[Point3], stats: &mut Seq3Stats) -> Vec<Facet> {
+    let n = points.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            for k in j + 1..n {
+                let Some(f) = oriented_facet(points, i, j, k) else {
+                    continue;
+                };
+                let (a, b, c) = (points[f.a], points[f.b], points[f.c]);
+                let mut supporting = true;
+                let mut minimal = true;
+                for (qi, &q) in points.iter().enumerate() {
+                    if qi == i || qi == j || qi == k {
+                        continue;
+                    }
+                    stats.orient3d_tests += 1;
+                    let s = orient3d_sign(a, b, c, q);
+                    if s < 0 {
+                        supporting = false;
+                        break;
+                    }
+                    if s == 0 {
+                        // coplanar: strict interior point makes this triple
+                        // non-minimal
+                        stats.orient2d_tests += 3;
+                        let (pa, pb, pc) = (a.xy(), b.xy(), c.xy());
+                        let qq = q.xy();
+                        if orient2d_sign(pa, pb, qq) > 0
+                            && orient2d_sign(pb, pc, qq) > 0
+                            && orient2d_sign(pc, pa, qq) > 0
+                        {
+                            minimal = false;
+                            break;
+                        }
+                    }
+                }
+                if supporting && minimal {
+                    out.push(f.canonical());
+                }
+            }
+        }
+    }
+    out.sort_by_key(|f| f.ids());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facet::verify_upper_hull3;
+    use ipch_geom::gen3d::{in_ball, in_cube, on_sphere, sphere_plus_interior};
+
+    #[test]
+    fn tetrahedron() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(4.0, 0.0, 0.0),
+            Point3::new(0.0, 4.0, 0.0),
+            Point3::new(1.0, 1.0, 3.0),
+        ];
+        let mut st = Seq3Stats::default();
+        let fs = upper_hull3_brute(&pts, &mut st);
+        assert_eq!(fs.len(), 3, "three roof facets through the apex");
+        verify_upper_hull3(&pts, &fs, false).unwrap();
+    }
+
+    #[test]
+    fn random_inputs_verify() {
+        for seed in 0..4 {
+            for gen in [in_ball as fn(usize, u64) -> Vec<Point3>, in_cube, on_sphere] {
+                let pts = gen(40, seed);
+                let mut st = Seq3Stats::default();
+                let fs = upper_hull3_brute(&pts, &mut st);
+                verify_upper_hull3(&pts, &fs, false)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn deep_interior_points_are_not_vertices() {
+        // Interior points well inside the xy-projection of the dome are
+        // strictly below the hull. (Interior points near the silhouette
+        // boundary CAN be upper-hull vertices when the sphere sample is
+        // sparse — that is geometry, not a bug.)
+        let pts = sphere_plus_interior(40, 120, 3);
+        let mut st = Seq3Stats::default();
+        let fs = upper_hull3_brute(&pts, &mut st);
+        verify_upper_hull3(&pts, &fs, false).unwrap();
+        let vs = crate::facet::vertex_set(&fs);
+        for &v in &vs {
+            let p = pts[v];
+            let r2 = p.x * p.x + p.y * p.y + p.z * p.z;
+            let xy = (p.x * p.x + p.y * p.y).sqrt();
+            assert!(
+                (r2 - 1.0).abs() < 1e-9 || xy > 0.2,
+                "deep interior point {v} on hull"
+            );
+        }
+    }
+
+    #[test]
+    fn facet_count_tracks_h() {
+        let mut st = Seq3Stats::default();
+        let f1 = upper_hull3_brute(&sphere_plus_interior(12, 80, 4), &mut st).len();
+        let f2 = upper_hull3_brute(&sphere_plus_interior(48, 80, 4), &mut st).len();
+        assert!(f2 > f1, "{f1} vs {f2}");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut st = Seq3Stats::default();
+        assert!(upper_hull3_brute(&[], &mut st).is_empty());
+        let two = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0)];
+        assert!(upper_hull3_brute(&two, &mut st).is_empty());
+    }
+
+    #[test]
+    fn coplanar_input_supported() {
+        let pts = ipch_geom::gen3d::coplanar(25, (0.5, -0.25, 1.0), 7);
+        let mut st = Seq3Stats::default();
+        let fs = upper_hull3_brute(&pts, &mut st);
+        // facets exist and verify (any minimal triangulation is fine)
+        verify_upper_hull3(&pts, &fs, false).unwrap();
+    }
+}

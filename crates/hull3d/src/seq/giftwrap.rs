@@ -1,0 +1,154 @@
+//! Gift wrapping (Chand–Kapur 1970) for the 3-D upper hull — the O(n·h)
+//! output-sensitive sequential baseline (h = number of facets).
+//!
+//! Start from the silhouette: the 2-D upper hull of the (x, z) projection
+//! lifts to upper-hull edges (its supporting lines extend to supporting
+//! planes parallel to y). Then wrap: for every directed edge `u→v` that
+//! needs the facet on its left (in xy-projection), pivot over the
+//! left-side points — one O(n) pass per facet.
+
+use ipch_geom::predicates::{orient2d_sign, orient3d_sign};
+use ipch_geom::Point3;
+
+use super::Seq3Stats;
+use crate::facet::Facet;
+
+/// Upper-hull facets by gift wrapping.
+pub fn upper_hull3_giftwrap(points: &[Point3], stats: &mut Seq3Stats) -> Vec<Facet> {
+    let n = points.len();
+    if n < 3 {
+        return vec![];
+    }
+    // silhouette: 2-D upper hull of the (x, z) projection
+    let proj: Vec<ipch_geom::Point2> = points
+        .iter()
+        .map(|p| ipch_geom::Point2::new(p.x, p.z))
+        .collect();
+    let silhouette = ipch_geom::hull_chain::upper_hull_indices(&proj);
+    stats.orient2d_tests += 2 * n as u64;
+    if silhouette.len() < 2 {
+        return vec![];
+    }
+
+    let mut queue: Vec<(usize, usize)> = Vec::new();
+    for w in silhouette.windows(2) {
+        queue.push((w[0], w[1]));
+        queue.push((w[1], w[0]));
+    }
+    let mut visited: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::new();
+    let mut facets: std::collections::HashSet<Facet> = std::collections::HashSet::new();
+
+    while let Some((u, v)) = queue.pop() {
+        if !visited.insert((u, v)) {
+            continue;
+        }
+        // pivot over points strictly left of u→v in projection
+        let mut w: Option<usize> = None;
+        for q in 0..n {
+            if q == u || q == v {
+                continue;
+            }
+            stats.orient2d_tests += 1;
+            if orient2d_sign(points[u].xy(), points[v].xy(), points[q].xy()) <= 0 {
+                continue;
+            }
+            w = Some(match w {
+                None => q,
+                Some(cur) => {
+                    stats.orient3d_tests += 1;
+                    // q above the plane of CCW facet (u, v, cur)?
+                    if orient3d_sign(points[u], points[v], points[cur], points[q]) < 0 {
+                        q
+                    } else {
+                        cur
+                    }
+                }
+            });
+        }
+        let Some(w) = w else { continue }; // silhouette-boundary edge
+        let f = Facet { a: u, b: v, c: w };
+        if facets.insert(f.canonical()) {
+            // the new facet is also the left-facet of (v, w) and (w, u)
+            visited.insert((v, w));
+            visited.insert((w, u));
+            queue.push((w, v));
+            queue.push((u, w));
+        }
+    }
+    let mut out: Vec<Facet> = facets.into_iter().collect();
+    out.sort_by_key(|f| f.ids());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facet::{verify_upper_hull3, vertex_set};
+    use crate::seq::brute3d::upper_hull3_brute;
+    use ipch_geom::gen3d::{in_ball, in_cube, on_sphere, sphere_plus_interior};
+
+    #[test]
+    fn matches_brute_oracle() {
+        for seed in 0..5 {
+            let pts = in_ball(50, seed);
+            let mut s1 = Seq3Stats::default();
+            let mut s2 = Seq3Stats::default();
+            let gw = upper_hull3_giftwrap(&pts, &mut s1);
+            let br = upper_hull3_brute(&pts, &mut s2);
+            assert_eq!(gw, br, "seed {seed}");
+            verify_upper_hull3(&pts, &gw, false).unwrap();
+        }
+    }
+
+    #[test]
+    fn cube_and_sphere_distributions() {
+        for seed in 0..3 {
+            for gen in [in_cube as fn(usize, u64) -> Vec<Point3>, on_sphere] {
+                let pts = gen(60, seed + 10);
+                let mut s1 = Seq3Stats::default();
+                let mut s2 = Seq3Stats::default();
+                let gw = upper_hull3_giftwrap(&pts, &mut s1);
+                let br = upper_hull3_brute(&pts, &mut s2);
+                assert_eq!(gw, br, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn work_scales_with_h() {
+        let n = 600;
+        let small = sphere_plus_interior(10, n, 5);
+        let large = sphere_plus_interior(150, n, 5);
+        let mut s1 = Seq3Stats::default();
+        let mut s2 = Seq3Stats::default();
+        upper_hull3_giftwrap(&small, &mut s1);
+        upper_hull3_giftwrap(&large, &mut s2);
+        assert!(
+            s2.total() > 3 * s1.total(),
+            "work should track h: {} vs {}",
+            s1.total(),
+            s2.total()
+        );
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let mut st = Seq3Stats::default();
+        assert!(upper_hull3_giftwrap(&[], &mut st).is_empty());
+        let two = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 1.0, 1.0)];
+        assert!(upper_hull3_giftwrap(&two, &mut st).is_empty());
+    }
+
+    #[test]
+    fn interior_points_excluded() {
+        let pts = sphere_plus_interior(20, 200, 9);
+        let mut st = Seq3Stats::default();
+        let fs = upper_hull3_giftwrap(&pts, &mut st);
+        verify_upper_hull3(&pts, &fs, false).unwrap();
+        for &v in &vertex_set(&fs) {
+            let p = pts[v];
+            assert!((p.x * p.x + p.y * p.y + p.z * p.z - 1.0).abs() < 1e-9);
+        }
+    }
+}

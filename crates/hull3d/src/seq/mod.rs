@@ -1,0 +1,21 @@
+//! Sequential 3-D baselines.
+
+pub mod brute3d;
+pub mod es;
+pub mod giftwrap;
+
+/// Operation counters for sequential 3-D runs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Seq3Stats {
+    /// orient3d evaluations.
+    pub orient3d_tests: u64,
+    /// orient2d evaluations (projections, containment).
+    pub orient2d_tests: u64,
+}
+
+impl Seq3Stats {
+    /// Total counted operations.
+    pub fn total(&self) -> u64 {
+        self.orient3d_tests + self.orient2d_tests
+    }
+}

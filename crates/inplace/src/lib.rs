@@ -1,0 +1,31 @@
+//! # ipch-inplace — the paper's Section 3 in-place techniques
+//!
+//! "In-place" in Ghouse–Goodrich means: procedures *defined on a subset of
+//! elements of the input* that work *without re-ordering the input*, using
+//! o(n) workspace. A virtual processor stands by each element; subproblems
+//! are divided logically rather than by physically compacting arrays. This
+//! crate implements the four basic techniques of §3 plus the
+//! failure-sweeping combinator of §2.3:
+//!
+//! * [`ragde`] — approximate compaction (Lemma 2.1): k ≤ bound occupied
+//!   cells of an array compressed into an area of size ~bound⁴ in O(1)
+//!   steps. Deterministic (mod-prime hashing) and randomized (dart-throwing)
+//!   variants.
+//! * [`compact`] — *in-place* approximate compaction (Lemma 3.2): the
+//!   iterative group-refinement scheme with workspace m^(4ε+δ) and ≤ 1/δ
+//!   rounds.
+//! * [`sample`] — the random-sample procedure (§3.1, Lemma 3.1): Θ(k)
+//!   uniform sample into a 16k workspace by dart-throwing with CRCW
+//!   collision detection, ≤ d retry rounds.
+//! * [`vote`] — the random-vote procedure (Corollary 3.1): one uniformly
+//!   random element via a sample + leftmost-non-zero.
+//! * [`sweep`] — failure sweeping (§2.3): run a randomized solver for its
+//!   budget on every subproblem, compact the (rare) failures with Ragde's
+//!   algorithm, and re-solve each failure with super-linear processors via
+//!   a brute-force oracle.
+
+pub mod compact;
+pub mod ragde;
+pub mod sample;
+pub mod sweep;
+pub mod vote;

@@ -1,0 +1,282 @@
+//! The random-sample procedure (paper §3.1, Lemma 3.1).
+//!
+//! *An in-place random sample of size Θ(k), from an array of size n, can be
+//! found in constant time with n processors on a randomized CRCW PRAM,
+//! using work space of size Θ(k). It is uniformly random with probability
+//! ≥ 1 − 2(e/2)^{−k}.*
+//!
+//! Procedure (verbatim from the paper, executed step-for-step on the
+//! simulator):
+//!
+//! 1. Each processor decides whether it will attempt a write, with
+//!    probability 2k/m.
+//! 2. Each attempter chooses a random location in the 16k workspace and
+//!    attempts to write its id there if it is unoccupied.
+//! 3. Every successful writer checks whether any other processor attempted
+//!    the same location — the unsuccessful ones re-attempt their write,
+//!    poisoning the cell.
+//! 4. Writers whose location suffered no collision claim it (the paper has
+//!    them write their point's coordinates; we write the element id — the
+//!    coordinates stay in the read-only input, which is the in-place
+//!    discipline). Collided attempters repeat steps 2–4, up to `d` rounds.
+//!
+//! The procedure never re-orders the input and the sample lives entirely
+//! in the Θ(k) workspace.
+
+use ipch_pram::{ArrayId, Machine, Shm, EMPTY};
+
+/// Outcome of one run of the random-sample procedure.
+#[derive(Clone, Debug)]
+pub struct SampleOutcome {
+    /// The sampled element ids (order = workspace slot order).
+    pub sample: Vec<usize>,
+    /// Workspace array of size 16k: claimed slots hold element ids.
+    pub workspace: ArrayId,
+    /// How many processors decided to attempt (step 1).
+    pub attempted: usize,
+    /// How many attempters were placed (= `sample.len()`).
+    pub placed: usize,
+}
+
+impl SampleOutcome {
+    /// Lemma 3.1's size guarantee: `k/2 ≤ |sample| ≤ 4k`.
+    pub fn size_in_bounds(&self, k: usize) -> bool {
+        2 * self.sample.len() >= k && self.sample.len() <= 4 * k
+    }
+}
+
+/// Run the random-sample procedure over the elements in `active` (element
+/// ids double as processor ids; `universe` bounds them, i.e. the input
+/// array length). Targets a sample of size Θ(k) in a 16k workspace with at
+/// most `attempts` retry rounds, using the paper's default attempt
+/// probability 2k/m.
+///
+/// # Examples
+///
+/// ```
+/// use ipch_inplace::sample::random_sample;
+/// use ipch_pram::{Machine, Shm};
+///
+/// let mut m = Machine::new(3);
+/// let mut shm = Shm::new();
+/// let active: Vec<usize> = (0..500).filter(|i| i % 5 == 0).collect();
+/// let out = random_sample(&mut m, &mut shm, &active, 500, 8, 4);
+/// assert!(out.size_in_bounds(8));                 // k/2 ≤ |S| ≤ 4k
+/// assert!(out.sample.iter().all(|e| e % 5 == 0)); // subset of `active`
+/// ```
+pub fn random_sample(
+    m: &mut Machine,
+    shm: &mut Shm,
+    active: &[usize],
+    universe: usize,
+    k: usize,
+    attempts: usize,
+) -> SampleOutcome {
+    random_sample_with_p(m, shm, active, universe, k, attempts, None)
+}
+
+/// [`random_sample`] with an explicit attempt probability, as required by
+/// the survivor schedule of the in-place bridge-finding procedure (§3.3
+/// step 3: `p_j = min{1, 2k·p_{j−1}}`, independent of the current survivor
+/// count). `None` uses the default 2k/m.
+pub fn random_sample_with_p(
+    m: &mut Machine,
+    shm: &mut Shm,
+    active: &[usize],
+    universe: usize,
+    k: usize,
+    attempts: usize,
+    p_override: Option<f64>,
+) -> SampleOutcome {
+    assert!(k >= 1);
+    let mcount = active.len();
+    let ws_len = 16 * k;
+    let workspace = shm.alloc("sample.claim", ws_len, EMPTY);
+    if mcount == 0 {
+        return SampleOutcome {
+            sample: vec![],
+            workspace,
+            attempted: 0,
+            placed: 0,
+        };
+    }
+    let p_attempt = p_override
+        .unwrap_or(2.0 * k as f64 / mcount as f64)
+        .min(1.0);
+
+    // Private registers, indexed by element id.
+    let attempt = shm.alloc("sample.attempt", universe, 0);
+    let placed = shm.alloc("sample.placed", universe, 0);
+    let try_slot = shm.alloc("sample.try", universe, EMPTY);
+
+    // Step 1: coin flips.
+    m.step(shm, active, |ctx| {
+        let pid = ctx.pid;
+        if ctx.rng().bernoulli(p_attempt) {
+            ctx.write(attempt, pid, 1);
+        }
+    });
+    let attempted = shm
+        .slice(attempt)
+        .iter()
+        .filter(|&&x| x != 0)
+        .count();
+
+    for _round in 0..attempts {
+        // fresh scratch cells for this round's collision protocol
+        let first = shm.alloc("sample.first", ws_len, EMPTY);
+        let second = shm.alloc("sample.second", ws_len, EMPTY);
+
+        // Step 2a: pick a slot.
+        m.step(shm, active, |ctx| {
+            let pid = ctx.pid;
+            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
+                let s = ctx.rng().next_below(ws_len as u64) as i64;
+                ctx.write(try_slot, pid, s);
+            }
+        });
+        // Step 2b: attempt the write if the slot is unoccupied (unclaimed).
+        m.step(shm, active, |ctx| {
+            let pid = ctx.pid;
+            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
+                let s = ctx.read(try_slot, pid) as usize;
+                if ctx.read(workspace, s) == EMPTY {
+                    ctx.write(first, s, pid as i64);
+                }
+            }
+        });
+        // Step 3: losers re-attempt, poisoning the cell.
+        m.step(shm, active, |ctx| {
+            let pid = ctx.pid;
+            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
+                let s = ctx.read(try_slot, pid) as usize;
+                if ctx.read(workspace, s) == EMPTY && ctx.read(first, s) != pid as i64 {
+                    ctx.write(second, s, pid as i64);
+                }
+            }
+        });
+        // Step 4: collision-free winners claim their slot.
+        m.step(shm, active, |ctx| {
+            let pid = ctx.pid;
+            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
+                let s = ctx.read(try_slot, pid) as usize;
+                if ctx.read(first, s) == pid as i64 && ctx.read(second, s) == EMPTY {
+                    ctx.write(workspace, s, pid as i64);
+                    ctx.write(placed, pid, 1);
+                }
+            }
+        });
+    }
+
+    let sample: Vec<usize> = shm
+        .slice(workspace)
+        .iter()
+        .filter(|&&x| x != EMPTY)
+        .map(|&x| x as usize)
+        .collect();
+    let placed_count = sample.len();
+    SampleOutcome {
+        sample,
+        workspace,
+        attempted,
+        placed: placed_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(mcount: usize, k: usize, seed: u64) -> (SampleOutcome, Machine) {
+        let mut m = Machine::new(seed);
+        let mut shm = Shm::new();
+        let active: Vec<usize> = (0..mcount).collect();
+        let out = random_sample(&mut m, &mut shm, &active, mcount, k, 4);
+        (out, m)
+    }
+
+    #[test]
+    fn sample_size_theta_k() {
+        for seed in 0..10 {
+            let (out, _) = run(10_000, 32, seed);
+            assert!(out.size_in_bounds(32), "seed {seed}: size {}", out.sample.len());
+        }
+    }
+
+    #[test]
+    fn sample_elements_valid_and_distinct() {
+        let (out, _) = run(5_000, 16, 3);
+        let mut seen = std::collections::HashSet::new();
+        for &e in &out.sample {
+            assert!(e < 5_000);
+            assert!(seen.insert(e), "element sampled twice");
+        }
+    }
+
+    #[test]
+    fn constant_time() {
+        let (_, m1) = run(1_000, 8, 1);
+        let (_, m2) = run(100_000, 8, 1);
+        assert_eq!(m1.metrics.steps, m2.metrics.steps, "steps must not depend on m");
+        assert_eq!(m1.metrics.steps, 1 + 4 * 4);
+    }
+
+    #[test]
+    fn scattered_active_set() {
+        let mut m = Machine::new(9);
+        let mut shm = Shm::new();
+        let active: Vec<usize> = (0..20_000).filter(|i| i % 7 == 3).collect();
+        let out = random_sample(&mut m, &mut shm, &active, 20_000, 16, 4);
+        for &e in &out.sample {
+            assert_eq!(e % 7, 3, "sampled element not in the active subset");
+        }
+        assert!(out.size_in_bounds(16));
+    }
+
+    #[test]
+    fn tiny_populations() {
+        // m < k: everyone attempts (p = 1) and can be placed
+        let (out, _) = run(3, 8, 5);
+        assert_eq!(out.attempted, 3);
+        assert_eq!(out.sample.len(), 3);
+        let (out1, _) = run(1, 1, 6);
+        assert_eq!(out1.sample, vec![0]);
+        let (out0, _) = run(0, 4, 7);
+        assert!(out0.sample.is_empty());
+    }
+
+    #[test]
+    fn uniformity_chi_squared() {
+        // Each element should be equally likely to appear in the sample.
+        let mcount = 200;
+        let k = 10;
+        let trials = 2000;
+        let mut counts = vec![0u64; mcount];
+        for seed in 0..trials {
+            let (out, _) = run(mcount, k, seed as u64 + 1000);
+            for &e in &out.sample {
+                counts[e] += 1;
+            }
+        }
+        let total: u64 = counts.iter().sum();
+        let expect = total as f64 / mcount as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        // 199 dof; 99.9% critical ≈ 272. Allow generous slack.
+        assert!(chi2 < 320.0, "chi2 = {chi2}, expect/elem = {expect}");
+    }
+
+    #[test]
+    fn workspace_is_theta_k() {
+        let mut m = Machine::new(2);
+        let mut shm = Shm::new();
+        let active: Vec<usize> = (0..50_000).collect();
+        let out = random_sample(&mut m, &mut shm, &active, 50_000, 25, 4);
+        assert_eq!(shm.len(out.workspace), 16 * 25);
+    }
+}

@@ -1,0 +1,208 @@
+//! Failure sweeping (paper §2.3).
+//!
+//! *A technique for improving the confidence bounds of an iterative or
+//! recursive randomized algorithm.* Run a randomized solver for its time
+//! budget on n/m subproblems of size m; the expected number of failures is
+//! (n/m)·p(m) ≤ 1. Compact the failed subproblem ids into a small area
+//! with Ragde's algorithm, then assign each failure a super-linear block of
+//! processors and re-solve it with a deterministic brute-force method.
+//!
+//! [`failure_sweep`] is the generic combinator: the caller supplies
+//!
+//! * `attempt(child_machine, shm, j) -> bool` — run subproblem `j` within
+//!   its budget, reporting success; all `attempt`s are accounted as running
+//!   in parallel (time = max, work = sum, via
+//!   [`ipch_pram::Metrics::absorb_parallel`]);
+//! * `brute(child_machine, shm, j)` — the super-linear-processor oracle,
+//!   guaranteed to succeed; likewise accounted in parallel across failures.
+//!
+//! The combinator itself contributes the failure-marking step and the
+//! Ragde compaction, exactly as in the paper. If more than `bound`
+//! subproblems fail, the compaction *detects* it and the combinator falls
+//! back to brute-forcing every failure anyway (reporting
+//! `compaction_overflow = true`); the paper's analysis makes this an
+//! exponentially unlikely event (Lemma 2.5's 1 − 2^{−n^{1/16}}), which the
+//! T9 experiment measures.
+
+use ipch_pram::{Machine, Metrics, Shm, EMPTY};
+
+use crate::ragde::ragde_compact_det;
+
+/// Report of one failure-sweeping pass.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Number of subproblems attempted.
+    pub total: usize,
+    /// Ids of subproblems whose randomized attempt failed.
+    pub failures: Vec<usize>,
+    /// Whether the number of failures exceeded `bound` (compaction would
+    /// have overflowed — the exponentially-rare event).
+    pub compaction_overflow: bool,
+    /// Number of failures re-solved by the brute-force oracle.
+    pub swept: usize,
+}
+
+/// Run `attempt` on every subproblem, then sweep the failures (see module
+/// docs). `bound` is the compaction capacity (the paper uses n^{1/16}
+/// failures compacted into an n^{1/4} area).
+pub fn failure_sweep<A, B>(
+    m: &mut Machine,
+    shm: &mut Shm,
+    n_sub: usize,
+    bound: usize,
+    mut attempt: A,
+    mut brute: B,
+) -> SweepReport
+where
+    A: FnMut(&mut Machine, &mut Shm, usize) -> bool,
+    B: FnMut(&mut Machine, &mut Shm, usize),
+{
+    // Phase 1: all subproblems attempt in parallel.
+    let mut children: Vec<Metrics> = Vec::with_capacity(n_sub);
+    let mut failed: Vec<usize> = Vec::new();
+    for j in 0..n_sub {
+        let mut child = m.child(j as u64 ^ 0x5eed);
+        if !attempt(&mut child, shm, j) {
+            failed.push(j);
+        }
+        children.push(child.metrics);
+    }
+    m.metrics.absorb_parallel(&children);
+
+    // Phase 2: each failed subproblem's representative processor marks its
+    // id (one step over the subproblem ids).
+    let flags = shm.alloc("sweep.flags", n_sub.max(1), EMPTY);
+    let failed_for_step = failed.clone();
+    m.step(shm, 0..n_sub, move |ctx| {
+        let j = ctx.pid;
+        if failed_for_step.binary_search(&j).is_ok() {
+            ctx.write(flags, j, j as i64);
+        }
+    });
+
+    // Phase 3: Ragde-compact the failure ids.
+    let compaction = ragde_compact_det(m, shm, flags, bound);
+    let compaction_overflow = compaction.is_none();
+
+    // Phase 4: brute-force each failure with its super-linear processor
+    // block, in parallel across failures.
+    let sweep_list: Vec<usize> = match &compaction {
+        Some(c) => shm
+            .slice(c.dst)
+            .iter()
+            .copied()
+            .filter(|&x| x != EMPTY)
+            .map(|x| x as usize)
+            .collect(),
+        // overflow: the paper's guarantee was missed; resolve everything
+        // anyway so the algorithm stays correct, and report the event.
+        None => failed.clone(),
+    };
+    let mut brute_children: Vec<Metrics> = Vec::with_capacity(sweep_list.len());
+    for &j in &sweep_list {
+        let mut child = m.child(j as u64 ^ 0xb007);
+        brute(&mut child, shm, j);
+        brute_children.push(child.metrics);
+    }
+    m.metrics.absorb_parallel(&brute_children);
+
+    SweepReport {
+        total: n_sub,
+        failures: failed,
+        compaction_overflow,
+        swept: sweep_list.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_no_sweep() {
+        let mut m = Machine::new(1);
+        let mut shm = Shm::new();
+        let r = failure_sweep(&mut m, &mut shm, 20, 4, |_, _, _| true, |_, _, _| panic!("no brute expected"));
+        assert!(r.failures.is_empty());
+        assert_eq!(r.swept, 0);
+        assert!(!r.compaction_overflow);
+    }
+
+    #[test]
+    fn failures_are_swept_exactly_once() {
+        let mut m = Machine::new(2);
+        let mut shm = Shm::new();
+        let mut brute_calls: Vec<usize> = Vec::new();
+        let r = failure_sweep(
+            &mut m,
+            &mut shm,
+            50,
+            4,
+            |_, _, j| j % 17 != 0, // 0, 17, 34 fail
+            |_, _, j| brute_calls.push(j),
+        );
+        assert_eq!(r.failures, vec![0, 17, 34]);
+        brute_calls.sort_unstable();
+        assert_eq!(brute_calls, vec![0, 17, 34]);
+        assert!(!r.compaction_overflow);
+    }
+
+    #[test]
+    fn overflow_detected_and_still_resolved() {
+        let mut m = Machine::new(3);
+        let mut shm = Shm::new();
+        let mut brute_calls = 0usize;
+        let r = failure_sweep(
+            &mut m,
+            &mut shm,
+            30,
+            2,                    // capacity 2, but 10 failures
+            |_, _, j| j % 3 != 0, // 10 failures
+            |_, _, _| brute_calls += 1,
+        );
+        assert!(r.compaction_overflow);
+        assert_eq!(r.failures.len(), 10);
+        assert_eq!(brute_calls, 10);
+        assert_eq!(r.swept, 10);
+    }
+
+    #[test]
+    fn parallel_time_accounting() {
+        // 8 attempts, each costing 5 child steps: parallel time adds 5, not 40.
+        let mut m = Machine::new(4);
+        let mut shm = Shm::new();
+        let probe = shm.alloc("probe", 8, 0);
+        let r = failure_sweep(
+            &mut m,
+            &mut shm,
+            8,
+            2,
+            |child, shm, j| {
+                for _ in 0..5 {
+                    child.step(shm, j..j + 1, |ctx| {
+                        let i = ctx.pid;
+                        let v = ctx.read(probe, i);
+                        ctx.write(probe, i, v + 1);
+                    });
+                }
+                true
+            },
+            |_, _, _| {},
+        );
+        assert!(r.failures.is_empty());
+        // 5 (parallel attempts) + 1 (mark) + ragde's executed 2 + brute 0
+        assert_eq!(m.metrics.steps, 5 + 1 + 2);
+        // work: 8 subproblems × 5 steps × 1 proc + mark 8 + ragde 2×8
+        assert_eq!(m.metrics.work, 40 + 8 + 16);
+        assert_eq!(shm.slice(probe), &[5i64; 8] as &[i64]);
+    }
+
+    #[test]
+    fn zero_subproblems() {
+        let mut m = Machine::new(5);
+        let mut shm = Shm::new();
+        let r = failure_sweep(&mut m, &mut shm, 0, 2, |_, _, _| true, |_, _, _| {});
+        assert_eq!(r.total, 0);
+        assert!(!r.compaction_overflow);
+    }
+}

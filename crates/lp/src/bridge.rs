@@ -1,0 +1,417 @@
+//! Bridge finding (paper Observation 2.4 and the base-problem oracle).
+//!
+//! *The bridge is the upper hull edge that intersects the vertical line
+//! through one specified point* (the splitter). Kirkpatrick–Seidel observed
+//! that finding it reduces to 2-variable LP: over lines `y = a·x + b`,
+//! minimize the height `a·x₀ + b` at the splitter abscissa subject to every
+//! point lying on or below the line (`a·xᵢ + b ≥ yᵢ`). The optimal line
+//! supports the hull edge straddling x₀.
+//!
+//! [`bridge_lp_constraints`]/[`bridge_lp_objective`] build that reduction
+//! (used by the LP experiments, T6). The hull algorithms themselves use
+//! [`bridge_brute`]: the fully *exact* all-pairs formulation — a pair
+//! (i, j) straddling x₀ is the bridge iff every other point is on or below
+//! the line through it, which is a pure orientation test. One marking step
+//! with n³ virtual processors, one election step, and two combining steps
+//! to canonicalize collinear contacts. This is Observation 2.3's n³
+//! brute-force specialized to one probe, and it is the deterministic
+//! base-problem solver of §3.3 step 2.
+//!
+//! [`facet_brute`] is the 3-D analogue (Observation 2.2 with d = 3): the
+//! upper-hull facet pierced by the vertical line through a splitter,
+//! found over all point triples with n⁴ work.
+
+use ipch_geom::predicates::{orient2d_sign, orient3d_sign};
+use ipch_geom::{Point2, Point3};
+use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
+
+use crate::constraint::{f64_key, Halfplane, Objective2};
+
+/// A bridge: the two endpoint *ids* (into the caller's point array) of the
+/// upper-hull edge straddling the splitter, `points[left].x ≤ x₀ <
+/// points[right].x`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bridge {
+    /// Left endpoint id.
+    pub left: usize,
+    /// Right endpoint id.
+    pub right: usize,
+}
+
+/// The LP constraints of the Kirkpatrick–Seidel reduction for the points
+/// `ids` (variables are the line's (slope a, intercept b)).
+pub fn bridge_lp_constraints(points: &[Point2], ids: &[usize]) -> Vec<Halfplane> {
+    ids.iter()
+        .map(|&i| Halfplane {
+            a: points[i].x,
+            b: 1.0,
+            c: points[i].y,
+        })
+        .collect()
+}
+
+/// The LP objective of the reduction: minimize the line height at `x0`.
+pub fn bridge_lp_objective(x0: f64) -> Objective2 {
+    Objective2 { cx: x0, cy: 1.0 }
+}
+
+/// Exact brute-force bridge over the subset `ids` of `points`, straddling
+/// the vertical line `x = x0`. Returns `None` when no pair straddles
+/// (x0 outside the subset's open x-range).
+///
+/// Cost: O(1) executed steps, Θ(|ids|³) work.
+pub fn bridge_brute(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point2],
+    ids: &[usize],
+    x0: f64,
+) -> Option<Bridge> {
+    let n = ids.len();
+    if n < 2 {
+        return None;
+    }
+    let npairs = n * n;
+
+    // Step 1: knock out non-straddling and non-supporting pairs.
+    let bad = shm.alloc("bridge.bad", npairs, 0);
+    m.step_with_policy(shm, 0..npairs * n, WritePolicy::CombineOr, |ctx| {
+        let p = ctx.pid / n;
+        let k = ctx.pid % n;
+        let (i, j) = (p / n, p % n);
+        let (pi, pj) = (points[ids[i]], points[ids[j]]);
+        if !(pi.x <= x0 && x0 < pj.x) {
+            if k == 0 {
+                ctx.write(bad, p, 1);
+            }
+            return;
+        }
+        // pi.x ≤ x0 < pj.x ⇒ pi.x < pj.x: left-to-right orientation is valid
+        if orient2d_sign(pi, pj, points[ids[k]]) > 0 {
+            ctx.write(bad, p, 1);
+        }
+    });
+
+    // Step 2: surviving pairs elect a representative supporting line.
+    let win = shm.alloc("bridge.win", 1, EMPTY);
+    m.step(shm, 0..npairs, |ctx| {
+        let p = ctx.pid;
+        if ctx.read(bad, p) == 0 {
+            ctx.write(win, 0, p as i64);
+        }
+    });
+    let w = shm.get(win, 0);
+    if w == EMPTY {
+        return None;
+    }
+    let (wi, wj) = ((w as usize) / n, (w as usize) % n);
+    let (a, b) = (points[ids[wi]], points[ids[wj]]);
+
+    // Steps 3–4: canonicalize collinear contacts — among subset points *on*
+    // the supporting line, the left contact is the one with the largest
+    // x ≤ x0 and the right contact the smallest x > x0 (combining min/max
+    // over order-isomorphic f64 keys, then an election step each).
+    let lmax = shm.alloc("bridge.lmax", 1, i64::MIN);
+    let rmin = shm.alloc("bridge.rmin", 1, i64::MAX);
+    m.step_with_policy(shm, 0..n, WritePolicy::CombineMax, |ctx| {
+        let k = ctx.pid;
+        let pk = points[ids[k]];
+        if orient2d_sign(a, b, pk) == 0 && pk.x <= x0 {
+            ctx.write(lmax, 0, f64_key(pk.x));
+        }
+    });
+    m.step_with_policy(shm, 0..n, WritePolicy::CombineMin, |ctx| {
+        let k = ctx.pid;
+        let pk = points[ids[k]];
+        if orient2d_sign(a, b, pk) == 0 && pk.x > x0 {
+            ctx.write(rmin, 0, f64_key(pk.x));
+        }
+    });
+    let (lkey, rkey) = (shm.get(lmax, 0), shm.get(rmin, 0));
+    let lwin = shm.alloc("bridge.lwin", 1, EMPTY);
+    let rwin = shm.alloc("bridge.rwin", 1, EMPTY);
+    m.step_with_policy(shm, 0..n, WritePolicy::PriorityMin, |ctx| {
+        let k = ctx.pid;
+        let pk = points[ids[k]];
+        if orient2d_sign(a, b, pk) == 0 {
+            if pk.x <= x0 && f64_key(pk.x) == lkey {
+                ctx.write(lwin, 0, ids[k] as i64);
+            }
+            if pk.x > x0 && f64_key(pk.x) == rkey {
+                ctx.write(rwin, 0, ids[k] as i64);
+            }
+        }
+    });
+    let (l, r) = (shm.get(lwin, 0), shm.get(rwin, 0));
+    debug_assert!(l != EMPTY && r != EMPTY);
+    Some(Bridge {
+        left: l as usize,
+        right: r as usize,
+    })
+}
+
+/// Exact brute-force 3-D facet probe: the upper-hull facet whose
+/// xy-projection contains the splitter abscissa `(x0, y0)`, over the subset
+/// `ids` of `points`. Returns the facet's three vertex ids (counter-
+/// clockwise seen from above), or `None` if `(x0, y0)` is outside the
+/// subset's xy convex hull or the subset is degenerate.
+///
+/// Cost: O(1) executed steps, Θ(|ids|⁴) work.
+pub fn facet_brute(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point3],
+    ids: &[usize],
+    x0: f64,
+    y0: f64,
+) -> Option<(usize, usize, usize)> {
+    let n = ids.len();
+    if n < 3 {
+        return None;
+    }
+    let q = Point2::new(x0, y0);
+    // Host-enumerated unordered triples (the model's i<j<k processor
+    // wiring; enumeration is addressing, not work — the steps below carry
+    // the PRAM cost).
+    let triples: Vec<(u32, u32, u32)> = {
+        let mut v = Vec::with_capacity(n * (n - 1) * (n - 2) / 6);
+        for i in 0..n {
+            for j in i + 1..n {
+                for k in j + 1..n {
+                    v.push((i as u32, j as u32, k as u32));
+                }
+            }
+        }
+        v
+    };
+    let nt = triples.len();
+
+    // Step 1: knock out degenerate triples and those whose projected
+    // triangle misses the splitter (C(n,3) processors, O(1) work each).
+    let bad = shm.alloc("facet.bad", nt, 0);
+    let triples_ref = &triples;
+    m.step_with_policy(shm, 0..nt, WritePolicy::CombineOr, |ctx| {
+        let (i, j, k) = triples_ref[ctx.pid];
+        let (a3, b3, c3) = (
+            points[ids[i as usize]],
+            points[ids[j as usize]],
+            points[ids[k as usize]],
+        );
+        let s = orient2d_sign(a3.xy(), b3.xy(), c3.xy());
+        if s == 0 {
+            ctx.write(bad, ctx.pid, 1);
+            return;
+        }
+        let (a3, b3, c3) = if s > 0 { (a3, b3, c3) } else { (a3, c3, b3) };
+        if orient2d_sign(a3.xy(), b3.xy(), q) < 0
+            || orient2d_sign(b3.xy(), c3.xy(), q) < 0
+            || orient2d_sign(c3.xy(), a3.xy(), q) < 0
+        {
+            ctx.write(bad, ctx.pid, 1);
+        }
+    });
+
+    // Step 2: supporting test over the surviving candidates × all points.
+    let cands: Vec<usize> = (0..nt).filter(|&t| shm.get(bad, t) == 0).collect();
+    if cands.is_empty() {
+        return None;
+    }
+    let nc = cands.len();
+    let bad2 = shm.alloc("facet.bad2", nc, 0);
+    let cands_ref = &cands;
+    m.step_with_policy(shm, 0..nc * n, WritePolicy::CombineOr, |ctx| {
+        let c = ctx.pid / n;
+        let d = ctx.pid % n;
+        let (i, j, k) = triples_ref[cands_ref[c]];
+        let (a3, b3, c3) = (
+            points[ids[i as usize]],
+            points[ids[j as usize]],
+            points[ids[k as usize]],
+        );
+        let (a3, b3, c3) = if orient2d_sign(a3.xy(), b3.xy(), c3.xy()) > 0 {
+            (a3, b3, c3)
+        } else {
+            (a3, c3, b3)
+        };
+        // point d above the plane? (orient3d > 0 ⇔ below for a CCW triple)
+        if orient3d_sign(a3, b3, c3, points[ids[d]]) < 0 {
+            ctx.write(bad2, c, 1);
+        }
+    });
+
+    // Step 3: elect a surviving triple.
+    let win = shm.alloc("facet.win", 1, EMPTY);
+    m.step(shm, 0..nc, |ctx| {
+        let c = ctx.pid;
+        if ctx.read(bad2, c) == 0 {
+            ctx.write(win, 0, cands_ref[c] as i64);
+        }
+    });
+    let w = shm.get(win, 0);
+    if w == EMPTY {
+        return None;
+    }
+    let (i, j, k) = triples[w as usize];
+    let (i, j, k) = (i as usize, j as usize, k as usize);
+    let (a3, b3, c3) = (points[ids[i]], points[ids[j]], points[ids[k]]);
+    if orient2d_sign(a3.xy(), b3.xy(), c3.xy()) > 0 {
+        Some((ids[i], ids[j], ids[k]))
+    } else {
+        Some((ids[i], ids[k], ids[j]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::hull_chain::UpperHull;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn check_bridge(points: &[Point2], x0: f64) -> Option<Bridge> {
+        let mut m = Machine::new(7);
+        let mut shm = Shm::new();
+        let ids: Vec<usize> = (0..points.len()).collect();
+        let b = bridge_brute(&mut m, &mut shm, points, &ids, x0);
+        if let Some(br) = b {
+            // every point on or below the bridge line
+            let (u, v) = (points[br.left], points[br.right]);
+            assert!(u.x <= x0 && x0 < v.x, "bridge does not straddle");
+            for &w in points {
+                assert!(orient2d_sign(u, v, w) <= 0, "{w:?} above bridge");
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn bridge_on_triangle() {
+        let pts = vec![p(0.0, 0.0), p(2.0, 2.0), p(4.0, 0.0), p(1.0, 0.5), p(3.0, 0.5)];
+        let b = check_bridge(&pts, 1.0).unwrap();
+        assert_eq!((b.left, b.right), (0, 1));
+        let b = check_bridge(&pts, 3.0).unwrap();
+        assert_eq!((b.left, b.right), (1, 2));
+        let b = check_bridge(&pts, 2.0).unwrap(); // exactly at the apex
+        assert_eq!((b.left, b.right), (1, 2));
+    }
+
+    #[test]
+    fn bridge_outside_range_is_none() {
+        let pts = vec![p(0.0, 0.0), p(1.0, 1.0)];
+        assert!(check_bridge(&pts, -1.0).is_none());
+        assert!(check_bridge(&pts, 1.0).is_none()); // x0 ≥ max x
+        assert!(check_bridge(&pts, 0.5).is_some());
+    }
+
+    #[test]
+    fn bridge_collinear_contacts_canonicalized() {
+        // four collinear points on the top edge: contacts must hug x0
+        let pts = vec![
+            p(0.0, 1.0),
+            p(1.0, 1.0),
+            p(2.0, 1.0),
+            p(3.0, 1.0),
+            p(1.5, 0.0),
+        ];
+        let b = check_bridge(&pts, 1.5).unwrap();
+        assert_eq!((b.left, b.right), (1, 2));
+    }
+
+    #[test]
+    fn bridge_matches_hull_oracle_randomly() {
+        use ipch_geom::generators::uniform_disk;
+        for seed in 0..10u64 {
+            let pts = uniform_disk(60, seed);
+            let hull = UpperHull::of(&pts);
+            // probe midpoints of each hull edge's x-span
+            for w in hull.vertices.windows(2) {
+                let x0 = (pts[w[0]].x + pts[w[1]].x) / 2.0;
+                let b = check_bridge(&pts, x0).unwrap();
+                assert_eq!(
+                    (b.left, b.right),
+                    (w[0], w[1]),
+                    "seed {seed} x0 {x0}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_subset_ignores_excluded_points() {
+        // the global hull apex is excluded from the subset
+        let pts = vec![p(0.0, 0.0), p(2.0, 5.0), p(4.0, 0.0), p(1.0, 1.0), p(3.0, 1.0)];
+        let ids = vec![0usize, 2, 3, 4];
+        let mut m = Machine::new(8);
+        let mut shm = Shm::new();
+        let b = bridge_brute(&mut m, &mut shm, &pts, &ids, 2.0).unwrap();
+        assert_eq!((b.left, b.right), (3, 4));
+    }
+
+    #[test]
+    fn facet_on_tetrahedron() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(4.0, 0.0, 0.0),
+            Point3::new(0.0, 4.0, 0.0),
+            Point3::new(1.0, 1.0, 3.0), // apex
+            Point3::new(1.0, 1.0, -5.0),
+        ];
+        let mut m = Machine::new(9);
+        let mut shm = Shm::new();
+        let ids: Vec<usize> = (0..pts.len()).collect();
+        let f = facet_brute(&mut m, &mut shm, &pts, &ids, 1.0, 1.0).unwrap();
+        // the facet above (1,1) must include the apex
+        let tri = [f.0, f.1, f.2];
+        assert!(tri.contains(&3), "facet {tri:?} misses the apex");
+        // all points below its plane
+        let (a, b, c) = (pts[f.0], pts[f.1], pts[f.2]);
+        for &d in &pts {
+            assert!(orient3d_sign(a, b, c, d) >= 0);
+        }
+    }
+
+    #[test]
+    fn facet_outside_projection_is_none() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.3, 0.3, 1.0),
+        ];
+        let mut m = Machine::new(10);
+        let mut shm = Shm::new();
+        let ids: Vec<usize> = (0..pts.len()).collect();
+        assert!(facet_brute(&mut m, &mut shm, &pts, &ids, 5.0, 5.0, ).is_none());
+        assert!(facet_brute(&mut m, &mut shm, &pts, &ids, 0.2, 0.2).is_some());
+    }
+
+    #[test]
+    fn lp_reduction_consistent_with_brute_bridge() {
+        use crate::brute::{solve_lp2_brute, Lp2Outcome};
+        use ipch_geom::generators::uniform_square;
+        let pts = uniform_square(40, 5);
+        let ids: Vec<usize> = (0..pts.len()).collect();
+        let hull = UpperHull::of(&pts);
+        let mid = hull.vertices.len() / 2;
+        let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
+        let cs = bridge_lp_constraints(&pts, &ids);
+        let obj = bridge_lp_objective(x0);
+        let mut m = Machine::new(11);
+        let mut shm = Shm::new();
+        match solve_lp2_brute(&mut m, &mut shm, &cs, &obj) {
+            Lp2Outcome::Optimal(s) => {
+                // LP variables are (slope, intercept): tight constraints =
+                // bridge endpoints
+                let mut tights = [s.tight.0, s.tight.1];
+                tights.sort_by(|&u, &v| pts[u].cmp_xy(&pts[v]).reverse());
+                let b = bridge_brute(&mut m, &mut shm, &pts, &ids, x0).unwrap();
+                let mut expect = [b.left, b.right];
+                expect.sort_by(|&u, &v| pts[u].cmp_xy(&pts[v]).reverse());
+                assert_eq!(tights, expect);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! LP constraint types and exact feasibility kernels.
+//!
+//! A 2-D LP instance is: minimize `cx·x + cy·y` subject to half-planes
+//! `aᵢ·x + bᵢ·y ≥ cᵢ`. The bridge-finding reduction (Observation 2.4)
+//! produces instances whose variables are the *line coefficients* (slope,
+//! intercept) of the sought hull edge — see [`crate::bridge`].
+//!
+//! Candidate optima are intersections of constraint boundaries; deciding
+//! whether a candidate satisfies a constraint is a sign-of-determinant
+//! question that we evaluate **exactly** via [`ipch_geom::exact`]
+//! expansions (Cramer's rule without division), so degenerate instances
+//! (parallel boundaries, multiple optima) are decided, not guessed.
+
+use ipch_geom::exact::{two_product, Expansion};
+
+/// Half-plane constraint `a·x + b·y ≥ c`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Halfplane {
+    /// x-coefficient.
+    pub a: f64,
+    /// y-coefficient.
+    pub b: f64,
+    /// Right-hand side.
+    pub c: f64,
+}
+
+/// Linear objective `minimize cx·x + cy·y`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Objective2 {
+    /// x-coefficient.
+    pub cx: f64,
+    /// y-coefficient.
+    pub cy: f64,
+}
+
+/// A 2-D LP optimum: the vertex `(x, y)` and the two tight constraints
+/// that define it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lp2Solution {
+    /// Optimal x.
+    pub x: f64,
+    /// Optimal y.
+    pub y: f64,
+    /// Indices of the two defining (tight) constraints.
+    pub tight: (usize, usize),
+}
+
+/// Half-space constraint `a·x + b·y + c·z ≥ d`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Halfspace {
+    /// x-coefficient.
+    pub a: f64,
+    /// y-coefficient.
+    pub b: f64,
+    /// z-coefficient.
+    pub c: f64,
+    /// Right-hand side.
+    pub d: f64,
+}
+
+/// Exact 2×2 determinant as an expansion.
+fn det2e(a: f64, b: f64, c: f64, d: f64) -> Expansion {
+    let (h1, l1) = two_product(a, d);
+    let (h2, l2) = two_product(b, c);
+    Expansion::from_two(h1, l1).sub(&Expansion::from_two(h2, l2))
+}
+
+/// The candidate vertex of two half-plane boundaries, in exact Cramer
+/// form: `(D, Dx, Dy)` with `x = Dx/D`, `y = Dy/D`. `D.sign() == 0` means
+/// the boundaries are parallel (no candidate).
+pub fn cramer2(i: &Halfplane, j: &Halfplane) -> (Expansion, Expansion, Expansion) {
+    let d = det2e(i.a, i.b, j.a, j.b);
+    let dx = det2e(i.c, i.b, j.c, j.b);
+    let dy = det2e(i.a, i.c, j.a, j.c);
+    (d, dx, dy)
+}
+
+/// Exact test: does the candidate `(Dx/D, Dy/D)` satisfy half-plane `k`?
+///
+/// `a·(Dx/D) + b·(Dy/D) ≥ c  ⇔  sign(a·Dx + b·Dy − c·D) agrees with
+/// sign(D)` (or is zero).
+pub fn candidate_satisfies(
+    d: &Expansion,
+    dx: &Expansion,
+    dy: &Expansion,
+    k: &Halfplane,
+) -> bool {
+    let t = dx
+        .scale(k.a)
+        .add(&dy.scale(k.b))
+        .sub(&d.scale(k.c));
+    t.sign() * d.sign() >= 0
+}
+
+/// Filtered feasibility test: decide by f64 when the margin is safely
+/// above the rounding-error bound, falling back to the exact
+/// [`candidate_satisfies`]. `approx = (D, Dx, Dy)` as f64.
+#[inline]
+pub fn candidate_satisfies_fast(
+    exact: &(Expansion, Expansion, Expansion),
+    approx: (f64, f64, f64),
+    k: &Halfplane,
+) -> bool {
+    let (df, dxf, dyf) = approx;
+    let t = k.a * dxf + k.b * dyf - k.c * df;
+    let mag = (k.a * dxf).abs() + (k.b * dyf).abs() + (k.c * df).abs();
+    if t.abs() > 1e-13 * mag {
+        let ts = if t > 0.0 { 1 } else { -1 };
+        ts * exact.0.sign() >= 0
+    } else {
+        candidate_satisfies(&exact.0, &exact.1, &exact.2, k)
+    }
+}
+
+/// Approximate (f64) objective value of a Cramer candidate. Used only as a
+/// comparison key; exact rational tie-breaking happens host-side.
+pub fn candidate_objective(
+    d: &Expansion,
+    dx: &Expansion,
+    dy: &Expansion,
+    obj: &Objective2,
+) -> f64 {
+    (obj.cx * dx.approx() + obj.cy * dy.approx()) / d.approx()
+}
+
+/// Exact comparison of two Cramer candidates' objectives:
+/// sign of `f(cand1) − f(cand2)`.
+pub fn compare_objectives(
+    c1: (&Expansion, &Expansion, &Expansion),
+    c2: (&Expansion, &Expansion, &Expansion),
+    obj: &Objective2,
+) -> std::cmp::Ordering {
+    // f1 = N1/D1, f2 = N2/D2 with Nᵢ = cx·Dxᵢ + cy·Dyᵢ
+    let n1 = c1.1.scale(obj.cx).add(&c1.2.scale(obj.cy));
+    let n2 = c2.1.scale(obj.cx).add(&c2.2.scale(obj.cy));
+    // sign(N1·D2 − N2·D1)·sign(D1)·sign(D2)
+    let diff = n1.mul(c2.0).sub(&n2.mul(c1.0));
+    let s = diff.sign() * c1.0.sign() * c2.0.sign();
+    s.cmp(&0)
+}
+
+/// Order-isomorphic mapping f64 → i64 (total order on finite floats),
+/// letting PRAM Combining-Min steps minimize real-valued keys exactly.
+#[inline]
+pub fn f64_key(v: f64) -> i64 {
+    let b = v.to_bits() as i64;
+    b ^ (((b >> 63) as u64) >> 1) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp(a: f64, b: f64, c: f64) -> Halfplane {
+        Halfplane { a, b, c }
+    }
+
+    #[test]
+    fn cramer_simple_intersection() {
+        // x ≥ 1 (boundary x = 1), y ≥ 2 (boundary y = 2) → vertex (1, 2)
+        let (d, dx, dy) = cramer2(&hp(1.0, 0.0, 1.0), &hp(0.0, 1.0, 2.0));
+        assert_eq!(dx.approx() / d.approx(), 1.0);
+        assert_eq!(dy.approx() / d.approx(), 2.0);
+    }
+
+    #[test]
+    fn cramer_parallel_detected() {
+        let (d, _, _) = cramer2(&hp(1.0, 1.0, 0.0), &hp(2.0, 2.0, 5.0));
+        assert_eq!(d.sign(), 0);
+    }
+
+    #[test]
+    fn satisfies_basic_and_boundary() {
+        let (d, dx, dy) = cramer2(&hp(1.0, 0.0, 1.0), &hp(0.0, 1.0, 2.0)); // (1,2)
+        assert!(candidate_satisfies(&d, &dx, &dy, &hp(1.0, 1.0, 2.0))); // 3 ≥ 2
+        assert!(candidate_satisfies(&d, &dx, &dy, &hp(1.0, 1.0, 3.0))); // 3 ≥ 3 tight
+        assert!(!candidate_satisfies(&d, &dx, &dy, &hp(1.0, 1.0, 4.0))); // 3 < 4
+        // negative-D orientation must not flip the verdict
+        let (d2, dx2, dy2) = cramer2(&hp(0.0, 1.0, 2.0), &hp(1.0, 0.0, 1.0));
+        assert_eq!(d2.sign(), -d.sign());
+        assert!(candidate_satisfies(&d2, &dx2, &dy2, &hp(1.0, 1.0, 2.0)));
+        assert!(!candidate_satisfies(&d2, &dx2, &dy2, &hp(1.0, 1.0, 4.0)));
+    }
+
+    #[test]
+    fn satisfies_near_degenerate_exactly() {
+        // Candidate exactly on the constraint boundary, built so f64
+        // evaluation of a·x + b·y − c would be noisy.
+        let (d, dx, dy) = cramer2(&hp(3.0, 1.0, 0.1), &hp(1.0, 3.0, 0.1));
+        // the symmetric vertex lies on x = y; constraint x − y ≥ 0 is tight
+        assert!(candidate_satisfies(&d, &dx, &dy, &hp(1.0, -1.0, 0.0)));
+        assert!(!candidate_satisfies(&d, &dx, &dy, &hp(1.0, -1.0, 1e-300)));
+    }
+
+    #[test]
+    fn objective_comparison_exact() {
+        let obj = Objective2 { cx: 1.0, cy: 1.0 };
+        let a = cramer2(&hp(1.0, 0.0, 1.0), &hp(0.0, 1.0, 2.0)); // (1,2): f=3
+        let b = cramer2(&hp(1.0, 0.0, 2.0), &hp(0.0, 1.0, 1.0)); // (2,1): f=3
+        let c = cramer2(&hp(1.0, 0.0, 1.0), &hp(0.0, 1.0, 1.0)); // (1,1): f=2
+        assert_eq!(
+            compare_objectives((&a.0, &a.1, &a.2), (&b.0, &b.1, &b.2), &obj),
+            std::cmp::Ordering::Equal
+        );
+        assert_eq!(
+            compare_objectives((&c.0, &c.1, &c.2), (&a.0, &a.1, &a.2), &obj),
+            std::cmp::Ordering::Less
+        );
+    }
+
+    #[test]
+    fn f64_key_monotone() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.0,
+            -1.0,
+            -1e-300,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            2.0,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                f64_key(w[0]) <= f64_key(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(f64_key(-2.0) < f64_key(-1.0));
+        assert!(f64_key(-0.0) < f64_key(0.0)); // distinct keys, right order
+    }
+}

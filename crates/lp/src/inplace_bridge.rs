@@ -1,0 +1,371 @@
+//! In-place bridge finding (paper §3.3–§3.4, Lemma 4.2).
+//!
+//! The convex-hull recursion needs bridges for *many unrelated subproblems
+//! scattered through the input*, where the points of one subproblem are not
+//! contiguous. Alon–Megiddo assumes contiguous input; the paper replaces it
+//! with this in-place procedure (which it notes is *simpler to implement*
+//! while matching the time/work/confidence bounds):
+//!
+//! 1. Apply the random-sample procedure to draw a base problem of Θ(k)
+//!    constraints into a 16k workspace (k = p^{1/3} in 2-D).
+//! 2. Solve the base problem deterministically in constant time
+//!    ([`crate::bridge::bridge_brute`] — the exact n³ brute force).
+//! 3. Every point checks whether it violates the solution (lies strictly
+//!    above the candidate bridge line); violators are *survivors* and are
+//!    candidates for the next base, sampled at the escalating rate
+//!    p_j = min{1, 2k·p_{j−1}}, p₁ = 2k/p.
+//! 4. After β rounds, in-place-compact all survivors into the base problem
+//!    ([`ipch_inplace::compact::inplace_compact`]) and solve once more; if
+//!    there are too many to compact, run more sampling rounds. If at any
+//!    point there are no survivors, the last base solution is the bridge.
+//!
+//! Correctness is unconditional (the survivor check is global and exact);
+//! the randomness only bounds *how many rounds* it takes — which is what
+//! Lemma 4.2 asserts (constant, with failure probability e^{−Ω(k^r)}) and
+//! what experiment T6 measures. Bases accumulate across rounds so the
+//! candidate height at x₀ is monotone.
+
+use ipch_geom::predicates::orient2d_sign;
+use ipch_geom::Point2;
+use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
+
+use ipch_inplace::compact::inplace_compact;
+use ipch_inplace::sample::random_sample_with_p;
+
+use crate::bridge::{bridge_brute, Bridge};
+
+/// Tuning of the in-place bridge finder.
+#[derive(Clone, Copy, Debug)]
+pub struct IbConfig {
+    /// Base-size parameter k; `None` = ⌈p^{1/3}⌉ clamped ≥ 4 (paper's 2-D
+    /// choice; the 3-D algorithm passes p^{1/4}).
+    pub k: Option<usize>,
+    /// Rounds before the compaction finish is attempted (the paper's β).
+    pub beta: usize,
+    /// Dart-throwing retry rounds inside each random sample (paper's d).
+    pub sample_attempts: usize,
+    /// Hard cap on total rounds before declaring failure.
+    pub max_rounds: usize,
+}
+
+impl Default for IbConfig {
+    fn default() -> Self {
+        Self {
+            k: None,
+            beta: 4,
+            sample_attempts: 4,
+            max_rounds: 16,
+        }
+    }
+}
+
+/// Diagnostics for experiment T6.
+#[derive(Clone, Debug, Default)]
+pub struct IbTrace {
+    /// Total rounds (base solves) executed.
+    pub rounds: usize,
+    /// Survivor counts after each solved round.
+    pub survivors: Vec<usize>,
+    /// Whether the §3.3-step-4 compaction finish was used.
+    pub compaction_used: bool,
+    /// Final base size.
+    pub base_size: usize,
+}
+
+/// Find the upper-hull bridge of the scattered subset `active` straddling
+/// `x = x0`, in place. Returns `Some((bridge, trace))` on success, `None`
+/// either when the subset has no straddling pair or when the round cap was
+/// hit; callers that need to distinguish use
+/// [`find_bridge_inplace_traced`].
+///
+/// # Examples
+///
+/// ```
+/// use ipch_geom::generators::uniform_disk;
+/// use ipch_lp::inplace_bridge::{find_bridge_inplace, IbConfig};
+/// use ipch_pram::{Machine, Shm};
+///
+/// let points = uniform_disk(800, 5);
+/// let active: Vec<usize> = (0..points.len()).collect();
+/// let mut m = Machine::new(1);
+/// let mut shm = Shm::new();
+/// let (bridge, _trace) =
+///     find_bridge_inplace(&mut m, &mut shm, &points, &active, 0.0, &IbConfig::default())
+///         .expect("a bridge straddles x = 0 inside the disk");
+/// assert!(points[bridge.left].x <= 0.0 && 0.0 < points[bridge.right].x);
+/// ```
+pub fn find_bridge_inplace(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point2],
+    active: &[usize],
+    x0: f64,
+    cfg: &IbConfig,
+) -> Option<(Bridge, IbTrace)> {
+    match find_bridge_inplace_traced(m, shm, points, active, x0, cfg) {
+        (Some(b), t) => Some((b, t)),
+        (None, _) => None,
+    }
+}
+
+/// As [`find_bridge_inplace`], but always returns the trace.
+pub fn find_bridge_inplace_traced(
+    m: &mut Machine,
+    shm: &mut Shm,
+    points: &[Point2],
+    active: &[usize],
+    x0: f64,
+    cfg: &IbConfig,
+) -> (Option<Bridge>, IbTrace) {
+    let mut trace = IbTrace::default();
+    let p = active.len();
+    if p < 2 {
+        return (None, trace);
+    }
+    let universe = points.len();
+    let k = cfg.k.unwrap_or(((p as f64).cbrt().ceil() as usize).max(4));
+    let capacity = 24 * k;
+
+    // Tiny problems: the whole subset is the base. The threshold keeps the
+    // brute cost p³ within a constant factor of p processors ("k is
+    // sufficiently small that this can be done in constant time with n
+    // processors") — beyond it, sampling is strictly cheaper.
+    if p <= 16 {
+        trace.rounds = 1;
+        trace.base_size = p;
+        let b = bridge_brute(m, shm, points, active, x0);
+        trace.survivors.push(0);
+        return (b, trace);
+    }
+
+    // Survivor flags: private registers indexed by point id.
+    let surv = shm.alloc("ib.surv", universe, 0);
+    m.step(shm, active, |ctx| {
+        let i = ctx.pid;
+        ctx.write(surv, i, 1);
+    });
+
+    let mut p_j = 2.0 * k as f64 / p as f64;
+    let mut best: Option<Bridge> = None;
+
+    for round in 0..cfg.max_rounds {
+        trace.rounds = round + 1;
+        // survivors list (in-model: the flagged processors themselves)
+        let survivors: Vec<usize> = active
+            .iter()
+            .copied()
+            .filter(|&i| shm.get(surv, i) != 0)
+            .collect();
+
+        // Each round's base is a *fresh* Θ(k) workspace (the paper's 16k
+        // cells): a sample of the survivors, plus the current bridge
+        // endpoints so the candidate height at x₀ is monotone.
+        let mut base: Vec<usize> = Vec::new();
+        if round >= cfg.beta || survivors.len() <= 4 * k {
+            // §3.3 step 4: compact ALL survivors into the base via the
+            // in-place approximate compaction and solve.
+            let sarr = shm.alloc("ib.sarr", universe, EMPTY);
+            m.step(shm, &survivors, |ctx| {
+                let i = ctx.pid;
+                ctx.write(sarr, i, i as i64);
+            });
+            if let Some(c) = inplace_compact(m, shm, sarr, capacity, 0.34) {
+                trace.compaction_used = true;
+                for s in 0..shm.len(c.slots) {
+                    let v = shm.get(c.slots, s);
+                    if v != EMPTY {
+                        base.push(v as usize);
+                    }
+                }
+            } else {
+                // too many survivors to compact: fall back to sampling
+                let out = random_sample_with_p(
+                    m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+                );
+                base.extend_from_slice(&out.sample);
+            }
+        } else {
+            let out = random_sample_with_p(
+                m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+            );
+            base.extend_from_slice(&out.sample);
+        }
+        if let Some(b) = best {
+            if !base.contains(&b.left) {
+                base.push(b.left);
+            }
+            if !base.contains(&b.right) {
+                base.push(b.right);
+            }
+        }
+        p_j = (p_j * 2.0 * k as f64).min(1.0);
+        if base.len() > capacity || base.len() < 2 {
+            continue;
+        }
+
+        // Step 2: deterministic base solve (child machine, sequential
+        // composition — rounds are genuinely iterative).
+        let mut child = m.child(round as u64 ^ 0xb41d);
+        let sol = bridge_brute(&mut child, shm, points, &base, x0);
+        m.metrics.absorb(&child.metrics);
+        let Some(bridge) = sol else { continue };
+        best = Some(bridge);
+        trace.base_size = trace.base_size.max(base.len());
+
+        // Step 3: global survivor check — one concurrent step.
+        let (u, v) = (points[bridge.left], points[bridge.right]);
+        m.step_with_policy(shm, active, WritePolicy::Arbitrary, |ctx| {
+            let i = ctx.pid;
+            let above = orient2d_sign(u, v, points[i]) > 0;
+            ctx.write(surv, i, if above { 1 } else { 0 });
+        });
+        let nsurv = active.iter().filter(|&&i| shm.get(surv, i) != 0).count();
+        trace.survivors.push(nsurv);
+        if nsurv == 0 {
+            return (Some(bridge), trace);
+        }
+    }
+    let _ = best;
+    (None, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::{circle_plus_interior, uniform_disk, uniform_square};
+    use ipch_geom::hull_chain::UpperHull;
+
+    fn verify_bridge(points: &[Point2], active: &[usize], x0: f64, b: Bridge) {
+        let (u, v) = (points[b.left], points[b.right]);
+        assert!(u.x <= x0 && x0 < v.x, "does not straddle x0={x0}");
+        assert!(active.contains(&b.left) && active.contains(&b.right));
+        for &i in active {
+            assert!(
+                orient2d_sign(u, v, points[i]) <= 0,
+                "point {i} above bridge"
+            );
+        }
+    }
+
+    #[test]
+    fn finds_bridges_on_random_inputs() {
+        for seed in 0..8u64 {
+            let pts = uniform_disk(2000, seed);
+            let active: Vec<usize> = (0..pts.len()).collect();
+            let hull = UpperHull::of(&pts);
+            let mid = hull.vertices.len() / 2;
+            let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
+            let mut m = Machine::new(seed);
+            let mut shm = Shm::new();
+            let (b, trace) = find_bridge_inplace(
+                &mut m,
+                &mut shm,
+                &pts,
+                &active,
+                x0,
+                &IbConfig::default(),
+            )
+            .unwrap_or_else(|| panic!("seed {seed}: no bridge"));
+            verify_bridge(&pts, &active, x0, b);
+            assert_eq!((b.left, b.right), (hull.vertices[mid - 1], hull.vertices[mid]));
+            assert!(trace.rounds <= 12, "seed {seed}: {} rounds", trace.rounds);
+        }
+    }
+
+    #[test]
+    fn works_on_scattered_subsets() {
+        let pts = uniform_square(3000, 42);
+        // active: every third point — scattered, never compacted
+        let active: Vec<usize> = (0..pts.len()).filter(|i| i % 3 == 0).collect();
+        let sub: Vec<Point2> = active.iter().map(|&i| pts[i]).collect();
+        let sub_hull = UpperHull::of(&sub);
+        let mid = sub_hull.vertices.len() / 2;
+        let x0 =
+            (sub[sub_hull.vertices[mid - 1]].x + sub[sub_hull.vertices[mid]].x) / 2.0;
+        let mut m = Machine::new(1);
+        let mut shm = Shm::new();
+        let (b, _) =
+            find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default())
+                .expect("bridge");
+        verify_bridge(&pts, &active, x0, b);
+    }
+
+    #[test]
+    fn small_subsets_use_direct_brute() {
+        let pts = uniform_disk(14, 3);
+        let active: Vec<usize> = (0..14).collect();
+        let hull = UpperHull::of(&pts);
+        let x0 = (pts[hull.vertices[0]].x + pts[hull.vertices[1]].x) / 2.0;
+        let mut m = Machine::new(2);
+        let mut shm = Shm::new();
+        let (b, trace) =
+            find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default())
+                .unwrap();
+        verify_bridge(&pts, &active, x0, b);
+        assert_eq!(trace.rounds, 1);
+    }
+
+    #[test]
+    fn no_bridge_outside_range() {
+        let pts = uniform_disk(500, 4);
+        let active: Vec<usize> = (0..pts.len()).collect();
+        let xmax = pts.iter().map(|p| p.x).fold(f64::MIN, f64::max);
+        let mut m = Machine::new(5);
+        let mut shm = Shm::new();
+        assert!(find_bridge_inplace(
+            &mut m,
+            &mut shm,
+            &pts,
+            &active,
+            xmax + 1.0,
+            &IbConfig::default()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn constant_rounds_across_sizes() {
+        let mut worst = 0usize;
+        for &n in &[1000usize, 4000, 16_000] {
+            for seed in 0..3u64 {
+                let pts = circle_plus_interior(32, n, seed);
+                let active: Vec<usize> = (0..n).collect();
+                let hull = UpperHull::of(&pts);
+                let mid = hull.vertices.len() / 2;
+                let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
+                let mut m = Machine::new(seed + 50);
+                let mut shm = Shm::new();
+                let (b, trace) = find_bridge_inplace(
+                    &mut m,
+                    &mut shm,
+                    &pts,
+                    &active,
+                    x0,
+                    &IbConfig::default(),
+                )
+                .unwrap();
+                verify_bridge(&pts, &active, x0, b);
+                worst = worst.max(trace.rounds);
+            }
+        }
+        assert!(worst <= 10, "round count grew to {worst}");
+    }
+
+    #[test]
+    fn work_stays_near_linear() {
+        let n = 20_000;
+        let pts = uniform_disk(n, 9);
+        let active: Vec<usize> = (0..n).collect();
+        let hull = UpperHull::of(&pts);
+        let mid = hull.vertices.len() / 2;
+        let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
+        let mut m = Machine::new(10);
+        let mut shm = Shm::new();
+        find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default()).unwrap();
+        assert!(
+            m.metrics.total_work() < 300 * n as u64,
+            "work {} not near-linear in {n}",
+            m.metrics.total_work()
+        );
+    }
+}

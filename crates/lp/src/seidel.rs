@@ -1,0 +1,172 @@
+//! Seidel's randomized incremental LP — the sequential baseline/oracle.
+//!
+//! Expected O(n) time for fixed dimension. The paper's probes are all
+//! 2-variable LPs, so only d = 2 is provided. Works in f64 (it is the
+//! *reference* the parallel solvers' outputs are compared against on
+//! non-degenerate instances; exactness lives in the brute solver).
+//!
+//! The instance must be bounded: callers add a large bounding box when the
+//! natural constraints do not bound the objective (the bridge reduction's
+//! instances are bounded whenever the splitter lies strictly inside the
+//! point set's x-range; see [`crate::bridge`]).
+
+use ipch_pram::rng::SplitMix64;
+
+use crate::constraint::{Halfplane, Objective2};
+
+/// Solve `minimize obj` subject to `constraints`, returning the optimal
+/// vertex, or `None` for infeasible/unbounded instances.
+pub fn solve_lp2_seidel(
+    constraints: &[Halfplane],
+    obj: &Objective2,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    let mut order: Vec<usize> = (0..constraints.len()).collect();
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+
+    // Start from a huge bounding box oriented so the objective is bounded.
+    const M: f64 = 1e12;
+    let mut x;
+    let mut y;
+    // initial optimum of the box alone
+    x = if obj.cx > 0.0 { -M } else { M };
+    y = if obj.cy > 0.0 { -M } else { M };
+
+    let mut active: Vec<Halfplane> = Vec::with_capacity(constraints.len() + 4);
+    for (idx, &ci) in order.iter().enumerate() {
+        let c = constraints[ci];
+        if c.a * x + c.b * y >= c.c - 1e-9 * c.c.abs().max(1.0) {
+            active.push(c);
+            continue;
+        }
+        // Re-optimize on the boundary line a·x + b·y = c over constraints
+        // seen so far (a 1-D LP).
+        let sol = solve_on_line(&active[..], &c, obj)?;
+        x = sol.0;
+        y = sol.1;
+        active.push(c);
+        let _ = idx;
+    }
+    if x.abs() >= M * 0.99 || y.abs() >= M * 0.99 {
+        return None; // ran off the artificial box: unbounded
+    }
+    Some((x, y))
+}
+
+/// 1-D LP: minimize `obj` along the line `l.a·x + l.b·y = l.c`, subject to
+/// the half-planes in `cs`. Returns `None` if the feasible interval is
+/// empty.
+fn solve_on_line(cs: &[Halfplane], l: &Halfplane, obj: &Objective2) -> Option<(f64, f64)> {
+    // Parameterize the line as p(t) = p0 + t·dir.
+    let (p0, dir) = if l.b.abs() >= l.a.abs() {
+        // y = (c − a·x)/b; param by x
+        ((0.0, l.c / l.b), (1.0, -l.a / l.b))
+    } else {
+        ((l.c / l.a, 0.0), (-l.b / l.a, 1.0))
+    };
+    const M: f64 = 1e12;
+    let mut lo = -M;
+    let mut hi = M;
+    for c in cs {
+        // c.a·(p0x + t·dx) + c.b·(p0y + t·dy) ≥ c.c
+        let g = c.a * dir.0 + c.b * dir.1;
+        let h = c.c - (c.a * p0.0 + c.b * p0.1);
+        if g.abs() < 1e-30 {
+            if h > 1e-9 * h.abs().max(1.0) {
+                return None; // line entirely infeasible for c
+            }
+            continue;
+        }
+        let t = h / g;
+        if g > 0.0 {
+            lo = lo.max(t);
+        } else {
+            hi = hi.min(t);
+        }
+        if lo > hi + 1e-9 {
+            return None;
+        }
+    }
+    let fdir = obj.cx * dir.0 + obj.cy * dir.1;
+    let t = if fdir > 0.0 { lo } else if fdir < 0.0 { hi } else { lo };
+    Some((p0.0 + t * dir.0, p0.1 + t * dir.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hp(a: f64, b: f64, c: f64) -> Halfplane {
+        Halfplane { a, b, c }
+    }
+
+    #[test]
+    fn box_corner() {
+        let cs = vec![
+            hp(1.0, 0.0, 1.0),
+            hp(0.0, 1.0, 2.0),
+            hp(-1.0, 0.0, -10.0),
+            hp(0.0, -1.0, -10.0),
+        ];
+        let (x, y) = solve_lp2_seidel(&cs, &Objective2 { cx: 1.0, cy: 1.0 }, 1).unwrap();
+        assert!((x - 1.0).abs() < 1e-6 && (y - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible() {
+        let cs = vec![hp(1.0, 0.0, 5.0), hp(-1.0, 0.0, -1.0)];
+        assert!(solve_lp2_seidel(&cs, &Objective2 { cx: 0.0, cy: 1.0 }, 2).is_none());
+    }
+
+    #[test]
+    fn unbounded_reported() {
+        let cs = vec![hp(0.0, 1.0, 0.0)]; // y >= 0 only
+        assert!(solve_lp2_seidel(&cs, &Objective2 { cx: 1.0, cy: 0.0 }, 3).is_none());
+    }
+
+    #[test]
+    fn agrees_with_brute_on_random_instances() {
+        use crate::brute::{solve_lp2_brute, Lp2Outcome};
+        let mut rng = SplitMix64::new(9);
+        for trial in 0..30u64 {
+            let n = 3 + (trial % 10) as usize;
+            let cs: Vec<Halfplane> = (0..n)
+                .map(|_| {
+                    let t = rng.next_f64() * std::f64::consts::TAU;
+                    hp(-t.cos(), -t.sin(), -1.0 - rng.next_f64())
+                })
+                .collect();
+            let th = rng.next_f64() * std::f64::consts::TAU;
+            let obj = Objective2 { cx: th.cos(), cy: th.sin() };
+            let mut m = ipch_pram::Machine::new(trial);
+            let mut shm = ipch_pram::Shm::new();
+            let b = solve_lp2_brute(&mut m, &mut shm, &cs, &obj);
+            let s = solve_lp2_seidel(&cs, &obj, trial);
+            if let (Lp2Outcome::Optimal(bs), Some((sx, sy))) = (b, s) {
+                let fb = obj.cx * bs.x + obj.cy * bs.y;
+                let fs = obj.cx * sx + obj.cy * sy;
+                assert!((fb - fs).abs() < 1e-6 * (1.0 + fb.abs()), "trial {trial}: {fb} vs {fs}");
+            }
+        }
+    }
+
+    #[test]
+    fn seed_invariance_of_optimum() {
+        let cs = vec![
+            hp(1.0, 0.0, 0.0),
+            hp(0.0, 1.0, 0.0),
+            hp(-1.0, -1.0, -3.0),
+            hp(1.0, -1.0, -2.0),
+        ];
+        let obj = Objective2 { cx: 0.3, cy: 0.7 };
+        let a = solve_lp2_seidel(&cs, &obj, 1).unwrap();
+        let b = solve_lp2_seidel(&cs, &obj, 999).unwrap();
+        let fa = obj.cx * a.0 + obj.cy * a.1;
+        let fb = obj.cx * b.0 + obj.cy * b.1;
+        assert!((fa - fb).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,482 @@
+//! The step-synchronous CRCW machine.
+//!
+//! One call to [`Machine::step`] is one synchronous PRAM step:
+//!
+//! 1. **Compute phase** — every active processor runs the step closure
+//!    against an immutable snapshot of shared memory, buffering its writes
+//!    and (optionally) producing a private result. Processors are evaluated
+//!    via rayon when the active set is large; since each processor only
+//!    reads the pre-step snapshot, evaluation order is unobservable.
+//! 2. **Commit phase** — buffered writes are grouped by cell, each group is
+//!    resolved under the machine's [`WritePolicy`], and the winners are
+//!    committed. Metrics record one step and `|active|` work.
+//!
+//! This gives exactly the textbook semantics: concurrent reads are free,
+//! concurrent writes are resolved by the model rule, and *nothing a
+//! processor writes is visible to any processor until the next step*.
+
+use rayon::prelude::*;
+
+use crate::memory::{ArrayId, Shm};
+use crate::metrics::Metrics;
+use crate::policy::WritePolicy;
+use crate::rng::{mix64, SplitMix64};
+use crate::Word;
+
+/// Active-processor set for one step.
+#[derive(Clone, Debug)]
+pub enum Pids<'a> {
+    /// Processors `lo..hi`.
+    Range(usize, usize),
+    /// An explicit pid list (need not be sorted or contiguous — this is what
+    /// the paper's *in-place* methods exploit: the processors of one
+    /// subproblem are scattered through the input).
+    List(&'a [usize]),
+}
+
+impl Pids<'_> {
+    /// Number of active processors.
+    pub fn count(&self) -> usize {
+        match self {
+            Pids::Range(lo, hi) => hi.saturating_sub(*lo),
+            Pids::List(l) => l.len(),
+        }
+    }
+
+    fn get(&self, i: usize) -> usize {
+        match self {
+            Pids::Range(lo, _) => lo + i,
+            Pids::List(l) => l[i],
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for Pids<'static> {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        Pids::Range(r.start, r.end)
+    }
+}
+
+impl<'a> From<&'a [usize]> for Pids<'a> {
+    fn from(l: &'a [usize]) -> Self {
+        Pids::List(l)
+    }
+}
+
+impl<'a> From<&'a Vec<usize>> for Pids<'a> {
+    fn from(l: &'a Vec<usize>) -> Self {
+        Pids::List(l.as_slice())
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct WriteEntry {
+    array: u32,
+    idx: u32,
+    pid: usize,
+    val: Word,
+}
+
+/// Per-processor view during the compute phase of a step.
+pub struct Ctx<'a, 'b> {
+    /// This processor's id.
+    pub pid: usize,
+    shm: &'a Shm,
+    rng: SplitMix64,
+    writes: &'b mut Vec<WriteEntry>,
+}
+
+impl Ctx<'_, '_> {
+    /// Read a cell of the pre-step memory snapshot.
+    #[inline]
+    pub fn read(&self, a: ArrayId, i: usize) -> Word {
+        self.shm.get(a, i)
+    }
+
+    /// Length of a shared array.
+    #[inline]
+    pub fn len(&self, a: ArrayId) -> usize {
+        self.shm.len(a)
+    }
+
+    /// Buffer a write to be committed at the end of the step.
+    #[inline]
+    pub fn write(&mut self, a: ArrayId, i: usize, v: Word) {
+        debug_assert!(i < self.shm.len(a), "write out of bounds: {} >= {}", i, self.shm.len(a));
+        self.writes.push(WriteEntry {
+            array: a.0,
+            idx: i as u32,
+            pid: self.pid,
+            val: v,
+        });
+    }
+
+    /// This processor's private RNG for this step.
+    #[inline]
+    pub fn rng(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+}
+
+/// Threshold above which the compute phase fans out over rayon.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// A randomized CRCW PRAM.
+///
+/// # Examples
+///
+/// Eight processors concurrently increment their own cells in one
+/// synchronous step; a ninth step has them all contend for one cell under
+/// the Combining-Sum rule:
+///
+/// ```
+/// use ipch_pram::{Machine, Shm, WritePolicy};
+///
+/// let mut m = Machine::new(42);
+/// let mut shm = Shm::new();
+/// let cells = shm.alloc("cells", 8, 0);
+/// m.step(&mut shm, 0..8, |ctx| {
+///     let pid = ctx.pid;
+///     ctx.write(cells, pid, pid as i64);
+/// });
+/// assert_eq!(shm.get(cells, 7), 7);
+///
+/// let acc = shm.alloc("acc", 1, 0);
+/// m.step_with_policy(&mut shm, 0..8, WritePolicy::CombineSum, |ctx| {
+///     ctx.write(acc, 0, 1);
+/// });
+/// assert_eq!(shm.get(acc, 0), 8);
+/// assert_eq!(m.metrics.steps, 2);
+/// assert_eq!(m.metrics.work, 16);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    /// Accumulated costs; read freely, reset via [`Machine::reset_metrics`].
+    pub metrics: Metrics,
+    /// Default concurrent-write rule for [`Machine::step`].
+    pub policy: WritePolicy,
+    seed: u64,
+    step_counter: u64,
+}
+
+impl Machine {
+    /// A machine with the given seed and the `Arbitrary` write rule.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            metrics: Metrics::new(),
+            policy: WritePolicy::Arbitrary,
+            seed,
+            step_counter: 0,
+        }
+    }
+
+    /// A machine with an explicit write rule.
+    pub fn with_policy(seed: u64, policy: WritePolicy) -> Self {
+        Self {
+            policy,
+            ..Self::new(seed)
+        }
+    }
+
+    /// The machine seed (used to derive child machines deterministically).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of steps executed so far (monotone; survives metric resets).
+    pub fn step_counter(&self) -> u64 {
+        self.step_counter
+    }
+
+    /// Zero the metrics (the step counter keeps advancing so RNG streams
+    /// never repeat within a run).
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::new();
+    }
+
+    /// Deterministic host-side RNG stream tagged by `tag` (for host logic
+    /// like choosing experiment seeds; not a PRAM operation).
+    pub fn host_rng(&self, tag: u64) -> SplitMix64 {
+        SplitMix64::new(mix64(self.seed ^ mix64(tag ^ 0xD1B5_4A32_D192_ED03)))
+    }
+
+    /// Spawn a child machine for a subcomputation that conceptually runs
+    /// *in parallel* with siblings (its own processor group). The child
+    /// gets a derived seed and fresh metrics; after all siblings finish,
+    /// fold their costs into the parent with
+    /// [`Metrics::absorb_parallel`] (time = max, work = sum) or
+    /// [`Metrics::absorb`] (sequential composition).
+    pub fn child(&self, tag: u64) -> Machine {
+        Machine {
+            metrics: Metrics::new(),
+            policy: self.policy,
+            seed: mix64(self.seed ^ mix64(tag.wrapping_mul(0xDEAD_BEEF_1234_5677))),
+            step_counter: 0,
+        }
+    }
+
+    /// Record an analytic cost (see [`Metrics`] docs for the contract).
+    pub fn charge(&mut self, steps: u64, work: u64) {
+        self.metrics.record_charge(steps, work);
+    }
+
+    /// Execute one synchronous step over `pids` with the machine policy.
+    pub fn step<'a, P, F>(&mut self, shm: &mut Shm, pids: P, f: F)
+    where
+        P: Into<Pids<'a>>,
+        F: Fn(&mut Ctx) + Sync,
+    {
+        let policy = self.policy;
+        self.step_with_policy(shm, pids, policy, f);
+    }
+
+    /// Execute one synchronous step with an explicit write rule.
+    pub fn step_with_policy<'a, P, F>(&mut self, shm: &mut Shm, pids: P, policy: WritePolicy, f: F)
+    where
+        P: Into<Pids<'a>>,
+        F: Fn(&mut Ctx) + Sync,
+    {
+        let _ignored: Vec<()> = self.step_map_with_policy(shm, pids, policy, |ctx| f(ctx));
+    }
+
+    /// Execute one step, returning each processor's private result in the
+    /// order of the pid set. (Private results model processor-local
+    /// registers; they are invisible to other processors until a later
+    /// step's shared write, so this does not weaken the model.)
+    pub fn step_map<'a, P, R, F>(&mut self, shm: &mut Shm, pids: P, f: F) -> Vec<R>
+    where
+        P: Into<Pids<'a>>,
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        let policy = self.policy;
+        self.step_map_with_policy(shm, pids, policy, f)
+    }
+
+    /// [`Machine::step_map`] with an explicit write rule.
+    pub fn step_map_with_policy<'a, P, R, F>(
+        &mut self,
+        shm: &mut Shm,
+        pids: P,
+        policy: WritePolicy,
+        f: F,
+    ) -> Vec<R>
+    where
+        P: Into<Pids<'a>>,
+        R: Send,
+        F: Fn(&mut Ctx) -> R + Sync,
+    {
+        let pids = pids.into();
+        let count = pids.count();
+        let step_no = self.step_counter;
+        self.step_counter += 1;
+        self.metrics.record_step(count as u64);
+        if count == 0 {
+            return Vec::new();
+        }
+
+        let seed = self.seed;
+        let shm_ref: &Shm = shm;
+        // Processors are evaluated in chunks sharing one write buffer per
+        // chunk, so a huge mostly-silent step (e.g. the n³ brute-force
+        // marking steps) costs no per-processor allocation.
+        const CHUNK: usize = 8192;
+        let run_chunk = |lo: usize, hi: usize| -> (Vec<WriteEntry>, Vec<R>) {
+            let mut writes: Vec<WriteEntry> = Vec::new();
+            let mut results: Vec<R> = Vec::with_capacity(hi - lo);
+            for i in lo..hi {
+                let pid = pids.get(i);
+                let mut ctx = Ctx {
+                    pid,
+                    shm: shm_ref,
+                    rng: SplitMix64::for_step_pid(seed, step_no, pid as u64),
+                    writes: &mut writes,
+                };
+                results.push(f(&mut ctx));
+            }
+            (writes, results)
+        };
+
+        let nchunks = count.div_ceil(CHUNK);
+        let per_chunk: Vec<(Vec<WriteEntry>, Vec<R>)> = if count >= PAR_THRESHOLD {
+            (0..nchunks)
+                .into_par_iter()
+                .map(|c| run_chunk(c * CHUNK, ((c + 1) * CHUNK).min(count)))
+                .collect()
+        } else {
+            (0..nchunks)
+                .map(|c| run_chunk(c * CHUNK, ((c + 1) * CHUNK).min(count)))
+                .collect()
+        };
+
+        let total_writes: usize = per_chunk.iter().map(|(w, _)| w.len()).sum();
+        let mut all_writes: Vec<WriteEntry> = Vec::with_capacity(total_writes);
+        let mut results: Vec<R> = Vec::with_capacity(count);
+        for (w, r) in per_chunk {
+            all_writes.extend_from_slice(&w);
+            results.extend(r);
+        }
+
+        self.commit(shm, policy, step_no, all_writes);
+        results
+    }
+
+    fn commit(&mut self, shm: &mut Shm, policy: WritePolicy, step_no: u64, mut writes: Vec<WriteEntry>) {
+        if writes.is_empty() {
+            return;
+        }
+        writes.sort_unstable_by(|a, b| {
+            (a.array, a.idx, a.pid).cmp(&(b.array, b.idx, b.pid))
+        });
+        let mut i = 0;
+        let mut group: Vec<(usize, Word)> = Vec::new();
+        while i < writes.len() {
+            let (a, idx) = (writes[i].array, writes[i].idx);
+            group.clear();
+            while i < writes.len() && writes[i].array == a && writes[i].idx == idx {
+                group.push((writes[i].pid, writes[i].val));
+                i += 1;
+            }
+            let tiebreak = mix64(
+                self.seed ^ mix64(step_no ^ ((a as u64) << 32 | idx as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+            );
+            let v = policy.resolve(&group, tiebreak);
+            shm.commit(a, idx, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EMPTY;
+
+    #[test]
+    fn single_step_writes_commit() {
+        let mut m = Machine::new(1);
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 8, 0);
+        m.step(&mut shm, 0..8, |ctx| {
+            let pid = ctx.pid;
+            ctx.write(a, pid, pid as i64 * 2);
+        });
+        assert_eq!(shm.slice(a), &[0, 2, 4, 6, 8, 10, 12, 14]);
+        assert_eq!(m.metrics.steps, 1);
+        assert_eq!(m.metrics.work, 8);
+        assert_eq!(m.metrics.peak_processors, 8);
+    }
+
+    #[test]
+    fn reads_see_pre_step_snapshot() {
+        // Every processor swaps with its neighbour simultaneously: if reads
+        // saw in-step writes this would not be a clean rotation.
+        let mut m = Machine::new(2);
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 4, 0);
+        for i in 0..4 {
+            shm.host_set(a, i, i as i64);
+        }
+        m.step(&mut shm, 0..4, |ctx| {
+            let n = ctx.len(a);
+            let next = ctx.read(a, (ctx.pid + 1) % n);
+            ctx.write(a, ctx.pid, next);
+        });
+        assert_eq!(shm.slice(a), &[1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn concurrent_write_priority_min() {
+        let mut m = Machine::with_policy(3, WritePolicy::PriorityMin);
+        let mut shm = Shm::new();
+        let a = shm.alloc("cell", 1, EMPTY);
+        m.step(&mut shm, 0..16, |ctx| {
+            let pid = ctx.pid;
+            ctx.write(a, 0, pid as i64);
+        });
+        assert_eq!(shm.get(a, 0), 0);
+    }
+
+    #[test]
+    fn concurrent_write_arbitrary_is_some_contender_and_replayable() {
+        let run = |seed| {
+            let mut m = Machine::new(seed);
+            let mut shm = Shm::new();
+            let a = shm.alloc("cell", 1, EMPTY);
+            m.step(&mut shm, 0..16, |ctx| {
+                let pid = ctx.pid;
+                ctx.write(a, 0, pid as i64);
+            });
+            shm.get(a, 0)
+        };
+        let v = run(7);
+        assert!((0..16).contains(&v));
+        assert_eq!(v, run(7), "same seed must replay identically");
+    }
+
+    #[test]
+    fn combine_sum_counts_writers() {
+        let mut m = Machine::with_policy(4, WritePolicy::CombineSum);
+        let mut shm = Shm::new();
+        let a = shm.alloc("acc", 1, 0);
+        m.step(&mut shm, 0..100, |ctx| ctx.write(a, 0, 1));
+        assert_eq!(shm.get(a, 0), 100);
+    }
+
+    #[test]
+    fn scattered_pid_lists() {
+        let mut m = Machine::new(5);
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 10, 0);
+        let pids = vec![1usize, 4, 9];
+        m.step(&mut shm, &pids, |ctx| {
+            let pid = ctx.pid;
+            ctx.write(a, pid, 1);
+        });
+        assert_eq!(shm.slice(a), &[0, 1, 0, 0, 1, 0, 0, 0, 0, 1]);
+        assert_eq!(m.metrics.work, 3);
+    }
+
+    #[test]
+    fn step_map_returns_results_in_pid_order() {
+        let mut m = Machine::new(6);
+        let mut shm = Shm::new();
+        let _a = shm.alloc("a", 1, 0);
+        let out = m.step_map(&mut shm, 3..7, |ctx| ctx.pid * 10);
+        assert_eq!(out, vec![30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn per_pid_rng_differs_across_steps() {
+        let mut m = Machine::new(8);
+        let mut shm = Shm::new();
+        let _a = shm.alloc("a", 1, 0);
+        let r1 = m.step_map(&mut shm, 0..4, |ctx| ctx.rng().next_u64());
+        let r2 = m.step_map(&mut shm, 0..4, |ctx| ctx.rng().next_u64());
+        assert_ne!(r1, r2);
+        // distinct pids in the same step also differ
+        assert!(r1.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn zero_processor_step_costs_a_step_but_no_work() {
+        let mut m = Machine::new(9);
+        let mut shm = Shm::new();
+        let _a = shm.alloc("a", 1, 0);
+        m.step(&mut shm, 0..0, |_| {});
+        assert_eq!(m.metrics.steps, 1);
+        assert_eq!(m.metrics.work, 0);
+    }
+
+    #[test]
+    fn large_step_parallel_path_matches_semantics() {
+        let n = (1 << 15) + 3; // force the rayon path
+        let mut m = Machine::new(10);
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", n, 0);
+        m.step(&mut shm, 0..n, |ctx| {
+            let pid = ctx.pid;
+            ctx.write(a, pid, pid as i64);
+        });
+        assert!(shm.slice(a).iter().enumerate().all(|(i, &v)| v == i as i64));
+    }
+}

@@ -1,0 +1,108 @@
+//! Simulated shared memory: a set of named `i64` arrays.
+//!
+//! The reproduced algorithms follow the paper's in-place discipline: the
+//! input points live in a read-only host array and shared memory holds only
+//! ids, flags, problem numbers and o(n) workspace. Arrays are allocated up
+//! front (allocation is host bookkeeping, not a PRAM operation) and then
+//! only mutated through [`crate::Machine::step`] commits — except for
+//! explicitly host-side initialisation via [`Shm::host_set`], which models
+//! "the input arrives in memory" and costs nothing.
+
+use crate::Word;
+
+/// Handle to one shared array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayId(pub(crate) u32);
+
+/// The shared memory of one simulated PRAM.
+#[derive(Clone, Debug, Default)]
+pub struct Shm {
+    arrays: Vec<Vec<Word>>,
+    names: Vec<String>,
+}
+
+impl Shm {
+    /// Empty shared memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a named array of `len` cells, all set to `fill`.
+    pub fn alloc(&mut self, name: &str, len: usize, fill: Word) -> ArrayId {
+        self.arrays.push(vec![fill; len]);
+        self.names.push(name.to_string());
+        ArrayId(self.arrays.len() as u32 - 1)
+    }
+
+    /// Number of cells in array `a`.
+    pub fn len(&self, a: ArrayId) -> usize {
+        self.arrays[a.0 as usize].len()
+    }
+
+    /// True if array `a` has no cells.
+    pub fn is_empty(&self, a: ArrayId) -> bool {
+        self.len(a) == 0
+    }
+
+    /// Read one cell (concurrent reads are always legal on a CRCW PRAM).
+    #[inline]
+    pub fn get(&self, a: ArrayId, i: usize) -> Word {
+        self.arrays[a.0 as usize][i]
+    }
+
+    /// Read-only view of a whole array (host-side inspection / verification).
+    pub fn slice(&self, a: ArrayId) -> &[Word] {
+        &self.arrays[a.0 as usize]
+    }
+
+    /// Host-side write, used for input setup and between-step host logic.
+    /// Not a PRAM operation; never counted.
+    pub fn host_set(&mut self, a: ArrayId, i: usize, v: Word) {
+        self.arrays[a.0 as usize][i] = v;
+    }
+
+    /// Host-side fill of a whole array (workspace reset between phases).
+    pub fn host_fill(&mut self, a: ArrayId, v: Word) {
+        self.arrays[a.0 as usize].fill(v);
+    }
+
+    /// Debug name of array `a`.
+    pub fn name(&self, a: ArrayId) -> &str {
+        &self.names[a.0 as usize]
+    }
+
+    /// Commit a resolved write (machine-internal).
+    #[inline]
+    pub(crate) fn commit(&mut self, a: u32, i: u32, v: Word) {
+        self.arrays[a as usize][i as usize] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_access() {
+        let mut shm = Shm::new();
+        let a = shm.alloc("flags", 8, 0);
+        let b = shm.alloc("ids", 4, -1);
+        assert_eq!(shm.len(a), 8);
+        assert_eq!(shm.len(b), 4);
+        assert_eq!(shm.get(b, 3), -1);
+        assert_eq!(shm.name(a), "flags");
+        shm.host_set(a, 2, 9);
+        assert_eq!(shm.get(a, 2), 9);
+        assert_eq!(shm.slice(a), &[0, 0, 9, 0, 0, 0, 0, 0]);
+        shm.host_fill(a, 1);
+        assert!(shm.slice(a).iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn handles_are_stable_across_allocs() {
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 2, 7);
+        let _ = shm.alloc("b", 2, 8);
+        assert_eq!(shm.get(a, 0), 7);
+    }
+}

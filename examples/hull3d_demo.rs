@@ -1,0 +1,38 @@
+//! 3-D upper hull with the Theorem-6 algorithm: probes, facets, and the
+//! per-point face pointers.
+//!
+//! ```text
+//! cargo run --release -p ipch-bench --example hull3d_demo
+//! ```
+
+use ipch_geom::gen3d::sphere_plus_interior;
+use ipch_hull3d::parallel::unsorted3d::{upper_hull3_unsorted, Unsorted3Params};
+use ipch_hull3d::verify_upper_hull3;
+use ipch_pram::{Machine, Shm};
+
+fn main() {
+    // 2 000 points: 32 on the unit sphere (the hull), the rest well inside.
+    let points = sphere_plus_interior(32, 2000, 9);
+
+    let mut machine = Machine::new(11);
+    let mut shm = Shm::new();
+    let (out, trace) =
+        upper_hull3_unsorted(&mut machine, &mut shm, &points, &Unsorted3Params::default());
+
+    verify_upper_hull3(&points, &out.facets, false).expect("facets verify");
+    println!("n = {}", points.len());
+    println!("upper-hull facets: {}", out.facets.len());
+    println!("probes: {} (+{} backstop), fallback = {}",
+        trace.probe_facets, trace.backstop_probes, trace.fallback);
+    println!("levels: {}", trace.levels.len());
+
+    let m = &machine.metrics;
+    println!("\nPRAM cost: {} steps, {} work ({:.1} per point)",
+        m.total_steps(), m.total_work(), m.total_work() as f64 / points.len() as f64);
+
+    // the paper's output convention: every point knows the face above it
+    let p0 = points[0];
+    let f = out.facets[out.face_above[0]];
+    println!("\npoint 0 at ({:.2}, {:.2}, {:.2}) sits under facet {:?}",
+        p0.x, p0.y, p0.z, f.ids());
+}

@@ -1,0 +1,46 @@
+//! The presorted algorithms: O(1)-time hull (Lemma 2.5) and the log*-time
+//! optimal algorithm (Theorem 2), plus Lemma-7 processor scheduling.
+//!
+//! ```text
+//! cargo run --release -p ipch-bench --example presorted_pram
+//! ```
+
+use ipch_geom::generators::uniform_disk;
+use ipch_geom::point::sorted_by_x;
+use ipch_hull2d::parallel::logstar::{upper_hull_logstar, LogstarParams};
+use ipch_hull2d::parallel::presorted::{upper_hull_presorted, PresortedParams};
+use ipch_pram::{schedule, Machine, Shm};
+
+fn main() {
+    for n in [1024usize, 4096, 16384] {
+        let pts = sorted_by_x(&uniform_disk(n, 5));
+
+        let mut m1 = Machine::new(1);
+        let mut s1 = Shm::new();
+        let (o1, rep) = upper_hull_presorted(&mut m1, &mut s1, &pts, &PresortedParams::default());
+
+        let mut m2 = Machine::new(2);
+        let mut s2 = Shm::new();
+        let (o2, lrep) = upper_hull_logstar(&mut m2, &mut s2, &pts, &LogstarParams::default());
+        assert_eq!(o1.hull, o2.hull);
+
+        println!("n = {n}   (hull edges: {})", o1.hull.num_edges());
+        println!(
+            "  O(1)-time  : {:>4} steps, work/(n log n) = {:.1}, {} randomized nodes, {} swept",
+            m1.metrics.total_steps(),
+            m1.metrics.total_work() as f64 / (n as f64 * (n as f64).log2()),
+            rep.randomized_nodes,
+            rep.swept_failures,
+        );
+        println!(
+            "  log*-time  : {:>4} steps, depth {}, work/n = {:.1}",
+            m2.metrics.total_steps(),
+            lrep.depth,
+            m2.metrics.total_work() as f64 / n as f64,
+        );
+        // Lemma 7: what does the log* run cost on p = n / log* n processors?
+        let p = (n / 3).max(1) as u64;
+        let c = schedule::simulate_with_p(&m2.metrics, p, schedule::DEFAULT_TC);
+        println!("  Lemma 7    : on p = n/log*n = {p} processors, T = {:.0}\n", c.time);
+    }
+}

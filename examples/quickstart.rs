@@ -1,0 +1,39 @@
+//! Quickstart: find the upper hull of unsorted points with the paper's
+//! Theorem-5 algorithm and inspect the PRAM cost of doing so.
+//!
+//! ```text
+//! cargo run --release -p ipch-bench --example quickstart
+//! ```
+
+use ipch_geom::generators::circle_plus_interior;
+use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+use ipch_hull2d::verify_upper_hull;
+use ipch_pram::{Machine, Shm};
+
+fn main() {
+    // 10 000 unsorted points whose convex hull has exactly 24 vertices.
+    let points = circle_plus_interior(24, 10_000, 42);
+
+    // A randomized CRCW PRAM with a fixed seed (runs replay exactly).
+    let mut machine = Machine::new(7);
+    let mut shm = Shm::new();
+
+    let (out, trace) =
+        upper_hull_unsorted(&mut machine, &mut shm, &points, &UnsortedParams::default());
+
+    println!("n = {}", points.len());
+    println!("upper hull vertices: {:?}", out.hull.vertices);
+    println!("hull edges h = {}", out.hull.num_edges());
+    verify_upper_hull(&points, &out.hull).expect("hull verifies");
+    out.verify_pointers(&points).expect("every point knows its edge");
+
+    let m = &machine.metrics;
+    println!("\nPRAM cost of the run:");
+    println!("  time   (steps): {}", m.total_steps());
+    println!("  work           : {}", m.total_work());
+    println!("  work / n       : {:.1}", m.total_work() as f64 / points.len() as f64);
+    println!("  peak processors: {}", m.peak_processors);
+    println!("\nrecursion: {} levels, {} phases, fallback = {}",
+        trace.levels.len(), trace.phases, trace.fallback);
+    println!("first point's covering edge: {:?}", out.edge_above[0]);
+}

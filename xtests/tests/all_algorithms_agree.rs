@@ -1,0 +1,119 @@
+//! End-to-end agreement: every hull algorithm in the workspace — five
+//! sequential, six parallel — must produce the same upper hull on the same
+//! input, across distributions.
+
+use ipch_geom::generators as g2;
+use ipch_geom::point::sorted_by_x;
+use ipch_geom::{Point2, UpperHull};
+use ipch_hull2d::parallel::{brute, dac, folklore, logstar, presorted, unsorted};
+use ipch_hull2d::seq::{chan, graham, jarvis, ks, monotone, SeqStats};
+use ipch_pram::{Machine, Shm};
+
+fn hull_points(pts: &[Point2], h: &UpperHull) -> Vec<Point2> {
+    h.vertices.iter().map(|&i| pts[i]).collect()
+}
+
+fn check_all(pts: &[Point2], label: &str) {
+    let oracle = hull_points(pts, &UpperHull::of(pts));
+
+    // sequential
+    let seqs: Vec<(&str, UpperHull)> = vec![
+        ("monotone", monotone::upper_hull(pts, &mut SeqStats::default())),
+        ("graham", graham::upper_hull(pts, &mut SeqStats::default())),
+        ("jarvis", jarvis::upper_hull(pts, &mut SeqStats::default())),
+        ("ks", ks::upper_hull(pts, &mut SeqStats::default())),
+        ("chan", chan::upper_hull(pts, &mut SeqStats::default())),
+    ];
+    for (name, h) in seqs {
+        assert_eq!(hull_points(pts, &h), oracle, "{label}: seq {name}");
+    }
+
+    // parallel — unsorted input
+    let mut m = Machine::new(1);
+    let mut shm = Shm::new();
+    let (o, _) = unsorted::upper_hull_unsorted(
+        &mut m,
+        &mut shm,
+        pts,
+        &unsorted::UnsortedParams::default(),
+    );
+    assert_eq!(hull_points(pts, &o.hull), oracle, "{label}: unsorted");
+
+    let mut m = Machine::new(2);
+    let mut shm = Shm::new();
+    let o = dac::upper_hull_dac(&mut m, &mut shm, pts, false);
+    assert_eq!(hull_points(pts, &o.hull), oracle, "{label}: dac");
+
+    if pts.len() <= 120 {
+        let mut m = Machine::new(3);
+        let mut shm = Shm::new();
+        let ids: Vec<usize> = (0..pts.len()).collect();
+        let h = brute::upper_hull_brute(&mut m, &mut shm, pts, &ids);
+        assert_eq!(hull_points(pts, &h), oracle, "{label}: brute");
+    }
+
+    // parallel — presorted input
+    let sorted = sorted_by_x(pts);
+    let oracle_sorted = hull_points(&sorted, &UpperHull::of(&sorted));
+    let mut m = Machine::new(4);
+    let mut shm = Shm::new();
+    let (o, _) = presorted::upper_hull_presorted(
+        &mut m,
+        &mut shm,
+        &sorted,
+        &presorted::PresortedParams::default(),
+    );
+    assert_eq!(hull_points(&sorted, &o.hull), oracle_sorted, "{label}: presorted");
+
+    let mut m = Machine::new(5);
+    let mut shm = Shm::new();
+    let (o, _) = logstar::upper_hull_logstar(
+        &mut m,
+        &mut shm,
+        &sorted,
+        &logstar::LogstarParams::default(),
+    );
+    assert_eq!(hull_points(&sorted, &o.hull), oracle_sorted, "{label}: logstar");
+
+    let mut m = Machine::new(6);
+    let mut shm = Shm::new();
+    let ids: Vec<usize> = (0..sorted.len()).collect();
+    let h = folklore::upper_hull_folklore(&mut m, &mut shm, &sorted, &ids, 3);
+    assert_eq!(hull_points(&sorted, &h), oracle_sorted, "{label}: folklore");
+}
+
+#[test]
+fn disk_inputs() {
+    for seed in 0..3 {
+        check_all(&g2::uniform_disk(500, seed), &format!("disk/{seed}"));
+    }
+}
+
+#[test]
+fn square_inputs() {
+    check_all(&g2::uniform_square(800, 1), "square");
+}
+
+#[test]
+fn circle_inputs() {
+    check_all(&g2::on_circle(300, 2), "circle");
+}
+
+#[test]
+fn controlled_h_inputs() {
+    for h in [4usize, 16, 64] {
+        check_all(&g2::circle_plus_interior(h, 600, 3), &format!("h={h}"));
+    }
+}
+
+#[test]
+fn gaussian_inputs() {
+    check_all(&g2::gaussian(700, 4), "gaussian");
+}
+
+#[test]
+fn degenerate_inputs() {
+    check_all(&g2::grid(100), "grid");
+    check_all(&g2::collinear_on_line(80, 1.5, -2.0, 5), "collinear");
+    check_all(&[Point2::new(0.0, 0.0), Point2::new(1.0, 1.0), Point2::new(2.0, 0.5)], "tri");
+}

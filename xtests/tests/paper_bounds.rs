@@ -1,0 +1,74 @@
+//! Headline-bound shape checks across crates — the T1/T3/T5 claims as
+//! hard assertions at test scale.
+
+use ipch_geom::gen3d;
+use ipch_geom::generators as g2;
+use ipch_geom::point::sorted_by_x;
+use ipch_hull2d::parallel::presorted::{upper_hull_presorted, PresortedParams};
+use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+use ipch_hull3d::parallel::unsorted3d::{upper_hull3_unsorted, Unsorted3Params};
+use ipch_pram::{Machine, Shm};
+
+#[test]
+fn presorted_steps_bounded_by_constant() {
+    // Lemma 2.5: O(1) time — a fixed cap must hold across a 32× n range.
+    for n in [512usize, 2048, 8192, 16384] {
+        let pts = sorted_by_x(&g2::uniform_disk(n, 1));
+        let mut m = Machine::new(2);
+        let mut shm = Shm::new();
+        upper_hull_presorted(&mut m, &mut shm, &pts, &PresortedParams::default());
+        assert!(
+            m.metrics.total_steps() <= 400,
+            "n={n}: {} steps",
+            m.metrics.total_steps()
+        );
+    }
+}
+
+#[test]
+fn unsorted_work_tracks_output_not_input() {
+    // Theorem 5: at fixed h, work/n must not grow with n.
+    let h = 16;
+    let mut per_point = Vec::new();
+    for n in [2048usize, 8192] {
+        let pts = g2::circle_plus_interior(h, n, 3);
+        let mut m = Machine::new(4);
+        let mut shm = Shm::new();
+        upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+        per_point.push(m.metrics.total_work() as f64 / n as f64);
+    }
+    assert!(
+        per_point[1] < per_point[0] * 2.0,
+        "work/n grew with n at fixed h: {per_point:?}"
+    );
+}
+
+#[test]
+fn unsorted_time_is_logarithmic() {
+    // Theorem 5: O(log n) time.
+    for n in [1024usize, 8192] {
+        let pts = g2::uniform_disk(n, 5);
+        let mut m = Machine::new(6);
+        let mut shm = Shm::new();
+        upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+        let cap = 120.0 * (n as f64).log2();
+        assert!(
+            (m.metrics.total_steps() as f64) < cap,
+            "n={n}: {} steps ≥ {cap}",
+            m.metrics.total_steps()
+        );
+    }
+}
+
+#[test]
+fn hull3d_work_saturates_via_fallback() {
+    // Theorem 6's min{·, n log n} arm: huge-h inputs trigger the fallback
+    // and stay within an n-log-n-ish work envelope.
+    let n = 600;
+    let pts = gen3d::on_sphere(n, 7);
+    let mut m = Machine::new(8);
+    let mut shm = Shm::new();
+    let (out, trace) = upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default());
+    assert!(trace.fallback);
+    ipch_hull3d::verify_upper_hull3(&pts, &out.facets, false).unwrap();
+}

@@ -1,0 +1,44 @@
+//! Lemma 7 consistency on *real* runs: the scheduled time at p = 1 must
+//! recover the total work, and at p → ∞ the step count, for actual
+//! algorithm executions (not synthetic metrics).
+
+use ipch_geom::generators::uniform_disk;
+use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+use ipch_pram::{schedule, Machine, Shm};
+
+#[test]
+fn lemma7_limits_bracket_real_runs() {
+    let pts = uniform_disk(2000, 3);
+    let mut m = Machine::new(5);
+    let mut shm = Shm::new();
+    upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+    let t = m.metrics.total_steps() as f64;
+    let w = m.metrics.total_work() as f64;
+
+    let p1 = schedule::simulate_with_p(&m.metrics, 1, 0.0);
+    assert!((p1.time - (t + w)).abs() < 1e-6, "{} vs {}", p1.time, t + w);
+
+    let pinf = schedule::simulate_with_p(&m.metrics, u64::MAX / 2, 0.0);
+    assert!(pinf.time >= t && pinf.time < t + 1.0);
+
+    // the sweep is monotone and bracketed between the two limits
+    let sweep = schedule::sweep_p(&m.metrics, 1 << 24, 1.0);
+    for w2 in sweep.windows(2) {
+        assert!(w2[1].time <= w2[0].time);
+    }
+    assert!(sweep.first().unwrap().time >= sweep.last().unwrap().time);
+}
+
+#[test]
+fn brents_principle_efficiency() {
+    // at p = w/t processors, the ideal time is within 2x of t (Brent)
+    let pts = uniform_disk(1500, 7);
+    let mut m = Machine::new(9);
+    let mut shm = Shm::new();
+    upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+    let t = m.metrics.total_steps() as f64;
+    let w = m.metrics.total_work() as f64;
+    let p = (w / t).ceil() as u64;
+    let c = schedule::simulate_with_p(&m.metrics, p, 0.0);
+    assert!(c.ideal_time <= 2.0 * t + 1.0, "{} vs {}", c.ideal_time, t);
+}

@@ -1,0 +1,149 @@
+//! Degeneracy torture: inputs engineered to break floating-point filters,
+//! tie-breaking, and chain assembly, pushed through both unsorted-input
+//! parallel algorithms and the sequential baselines.
+
+use ipch_geom::hull_chain::{verify_upper_hull, UpperHull};
+use ipch_geom::Point2;
+use ipch_hull2d::parallel::dac::upper_hull_dac;
+use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+use ipch_hull2d::seq::{chan, ks, monotone, quickhull, SeqStats};
+use ipch_pram::{Machine, Shm};
+
+fn geometric_hull(pts: &[Point2], h: &UpperHull) -> Vec<Point2> {
+    h.vertices.iter().map(|&i| pts[i]).collect()
+}
+
+fn torture_cases() -> Vec<(&'static str, Vec<Point2>)> {
+    let mut cases: Vec<(&'static str, Vec<Point2>)> = Vec::new();
+
+    // two columns only
+    cases.push((
+        "two-columns",
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.0, 1.0),
+            Point2::new(0.0, 2.0),
+            Point2::new(5.0, -1.0),
+            Point2::new(5.0, 3.0),
+        ],
+    ));
+
+    // V shape: lower chain heavy, upper hull is just two points
+    cases.push((
+        "v-shape",
+        (0..60)
+            .map(|i| {
+                let x = i as f64 / 4.0;
+                Point2::new(x, (x - 7.5).abs())
+            })
+            .collect(),
+    ));
+
+    // near-collinear fan: dyadic slopes differing in the last bits
+    cases.push((
+        "near-collinear-fan",
+        (0..40)
+            .map(|i| {
+                let x = 1.0 + i as f64 / 8.0;
+                Point2::new(x, x * (1.0 + (i as f64) * f64::EPSILON))
+            })
+            .collect(),
+    ));
+
+    // duplicate-heavy: 10 distinct points repeated 15 times
+    let base: Vec<Point2> = (0..10)
+        .map(|i| Point2::new((i * i % 7) as f64, (i * 3 % 5) as f64))
+        .collect();
+    cases.push(("duplicates", ipch_geom::generators::duplicated(&base, 150)));
+
+    // staircase: alternating collinear runs
+    cases.push((
+        "staircase",
+        (0..50)
+            .map(|i| Point2::new(i as f64 / 2.0, (i / 10) as f64))
+            .collect(),
+    ));
+
+    // huge coordinate spread (filter stress)
+    cases.push((
+        "spread",
+        vec![
+            Point2::new(-1e12, 0.0),
+            Point2::new(0.0, 1e-12),
+            Point2::new(1e12, 0.0),
+            Point2::new(0.5, 0.25e-12),
+        ],
+    ));
+
+    cases
+}
+
+#[test]
+fn unsorted_survives_torture() {
+    for (name, pts) in torture_cases() {
+        let mut m = Machine::new(1);
+        let mut shm = Shm::new();
+        let (out, _) = upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+        verify_upper_hull(&pts, &out.hull).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            geometric_hull(&pts, &out.hull),
+            geometric_hull(&pts, &UpperHull::of(&pts)),
+            "{name}"
+        );
+        out.verify_pointers(&pts).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn dac_survives_torture() {
+    for (name, pts) in torture_cases() {
+        let mut m = Machine::new(2);
+        let mut shm = Shm::new();
+        let out = upper_hull_dac(&mut m, &mut shm, &pts, false);
+        assert_eq!(
+            geometric_hull(&pts, &out.hull),
+            geometric_hull(&pts, &UpperHull::of(&pts)),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn sequential_baselines_survive_torture() {
+    for (name, pts) in torture_cases() {
+        for (alg, f) in [
+            ("monotone", monotone::upper_hull as fn(&[Point2], &mut SeqStats) -> UpperHull),
+            ("ks", ks::upper_hull),
+            ("chan", chan::upper_hull),
+            ("quickhull", quickhull::upper_hull),
+        ] {
+            let h = f(&pts, &mut SeqStats::default());
+            verify_upper_hull(&pts, &h).unwrap_or_else(|e| panic!("{name}/{alg}: {e}"));
+            assert_eq!(
+                geometric_hull(&pts, &h),
+                geometric_hull(&pts, &UpperHull::of(&pts)),
+                "{name}/{alg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn coplanar_3d_torture() {
+    use ipch_hull3d::parallel::unsorted3d::{upper_hull3_unsorted, Unsorted3Params};
+    // exactly coplanar cloud: every algorithm must terminate and verify
+    let pts = ipch_geom::gen3d::coplanar(60, (0.5, -0.25, 1.0), 3);
+    let mut m = Machine::new(3);
+    let mut shm = Shm::new();
+    let (out, _) = upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default());
+    // the facet set must at least be supporting (coverage may legitimately
+    // use any triangulation of the single planar face)
+    for f in &out.facets {
+        for &q in &pts {
+            assert!(
+                ipch_geom::predicates::orient3d_sign(pts[f.a], pts[f.b], pts[f.c], q) >= 0,
+                "point above coplanar facet"
+            );
+        }
+    }
+}
