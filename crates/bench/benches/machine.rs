@@ -1,0 +1,289 @@
+//! Simulator step-throughput benches: how fast does one `Machine::step`
+//! commit under contrasting write profiles?
+//!
+//! Workloads (n = 2^10 .. 2^22 processors, one write each):
+//!
+//! * `scatter`        — in-order conflict-free scatter: the fast-path shape
+//!   (no gather, no sort, no policy resolution).
+//! * `scatter-sorted` — the same writes with the fast path disabled, i.e.
+//!   the full gather → sort → resolve commit pipeline on conflict-free
+//!   data. The `scatter` / `scatter-sorted` ratio is the fast path's win.
+//! * `combine`        — every processor targets one of 64 cells under
+//!   `CombineSum`: pure conflict resolution.
+//! * `mixed`          — ¾ of processors scatter, ¼ pile onto hot cells —
+//!   the profile of real algorithm steps (marking + voting).
+//!
+//! A custom `main` (instead of `criterion_main!`) appends every measurement
+//! to `bench_results/machine.csv` so runs accumulate a throughput history.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use ipch_pram::{Machine, Shm, Tuning, WritePolicy};
+
+const SIZES: [usize; 4] = [1 << 10, 1 << 14, 1 << 18, 1 << 22];
+
+/// A faithful re-implementation of the simulator's *previous* commit
+/// pipeline (reconstructed from history), kept here as the benchmark
+/// baseline the optimized machine is compared against: eager per-pid RNG
+/// construction, fresh per-chunk write vectors each step, gather into one
+/// allocation, tuple-keyed sort, and a per-cell tiebreak hash + policy
+/// dispatch even for unconflicted cells.
+mod seed_style {
+    use ipch_pram::rng::{mix64, SplitMix64};
+    use ipch_pram::{ArrayId, Shm, WritePolicy};
+
+    struct Entry {
+        idx: u32,
+        pid: usize,
+        val: i64,
+    }
+
+    pub struct Ctx<'b> {
+        pub pid: usize,
+        #[allow(dead_code)]
+        rng: SplitMix64, // constructed eagerly, like the old pipeline
+        writes: &'b mut Vec<Entry>,
+    }
+
+    impl Ctx<'_> {
+        pub fn write(&mut self, i: usize, v: i64) {
+            self.writes.push(Entry {
+                idx: i as u32,
+                pid: self.pid,
+                val: v,
+            });
+        }
+    }
+
+    pub struct SeedMachine {
+        seed: u64,
+        step_no: u64,
+    }
+
+    impl SeedMachine {
+        pub fn new(seed: u64) -> Self {
+            Self { seed, step_no: 0 }
+        }
+
+        /// One step over pids `0..count`, all writes into array `a`.
+        pub fn step<F: Fn(&mut Ctx)>(
+            &mut self,
+            shm: &mut Shm,
+            a: ArrayId,
+            count: usize,
+            policy: WritePolicy,
+            f: F,
+        ) {
+            let step_no = self.step_no;
+            self.step_no += 1;
+            const CHUNK: usize = 8192;
+            let nchunks = count.div_ceil(CHUNK);
+            let per_chunk: Vec<Vec<Entry>> = (0..nchunks)
+                .map(|c| {
+                    let (lo, hi) = (c * CHUNK, ((c + 1) * CHUNK).min(count));
+                    let mut writes: Vec<Entry> = Vec::new();
+                    for pid in lo..hi {
+                        let mut ctx = Ctx {
+                            pid,
+                            rng: SplitMix64::for_step_pid(self.seed, step_no, pid as u64),
+                            writes: &mut writes,
+                        };
+                        f(&mut ctx);
+                    }
+                    writes
+                })
+                .collect();
+            let total: usize = per_chunk.iter().map(|w| w.len()).sum();
+            let mut all: Vec<Entry> = Vec::with_capacity(total);
+            for w in per_chunk {
+                all.extend(w);
+            }
+            all.sort_unstable_by_key(|x| (x.idx, x.pid));
+            let mut i = 0;
+            let mut group: Vec<(usize, i64)> = Vec::new();
+            while i < all.len() {
+                let idx = all[i].idx;
+                group.clear();
+                while i < all.len() && all[i].idx == idx {
+                    group.push((all[i].pid, all[i].val));
+                    i += 1;
+                }
+                let tiebreak = mix64(
+                    self.seed ^ mix64(step_no ^ (idx as u64).wrapping_mul(0x9E3779B97F4A7C15)),
+                );
+                let v = policy.resolve(&group, tiebreak);
+                shm.host_set(a, idx as usize, v);
+            }
+        }
+    }
+}
+
+fn machine(tuning: Tuning) -> Machine {
+    let mut m = Machine::new(42);
+    m.tuning = tuning;
+    m
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(10);
+
+    for &n in &SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("scatter", n), &n, |b, &n| {
+            let mut m = machine(Tuning::default());
+            let mut shm = Shm::new();
+            let a = shm.alloc("a", n, 0);
+            b.iter(|| {
+                m.step(&mut shm, 0..n, |ctx| {
+                    let pid = ctx.pid;
+                    ctx.write(a, pid, pid as i64);
+                });
+                black_box(shm.get(a, n - 1))
+            });
+            assert_eq!(m.metrics.fastpath_steps, m.metrics.host_steps);
+        });
+
+        group.bench_with_input(BenchmarkId::new("scatter-sorted", n), &n, |b, &n| {
+            let mut m = machine(Tuning {
+                disable_fast_path: true,
+                ..Tuning::default()
+            });
+            let mut shm = Shm::new();
+            let a = shm.alloc("a", n, 0);
+            b.iter(|| {
+                m.step(&mut shm, 0..n, |ctx| {
+                    let pid = ctx.pid;
+                    ctx.write(a, pid, pid as i64);
+                });
+                black_box(shm.get(a, n - 1))
+            });
+            assert_eq!(m.metrics.fastpath_steps, 0);
+        });
+
+        group.bench_with_input(BenchmarkId::new("combine", n), &n, |b, &n| {
+            let mut m = machine(Tuning::default());
+            let mut shm = Shm::new();
+            let a = shm.alloc("acc", 64, 0);
+            b.iter(|| {
+                m.step_with_policy(&mut shm, 0..n, WritePolicy::CombineSum, |ctx| {
+                    ctx.write(a, ctx.pid % 64, 1);
+                });
+                black_box(shm.get(a, 0))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("scatter-seedbase", n), &n, |b, &n| {
+            let mut m = seed_style::SeedMachine::new(42);
+            let mut shm = Shm::new();
+            let a = shm.alloc("a", n, 0);
+            b.iter(|| {
+                m.step(&mut shm, a, n, WritePolicy::Arbitrary, |ctx| {
+                    let pid = ctx.pid;
+                    ctx.write(pid, pid as i64);
+                });
+                black_box(shm.get(a, n - 1))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("combine-seedbase", n), &n, |b, &n| {
+            let mut m = seed_style::SeedMachine::new(42);
+            let mut shm = Shm::new();
+            let a = shm.alloc("acc", 64, 0);
+            b.iter(|| {
+                m.step(&mut shm, a, n, WritePolicy::CombineSum, |ctx| {
+                    let pid = ctx.pid;
+                    ctx.write(pid % 64, 1);
+                });
+                black_box(shm.get(a, 0))
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("mixed", n), &n, |b, &n| {
+            let mut m = machine(Tuning::default());
+            let mut shm = Shm::new();
+            let a = shm.alloc("a", n, 0);
+            let hot = shm.alloc("hot", 16, 0);
+            b.iter(|| {
+                m.step(&mut shm, 0..n, |ctx| {
+                    let pid = ctx.pid;
+                    if pid % 4 == 0 {
+                        ctx.write(hot, pid % 16, 1);
+                    } else {
+                        ctx.write(a, pid, pid as i64);
+                    }
+                });
+                black_box(shm.get(a, 1))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn append_results(c: &Criterion) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    // anchor at the workspace root: bench binaries run with the package
+    // directory as cwd, but results belong next to the tables' CSVs
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("machine.csv");
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if fresh {
+        writeln!(f, "id,median_ns_per_iter,melem_per_s")?;
+    }
+    for m in &c.measurements {
+        writeln!(
+            f,
+            "{},{},{}",
+            m.id,
+            m.median.as_nanos(),
+            m.elements_per_sec()
+                .map(|r| format!("{:.3}", r / 1e6))
+                .unwrap_or_default()
+        )?;
+    }
+    Ok(path)
+}
+
+fn main() {
+    // `cargo test --benches` executes bench binaries with `--test`; a full
+    // measurement sweep there would be slow noise, so bail out.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_machine(&mut c);
+
+    // speedup summary: the optimized pipeline vs its own sorted path and
+    // vs the reconstructed previous-generation commit path
+    for &n in &SIZES {
+        let t = |name: &str| {
+            c.measurements
+                .iter()
+                .find(|m| m.id == format!("machine/{name}/{n}"))
+                .map(|m| m.median.as_nanos() as f64)
+        };
+        if let (Some(fast), Some(slow), Some(seed), Some(comb), Some(comb_seed)) = (
+            t("scatter"),
+            t("scatter-sorted"),
+            t("scatter-seedbase"),
+            t("combine"),
+            t("combine-seedbase"),
+        ) {
+            println!(
+                "n={n}: scatter {:.2}x vs seed-baseline ({:.2}x vs own sorted path); combine {:.2}x vs seed-baseline",
+                seed / fast,
+                slow / fast,
+                comb_seed / comb,
+            );
+        }
+    }
+    match append_results(&c) {
+        Ok(p) => println!("appended results: {}", p.display()),
+        Err(e) => eprintln!("could not append results: {e}"),
+    }
+}

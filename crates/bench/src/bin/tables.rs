@@ -1,7 +1,7 @@
 //! Regenerate the experiment tables (DESIGN.md §3).
 //!
 //! ```text
-//! tables [all|t1..t10|f1..f5|a1..a3]... [--quick]
+//! tables [all|t1..t10|f1..f5|a1..a3|sim]... [--quick]
 //! ```
 //!
 //! Prints each table and writes `bench_results/<id>.csv`.
@@ -43,6 +43,7 @@ fn main() {
                 "a1" => ex::a1(quick),
                 "a2" => ex::a2(quick),
                 "a3" => ex::a3(quick),
+                "sim" => ex::sim(quick),
                 other => {
                     eprintln!("unknown experiment: {other}");
                     std::process::exit(2);

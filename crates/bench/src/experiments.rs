@@ -29,15 +29,31 @@ fn machine(seed: u64) -> (Machine, Shm) {
     (Machine::new(seed), Shm::new())
 }
 
+/// A seeded 2-D point-set generator, as used in the distribution tables.
+type Gen2 = fn(usize, u64) -> Vec<Point2>;
+
 /// T1 — presorted O(1)-time algorithm (Lemma 2.5): steps flat in n.
 pub fn t1(quick: bool) -> Table {
     let mut t = Table::new(
         "t1",
         "presorted hull: O(1) steps, O(n log n) work (Lemma 2.5)",
-        &["dist", "n", "steps", "work", "work/nlogn", "peak", "rand_nodes", "swept"],
+        &[
+            "dist",
+            "n",
+            "steps",
+            "work",
+            "work/nlogn",
+            "peak",
+            "rand_nodes",
+            "swept",
+        ],
     );
-    let ns: &[usize] = if quick { &[512, 2048] } else { &[512, 2048, 8192, 16384] };
-    let dists: [(&str, fn(usize, u64) -> Vec<Point2>); 3] = [
+    let ns: &[usize] = if quick {
+        &[512, 2048]
+    } else {
+        &[512, 2048, 8192, 16384]
+    };
+    let dists: [(&str, Gen2); 3] = [
         ("square", g2::uniform_square),
         ("disk", g2::uniform_disk),
         ("circle", g2::on_circle),
@@ -46,7 +62,8 @@ pub fn t1(quick: bool) -> Table {
         for &n in ns {
             let pts = sorted_by_x(&gen(n, 42));
             let (mut m, mut shm) = machine(7);
-            let (out, rep) = upper_hull_presorted(&mut m, &mut shm, &pts, &PresortedParams::default());
+            let (out, rep) =
+                upper_hull_presorted(&mut m, &mut shm, &pts, &PresortedParams::default());
             assert_eq!(out.hull, UpperHull::of(&pts));
             let nlogn = n as f64 * (n as f64).log2();
             t.row(vec![
@@ -72,7 +89,11 @@ pub fn t2(quick: bool) -> Table {
         "log*-time hull (Theorem 2): steps, depth, work/n, Lemma-7 time at p = n/log*n",
         &["n", "steps", "depth", "work/n", "T(p=n/log*n)"],
     );
-    let ns: &[usize] = if quick { &[512, 4096] } else { &[512, 4096, 32768, 131072] };
+    let ns: &[usize] = if quick {
+        &[512, 4096]
+    } else {
+        &[512, 4096, 32768, 131072]
+    };
     for &n in ns {
         let pts = sorted_by_x(&g2::uniform_disk(n, 11));
         let (mut m, mut shm) = machine(3);
@@ -98,10 +119,16 @@ pub fn t3(quick: bool) -> Table {
     let mut t = Table::new(
         "t3",
         "unsorted 2-D hull (Theorem 5): work vs output size h",
-        &["n", "h", "log2(h)", "steps", "work", "work/n", "levels", "fallback"],
+        &[
+            "n", "h", "log2(h)", "steps", "work", "work/n", "levels", "fallback",
+        ],
     );
     let n = if quick { 2048 } else { 8192 };
-    let hs: &[usize] = if quick { &[8, 64, 512] } else { &[8, 32, 128, 512, 2048] };
+    let hs: &[usize] = if quick {
+        &[8, 64, 512]
+    } else {
+        &[8, 32, 128, 512, 2048]
+    };
     let seeds: u64 = if quick { 2 } else { 5 };
     for &h in hs {
         // average across seeds: individual runs vary with splitter luck
@@ -134,7 +161,11 @@ pub fn t3(quick: bool) -> Table {
     }
     // n-sweep at fixed h: work/n should be ~constant in n
     let h = 32;
-    for &n in if quick { &[2048usize, 8192][..] } else { &[2048usize, 8192, 32768][..] } {
+    for &n in if quick {
+        &[2048usize, 8192][..]
+    } else {
+        &[2048usize, 8192, 32768][..]
+    } {
         let pts = g2::circle_plus_interior(h, n, 19);
         let (mut m, mut shm) = machine(6);
         let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
@@ -160,10 +191,24 @@ pub fn t4(quick: bool) -> Table {
     let mut t = Table::new(
         "t4",
         "crossover: Theorem-5 work vs non-output-sensitive DAC and sequential baselines",
-        &["h", "uns_work", "dac_work", "uns/dac", "ks_ops", "chan_ops", "jarvis_ops", "quickhull_ops", "monotone_ops"],
+        &[
+            "h",
+            "uns_work",
+            "dac_work",
+            "uns/dac",
+            "ks_ops",
+            "chan_ops",
+            "jarvis_ops",
+            "quickhull_ops",
+            "monotone_ops",
+        ],
     );
     let n = if quick { 2048 } else { 8192 };
-    let hs: &[usize] = if quick { &[8, 128] } else { &[8, 32, 128, 512, 2048] };
+    let hs: &[usize] = if quick {
+        &[8, 128]
+    } else {
+        &[8, 32, 128, 512, 2048]
+    };
     for &h in hs {
         let pts = g2::circle_plus_interior(h, n, 23);
         let (mut m1, mut s1) = machine(1);
@@ -198,14 +243,30 @@ pub fn t5(quick: bool) -> Table {
     let mut t = Table::new(
         "t5",
         "unsorted 3-D hull (Theorem 6): work vs output size",
-        &["n", "h_req", "facets", "steps", "work", "work/n", "probes", "fallback", "giftwrap_ops", "es_probe_ops"],
+        &[
+            "n",
+            "h_req",
+            "facets",
+            "steps",
+            "work",
+            "work/n",
+            "probes",
+            "fallback",
+            "giftwrap_ops",
+            "es_probe_ops",
+        ],
     );
     let n = if quick { 500 } else { 1500 };
-    let hs: &[usize] = if quick { &[12, 96] } else { &[12, 48, 192, 768] };
+    let hs: &[usize] = if quick {
+        &[12, 96]
+    } else {
+        &[12, 48, 192, 768]
+    };
     for &h in hs {
         let pts = gen3d::sphere_plus_interior(h, n, 29);
         let (mut m, mut shm) = machine(4);
-        let (out, trace) = upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default());
+        let (out, trace) =
+            upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default());
         ipch_hull3d::verify_upper_hull3(&pts, &out.facets, false).expect("t5 verify");
         let mut st = Seq3Stats::default();
         ipch_hull3d::seq::giftwrap::upper_hull3_giftwrap(&pts, &mut st);
@@ -234,9 +295,22 @@ pub fn t6(quick: bool) -> Table {
     let mut t = Table::new(
         "t6",
         "LP probes (Lemma 2.2 / §3.3): rounds stay constant as m grows",
-        &["m", "am_rounds_avg", "am_rounds_max", "am_fail", "ib_rounds_avg", "ib_rounds_max", "ib_fail", "ib_base_avg"],
+        &[
+            "m",
+            "am_rounds_avg",
+            "am_rounds_max",
+            "am_fail",
+            "ib_rounds_avg",
+            "ib_rounds_max",
+            "ib_fail",
+            "ib_base_avg",
+        ],
     );
-    let ms: &[usize] = if quick { &[256, 2048] } else { &[256, 1024, 4096, 16384, 65536] };
+    let ms: &[usize] = if quick {
+        &[256, 2048]
+    } else {
+        &[256, 1024, 4096, 16384, 65536]
+    };
     let seeds: u64 = if quick { 3 } else { 8 };
     for &mm in ms {
         let mut am_rounds = vec![];
@@ -250,7 +324,11 @@ pub fn t6(quick: bool) -> Table {
             let cs: Vec<Halfplane> = (0..mm)
                 .map(|_| {
                     let th = rng.next_f64() * std::f64::consts::TAU;
-                    Halfplane { a: -th.cos(), b: -th.sin(), c: -1.0 - rng.next_f64() }
+                    Halfplane {
+                        a: -th.cos(),
+                        b: -th.sin(),
+                        c: -1.0 - rng.next_f64(),
+                    }
                 })
                 .collect();
             let obj = Objective2 { cx: 0.3, cy: 0.95 };
@@ -266,8 +344,14 @@ pub fn t6(quick: bool) -> Table {
             let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
             let active: Vec<usize> = (0..mm).collect();
             let (mut m2, mut shm2) = machine(seed + 50);
-            let (b, tr) =
-                find_bridge_inplace_traced(&mut m2, &mut shm2, &pts, &active, x0, &IbConfig::default());
+            let (b, tr) = find_bridge_inplace_traced(
+                &mut m2,
+                &mut shm2,
+                &pts,
+                &active,
+                x0,
+                &IbConfig::default(),
+            );
             if b.is_some() {
                 ib_rounds.push(tr.rounds as f64);
                 ib_base.push(tr.base_size as f64);
@@ -288,7 +372,9 @@ pub fn t6(quick: bool) -> Table {
             f(avg(&ib_base)),
         ]);
     }
-    t.note("expected: round counts concentrate on a small constant independent of m; failures rare");
+    t.note(
+        "expected: round counts concentrate on a small constant independent of m; failures rare",
+    );
     t
 }
 
@@ -297,7 +383,14 @@ pub fn t7(quick: bool) -> Table {
     let mut t = Table::new(
         "t7",
         "random sample (Lemma 3.1): size bounds and uniformity",
-        &["k", "trials", "avg_size", "in_bounds_frac", "chi2_norm", "vote_failures"],
+        &[
+            "k",
+            "trials",
+            "avg_size",
+            "in_bounds_frac",
+            "chi2_norm",
+            "vote_failures",
+        ],
     );
     let mcount = 2000;
     let trials: u64 = if quick { 100 } else { 400 };
@@ -351,15 +444,24 @@ pub fn t8(quick: bool) -> Table {
     let mut t = Table::new(
         "t8",
         "approximate compaction: Ragde (Lemma 2.1) and in-place (Lemma 3.2)",
-        &["m", "k", "pattern", "det_steps", "det_area", "rand_ok_frac", "ipc_rounds", "ipc_workspace"],
+        &[
+            "m",
+            "k",
+            "pattern",
+            "det_steps",
+            "det_area",
+            "rand_ok_frac",
+            "ipc_rounds",
+            "ipc_workspace",
+        ],
     );
-    let ms: &[usize] = if quick { &[1024, 4096] } else { &[1024, 4096, 16384, 65536] };
+    let ms: &[usize] = if quick {
+        &[1024, 4096]
+    } else {
+        &[1024, 4096, 16384, 65536]
+    };
     for &mm in ms {
-        for (pat, mk) in [
-            ("random", 0usize),
-            ("clustered", 1),
-            ("stride", 2),
-        ] {
+        for (pat, mk) in [("random", 0usize), ("clustered", 1), ("stride", 2)] {
             let k = 4usize;
             let occupied: Vec<usize> = match mk {
                 0 => {
@@ -391,8 +493,7 @@ pub fn t8(quick: bool) -> Table {
                 for &i in &occupied {
                     shm2.host_set(s2, i, i as i64);
                 }
-                if ipch_inplace::ragde::ragde_compact_rand(&mut m2, &mut shm2, s2, k, 4).is_some()
-                {
+                if ipch_inplace::ragde::ragde_compact_rand(&mut m2, &mut shm2, s2, k, 4).is_some() {
                     ok += 1;
                 }
             }
@@ -425,7 +526,9 @@ pub fn t9(quick: bool) -> Table {
     let mut t = Table::new(
         "t9",
         "failure sweeping (§2.3): forced failures are always recovered",
-        &["algo", "n", "mode", "failures", "swept", "overflow", "correct"],
+        &[
+            "algo", "n", "mode", "failures", "swept", "overflow", "correct",
+        ],
     );
     let n = if quick { 1000 } else { 3000 };
     // presorted with a crippled randomized finder
@@ -433,7 +536,10 @@ pub fn t9(quick: bool) -> Table {
         let pts = sorted_by_x(&g2::uniform_disk(n, seed + 40));
         let params = PresortedParams {
             small_threshold: Some(48),
-            ib: IbConfig { max_rounds: 0, ..IbConfig::default() },
+            ib: IbConfig {
+                max_rounds: 0,
+                ..IbConfig::default()
+            },
             sweep_bound: Some(4096),
             ..PresortedParams::default()
         };
@@ -453,7 +559,10 @@ pub fn t9(quick: bool) -> Table {
     for &sweeping in &[true, false] {
         let pts = g2::uniform_disk(n, 77);
         let params = UnsortedParams {
-            ib: IbConfig { max_rounds: 0, ..IbConfig::default() },
+            ib: IbConfig {
+                max_rounds: 0,
+                ..IbConfig::default()
+            },
             disable_sweeping: !sweeping,
             ..UnsortedParams::default()
         };
@@ -480,7 +589,14 @@ pub fn t10(quick: bool) -> Table {
     let mut t = Table::new(
         "t10",
         "hull-of-hulls (Lemma 2.6): constant combine time over m groups of q points",
-        &["groups_m", "group_q", "steps", "work", "charged_work", "correct"],
+        &[
+            "groups_m",
+            "group_q",
+            "steps",
+            "work",
+            "charged_work",
+            "correct",
+        ],
     );
     let cases: &[(usize, usize)] = if quick {
         &[(8, 32), (32, 32)]
@@ -522,7 +638,13 @@ pub fn f1(quick: bool) -> Table {
     let mut t = Table::new(
         "f1",
         "subproblem-size decay (Lemma 5.1)",
-        &["level", "problems", "max_size", "envelope_(15/16)^i*n", "active"],
+        &[
+            "level",
+            "problems",
+            "max_size",
+            "envelope_(15/16)^i*n",
+            "active",
+        ],
     );
     let n = if quick { 2048 } else { 8192 };
     let pts = g2::uniform_disk(n, 3);
@@ -546,7 +668,14 @@ pub fn f2(quick: bool) -> Table {
     let mut t = Table::new(
         "f2",
         "3-D region-size decay (Lemma 6.1)",
-        &["level", "regions", "max_size", "envelope_(15/16)^i*n", "active", "facets"],
+        &[
+            "level",
+            "regions",
+            "max_size",
+            "envelope_(15/16)^i*n",
+            "active",
+            "facets",
+        ],
     );
     let n = if quick { 500 } else { 1200 };
     let pts = gen3d::in_ball(n, 5);
@@ -601,7 +730,9 @@ pub fn f3(quick: bool) -> Table {
             ]);
         }
     }
-    t.note("expected: l races to the threshold on h=n inputs (early fallback), stays tiny for small h");
+    t.note(
+        "expected: l races to the threshold on h=n inputs (early fallback), stays tiny for small h",
+    );
     t
 }
 
@@ -663,7 +794,14 @@ pub fn a1(quick: bool) -> Table {
     let mut t = Table::new(
         "a1",
         "ablation: splitter policy (random vote vs mid-extent)",
-        &["dist", "policy", "steps", "work", "levels", "max_level_size@5"],
+        &[
+            "dist",
+            "policy",
+            "steps",
+            "work",
+            "levels",
+            "max_level_size@5",
+        ],
     );
     let n = if quick { 2048 } else { 8192 };
     for (dname, pts) in [
@@ -742,7 +880,11 @@ pub fn a3(quick: bool) -> Table {
         "ablation: sort substrate in the DAC hull (charged Cole vs executed bitonic)",
         &["n", "mode", "steps", "executed_work", "charged_work"],
     );
-    let ns: &[usize] = if quick { &[1024, 4096] } else { &[1024, 4096, 16384] };
+    let ns: &[usize] = if quick {
+        &[1024, 4096]
+    } else {
+        &[1024, 4096, 16384]
+    };
     for &n in ns {
         let pts = g2::uniform_disk(n, 13);
         for (name, mode) in [
@@ -762,6 +904,87 @@ pub fn a3(quick: bool) -> Table {
         }
     }
     t.note("expected: bitonic trades the charged log-n bound for executed log²n layers — every comparator measured");
+    t
+}
+
+/// SIM — simulator host observability: wall-clock cost of the step
+/// pipeline itself (compute vs commit), fast-path hit rate, and conflict
+/// counts, over contrasting write workloads and a real algorithm run.
+///
+/// These are *host* measurements (how fast the simulator simulates), never
+/// PRAM costs; they exist so simulator-performance regressions are visible
+/// in the same harness as the model experiments.
+pub fn sim(quick: bool) -> Table {
+    let mut t = Table::new(
+        "sim",
+        "simulator host performance: compute/commit wall time, fast-path rate, conflicts",
+        &[
+            "workload",
+            "n",
+            "steps",
+            "writes",
+            "conflicts",
+            "fastpath%",
+            "compute_ms",
+            "commit_ms",
+            "Mwrites/s",
+        ],
+    );
+    let n = if quick { 1 << 14 } else { 1 << 18 };
+    let rounds = if quick { 8 } else { 32 };
+
+    let record = |t: &mut Table, name: &str, n: usize, m: &Machine| {
+        let met = &m.metrics;
+        let secs = met.host_total_ns() as f64 / 1e9;
+        t.row(vec![
+            name.into(),
+            n.to_string(),
+            met.steps.to_string(),
+            met.writes_buffered.to_string(),
+            met.write_conflicts.to_string(),
+            f(met.fastpath_hit_rate().unwrap_or(0.0) * 100.0),
+            f(met.host_compute_ns as f64 / 1e6),
+            f(met.host_commit_ns as f64 / 1e6),
+            f(met.writes_buffered as f64 / secs.max(1e-9) / 1e6),
+        ]);
+    };
+
+    // conflict-free in-order scatter: the fast-path showcase
+    {
+        let (mut m, mut shm) = machine(1);
+        let a = shm.alloc("sim.scatter", n, 0);
+        for _ in 0..rounds {
+            m.step(&mut shm, 0..n, |ctx| {
+                let pid = ctx.pid;
+                ctx.write(a, pid, pid as i64);
+            });
+        }
+        record(&mut t, "scatter", n, &m);
+    }
+    // all processors combine into a handful of cells: pure conflict load
+    {
+        let (mut m, mut shm) = machine(2);
+        let a = shm.alloc("sim.acc", 64, 0);
+        for _ in 0..rounds {
+            m.step_with_policy(&mut shm, 0..n, ipch_pram::WritePolicy::CombineSum, |ctx| {
+                ctx.write(a, ctx.pid % 64, 1);
+            });
+        }
+        record(&mut t, "combine", n, &m);
+    }
+    // a real algorithm end-to-end (mixed read/write/conflict profile)
+    {
+        let hull_n = if quick { 2048 } else { 8192 };
+        let pts = sorted_by_x(&g2::uniform_disk(hull_n, 42));
+        let (mut m, mut shm) = machine(7);
+        let (out, _) = upper_hull_presorted(&mut m, &mut shm, &pts, &PresortedParams::default());
+        assert_eq!(out.hull, UpperHull::of(&pts));
+        record(&mut t, "presorted-hull", hull_n, &m);
+    }
+    t.note(
+        "host wall-clock only — simulated step/work accounting is identical across commit paths",
+    );
+    t.note("expected: scatter ~100% fastpath; combine 0% with one conflict per cell per step");
     t
 }
 
@@ -786,5 +1009,6 @@ pub fn all(quick: bool) -> Vec<Table> {
         a1(quick),
         a2(quick),
         a3(quick),
+        sim(quick),
     ]
 }

@@ -93,11 +93,7 @@ pub fn upper_hull_brute(
 
 /// Observation 2.3 with the paper's full output convention (per-point edge
 /// pointers).
-pub fn upper_hull_brute_full(
-    m: &mut Machine,
-    shm: &mut Shm,
-    points: &[Point2],
-) -> HullOutput {
+pub fn upper_hull_brute_full(m: &mut Machine, shm: &mut Shm, points: &[Point2]) -> HullOutput {
     let ids: Vec<usize> = (0..points.len()).collect();
     let hull = upper_hull_brute(m, shm, points, &ids);
     let edge_above = assign_edges_pram(m, shm, points, &hull);

@@ -124,7 +124,8 @@ mod tests {
             let out = upper_hull_dac(&mut m, &mut shm, pts, false);
             verify_upper_hull(pts, &out.hull).unwrap_or_else(|e| panic!("case {i}: {e}"));
             assert_eq!(out.hull, UpperHull::of(pts), "case {i}");
-            out.verify_pointers(pts).unwrap_or_else(|e| panic!("case {i}: {e}"));
+            out.verify_pointers(pts)
+                .unwrap_or_else(|e| panic!("case {i}: {e}"));
         }
     }
 

@@ -139,7 +139,11 @@ mod tests {
         let ids: Vec<usize> = (50..150).collect();
         let h = upper_hull_folklore(&mut m, &mut shm, &pts, &ids, 2);
         let sub: Vec<Point2> = pts[50..150].to_vec();
-        let expect: Vec<usize> = UpperHull::of(&sub).vertices.iter().map(|&i| i + 50).collect();
+        let expect: Vec<usize> = UpperHull::of(&sub)
+            .vertices
+            .iter()
+            .map(|&i| i + 50)
+            .collect();
         assert_eq!(h.vertices, expect);
 
         let out = upper_hull_folklore_full(&mut m, &mut shm, &pts, 2);

@@ -163,8 +163,7 @@ fn brute_bridge_hulls(
                     None => Some(Bridge { left: u, right: v }),
                     Some(b) => {
                         if points[u].x > points[b.left].x
-                            || (points[u].x == points[b.left].x
-                                && points[v].x < points[b.right].x)
+                            || (points[u].x == points[b.left].x && points[v].x < points[b.right].x)
                         {
                             Some(Bridge { left: u, right: v })
                         } else {
@@ -230,15 +229,13 @@ pub fn hull_of_hulls(
             / 2.0;
         let mut child = m.child(vi as u64 ^ 0x40b);
         let mut scratch = Shm::new();
-        bridges[vi] =
-            bridge_over_hulls(&mut child, &mut scratch, points, &groups[lo..hi], x0, cfg);
+        bridges[vi] = bridge_over_hulls(&mut child, &mut scratch, points, &groups[lo..hi], x0, cfg);
         if bridges[vi].is_none() {
             // sweep: direct brute over all pairs of the node's groups
             report.failures += 1;
             let all: Vec<usize> = (0..hi - lo).collect();
             let qmax = groups[lo..hi].iter().map(|h| h.len()).max().unwrap_or(1);
-            bridges[vi] =
-                brute_bridge_hulls(&mut child, points, &groups[lo..hi], &all, x0, qmax);
+            bridges[vi] = brute_bridge_hulls(&mut child, points, &groups[lo..hi], &all, x0, qmax);
         }
         children.push(child.metrics);
     }
@@ -326,10 +323,7 @@ pub fn hull_of_hulls(
                     continue; // skipped-over group
                 }
             }
-            (a, l) => (
-                a.unwrap_or(0),
-                l.unwrap_or(groups[gi].len() - 1),
-            ),
+            (a, l) => (a.unwrap_or(0), l.unwrap_or(groups[gi].len() - 1)),
         };
         if a <= l {
             chain.extend_from_slice(&groups[gi].vertices[a..=l]);
@@ -440,8 +434,7 @@ mod tests {
                 let mut m = Machine::new(seed);
                 let mut shm = Shm::new();
                 let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default());
-                verify_upper_hull(&pts, &h)
-                    .unwrap_or_else(|e| panic!("seed {seed} q {q}: {e}"));
+                verify_upper_hull(&pts, &h).unwrap_or_else(|e| panic!("seed {seed} q {q}: {e}"));
                 assert_eq!(h, UpperHull::of(&pts), "seed {seed} q {q}");
             }
         }

@@ -211,7 +211,11 @@ mod tests {
     use ipch_geom::hull_chain::verify_upper_hull;
     use ipch_geom::point::sorted_by_x;
 
-    fn run(points: &[Point2], seed: u64, params: &LogstarParams) -> (HullOutput, LogstarReport, Machine) {
+    fn run(
+        points: &[Point2],
+        seed: u64,
+        params: &LogstarParams,
+    ) -> (HullOutput, LogstarReport, Machine) {
         let mut m = Machine::new(seed);
         let mut shm = Shm::new();
         let (out, rep) = upper_hull_logstar(&mut m, &mut shm, points, params);

@@ -129,10 +129,7 @@ pub fn merge_one_group(
             let a = points[uhs_ref[j].vertices[cj]];
             let b = points[uhs_ref[k].vertices[ck]];
             let p = points[uhs_ref[i].vertices[v]];
-            if p.x >= a.x
-                && p.x <= b.x
-                && ipch_geom::predicates::orient2d_sign(a, b, p) < 0
-            {
+            if p.x >= a.x && p.x <= b.x && ipch_geom::predicates::orient2d_sign(a, b, p) < 0 {
                 ctx.write(dead, s, 1);
             }
         }
@@ -174,7 +171,11 @@ pub fn strictify(points: &[Point2], chain: &mut Vec<usize>) {
             }
         }
         while st.len() >= 2
-            && orient2d_sign(points[st[st.len() - 2]], points[st[st.len() - 1]], points[i]) >= 0
+            && orient2d_sign(
+                points[st[st.len() - 2]],
+                points[st[st.len() - 1]],
+                points[i],
+            ) >= 0
         {
             st.pop();
         }
@@ -251,8 +252,8 @@ mod tests {
         // A tall, C tall, B low in between: the union hull jumps A → C and
         // B must contribute nothing (the case pure pairwise contacts miss).
         let pts = vec![
-            Point2::new(0.0, 10.0), // A
-            Point2::new(5.0, 9.0),  // B (below segment A–C)
+            Point2::new(0.0, 10.0),  // A
+            Point2::new(5.0, 9.0),   // B (below segment A–C)
             Point2::new(10.0, 10.0), // C
         ];
         let hulls = vec![vec![0], vec![1], vec![2]];

@@ -218,8 +218,8 @@ pub fn upper_hull_presorted(
                     max_rounds: 64,
                     ..IbConfig::default()
                 };
-                bridges[vi] = find_bridge_inplace(&mut child, shm, points, &span, x0, &retry)
-                    .map(|(b, _)| b);
+                bridges[vi] =
+                    find_bridge_inplace(&mut child, shm, points, &span, x0, &retry).map(|(b, _)| b);
             }
             sweep_children.push(child.metrics);
             report.swept_failures += 1;
@@ -418,7 +418,11 @@ mod tests {
     use ipch_geom::hull_chain::verify_upper_hull;
     use ipch_geom::point::sorted_by_x;
 
-    fn run(points: &[Point2], seed: u64, params: &PresortedParams) -> (HullOutput, PresortedReport, Machine) {
+    fn run(
+        points: &[Point2],
+        seed: u64,
+        params: &PresortedParams,
+    ) -> (HullOutput, PresortedReport, Machine) {
         let mut m = Machine::new(seed);
         let mut shm = Shm::new();
         let (out, rep) = upper_hull_presorted(&mut m, &mut shm, points, params);
@@ -432,7 +436,8 @@ mod tests {
             let (out, _, _) = run(&pts, seed, &PresortedParams::default());
             verify_upper_hull(&pts, &out.hull).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(out.hull, UpperHull::of(&pts), "seed {seed}");
-            out.verify_pointers(&pts).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            out.verify_pointers(&pts)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -461,7 +466,10 @@ mod tests {
             let (_, _, m) = run(&pts, 1, &PresortedParams::default());
             steps.push(m.metrics.total_steps());
         }
-        assert!(steps.iter().all(|&s| s <= 400), "steps exceed O(1) cap: {steps:?}");
+        assert!(
+            steps.iter().all(|&s| s <= 400),
+            "steps exceed O(1) cap: {steps:?}"
+        );
         let last = steps[steps.len() - 1] as f64;
         let prev = steps[steps.len() - 2] as f64;
         assert!(
@@ -499,7 +507,8 @@ mod tests {
             let (out, _, _) = run(pts, i as u64, &PresortedParams::default());
             verify_upper_hull(pts, &out.hull).unwrap_or_else(|e| panic!("case {i}: {e}"));
             assert_eq!(out.hull, UpperHull::of(pts), "case {i}");
-            out.verify_pointers(pts).unwrap_or_else(|e| panic!("case {i}: {e}"));
+            out.verify_pointers(pts)
+                .unwrap_or_else(|e| panic!("case {i}: {e}"));
         }
     }
 

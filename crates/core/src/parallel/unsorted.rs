@@ -187,14 +187,7 @@ pub fn upper_hull_unsorted(
         for (j, ids) in problems.iter().enumerate() {
             let mut child = m.child((level as u64) << 32 | j as u64);
             let mut scratch = Shm::new();
-            sols[j] = solve_problem(
-                &mut child,
-                &mut scratch,
-                points,
-                ids,
-                params,
-                &mut edges,
-            );
+            sols[j] = solve_problem(&mut child, &mut scratch, points, ids, params, &mut edges);
             if matches!(sols[j], Sol::Pending) {
                 failed.push(j);
             }
@@ -480,7 +473,11 @@ fn sweep_problem(
     // deterministic splitter: the middle of the problem's x-extent
     let minx = -combine_max_x_neg(child, scratch, points, ids);
     let x0 = (minx + maxx) / 2.0;
-    let x0 = if x0 >= maxx { (second + maxx) / 2.0 } else { x0 };
+    let x0 = if x0 >= maxx {
+        (second + maxx) / 2.0
+    } else {
+        x0
+    };
     let b: Option<Bridge> = if ids.len() <= 512 {
         bridge_brute(child, scratch, points, ids, x0)
     } else {
@@ -601,7 +598,11 @@ mod tests {
     };
     use ipch_geom::hull_chain::verify_upper_hull;
 
-    fn run(points: &[Point2], seed: u64, params: &UnsortedParams) -> (HullOutput, UnsortedTrace, Machine) {
+    fn run(
+        points: &[Point2],
+        seed: u64,
+        params: &UnsortedParams,
+    ) -> (HullOutput, UnsortedTrace, Machine) {
         let mut m = Machine::new(seed);
         let mut shm = Shm::new();
         let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, points, params);
@@ -615,7 +616,8 @@ mod tests {
             let (out, _, _) = run(&pts, seed, &UnsortedParams::default());
             verify_upper_hull(&pts, &out.hull).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(out.hull, UpperHull::of(&pts), "seed {seed}");
-            out.verify_pointers(&pts).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            out.verify_pointers(&pts)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 
@@ -629,7 +631,11 @@ mod tests {
             collinear_on_line(50, -1.0, 2.0, 1),
             grid(100),
             ipch_geom::generators::duplicated(
-                &[Point2::new(0.0, 0.0), Point2::new(2.0, 1.0), Point2::new(4.0, 0.0)],
+                &[
+                    Point2::new(0.0, 0.0),
+                    Point2::new(2.0, 1.0),
+                    Point2::new(4.0, 0.0),
+                ],
                 30,
             ),
         ];
@@ -639,9 +645,14 @@ mod tests {
             // compare by coordinates: duplicate inputs admit several id
             // choices for the same geometric hull
             let got: Vec<Point2> = out.hull.vertices.iter().map(|&v| pts[v]).collect();
-            let expect: Vec<Point2> = UpperHull::of(pts).vertices.iter().map(|&v| pts[v]).collect();
+            let expect: Vec<Point2> = UpperHull::of(pts)
+                .vertices
+                .iter()
+                .map(|&v| pts[v])
+                .collect();
             assert_eq!(got, expect, "case {i}");
-            out.verify_pointers(pts).unwrap_or_else(|e| panic!("case {i}: {e}"));
+            out.verify_pointers(pts)
+                .unwrap_or_else(|e| panic!("case {i}: {e}"));
         }
     }
 
@@ -658,10 +669,7 @@ mod tests {
             works.push(m.metrics.total_work());
         }
         // 8× more hull edges should cost well under 8× the work
-        assert!(
-            works[1] < 4 * works[0],
-            "not output-sensitive: {works:?}"
-        );
+        assert!(works[1] < 4 * works[0], "not output-sensitive: {works:?}");
     }
 
     #[test]
@@ -703,10 +711,7 @@ mod tests {
         if trace.levels.len() >= 7 {
             let early = trace.levels[0].max_size as f64;
             let later = trace.levels[6].max_size as f64;
-            assert!(
-                later < early * 0.8,
-                "no decay: {early} -> {later}"
-            );
+            assert!(later < early * 0.8, "no decay: {early} -> {later}");
         }
     }
 

@@ -32,12 +32,7 @@ pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
     }
 }
 
-fn attempt(
-    pts: &[Point2],
-    order: &[usize],
-    m: usize,
-    stats: &mut SeqStats,
-) -> Option<UpperHull> {
+fn attempt(pts: &[Point2], order: &[usize], m: usize, stats: &mut SeqStats) -> Option<UpperHull> {
     let n = pts.len();
     // group hulls over contiguous runs of the sorted order
     let mut groups: Vec<Vec<usize>> = Vec::new();
@@ -92,8 +87,7 @@ fn attempt(
                     Some(b) => {
                         stats.orientation_tests += 1;
                         let s = orient2d_sign(pts[cur], pts[b], pts[c]);
-                        if s > 0 || (s == 0 && pts[cur].dist2(&pts[c]) > pts[cur].dist2(&pts[b]))
-                        {
+                        if s > 0 || (s == 0 && pts[cur].dist2(&pts[c]) > pts[cur].dist2(&pts[b])) {
                             Some(c)
                         } else {
                             Some(b)
@@ -184,6 +178,11 @@ mod tests {
         upper_hull(&small, &mut s1);
         upper_hull(&big, &mut s2);
         assert!(s1.total() < s2.total());
-        assert!(s2.total() < 40 * s1.total(), "{} vs {}", s1.total(), s2.total());
+        assert!(
+            s2.total() < 40 * s1.total(),
+            "{} vs {}",
+            s1.total(),
+            s2.total()
+        );
     }
 }

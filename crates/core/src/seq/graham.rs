@@ -70,13 +70,17 @@ pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
     let lo = (0..cycle.len())
         .min_by(|&a, &b| {
             let (ka, kb) = (upper_key(a), upper_key(b));
-            ka.0.partial_cmp(&kb.0).unwrap().then(kb.1.partial_cmp(&ka.1).unwrap())
+            ka.0.partial_cmp(&kb.0)
+                .unwrap()
+                .then(kb.1.partial_cmp(&ka.1).unwrap())
         })
         .unwrap();
     let hi = (0..cycle.len())
         .max_by(|&a, &b| {
             let (ka, kb) = (upper_key(a), upper_key(b));
-            ka.0.partial_cmp(&kb.0).unwrap().then(ka.1.partial_cmp(&kb.1).unwrap())
+            ka.0.partial_cmp(&kb.0)
+                .unwrap()
+                .then(ka.1.partial_cmp(&kb.1).unwrap())
         })
         .unwrap();
     // CCW cycle: walking hi → lo passes over the top

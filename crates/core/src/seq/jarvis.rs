@@ -47,9 +47,7 @@ pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
             }
             stats.orientation_tests += 1;
             let s = orient2d_sign(pts[cur], pts[next], pts[cand]);
-            if s > 0
-                || (s == 0 && pts[cur].dist2(&pts[cand]) > pts[cur].dist2(&pts[next]))
-            {
+            if s > 0 || (s == 0 && pts[cur].dist2(&pts[cand]) > pts[cur].dist2(&pts[next])) {
                 next = cand;
             }
         }

@@ -68,8 +68,11 @@ pub fn upper_hull(pts: &[Point2], stats: &mut SeqStats) -> UpperHull {
     let mut strict: Vec<usize> = Vec::with_capacity(verts.len());
     for v in verts {
         while strict.len() >= 2
-            && orient2d_sign(pts[strict[strict.len() - 2]], pts[strict[strict.len() - 1]], pts[v])
-                >= 0
+            && orient2d_sign(
+                pts[strict[strict.len() - 2]],
+                pts[strict[strict.len() - 1]],
+                pts[v],
+            ) >= 0
         {
             strict.pop();
         }
@@ -178,7 +181,11 @@ fn bridge(pts: &[Point2], ids: &[usize], xm: f64, stats: &mut SeqStats) -> (usiz
         }
         stats.comparisons += cand.len() as u64;
         let eps = 1e-12 * (1.0 + best.abs());
-        let contacts: Vec<usize> = cand.iter().copied().filter(|&i| key(i) >= best - eps).collect();
+        let contacts: Vec<usize> = cand
+            .iter()
+            .copied()
+            .filter(|&i| key(i) >= best - eps)
+            .collect();
         let cmin = contacts
             .iter()
             .copied()
@@ -261,8 +268,7 @@ fn bridge_brute_small(
                 best = match best {
                     None => Some((p, q)),
                     Some((bp, bq)) => {
-                        if pts[p].x > pts[bp].x || (pts[p].x == pts[bp].x && pts[q].x < pts[bq].x)
-                        {
+                        if pts[p].x > pts[bp].x || (pts[p].x == pts[bp].x && pts[q].x < pts[bq].x) {
                             Some((p, q))
                         } else {
                             Some((bp, bq))

@@ -129,8 +129,11 @@ mod tests {
             let h = upper_hull(pts, &mut st);
             verify_upper_hull(pts, &h).unwrap_or_else(|e| panic!("case {i}: {e}"));
             let got: Vec<Point2> = h.vertices.iter().map(|&v| pts[v]).collect();
-            let expect: Vec<Point2> =
-                UpperHull::of(pts).vertices.iter().map(|&v| pts[v]).collect();
+            let expect: Vec<Point2> = UpperHull::of(pts)
+                .vertices
+                .iter()
+                .map(|&v| pts[v])
+                .collect();
             assert_eq!(got, expect, "case {i}");
         }
     }
@@ -141,6 +144,10 @@ mod tests {
         let mut st = SeqStats::default();
         upper_hull(&pts, &mut st);
         // one farthest-point pass discards almost everything
-        assert!(st.orientation_tests < 6 * 20_000, "{}", st.orientation_tests);
+        assert!(
+            st.orientation_tests < 6 * 20_000,
+            "{}",
+            st.orientation_tests
+        );
     }
 }

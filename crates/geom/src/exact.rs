@@ -156,9 +156,7 @@ impl Expansion {
     }
 
     fn is_normalized(&self) -> bool {
-        self.comps
-            .windows(2)
-            .all(|w| w[0].abs() <= w[1].abs())
+        self.comps.windows(2).all(|w| w[0].abs() <= w[1].abs())
     }
 
     /// Exact difference.
@@ -235,7 +233,7 @@ mod tests {
     fn two_sum_exact() {
         let (x, y) = two_sum(1e16, 1.0);
         assert_eq!(x + y, 1e16 + 1.0); // rounded view
-        // exactness: reconstruct via expansion
+                                       // exactness: reconstruct via expansion
         let e = Expansion::from_two(x, y);
         assert_eq!(e.sign(), 1);
         let (x2, y2) = two_sum(0.1, 0.2);
@@ -271,7 +269,10 @@ mod tests {
     fn scale_and_mul() {
         let a = Expansion::from_f64(3.0);
         assert_eq!(a.scale(2.0).approx(), 6.0);
-        let b = Expansion::from_two(two_product(1e8 + 1.0, 1e8 - 1.0).0, two_product(1e8 + 1.0, 1e8 - 1.0).1);
+        let b = Expansion::from_two(
+            two_product(1e8 + 1.0, 1e8 - 1.0).0,
+            two_product(1e8 + 1.0, 1e8 - 1.0).1,
+        );
         // (1e8+1)(1e8-1) = 1e16 - 1 exactly
         assert_eq!(b.sign(), 1);
         let c = b.sub(&Expansion::from_f64(1e16));
@@ -283,10 +284,20 @@ mod tests {
         // Determinant of nearly-singular matrix decided exactly.
         let eps = f64::EPSILON;
         // | 1+e  1 ; 1  1 | = e  > 0
-        let d = det2_exact(two_diff(1.0 + eps, 0.0), two_diff(1.0, 0.0), two_diff(1.0, 0.0), two_diff(1.0, 0.0));
+        let d = det2_exact(
+            two_diff(1.0 + eps, 0.0),
+            two_diff(1.0, 0.0),
+            two_diff(1.0, 0.0),
+            two_diff(1.0, 0.0),
+        );
         assert_eq!(d.sign(), 1);
         // exactly singular
-        let d0 = det2_exact(two_diff(2.0, 0.0), two_diff(4.0, 0.0), two_diff(3.0, 0.0), two_diff(6.0, 0.0));
+        let d0 = det2_exact(
+            two_diff(2.0, 0.0),
+            two_diff(4.0, 0.0),
+            two_diff(3.0, 0.0),
+            two_diff(6.0, 0.0),
+        );
         assert_eq!(d0.sign(), 0);
     }
 

@@ -154,7 +154,10 @@ mod tests {
     fn generators_are_deterministic() {
         assert_eq!(uniform_square(50, 7), uniform_square(50, 7));
         assert_ne!(uniform_square(50, 7), uniform_square(50, 8));
-        assert_eq!(circle_plus_interior(5, 40, 3), circle_plus_interior(5, 40, 3));
+        assert_eq!(
+            circle_plus_interior(5, 40, 3),
+            circle_plus_interior(5, 40, 3)
+        );
     }
 
     #[test]
@@ -194,7 +197,10 @@ mod tests {
         let sq = upper_hull_size_of(&uniform_square(n, 5));
         let dk = upper_hull_size_of(&uniform_disk(n, 5));
         let ci = upper_hull_size_of(&on_circle(n, 5));
-        assert!(sq < dk, "square E[h]=O(log n) < disk E[h]=O(n^1/3): {sq} vs {dk}");
+        assert!(
+            sq < dk,
+            "square E[h]=O(log n) < disk E[h]=O(n^1/3): {sq} vs {dk}"
+        );
         assert!(dk < ci, "disk < circle: {dk} vs {ci}");
         assert!(ci >= n / 3, "on-circle upper hull ~ n/2, got {ci}");
         assert!(sq <= 40, "square hull unexpectedly large: {sq}");

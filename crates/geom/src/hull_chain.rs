@@ -298,7 +298,13 @@ mod tests {
 
     #[test]
     fn duplicates_and_x_ties() {
-        let pts = vec![p(0.0, 0.0), p(0.0, 2.0), p(0.0, 1.0), p(1.0, 0.0), p(1.0, 0.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(0.0, 2.0),
+            p(0.0, 1.0),
+            p(1.0, 0.0),
+            p(1.0, 0.0),
+        ];
         let h = UpperHull::of(&pts);
         verify_upper_hull(&pts, &h).unwrap();
         assert_eq!(h.vertices.len(), 2);
@@ -315,7 +321,13 @@ mod tests {
 
     #[test]
     fn edge_above_queries() {
-        let pts = vec![p(0.0, 0.0), p(2.0, 2.0), p(4.0, 0.0), p(1.0, 0.0), p(3.0, 0.5)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(2.0, 2.0),
+            p(4.0, 0.0),
+            p(1.0, 0.0),
+            p(3.0, 0.5),
+        ];
         let h = UpperHull::of(&pts);
         assert_eq!(h.edge_above(&pts, p(1.0, 0.0)), Some((0, 1)));
         assert_eq!(h.edge_above(&pts, p(3.0, 0.5)), Some((1, 2)));
@@ -345,7 +357,13 @@ mod tests {
 
     #[test]
     fn full_hull_square() {
-        let pts = vec![p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0), p(0.5, 0.5)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(1.0, 1.0),
+            p(0.0, 1.0),
+            p(0.5, 0.5),
+        ];
         let cycle = convex_hull_indices(&pts);
         assert_eq!(cycle.len(), 4);
         assert!(is_ccw_convex_polygon(&pts, &cycle));
@@ -365,7 +383,9 @@ mod tests {
     fn oracle_on_random_inputs_respects_verifier() {
         let mut s = 1u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 10.0
         };
         for n in [3usize, 5, 17, 100, 500] {

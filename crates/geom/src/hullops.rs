@@ -153,9 +153,7 @@ pub fn tangent_from_point(pts: &[Point2], hull: &UpperHull, q: Point2) -> usize 
         // mirror: q right of hull; predicate on predecessor, searching from
         // the right: "v(i-1) on-or-below line(v(i), q)" is monotone
         // (true, …, true, false, …, false) going left→right reversed.
-        let pred = |i: usize| -> bool {
-            i == 0 || orient2d_sign(v(i), q, v(i - 1)) <= 0
-        };
+        let pred = |i: usize| -> bool { i == 0 || orient2d_sign(v(i), q, v(i - 1)) <= 0 };
         let (mut lo, mut hi) = (0usize, n - 1);
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
@@ -252,9 +250,7 @@ pub fn common_upper_tangent_fast(
             let mut ib = contact_b(ia);
             loop {
                 let mut moved = false;
-                while ib + 1 < b.vertices.len()
-                    && orient2d_sign(va(ia), vb(ib), vb(ib + 1)) >= 0
-                {
+                while ib + 1 < b.vertices.len() && orient2d_sign(va(ia), vb(ib), vb(ib + 1)) >= 0 {
                     ib += 1;
                     moved = true;
                 }
@@ -353,7 +349,13 @@ mod tests {
 
     #[test]
     fn extreme_vertex_up_is_apex() {
-        let pts = vec![p(0.0, 0.0), p(1.0, 2.0), p(2.0, 3.0), p(3.0, 2.5), p(4.0, 0.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(1.0, 2.0),
+            p(2.0, 3.0),
+            p(3.0, 2.5),
+            p(4.0, 0.0),
+        ];
         let h = hull(&pts);
         let i = extreme_vertex(&pts, &h, (0.0, 1.0));
         assert_eq!(h.vertices[i], 2);
@@ -411,7 +413,13 @@ mod tests {
     fn tangent_from_point_both_sides() {
         let pts = arc(0.0, 30);
         let h = hull(&pts);
-        for q in [p(-5.0, 0.0), p(-3.0, 1.2), p(5.0, 0.0), p(4.0, 1.5), p(-2.5, -1.0)] {
+        for q in [
+            p(-5.0, 0.0),
+            p(-3.0, 1.2),
+            p(5.0, 0.0),
+            p(4.0, 1.5),
+            p(-2.5, -1.0),
+        ] {
             let t = tangent_from_point(&pts, &h, q);
             let tv = pts[h.vertices[t]];
             for i in 0..h.vertices.len() {
@@ -465,7 +473,9 @@ mod tests {
         // random irregular hull pairs across a size grid
         let mut s = 0xfeedu64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) as f64 / (1u64 << 53) as f64
         };
         for (na, nb) in [(2usize, 2usize), (3, 9), (17, 5), (40, 40), (100, 7)] {
@@ -515,7 +525,13 @@ mod tests {
     #[test]
     fn common_tangent_is_above_everything() {
         // irregular hulls
-        let pa = vec![p(0.0, 0.0), p(0.5, 1.4), p(1.0, 1.8), p(1.5, 1.2), p(2.0, 0.1)];
+        let pa = vec![
+            p(0.0, 0.0),
+            p(0.5, 1.4),
+            p(1.0, 1.8),
+            p(1.5, 1.2),
+            p(2.0, 0.1),
+        ];
         let pb = vec![p(4.0, -0.5), p(4.5, 0.9), p(5.0, 1.1), p(5.5, 0.3)];
         let (ha, hb) = (hull(&pa), hull(&pb));
         let (ia, ib) = common_upper_tangent(&pa, &ha, &pb, &hb);

@@ -24,10 +24,7 @@ impl Point2 {
     #[inline]
     pub fn cmp_xy(&self, other: &Self) -> Ordering {
         match self.x.partial_cmp(&other.x) {
-            Some(Ordering::Equal) | None => self
-                .y
-                .partial_cmp(&other.y)
-                .unwrap_or(Ordering::Equal),
+            Some(Ordering::Equal) | None => self.y.partial_cmp(&other.y).unwrap_or(Ordering::Equal),
             Some(o) => o,
         }
     }

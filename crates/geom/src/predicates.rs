@@ -184,9 +184,18 @@ mod tests {
 
     #[test]
     fn orient2d_basic() {
-        assert_eq!(orient2d(A, B, Point2::new(0.5, 1.0)), Orientation::CounterClockwise);
-        assert_eq!(orient2d(A, B, Point2::new(0.5, -1.0)), Orientation::Clockwise);
-        assert_eq!(orient2d(A, B, Point2::new(2.0, 0.0)), Orientation::Collinear);
+        assert_eq!(
+            orient2d(A, B, Point2::new(0.5, 1.0)),
+            Orientation::CounterClockwise
+        );
+        assert_eq!(
+            orient2d(A, B, Point2::new(0.5, -1.0)),
+            Orientation::Clockwise
+        );
+        assert_eq!(
+            orient2d(A, B, Point2::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
     }
 
     #[test]
@@ -217,7 +226,9 @@ mod tests {
     fn orient2d_filter_agrees_with_exact_randomly() {
         let mut s = 0x1234_5678_u64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 11) as f64 / (1u64 << 53) as f64) * 100.0 - 50.0
         };
         for _ in 0..2000 {

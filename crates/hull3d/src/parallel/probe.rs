@@ -100,13 +100,25 @@ pub fn find_facet_inplace(
                 }
             } else {
                 let out = random_sample_with_p(
-                    m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+                    m,
+                    shm,
+                    &survivors,
+                    universe,
+                    k,
+                    cfg.sample_attempts,
+                    Some(p_j),
                 );
                 base.extend_from_slice(&out.sample);
             }
         } else {
             let out = random_sample_with_p(
-                m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+                m,
+                shm,
+                &survivors,
+                universe,
+                k,
+                cfg.sample_attempts,
+                Some(p_j),
             );
             base.extend_from_slice(&out.sample);
         }
@@ -189,8 +201,16 @@ mod tests {
         let active: Vec<usize> = (0..pts.len()).collect();
         let mut m = Machine::new(7);
         let mut shm = Shm::new();
-        let f = find_facet_inplace(&mut m, &mut shm, &pts, &active, 0.05, -0.03, &FpConfig::default())
-            .expect("facet");
+        let f = find_facet_inplace(
+            &mut m,
+            &mut shm,
+            &pts,
+            &active,
+            0.05,
+            -0.03,
+            &FpConfig::default(),
+        )
+        .expect("facet");
         verify_facet(&pts, &active, 0.05, -0.03, f);
         // all three vertices must be sphere (hull) points
         for v in f.ids() {
@@ -223,9 +243,16 @@ mod tests {
         let active: Vec<usize> = (0..pts.len()).filter(|i| i % 2 == 0).collect();
         let mut m = Machine::new(9);
         let mut shm = Shm::new();
-        let f =
-            find_facet_inplace(&mut m, &mut shm, &pts, &active, 0.0, 0.0, &FpConfig::default())
-                .expect("facet");
+        let f = find_facet_inplace(
+            &mut m,
+            &mut shm,
+            &pts,
+            &active,
+            0.0,
+            0.0,
+            &FpConfig::default(),
+        )
+        .expect("facet");
         for v in f.ids() {
             assert_eq!(v % 2, 0, "facet vertex outside the active subset");
         }
@@ -239,8 +266,16 @@ mod tests {
         let active: Vec<usize> = (0..n).collect();
         let mut m = Machine::new(10);
         let mut shm = Shm::new();
-        find_facet_inplace(&mut m, &mut shm, &pts, &active, 0.0, 0.0, &FpConfig::default())
-            .unwrap();
+        find_facet_inplace(
+            &mut m,
+            &mut shm,
+            &pts,
+            &active,
+            0.0,
+            0.0,
+            &FpConfig::default(),
+        )
+        .unwrap();
         assert!(
             m.metrics.total_work() < 1000 * n as u64,
             "work {}",

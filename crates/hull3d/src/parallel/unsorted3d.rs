@@ -277,8 +277,7 @@ pub fn upper_hull3_unsorted(
         // --- optional paper step 3: projection runs ----------------------
         if params.run_projections {
             if let Some(&(_, f0)) = new_facets.first() {
-                trace.projection_edges +=
-                    run_projection_step(m, points, &actives, f0);
+                trace.projection_edges += run_projection_step(m, points, &actives, f0);
             }
         }
 
@@ -339,13 +338,29 @@ pub fn upper_hull3_unsorted(
         // --- l-trigger -----------------------------------------------------
         let l = facets.len() + regions.len();
         if l >= fallback_threshold {
-            run_rs_fallback(m, points, &mut facets, &mut facet_keys, &mut trace, shm, alive);
+            run_rs_fallback(
+                m,
+                points,
+                &mut facets,
+                &mut facet_keys,
+                &mut trace,
+                shm,
+                alive,
+            );
             regions.clear();
             break;
         }
     }
     if !regions.is_empty() {
-        run_rs_fallback(m, points, &mut facets, &mut facet_keys, &mut trace, shm, alive);
+        run_rs_fallback(
+            m,
+            points,
+            &mut facets,
+            &mut facet_keys,
+            &mut trace,
+            shm,
+            alive,
+        );
     }
 
     // --- coverage backstop ------------------------------------------------
@@ -459,12 +474,7 @@ fn run_rs_fallback(
 /// along directions parallel to the newly found facet, and find the 2-D
 /// hulls of the projections with the 2-D unsorted algorithm (their edges
 /// are 3-D hull edges). Returns the number of silhouette edges found.
-fn run_projection_step(
-    m: &mut Machine,
-    points: &[Point3],
-    actives: &[usize],
-    f: Facet,
-) -> usize {
+fn run_projection_step(m: &mut Machine, points: &[Point3], actives: &[usize], f: Facet) -> usize {
     // facet plane z = αx + βy + γ
     let (a, b, c) = (points[f.a], points[f.b], points[f.c]);
     let ux = (b.x - a.x, b.y - a.y, b.z - a.z);
@@ -512,7 +522,11 @@ mod tests {
     use crate::seq::brute3d::upper_hull3_brute;
     use ipch_geom::gen3d::{in_ball, in_cube, on_sphere, sphere_plus_interior};
 
-    fn run(points: &[Point3], seed: u64, params: &Unsorted3Params) -> (Hull3Output, Unsorted3Trace, Machine) {
+    fn run(
+        points: &[Point3],
+        seed: u64,
+        params: &Unsorted3Params,
+    ) -> (Hull3Output, Unsorted3Trace, Machine) {
         let mut m = Machine::new(seed);
         let mut shm = Shm::new();
         let (out, trace) = upper_hull3_unsorted(&mut m, &mut shm, points, params);
@@ -604,6 +618,9 @@ mod tests {
         };
         let (out, trace, _) = run(&pts, 4, &params);
         verify_upper_hull3(&pts, &out.facets, false).unwrap();
-        assert!(trace.projection_edges > 0, "projection runs should find silhouette edges");
+        assert!(
+            trace.projection_edges > 0,
+            "projection runs should find silhouette edges"
+        );
     }
 }

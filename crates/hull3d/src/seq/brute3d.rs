@@ -87,8 +87,7 @@ mod tests {
                 let pts = gen(40, seed);
                 let mut st = Seq3Stats::default();
                 let fs = upper_hull3_brute(&pts, &mut st);
-                verify_upper_hull3(&pts, &fs, false)
-                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                verify_upper_hull3(&pts, &fs, false).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             }
         }
     }

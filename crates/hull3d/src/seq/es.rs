@@ -62,8 +62,7 @@ pub fn upper_hull3_probing(points: &[Point3], stats: &mut Seq3Stats, seed: u64) 
         for t in [0.0f64, 1e-9, 1e-6, 1e-3, 1e-2] {
             let qx = points[q].x + t * (cx - points[q].x);
             let qy = points[q].y + t * (cy - points[q].y);
-            if let Some(f) =
-                probe_facet(points, &live, Point2::new(qx, qy), stats, rng.next_u64())
+            if let Some(f) = probe_facet(points, &live, Point2::new(qx, qy), stats, rng.next_u64())
             {
                 found = Some(f);
                 break;
@@ -155,8 +154,7 @@ fn exact_facet_among(
     for x in 0..c {
         for y in x + 1..c {
             for z in y + 1..c {
-                let Some(f) = oriented_facet(points, contacts[x], contacts[y], contacts[z])
-                else {
+                let Some(f) = oriented_facet(points, contacts[x], contacts[y], contacts[z]) else {
                     continue;
                 };
                 stats.orient2d_tests += 3;
@@ -206,7 +204,10 @@ mod tests {
 
     #[test]
     fn larger_inputs_verify_and_match_giftwrap_vertices() {
-        for (i, gen) in [in_ball as fn(usize, u64) -> Vec<Point3>, in_cube].iter().enumerate() {
+        for (i, gen) in [in_ball as fn(usize, u64) -> Vec<Point3>, in_cube]
+            .iter()
+            .enumerate()
+        {
             let pts = gen(300, i as u64 + 9);
             let mut s1 = Seq3Stats::default();
             let es = upper_hull3_probing(&pts, &mut s1, 1);

@@ -35,8 +35,7 @@ pub fn upper_hull3_giftwrap(points: &[Point3], stats: &mut Seq3Stats) -> Vec<Fac
         queue.push((w[0], w[1]));
         queue.push((w[1], w[0]));
     }
-    let mut visited: std::collections::HashSet<(usize, usize)> =
-        std::collections::HashSet::new();
+    let mut visited: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     let mut facets: std::collections::HashSet<Facet> = std::collections::HashSet::new();
 
     while let Some((u, v)) = queue.pop() {

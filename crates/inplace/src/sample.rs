@@ -116,11 +116,7 @@ pub fn random_sample_with_p(
             ctx.write(attempt, pid, 1);
         }
     });
-    let attempted = shm
-        .slice(attempt)
-        .iter()
-        .filter(|&&x| x != 0)
-        .count();
+    let attempted = shm.slice(attempt).iter().filter(|&&x| x != 0).count();
 
     for _round in 0..attempts {
         // fresh scratch cells for this round's collision protocol
@@ -199,7 +195,11 @@ mod tests {
     fn sample_size_theta_k() {
         for seed in 0..10 {
             let (out, _) = run(10_000, 32, seed);
-            assert!(out.size_in_bounds(32), "seed {seed}: size {}", out.sample.len());
+            assert!(
+                out.size_in_bounds(32),
+                "seed {seed}: size {}",
+                out.sample.len()
+            );
         }
     }
 
@@ -217,7 +217,10 @@ mod tests {
     fn constant_time() {
         let (_, m1) = run(1_000, 8, 1);
         let (_, m2) = run(100_000, 8, 1);
-        assert_eq!(m1.metrics.steps, m2.metrics.steps, "steps must not depend on m");
+        assert_eq!(
+            m1.metrics.steps, m2.metrics.steps,
+            "steps must not depend on m"
+        );
         assert_eq!(m1.metrics.steps, 1 + 4 * 4);
     }
 

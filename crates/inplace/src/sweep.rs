@@ -122,7 +122,14 @@ mod tests {
     fn no_failures_no_sweep() {
         let mut m = Machine::new(1);
         let mut shm = Shm::new();
-        let r = failure_sweep(&mut m, &mut shm, 20, 4, |_, _, _| true, |_, _, _| panic!("no brute expected"));
+        let r = failure_sweep(
+            &mut m,
+            &mut shm,
+            20,
+            4,
+            |_, _, _| true,
+            |_, _, _| panic!("no brute expected"),
+        );
         assert!(r.failures.is_empty());
         assert_eq!(r.swept, 0);
         assert!(!r.compaction_overflow);

@@ -90,9 +90,21 @@ pub fn solve_lp2_am(
     // and we report failure.
     const M: f64 = 1e15;
     let bounds: [Halfplane; 3] = [
-        Halfplane { a: 1.0, b: 0.0, c: -M },
-        Halfplane { a: -0.5, b: 0.75f64.sqrt(), c: -M },
-        Halfplane { a: -0.5, b: -(0.75f64.sqrt()), c: -M },
+        Halfplane {
+            a: 1.0,
+            b: 0.0,
+            c: -M,
+        },
+        Halfplane {
+            a: -0.5,
+            b: 0.75f64.sqrt(),
+            c: -M,
+        },
+        Halfplane {
+            a: -0.5,
+            b: -(0.75f64.sqrt()),
+            c: -M,
+        },
     ];
     let cs_at = |i: usize| -> &Halfplane {
         if i < 3 {
@@ -202,7 +214,13 @@ mod tests {
             })
             .collect();
         let th = rng.next_f64() * std::f64::consts::TAU;
-        (cs, Objective2 { cx: th.cos(), cy: th.sin() })
+        (
+            cs,
+            Objective2 {
+                cx: th.cos(),
+                cy: th.sin(),
+            },
+        )
     }
 
     #[test]
@@ -215,7 +233,8 @@ mod tests {
                 solve_lp2_am(&mut m, &mut shm, &cs, &obj, &AmConfig::default()).expect("am failed");
             let mut m2 = Machine::new(seed);
             let mut shm2 = Shm::new();
-            if let Lp2Outcome::Optimal(b) = crate::brute::solve_lp2_brute(&mut m2, &mut shm2, &cs, &obj)
+            if let Lp2Outcome::Optimal(b) =
+                crate::brute::solve_lp2_brute(&mut m2, &mut shm2, &cs, &obj)
             {
                 let fa = obj.cx * sol.x + obj.cy * sol.y;
                 let fb = obj.cx * b.x + obj.cy * b.y;

@@ -288,7 +288,13 @@ mod tests {
 
     #[test]
     fn bridge_on_triangle() {
-        let pts = vec![p(0.0, 0.0), p(2.0, 2.0), p(4.0, 0.0), p(1.0, 0.5), p(3.0, 0.5)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(2.0, 2.0),
+            p(4.0, 0.0),
+            p(1.0, 0.5),
+            p(3.0, 0.5),
+        ];
         let b = check_bridge(&pts, 1.0).unwrap();
         assert_eq!((b.left, b.right), (0, 1));
         let b = check_bridge(&pts, 3.0).unwrap();
@@ -329,11 +335,7 @@ mod tests {
             for w in hull.vertices.windows(2) {
                 let x0 = (pts[w[0]].x + pts[w[1]].x) / 2.0;
                 let b = check_bridge(&pts, x0).unwrap();
-                assert_eq!(
-                    (b.left, b.right),
-                    (w[0], w[1]),
-                    "seed {seed} x0 {x0}"
-                );
+                assert_eq!((b.left, b.right), (w[0], w[1]), "seed {seed} x0 {x0}");
             }
         }
     }
@@ -341,7 +343,13 @@ mod tests {
     #[test]
     fn bridge_subset_ignores_excluded_points() {
         // the global hull apex is excluded from the subset
-        let pts = vec![p(0.0, 0.0), p(2.0, 5.0), p(4.0, 0.0), p(1.0, 1.0), p(3.0, 1.0)];
+        let pts = vec![
+            p(0.0, 0.0),
+            p(2.0, 5.0),
+            p(4.0, 0.0),
+            p(1.0, 1.0),
+            p(3.0, 1.0),
+        ];
         let ids = vec![0usize, 2, 3, 4];
         let mut m = Machine::new(8);
         let mut shm = Shm::new();
@@ -383,7 +391,7 @@ mod tests {
         let mut m = Machine::new(10);
         let mut shm = Shm::new();
         let ids: Vec<usize> = (0..pts.len()).collect();
-        assert!(facet_brute(&mut m, &mut shm, &pts, &ids, 5.0, 5.0, ).is_none());
+        assert!(facet_brute(&mut m, &mut shm, &pts, &ids, 5.0, 5.0,).is_none());
         assert!(facet_brute(&mut m, &mut shm, &pts, &ids, 0.2, 0.2).is_some());
     }
 

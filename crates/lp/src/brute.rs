@@ -16,8 +16,8 @@
 use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
 
 use crate::constraint::{
-    candidate_objective, candidate_satisfies_fast, compare_objectives, cramer2, f64_key,
-    Halfplane, Lp2Solution, Objective2,
+    candidate_objective, candidate_satisfies_fast, compare_objectives, cramer2, f64_key, Halfplane,
+    Lp2Solution, Objective2,
 };
 
 /// Outcome of a brute-force LP solve.
@@ -49,7 +49,13 @@ pub fn solve_lp2_brute(
     // candidate's pair of processors computes this in the marking step; we
     // hoist it so the n³ feasibility checks share it (work accounting is
     // unchanged — the marking step below still runs n³ processors).
-    let cands: Vec<Option<((ipch_geom::exact::Expansion, ipch_geom::exact::Expansion, ipch_geom::exact::Expansion), (f64, f64, f64))>> = (0..npairs)
+    type Exact3 = (
+        ipch_geom::exact::Expansion,
+        ipch_geom::exact::Expansion,
+        ipch_geom::exact::Expansion,
+    );
+    type Candidate = Option<(Exact3, (f64, f64, f64))>;
+    let cands: Vec<Candidate> = (0..npairs)
         .map(|p| {
             let (i, j) = (p / n, p % n);
             if i >= j {
@@ -128,8 +134,7 @@ pub fn solve_lp2_brute(
             let key = f64_key(candidate_objective(d, dx, dy, obj));
             let ((wd, wdx, wdy), _) = cands[wp].as_ref().unwrap();
             if key == best_key
-                && compare_objectives((d, dx, dy), (wd, wdx, wdy), obj)
-                    == std::cmp::Ordering::Less
+                && compare_objectives((d, dx, dy), (wd, wdx, wdy), obj) == std::cmp::Ordering::Less
             {
                 wp = p;
             }
@@ -207,7 +212,7 @@ mod tests {
     fn redundant_and_parallel_constraints() {
         let cs = vec![
             hp(1.0, 0.0, 1.0),
-            hp(1.0, 0.0, 0.5),  // redundant, parallel to [0]
+            hp(1.0, 0.0, 0.5), // redundant, parallel to [0]
             hp(0.0, 1.0, 1.0),
             hp(0.0, 1.0, -3.0), // redundant
             hp(-1.0, -1.0, -100.0),
@@ -238,7 +243,10 @@ mod tests {
                 })
                 .collect();
             let t = rng.next_f64() * std::f64::consts::TAU;
-            let obj = Objective2 { cx: t.cos(), cy: t.sin() };
+            let obj = Objective2 {
+                cx: t.cos(),
+                cy: t.sin(),
+            };
             let mut m = Machine::new(trial as u64);
             let mut shm = Shm::new();
             if let Lp2Outcome::Optimal(s) = solve_lp2_brute(&mut m, &mut shm, &cs, &obj) {

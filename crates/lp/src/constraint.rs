@@ -79,16 +79,8 @@ pub fn cramer2(i: &Halfplane, j: &Halfplane) -> (Expansion, Expansion, Expansion
 ///
 /// `a·(Dx/D) + b·(Dy/D) ≥ c  ⇔  sign(a·Dx + b·Dy − c·D) agrees with
 /// sign(D)` (or is zero).
-pub fn candidate_satisfies(
-    d: &Expansion,
-    dx: &Expansion,
-    dy: &Expansion,
-    k: &Halfplane,
-) -> bool {
-    let t = dx
-        .scale(k.a)
-        .add(&dy.scale(k.b))
-        .sub(&d.scale(k.c));
+pub fn candidate_satisfies(d: &Expansion, dx: &Expansion, dy: &Expansion, k: &Halfplane) -> bool {
+    let t = dx.scale(k.a).add(&dy.scale(k.b)).sub(&d.scale(k.c));
     t.sign() * d.sign() >= 0
 }
 
@@ -114,12 +106,7 @@ pub fn candidate_satisfies_fast(
 
 /// Approximate (f64) objective value of a Cramer candidate. Used only as a
 /// comparison key; exact rational tie-breaking happens host-side.
-pub fn candidate_objective(
-    d: &Expansion,
-    dx: &Expansion,
-    dy: &Expansion,
-    obj: &Objective2,
-) -> f64 {
+pub fn candidate_objective(d: &Expansion, dx: &Expansion, dy: &Expansion, obj: &Objective2) -> f64 {
     (obj.cx * dx.approx() + obj.cy * dy.approx()) / d.approx()
 }
 
@@ -175,7 +162,7 @@ mod tests {
         assert!(candidate_satisfies(&d, &dx, &dy, &hp(1.0, 1.0, 2.0))); // 3 ≥ 2
         assert!(candidate_satisfies(&d, &dx, &dy, &hp(1.0, 1.0, 3.0))); // 3 ≥ 3 tight
         assert!(!candidate_satisfies(&d, &dx, &dy, &hp(1.0, 1.0, 4.0))); // 3 < 4
-        // negative-D orientation must not flip the verdict
+                                                                         // negative-D orientation must not flip the verdict
         let (d2, dx2, dy2) = cramer2(&hp(0.0, 1.0, 2.0), &hp(1.0, 0.0, 1.0));
         assert_eq!(d2.sign(), -d.sign());
         assert!(candidate_satisfies(&d2, &dx2, &dy2, &hp(1.0, 1.0, 2.0)));
@@ -225,12 +212,7 @@ mod tests {
             f64::INFINITY,
         ];
         for w in vals.windows(2) {
-            assert!(
-                f64_key(w[0]) <= f64_key(w[1]),
-                "{} vs {}",
-                w[0],
-                w[1]
-            );
+            assert!(f64_key(w[0]) <= f64_key(w[1]), "{} vs {}", w[0], w[1]);
         }
         assert!(f64_key(-2.0) < f64_key(-1.0));
         assert!(f64_key(-0.0) < f64_key(0.0)); // distinct keys, right order

@@ -180,13 +180,25 @@ pub fn find_bridge_inplace_traced(
             } else {
                 // too many survivors to compact: fall back to sampling
                 let out = random_sample_with_p(
-                    m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+                    m,
+                    shm,
+                    &survivors,
+                    universe,
+                    k,
+                    cfg.sample_attempts,
+                    Some(p_j),
                 );
                 base.extend_from_slice(&out.sample);
             }
         } else {
             let out = random_sample_with_p(
-                m, shm, &survivors, universe, k, cfg.sample_attempts, Some(p_j),
+                m,
+                shm,
+                &survivors,
+                universe,
+                k,
+                cfg.sample_attempts,
+                Some(p_j),
             );
             base.extend_from_slice(&out.sample);
         }
@@ -257,17 +269,14 @@ mod tests {
             let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
             let mut m = Machine::new(seed);
             let mut shm = Shm::new();
-            let (b, trace) = find_bridge_inplace(
-                &mut m,
-                &mut shm,
-                &pts,
-                &active,
-                x0,
-                &IbConfig::default(),
-            )
-            .unwrap_or_else(|| panic!("seed {seed}: no bridge"));
+            let (b, trace) =
+                find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default())
+                    .unwrap_or_else(|| panic!("seed {seed}: no bridge"));
             verify_bridge(&pts, &active, x0, b);
-            assert_eq!((b.left, b.right), (hull.vertices[mid - 1], hull.vertices[mid]));
+            assert_eq!(
+                (b.left, b.right),
+                (hull.vertices[mid - 1], hull.vertices[mid])
+            );
             assert!(trace.rounds <= 12, "seed {seed}: {} rounds", trace.rounds);
         }
     }
@@ -280,13 +289,11 @@ mod tests {
         let sub: Vec<Point2> = active.iter().map(|&i| pts[i]).collect();
         let sub_hull = UpperHull::of(&sub);
         let mid = sub_hull.vertices.len() / 2;
-        let x0 =
-            (sub[sub_hull.vertices[mid - 1]].x + sub[sub_hull.vertices[mid]].x) / 2.0;
+        let x0 = (sub[sub_hull.vertices[mid - 1]].x + sub[sub_hull.vertices[mid]].x) / 2.0;
         let mut m = Machine::new(1);
         let mut shm = Shm::new();
-        let (b, _) =
-            find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default())
-                .expect("bridge");
+        let (b, _) = find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default())
+            .expect("bridge");
         verify_bridge(&pts, &active, x0, b);
     }
 
@@ -299,8 +306,7 @@ mod tests {
         let mut m = Machine::new(2);
         let mut shm = Shm::new();
         let (b, trace) =
-            find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default())
-                .unwrap();
+            find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default()).unwrap();
         verify_bridge(&pts, &active, x0, b);
         assert_eq!(trace.rounds, 1);
     }
@@ -335,15 +341,9 @@ mod tests {
                 let x0 = (pts[hull.vertices[mid - 1]].x + pts[hull.vertices[mid]].x) / 2.0;
                 let mut m = Machine::new(seed + 50);
                 let mut shm = Shm::new();
-                let (b, trace) = find_bridge_inplace(
-                    &mut m,
-                    &mut shm,
-                    &pts,
-                    &active,
-                    x0,
-                    &IbConfig::default(),
-                )
-                .unwrap();
+                let (b, trace) =
+                    find_bridge_inplace(&mut m, &mut shm, &pts, &active, x0, &IbConfig::default())
+                        .unwrap();
                 verify_bridge(&pts, &active, x0, b);
                 worst = worst.max(trace.rounds);
             }

@@ -218,7 +218,16 @@ mod tests {
         ];
         let mut m = Machine::new(1);
         let mut shm = Shm::new();
-        match solve_lp3_brute(&mut m, &mut shm, &cs, &Objective3 { cx: 1.0, cy: 1.0, cz: 1.0 }) {
+        match solve_lp3_brute(
+            &mut m,
+            &mut shm,
+            &cs,
+            &Objective3 {
+                cx: 1.0,
+                cy: 1.0,
+                cz: 1.0,
+            },
+        ) {
             Lp3Outcome::Optimal(s) => {
                 assert_eq!((s.x, s.y, s.z), (1.0, 2.0, 3.0));
                 assert_eq!(s.tight, (0, 1, 2));
@@ -239,7 +248,16 @@ mod tests {
         let mut m = Machine::new(2);
         let mut shm = Shm::new();
         assert_eq!(
-            solve_lp3_brute(&mut m, &mut shm, &cs, &Objective3 { cx: 0.0, cy: 1.0, cz: 0.0 }),
+            solve_lp3_brute(
+                &mut m,
+                &mut shm,
+                &cs,
+                &Objective3 {
+                    cx: 0.0,
+                    cy: 1.0,
+                    cz: 0.0
+                }
+            ),
             Lp3Outcome::NoVertexOptimum
         );
     }
@@ -251,11 +269,12 @@ mod tests {
         use ipch_geom::gen3d::in_ball;
         let pts = in_ball(24, 3);
         let (x0, y0) = (0.0, 0.0);
-        let cs: Vec<Halfspace> = pts
-            .iter()
-            .map(|p| hs(p.x, p.y, 1.0, p.z))
-            .collect();
-        let obj = Objective3 { cx: x0, cy: y0, cz: 1.0 };
+        let cs: Vec<Halfspace> = pts.iter().map(|p| hs(p.x, p.y, 1.0, p.z)).collect();
+        let obj = Objective3 {
+            cx: x0,
+            cy: y0,
+            cz: 1.0,
+        };
         let mut m = Machine::new(4);
         let mut shm = Shm::new();
         let lp = solve_lp3_brute(&mut m, &mut shm, &cs, &obj);
@@ -301,7 +320,16 @@ mod tests {
         }
         let mut m = Machine::new(6);
         let mut shm = Shm::new();
-        match solve_lp3_brute(&mut m, &mut shm, &cs, &Objective3 { cx: 1.0, cy: 1.0, cz: 1.0 }) {
+        match solve_lp3_brute(
+            &mut m,
+            &mut shm,
+            &cs,
+            &Objective3 {
+                cx: 1.0,
+                cy: 1.0,
+                cz: 1.0,
+            },
+        ) {
             Lp3Outcome::Optimal(s) => assert_eq!((s.x, s.y, s.z), (0.0, 0.0, 0.0)),
             o => panic!("{o:?}"),
         }
@@ -318,7 +346,16 @@ mod tests {
         ];
         let mut m = Machine::new(7);
         let mut shm = Shm::new();
-        match solve_lp3_brute(&mut m, &mut shm, &cs, &Objective3 { cx: 1.0, cy: 1.0, cz: 1.0 }) {
+        match solve_lp3_brute(
+            &mut m,
+            &mut shm,
+            &cs,
+            &Objective3 {
+                cx: 1.0,
+                cy: 1.0,
+                cz: 1.0,
+            },
+        ) {
             Lp3Outcome::Optimal(s) => assert_eq!((s.x, s.y, s.z), (0.0, 0.0, 0.0)),
             o => panic!("{o:?}"),
         }

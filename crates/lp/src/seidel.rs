@@ -92,7 +92,13 @@ fn solve_on_line(cs: &[Halfplane], l: &Halfplane, obj: &Objective2) -> Option<(f
         }
     }
     let fdir = obj.cx * dir.0 + obj.cy * dir.1;
-    let t = if fdir > 0.0 { lo } else if fdir < 0.0 { hi } else { lo };
+    let t = if fdir > 0.0 {
+        lo
+    } else if fdir < 0.0 {
+        hi
+    } else {
+        lo
+    };
     Some((p0.0 + t * dir.0, p0.1 + t * dir.1))
 }
 
@@ -141,7 +147,10 @@ mod tests {
                 })
                 .collect();
             let th = rng.next_f64() * std::f64::consts::TAU;
-            let obj = Objective2 { cx: th.cos(), cy: th.sin() };
+            let obj = Objective2 {
+                cx: th.cos(),
+                cy: th.sin(),
+            };
             let mut m = ipch_pram::Machine::new(trial);
             let mut shm = ipch_pram::Shm::new();
             let b = solve_lp2_brute(&mut m, &mut shm, &cs, &obj);
@@ -149,7 +158,10 @@ mod tests {
             if let (Lp2Outcome::Optimal(bs), Some((sx, sy))) = (b, s) {
                 let fb = obj.cx * bs.x + obj.cy * bs.y;
                 let fs = obj.cx * sx + obj.cy * sy;
-                assert!((fb - fs).abs() < 1e-6 * (1.0 + fb.abs()), "trial {trial}: {fb} vs {fs}");
+                assert!(
+                    (fb - fs).abs() < 1e-6 * (1.0 + fb.abs()),
+                    "trial {trial}: {fb} vs {fs}"
+                );
             }
         }
     }

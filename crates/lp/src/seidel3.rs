@@ -14,10 +14,10 @@
 
 use ipch_pram::rng::SplitMix64;
 
+use crate::constraint::Halfspace;
 use crate::constraint::{Halfplane, Objective2};
 use crate::lp3d::Objective3;
 use crate::seidel::solve_lp2_seidel;
-use crate::constraint::Halfspace;
 
 // The 3-D box must sit well inside the 2-D sub-solver's internal ±1e12
 // box so sub-optima on our box faces are not mistaken for unboundedness.
@@ -45,12 +45,42 @@ pub fn solve_lp3_seidel(
     // the artificial box participates as real constraints so every sub-LP
     // stays bounded
     let mut seen: Vec<Halfspace> = vec![
-        Halfspace { a: 1.0, b: 0.0, c: 0.0, d: -M },
-        Halfspace { a: -1.0, b: 0.0, c: 0.0, d: -M },
-        Halfspace { a: 0.0, b: 1.0, c: 0.0, d: -M },
-        Halfspace { a: 0.0, b: -1.0, c: 0.0, d: -M },
-        Halfspace { a: 0.0, b: 0.0, c: 1.0, d: -M },
-        Halfspace { a: 0.0, b: 0.0, c: -1.0, d: -M },
+        Halfspace {
+            a: 1.0,
+            b: 0.0,
+            c: 0.0,
+            d: -M,
+        },
+        Halfspace {
+            a: -1.0,
+            b: 0.0,
+            c: 0.0,
+            d: -M,
+        },
+        Halfspace {
+            a: 0.0,
+            b: 1.0,
+            c: 0.0,
+            d: -M,
+        },
+        Halfspace {
+            a: 0.0,
+            b: -1.0,
+            c: 0.0,
+            d: -M,
+        },
+        Halfspace {
+            a: 0.0,
+            b: 0.0,
+            c: 1.0,
+            d: -M,
+        },
+        Halfspace {
+            a: 0.0,
+            b: 0.0,
+            c: -1.0,
+            d: -M,
+        },
     ];
     for &ci in &order {
         let c = constraints[ci];
@@ -115,7 +145,7 @@ fn solve_on_plane(
         cx: o[free[0]] - oscale * coeff[free[0]],
         cy: o[free[1]] - oscale * coeff[free[1]],
     };
-    let cs2: Vec<Halfplane> = cs.iter().map(|h| sub(h)).collect();
+    let cs2: Vec<Halfplane> = cs.iter().map(sub).collect();
     let (u, v) = solve_lp2_seidel(&cs2, &obj2, seed)?;
     let e = (l.d - coeff[free[0]] * u - coeff[free[1]] * v) / w;
     let mut out = [0.0f64; 3];
@@ -143,21 +173,47 @@ mod tests {
             hs(0.0, 0.0, 1.0, 3.0),
             hs(-1.0, -1.0, -1.0, -100.0),
         ];
-        let (x, y, z) =
-            solve_lp3_seidel(&cs, &Objective3 { cx: 1.0, cy: 1.0, cz: 1.0 }, 1).unwrap();
+        let (x, y, z) = solve_lp3_seidel(
+            &cs,
+            &Objective3 {
+                cx: 1.0,
+                cy: 1.0,
+                cz: 1.0,
+            },
+            1,
+        )
+        .unwrap();
         assert!((x - 1.0).abs() < 1e-6 && (y - 2.0).abs() < 1e-6 && (z - 3.0).abs() < 1e-6);
     }
 
     #[test]
     fn infeasible_detected() {
         let cs = vec![hs(0.0, 0.0, 1.0, 5.0), hs(0.0, 0.0, -1.0, -1.0)];
-        assert!(solve_lp3_seidel(&cs, &Objective3 { cx: 0.0, cy: 0.0, cz: 1.0 }, 2).is_none());
+        assert!(solve_lp3_seidel(
+            &cs,
+            &Objective3 {
+                cx: 0.0,
+                cy: 0.0,
+                cz: 1.0
+            },
+            2
+        )
+        .is_none());
     }
 
     #[test]
     fn unbounded_reported() {
         let cs = vec![hs(0.0, 0.0, 1.0, 0.0)];
-        assert!(solve_lp3_seidel(&cs, &Objective3 { cx: 1.0, cy: 0.0, cz: 0.0 }, 3).is_none());
+        assert!(solve_lp3_seidel(
+            &cs,
+            &Objective3 {
+                cx: 1.0,
+                cy: 0.0,
+                cz: 0.0
+            },
+            3
+        )
+        .is_none());
     }
 
     #[test]
@@ -174,7 +230,11 @@ mod tests {
                     hs(-r * t.cos(), -r * t.sin(), -u, -1.0 - rng.next_f64())
                 })
                 .collect();
-            let obj = Objective3 { cx: 0.2, cy: -0.5, cz: 0.84 };
+            let obj = Objective3 {
+                cx: 0.2,
+                cy: -0.5,
+                cz: 0.84,
+            };
             let s = solve_lp3_seidel(&cs, &obj, trial);
             let mut m = Machine::new(trial);
             let mut shm = Shm::new();
@@ -196,7 +256,11 @@ mod tests {
         use ipch_geom::gen3d::in_ball;
         let pts = in_ball(60, 7);
         let cs: Vec<Halfspace> = pts.iter().map(|p| hs(p.x, p.y, 1.0, p.z)).collect();
-        let obj = Objective3 { cx: 0.1, cy: -0.2, cz: 1.0 };
+        let obj = Objective3 {
+            cx: 0.1,
+            cy: -0.2,
+            cz: 1.0,
+        };
         let (a, b, g) = solve_lp3_seidel(&cs, &obj, 5).unwrap();
         // the optimal plane z = a·x + b·y + g supports all points
         for p in &pts {

@@ -45,13 +45,14 @@ pub mod machine;
 pub mod memory;
 pub mod metrics;
 pub mod policy;
+pub mod pool;
 pub mod prefix;
 pub mod primitives;
 pub mod rng;
 pub mod schedule;
 pub mod sort;
 
-pub use machine::{Ctx, Machine};
+pub use machine::{Ctx, Machine, Tuning};
 pub use memory::{ArrayId, Shm};
 pub use metrics::{Metrics, PhaseRecord};
 pub use policy::WritePolicy;

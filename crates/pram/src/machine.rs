@@ -5,21 +5,48 @@
 //! 1. **Compute phase** — every active processor runs the step closure
 //!    against an immutable snapshot of shared memory, buffering its writes
 //!    and (optionally) producing a private result. Processors are evaluated
-//!    via rayon when the active set is large; since each processor only
-//!    reads the pre-step snapshot, evaluation order is unobservable.
-//! 2. **Commit phase** — buffered writes are grouped by cell, each group is
-//!    resolved under the machine's [`WritePolicy`], and the winners are
-//!    committed. Metrics record one step and `|active|` work.
+//!    in chunks over the persistent [`crate::pool`] when the active set is
+//!    large; since each processor only reads the pre-step snapshot,
+//!    evaluation order is unobservable.
+//! 2. **Commit phase** — buffered writes are resolved per cell under the
+//!    machine's [`WritePolicy`] and the winners are committed. Metrics
+//!    record one step and `|active|` work.
 //!
 //! This gives exactly the textbook semantics: concurrent reads are free,
 //! concurrent writes are resolved by the model rule, and *nothing a
 //! processor writes is visible to any processor until the next step*.
+//!
+//! # The commit pipeline
+//!
+//! The commit phase is the simulator's hot path and is engineered to cost
+//! nothing it doesn't have to:
+//!
+//! * **Write-buffer arena** — every chunk of processors appends to a pooled
+//!   per-chunk buffer owned by the machine. Buffers (and the flat gather /
+//!   sort-scratch buffers behind them) survive across steps, so steady-state
+//!   steps perform **zero heap allocation**.
+//! * **Conflict-free fast path** — scatter-style steps (each cell written at
+//!   most once, in increasing cell order: the overwhelmingly common shape of
+//!   the hull algorithms' marking steps) are detected by a single strictly-
+//!   monotone scan over the buffered log and committed **directly**: no
+//!   gather, no sort, no policy resolution, no per-cell tiebreak hash.
+//! * **Sorted slow path** — otherwise the log is gathered flat, sorted by a
+//!   packed 64-bit `(array, idx)` key (in parallel above a threshold), and
+//!   resolved run-by-run *in place*: singleton runs commit directly, and
+//!   only genuinely conflicted cells pay the policy dispatch and the seeded
+//!   tiebreak hash.
+//! * **Deterministic resolution order** — each buffered write carries its
+//!   processor id and a per-processor sequence number, making the sort key
+//!   total. The committed state is a pure function of (seed, program),
+//!   independent of chunking, thread count, or which commit path ran.
 
-use rayon::prelude::*;
+use std::cell::UnsafeCell;
+use std::time::Instant;
 
 use crate::memory::{ArrayId, Shm};
 use crate::metrics::Metrics;
 use crate::policy::WritePolicy;
+use crate::pool;
 use crate::rng::{mix64, SplitMix64};
 use crate::Word;
 
@@ -43,6 +70,7 @@ impl Pids<'_> {
         }
     }
 
+    #[inline]
     fn get(&self, i: usize) -> usize {
         match self {
             Pids::Range(lo, _) => lo + i,
@@ -69,12 +97,95 @@ impl<'a> From<&'a Vec<usize>> for Pids<'a> {
     }
 }
 
+/// One buffered write, packed for sort speed: 24 bytes, and the cell
+/// address is a single `u64` so the sort comparator is one wide compare.
 #[derive(Clone, Copy, Debug)]
-struct WriteEntry {
-    array: u32,
-    idx: u32,
-    pid: usize,
-    val: Word,
+pub(crate) struct WriteEntry {
+    /// `array << 32 | idx` — the cell address.
+    pub(crate) key: u64,
+    /// `pid << 32 | seq` — writer id and its per-step write sequence number;
+    /// makes the total sort key unique, so resolution is deterministic even
+    /// under an unstable sort.
+    pub(crate) pidseq: u64,
+    /// The written value.
+    pub(crate) val: Word,
+}
+
+impl WriteEntry {
+    #[inline]
+    fn array(&self) -> u32 {
+        (self.key >> 32) as u32
+    }
+
+    #[inline]
+    fn idx(&self) -> u32 {
+        self.key as u32
+    }
+
+    /// Full unique sort key.
+    #[inline]
+    fn sort_key(&self) -> u128 {
+        ((self.key as u128) << 64) | self.pidseq as u128
+    }
+}
+
+/// Interior-mutable cell handed to pool chunks; each chunk index touches
+/// exactly one cell, which is what makes the unsafe access sound.
+struct ChunkCell<T>(UnsafeCell<T>);
+
+// SAFETY: access discipline is "chunk c touches cell c only", enforced by
+// the pool delivering each chunk index exactly once.
+unsafe impl<T: Send> Sync for ChunkCell<T> {}
+
+impl<T> ChunkCell<T> {
+    fn new(v: T) -> Self {
+        Self(UnsafeCell::new(v))
+    }
+
+    /// Exclusive access from the chunk that owns this cell.
+    ///
+    /// # Safety
+    /// Caller must be the unique accessor of this cell for the duration of
+    /// the returned borrow (the pool's exactly-once chunk dispatch).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get_mut_unchecked(&self) -> &mut T {
+        &mut *self.0.get()
+    }
+
+    fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+/// Pooled buffers reused by every step: per-chunk write logs, the flat
+/// gathered log, and merge scratch. Capacities are retained across steps so
+/// the steady state allocates nothing.
+#[derive(Default)]
+struct WriteArena {
+    chunk_bufs: Vec<ChunkCell<Vec<WriteEntry>>>,
+    flat: Vec<WriteEntry>,
+    scratch: Vec<WriteEntry>,
+}
+
+impl std::fmt::Debug for WriteArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WriteArena")
+            .field("chunks", &self.chunk_bufs.len())
+            .field("flat_cap", &self.flat.capacity())
+            .finish()
+    }
+}
+
+impl WriteArena {
+    /// Make at least `n` cleared chunk buffers available.
+    fn prepare(&mut self, n: usize) {
+        for buf in self.chunk_bufs.iter_mut().take(n) {
+            buf.0.get_mut().clear();
+        }
+        while self.chunk_bufs.len() < n {
+            self.chunk_bufs.push(ChunkCell::new(Vec::new()));
+        }
+    }
 }
 
 /// Per-processor view during the compute phase of a step.
@@ -82,15 +193,41 @@ pub struct Ctx<'a, 'b> {
     /// This processor's id.
     pub pid: usize,
     shm: &'a Shm,
-    rng: SplitMix64,
+    seed: u64,
+    step_no: u64,
+    rng: Option<SplitMix64>,
     writes: &'b mut Vec<WriteEntry>,
+    wseq: u32,
 }
 
-impl Ctx<'_, '_> {
+impl<'a> Ctx<'a, '_> {
     /// Read a cell of the pre-step memory snapshot.
     #[inline]
     pub fn read(&self, a: ArrayId, i: usize) -> Word {
         self.shm.get(a, i)
+    }
+
+    /// Borrow a whole array of the pre-step snapshot.
+    ///
+    /// The slice lives as long as the snapshot (not just the `Ctx` borrow),
+    /// so inner loops can hoist it once and index directly — one bounds
+    /// check per access instead of [`Shm::get`]'s double indirection:
+    ///
+    /// ```
+    /// # use ipch_pram::{Machine, Shm};
+    /// # let mut m = Machine::new(1);
+    /// # let mut shm = Shm::new();
+    /// # let a = shm.alloc("a", 64, 1);
+    /// # let out = shm.alloc("out", 64, 0);
+    /// m.step(&mut shm, 0..64, |ctx| {
+    ///     let row = ctx.slice(a);            // hoisted once
+    ///     let s: i64 = row.iter().sum();     // tight loop, no Shm lookups
+    ///     ctx.write(out, ctx.pid, s);
+    /// });
+    /// ```
+    #[inline]
+    pub fn slice(&self, a: ArrayId) -> &'a [Word] {
+        self.shm.slice(a)
     }
 
     /// Length of a shared array.
@@ -102,24 +239,71 @@ impl Ctx<'_, '_> {
     /// Buffer a write to be committed at the end of the step.
     #[inline]
     pub fn write(&mut self, a: ArrayId, i: usize, v: Word) {
-        debug_assert!(i < self.shm.len(a), "write out of bounds: {} >= {}", i, self.shm.len(a));
+        debug_assert!(
+            i < self.shm.len(a),
+            "write out of bounds: {} >= {}",
+            i,
+            self.shm.len(a)
+        );
+        assert!(
+            self.pid <= u32::MAX as usize,
+            "pid {} exceeds u32 range",
+            self.pid
+        );
         self.writes.push(WriteEntry {
-            array: a.0,
-            idx: i as u32,
-            pid: self.pid,
+            key: ((a.0 as u64) << 32) | i as u64,
+            pidseq: ((self.pid as u64) << 32) | self.wseq as u64,
             val: v,
         });
+        self.wseq += 1;
     }
 
-    /// This processor's private RNG for this step.
+    /// This processor's private RNG for this step (constructed lazily, so
+    /// steps that never flip coins skip the stream derivation entirely).
     #[inline]
     pub fn rng(&mut self) -> &mut SplitMix64 {
-        &mut self.rng
+        if self.rng.is_none() {
+            self.rng = Some(SplitMix64::for_step_pid(
+                self.seed,
+                self.step_no,
+                self.pid as u64,
+            ));
+        }
+        self.rng.as_mut().unwrap()
     }
 }
 
-/// Threshold above which the compute phase fans out over rayon.
-const PAR_THRESHOLD: usize = 1 << 15;
+/// Performance knobs. Defaults are right for production use; tests force
+/// specific paths to prove they are all equivalent.
+#[derive(Clone, Copy, Debug)]
+pub struct Tuning {
+    /// Active-set size at which the compute phase fans out over the pool.
+    pub par_compute_threshold: usize,
+    /// Write-log length at which the commit sort/resolve parallelizes.
+    pub par_commit_threshold: usize,
+    /// Run everything on the calling thread regardless of thresholds.
+    pub force_sequential: bool,
+    /// Take the parallel code paths regardless of thresholds (they still
+    /// run inline when the host has one core).
+    pub force_parallel: bool,
+    /// Disable the conflict-free fast path (always gather + sort).
+    pub disable_fast_path: bool,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Self {
+            par_compute_threshold: 1 << 15,
+            par_commit_threshold: 1 << 16,
+            force_sequential: false,
+            force_parallel: false,
+            disable_fast_path: false,
+        }
+    }
+}
+
+/// Processors per compute chunk (one pooled write buffer each).
+const CHUNK: usize = 8192;
 
 /// A randomized CRCW PRAM.
 ///
@@ -155,8 +339,11 @@ pub struct Machine {
     pub metrics: Metrics,
     /// Default concurrent-write rule for [`Machine::step`].
     pub policy: WritePolicy,
+    /// Host-performance knobs (never affect simulated semantics).
+    pub tuning: Tuning,
     seed: u64,
     step_counter: u64,
+    arena: WriteArena,
 }
 
 impl Machine {
@@ -165,8 +352,10 @@ impl Machine {
         Self {
             metrics: Metrics::new(),
             policy: WritePolicy::Arbitrary,
+            tuning: Tuning::default(),
             seed,
             step_counter: 0,
+            arena: WriteArena::default(),
         }
     }
 
@@ -210,8 +399,10 @@ impl Machine {
         Machine {
             metrics: Metrics::new(),
             policy: self.policy,
+            tuning: self.tuning,
             seed: mix64(self.seed ^ mix64(tag.wrapping_mul(0xDEAD_BEEF_1234_5677))),
             step_counter: 0,
+            arena: WriteArena::default(),
         }
     }
 
@@ -275,73 +466,373 @@ impl Machine {
             return Vec::new();
         }
 
+        let t_start = Instant::now();
+        let mut arena = std::mem::take(&mut self.arena);
+        let nchunks = count.div_ceil(CHUNK);
+        arena.prepare(nchunks);
+
         let seed = self.seed;
         let shm_ref: &Shm = shm;
-        // Processors are evaluated in chunks sharing one write buffer per
-        // chunk, so a huge mostly-silent step (e.g. the n³ brute-force
-        // marking steps) costs no per-processor allocation.
-        const CHUNK: usize = 8192;
-        let run_chunk = |lo: usize, hi: usize| -> (Vec<WriteEntry>, Vec<R>) {
-            let mut writes: Vec<WriteEntry> = Vec::new();
-            let mut results: Vec<R> = Vec::with_capacity(hi - lo);
+        let pids_ref = &pids;
+        let bufs = &arena.chunk_bufs[..nchunks];
+        let outs: Vec<ChunkCell<Vec<R>>> =
+            (0..nchunks).map(|_| ChunkCell::new(Vec::new())).collect();
+
+        // One compute chunk: run processors `c*CHUNK ..` against the
+        // snapshot, appending writes to the chunk's pooled buffer.
+        let run_chunk = |c: usize| {
+            let lo = c * CHUNK;
+            let hi = ((c + 1) * CHUNK).min(count);
+            // SAFETY: chunk c is executed exactly once; cells c are ours.
+            let writes = unsafe { bufs[c].get_mut_unchecked() };
+            let results = unsafe { outs[c].get_mut_unchecked() };
+            results.reserve(hi - lo);
             for i in lo..hi {
-                let pid = pids.get(i);
                 let mut ctx = Ctx {
-                    pid,
+                    pid: pids_ref.get(i),
                     shm: shm_ref,
-                    rng: SplitMix64::for_step_pid(seed, step_no, pid as u64),
-                    writes: &mut writes,
+                    seed,
+                    step_no,
+                    rng: None,
+                    writes,
+                    wseq: 0,
                 };
                 results.push(f(&mut ctx));
             }
-            (writes, results)
         };
 
-        let nchunks = count.div_ceil(CHUNK);
-        let per_chunk: Vec<(Vec<WriteEntry>, Vec<R>)> = if count >= PAR_THRESHOLD {
-            (0..nchunks)
-                .into_par_iter()
-                .map(|c| run_chunk(c * CHUNK, ((c + 1) * CHUNK).min(count)))
-                .collect()
+        let parallel = !self.tuning.force_sequential
+            && (self.tuning.force_parallel || count >= self.tuning.par_compute_threshold);
+        if parallel {
+            pool::global().run(nchunks, &run_chunk);
         } else {
-            (0..nchunks)
-                .map(|c| run_chunk(c * CHUNK, ((c + 1) * CHUNK).min(count)))
-                .collect()
-        };
-
-        let total_writes: usize = per_chunk.iter().map(|(w, _)| w.len()).sum();
-        let mut all_writes: Vec<WriteEntry> = Vec::with_capacity(total_writes);
-        let mut results: Vec<R> = Vec::with_capacity(count);
-        for (w, r) in per_chunk {
-            all_writes.extend_from_slice(&w);
-            results.extend(r);
+            for c in 0..nchunks {
+                run_chunk(c);
+            }
         }
 
-        self.commit(shm, policy, step_no, all_writes);
+        let mut results: Vec<R> = Vec::with_capacity(count);
+        for out in outs {
+            results.extend(out.into_inner());
+        }
+
+        let t_computed = Instant::now();
+        self.commit(shm, policy, step_no, &mut arena, nchunks);
+        let t_committed = Instant::now();
+
+        self.arena = arena;
+        self.metrics.record_host_ns(
+            t_computed.duration_since(t_start).as_nanos() as u64,
+            t_committed.duration_since(t_computed).as_nanos() as u64,
+        );
         results
     }
 
-    fn commit(&mut self, shm: &mut Shm, policy: WritePolicy, step_no: u64, mut writes: Vec<WriteEntry>) {
-        if writes.is_empty() {
+    /// Resolve and commit the buffered writes of one step.
+    fn commit(
+        &mut self,
+        shm: &mut Shm,
+        policy: WritePolicy,
+        step_no: u64,
+        arena: &mut WriteArena,
+        nchunks: usize,
+    ) {
+        let bufs = &mut arena.chunk_bufs[..nchunks];
+        let total: usize = bufs.iter_mut().map(|b| b.0.get_mut().len()).sum();
+        if total == 0 {
             return;
         }
-        writes.sort_unstable_by(|a, b| {
-            (a.array, a.idx, a.pid).cmp(&(b.array, b.idx, b.pid))
-        });
-        let mut i = 0;
-        let mut group: Vec<(usize, Word)> = Vec::new();
-        while i < writes.len() {
-            let (a, idx) = (writes[i].array, writes[i].idx);
-            group.clear();
-            while i < writes.len() && writes[i].array == a && writes[i].idx == idx {
-                group.push((writes[i].pid, writes[i].val));
-                i += 1;
+        self.metrics.writes_buffered += total as u64;
+
+        let parallel_commit = !self.tuning.force_sequential
+            && (self.tuning.force_parallel || total >= self.tuning.par_commit_threshold)
+            && pool::num_threads() > 1;
+
+        // Fast path: if the concatenated log is strictly increasing by cell
+        // key, every cell receives exactly one write — commit it verbatim.
+        // (Strict monotonicity is a pure function of the log, so the
+        // fast/slow decision is identical across execution modes.)
+        if !self.tuning.disable_fast_path && log_is_strictly_monotone(bufs) {
+            let writer = ShmWriter::new(shm);
+            if parallel_commit {
+                let bufs_ref = &bufs[..];
+                pool::global().run(nchunks, &|c| {
+                    // SAFETY: strict monotonicity ⇒ all cells distinct, so
+                    // chunks write disjoint cells; chunk c reads buffer c only.
+                    let buf = unsafe { &*bufs_ref[c].0.get() };
+                    for e in buf {
+                        unsafe { writer.commit(e.array(), e.idx(), e.val) };
+                    }
+                });
+            } else {
+                for buf in bufs.iter_mut() {
+                    for e in buf.0.get_mut().iter() {
+                        // SAFETY: single-threaded here; cells are distinct.
+                        unsafe { writer.commit(e.array(), e.idx(), e.val) };
+                    }
+                }
             }
-            let tiebreak = mix64(
-                self.seed ^ mix64(step_no ^ ((a as u64) << 32 | idx as u64).wrapping_mul(0x9E3779B97F4A7C15)),
-            );
-            let v = policy.resolve(&group, tiebreak);
-            shm.commit(a, idx, v);
+            self.metrics.writes_committed += total as u64;
+            self.metrics.fastpath_steps += 1;
+            return;
+        }
+
+        // Slow path: gather flat, sort by packed cell key, resolve runs.
+        arena.flat.clear();
+        arena.flat.reserve(total);
+        for buf in bufs.iter_mut() {
+            arena.flat.extend_from_slice(buf.0.get_mut());
+        }
+
+        if parallel_commit {
+            par_sort(&mut arena.flat, &mut arena.scratch);
+        } else {
+            arena.flat.sort_unstable_by_key(|e| e.sort_key());
+        }
+
+        let seed = self.seed;
+        let (committed, conflicts) = if parallel_commit {
+            resolve_runs_parallel(shm, &arena.flat, policy, seed, step_no)
+        } else {
+            let writer = ShmWriter::new(shm);
+            // SAFETY: single-threaded resolution; runs target distinct cells.
+            unsafe { resolve_runs(&writer, &arena.flat, policy, seed, step_no) }
+        };
+        self.metrics.writes_committed += committed;
+        self.metrics.write_conflicts += conflicts;
+    }
+}
+
+/// True if every buffer is strictly increasing by cell key and buffer
+/// boundaries preserve the order — i.e. the whole log is a strictly
+/// increasing sequence of distinct cells.
+fn log_is_strictly_monotone(bufs: &mut [ChunkCell<Vec<WriteEntry>>]) -> bool {
+    let mut prev: Option<u64> = None;
+    for buf in bufs.iter_mut() {
+        for e in buf.0.get_mut().iter() {
+            if let Some(p) = prev {
+                if e.key <= p {
+                    return false;
+                }
+            }
+            prev = Some(e.key);
+        }
+    }
+    true
+}
+
+/// Raw shared-memory committer used where disjointness of the written cells
+/// is guaranteed by construction (fast path, boundary-aligned run ranges).
+struct ShmWriter {
+    arrays: Vec<(*mut Word, usize)>,
+}
+
+// SAFETY: every use site guarantees the set of (array, idx) cells written
+// through a given `&ShmWriter` from different threads is disjoint.
+unsafe impl Sync for ShmWriter {}
+
+impl ShmWriter {
+    fn new(shm: &mut Shm) -> Self {
+        Self {
+            arrays: shm.raw_parts(),
+        }
+    }
+
+    /// Commit one resolved value.
+    ///
+    /// # Safety
+    /// `(a, idx)` must be in bounds and not concurrently written by any
+    /// other thread.
+    #[inline]
+    unsafe fn commit(&self, a: u32, idx: u32, v: Word) {
+        let (base, len) = self.arrays[a as usize];
+        debug_assert!((idx as usize) < len, "commit out of bounds");
+        let _ = len;
+        *base.add(idx as usize) = v;
+    }
+}
+
+/// The per-cell tiebreak hash (identical to the original implementation, so
+/// `Arbitrary` winners replay exactly across simulator versions).
+#[inline]
+fn cell_tiebreak(seed: u64, step_no: u64, key: u64) -> u64 {
+    mix64(seed ^ mix64(step_no ^ key.wrapping_mul(0x9E3779B97F4A7C15)))
+}
+
+/// Resolve the sorted log's runs and commit winners through `writer`.
+/// Returns `(cells_committed, conflicted_cells)`.
+///
+/// # Safety
+/// The caller must guarantee no other thread writes the cells covered by
+/// `flat` through the same `ShmWriter` concurrently.
+unsafe fn resolve_runs(
+    writer: &ShmWriter,
+    flat: &[WriteEntry],
+    policy: WritePolicy,
+    seed: u64,
+    step_no: u64,
+) -> (u64, u64) {
+    let mut committed = 0u64;
+    let mut conflicts = 0u64;
+    let mut i = 0;
+    let n = flat.len();
+    while i < n {
+        let e = flat[i];
+        // singleton run: direct commit, no policy, no tiebreak hash
+        if i + 1 == n || flat[i + 1].key != e.key {
+            writer.commit(e.array(), e.idx(), e.val);
+            committed += 1;
+            i += 1;
+            continue;
+        }
+        let start = i;
+        i += 2;
+        while i < n && flat[i].key == e.key {
+            i += 1;
+        }
+        let run = &flat[start..i];
+        let v = policy.resolve_run(run, cell_tiebreak(seed, step_no, e.key));
+        writer.commit(e.array(), e.idx(), v);
+        committed += 1;
+        conflicts += 1;
+    }
+    (committed, conflicts)
+}
+
+/// Parallel run resolution: partition the sorted log at run boundaries and
+/// resolve each range on the pool (ranges cover disjoint cells, so commits
+/// through the shared `ShmWriter` never race).
+fn resolve_runs_parallel(
+    shm: &mut Shm,
+    flat: &[WriteEntry],
+    policy: WritePolicy,
+    seed: u64,
+    step_no: u64,
+) -> (u64, u64) {
+    let lanes = pool::num_threads().max(1);
+    let n = flat.len();
+    let mut bounds: Vec<usize> = Vec::with_capacity(lanes + 1);
+    bounds.push(0);
+    for l in 1..lanes {
+        let mut b = l * n / lanes;
+        // advance to the next run boundary so no run straddles two ranges
+        while b < n && b > 0 && flat[b].key == flat[b - 1].key {
+            b += 1;
+        }
+        if b > *bounds.last().unwrap() && b < n {
+            bounds.push(b);
+        }
+    }
+    bounds.push(n);
+
+    let nranges = bounds.len() - 1;
+    let writer = ShmWriter::new(shm);
+    let tallies: Vec<ChunkCell<(u64, u64)>> =
+        (0..nranges).map(|_| ChunkCell::new((0, 0))).collect();
+    let bounds_ref = &bounds;
+    let tallies_ref = &tallies;
+    pool::global().run(nranges, &|r| {
+        let range = &flat[bounds_ref[r]..bounds_ref[r + 1]];
+        // SAFETY: ranges are run-aligned ⇒ cell-disjoint; tally r is ours.
+        let out = unsafe { resolve_runs(&writer, range, policy, seed, step_no) };
+        unsafe { *tallies_ref[r].get_mut_unchecked() = out };
+    });
+    let mut committed = 0;
+    let mut conflicts = 0;
+    for t in tallies {
+        let (c, k) = t.into_inner();
+        committed += c;
+        conflicts += k;
+    }
+    (committed, conflicts)
+}
+
+/// Parallel merge sort by the unique packed key: segments are sorted on the
+/// pool, then merged pairwise in parallel rounds, ping-ponging between the
+/// log and the pooled scratch buffer.
+fn par_sort(flat: &mut Vec<WriteEntry>, scratch: &mut Vec<WriteEntry>) {
+    let n = flat.len();
+    let lanes = pool::num_threads().max(1);
+    if lanes == 1 || n < 2 * CHUNK {
+        flat.sort_unstable_by_key(|e| e.sort_key());
+        return;
+    }
+    let nseg = lanes.next_power_of_two();
+    let seg = n.div_ceil(nseg);
+
+    {
+        let flat_ptr = SendMutPtr(flat.as_mut_ptr());
+        pool::global().run(nseg, &|s| {
+            let lo = (s * seg).min(n);
+            let hi = ((s + 1) * seg).min(n);
+            // SAFETY: segments are disjoint subslices of `flat`.
+            let part = unsafe { std::slice::from_raw_parts_mut(flat_ptr.get().add(lo), hi - lo) };
+            part.sort_unstable_by_key(|e| e.sort_key());
+        });
+    }
+
+    scratch.clear();
+    scratch.resize(
+        n,
+        WriteEntry {
+            key: 0,
+            pidseq: 0,
+            val: 0,
+        },
+    );
+
+    let mut in_flat = true;
+    let mut width = seg;
+    while width < n {
+        let (src, dst): (&[WriteEntry], &mut [WriteEntry]) = if in_flat {
+            (&flat[..], &mut scratch[..])
+        } else {
+            (&scratch[..], &mut flat[..])
+        };
+        let npairs = n.div_ceil(2 * width);
+        let dst_ptr = SendMutPtr(dst.as_mut_ptr());
+        pool::global().run(npairs, &|p| {
+            let lo = p * 2 * width;
+            let mid = (lo + width).min(n);
+            let hi = (lo + 2 * width).min(n);
+            // SAFETY: pair p owns dst[lo..hi]; pairs are disjoint.
+            let out = unsafe { std::slice::from_raw_parts_mut(dst_ptr.get().add(lo), hi - lo) };
+            merge_into(&src[lo..mid], &src[mid..hi], out);
+        });
+        in_flat = !in_flat;
+        width *= 2;
+    }
+    if !in_flat {
+        flat.copy_from_slice(scratch);
+    }
+}
+
+struct SendMutPtr(*mut WriteEntry);
+
+// SAFETY: used only under the disjoint-range discipline documented at each
+// use site.
+unsafe impl Sync for SendMutPtr {}
+
+impl SendMutPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper, not the bare pointer.
+    fn get(&self) -> *mut WriteEntry {
+        self.0
+    }
+}
+
+/// Two-way merge of sorted `a` and `b` into `out` (`out.len() == a.len() + b.len()`).
+fn merge_into(a: &[WriteEntry], b: &[WriteEntry], out: &mut [WriteEntry]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a = j >= b.len() || (i < a.len() && a[i].sort_key() <= b[j].sort_key());
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
         }
     }
 }
@@ -364,6 +855,13 @@ mod tests {
         assert_eq!(m.metrics.steps, 1);
         assert_eq!(m.metrics.work, 8);
         assert_eq!(m.metrics.peak_processors, 8);
+        assert_eq!(m.metrics.writes_buffered, 8);
+        assert_eq!(m.metrics.writes_committed, 8);
+        assert_eq!(m.metrics.write_conflicts, 0);
+        assert_eq!(
+            m.metrics.fastpath_steps, 1,
+            "in-order scatter must take the fast path"
+        );
     }
 
     #[test]
@@ -394,6 +892,10 @@ mod tests {
             ctx.write(a, 0, pid as i64);
         });
         assert_eq!(shm.get(a, 0), 0);
+        assert_eq!(m.metrics.write_conflicts, 1);
+        assert_eq!(m.metrics.writes_committed, 1);
+        assert_eq!(m.metrics.writes_buffered, 16);
+        assert_eq!(m.metrics.fastpath_steps, 0);
     }
 
     #[test]
@@ -469,7 +971,7 @@ mod tests {
 
     #[test]
     fn large_step_parallel_path_matches_semantics() {
-        let n = (1 << 15) + 3; // force the rayon path
+        let n = (1 << 15) + 3; // over the compute fan-out threshold
         let mut m = Machine::new(10);
         let mut shm = Shm::new();
         let a = shm.alloc("a", n, 0);
@@ -478,5 +980,148 @@ mod tests {
             ctx.write(a, pid, pid as i64);
         });
         assert!(shm.slice(a).iter().enumerate().all(|(i, &v)| v == i as i64));
+    }
+
+    #[test]
+    fn slice_reads_match_get() {
+        let mut m = Machine::new(11);
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 32, 0);
+        for i in 0..32 {
+            shm.host_set(a, i, (i * i) as i64);
+        }
+        let b = shm.alloc("b", 32, 0);
+        m.step(&mut shm, 0..32, |ctx| {
+            let row = ctx.slice(a);
+            ctx.write(b, ctx.pid, row[ctx.pid] + row[0]);
+        });
+        assert!(shm
+            .slice(b)
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == (i * i) as i64));
+    }
+
+    #[test]
+    fn reversed_scatter_takes_slow_path_but_commits_correctly() {
+        let mut m = Machine::new(12);
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 64, 0);
+        m.step(&mut shm, 0..64, |ctx| {
+            let pid = ctx.pid;
+            ctx.write(a, 63 - pid, pid as i64);
+        });
+        assert!(shm
+            .slice(a)
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == (63 - i) as i64));
+        assert_eq!(m.metrics.fastpath_steps, 0);
+        assert_eq!(m.metrics.write_conflicts, 0);
+        assert_eq!(m.metrics.writes_committed, 64);
+    }
+
+    #[test]
+    fn all_execution_modes_agree() {
+        // same program under every tuning mode: identical memory + accounting
+        let run = |tuning: Tuning| {
+            let mut m = Machine::new(77);
+            m.tuning = tuning;
+            let mut shm = Shm::new();
+            let a = shm.alloc("a", 1000, 0);
+            let b = shm.alloc("b", 16, 0);
+            for round in 0..4u64 {
+                m.step_with_policy(&mut shm, 0..1000, WritePolicy::CombineSum, move |ctx| {
+                    let pid = ctx.pid;
+                    ctx.write(a, pid, (pid as i64) ^ round as i64);
+                    ctx.write(b, pid % 16, 1);
+                });
+                m.step(&mut shm, 0..1000, |ctx| {
+                    let v = ctx.read(a, ctx.pid);
+                    ctx.write(a, ctx.pid, v + 1);
+                });
+            }
+            (
+                shm.slice(a).to_vec(),
+                shm.slice(b).to_vec(),
+                m.metrics.writes_buffered,
+                m.metrics.writes_committed,
+                m.metrics.write_conflicts,
+            )
+        };
+        let base = run(Tuning {
+            force_sequential: true,
+            ..Tuning::default()
+        });
+        let par = run(Tuning {
+            force_parallel: true,
+            ..Tuning::default()
+        });
+        let noslow = run(Tuning {
+            disable_fast_path: true,
+            ..Tuning::default()
+        });
+        let par_noslow = run(Tuning {
+            force_parallel: true,
+            disable_fast_path: true,
+            ..Tuning::default()
+        });
+        assert_eq!(base, par);
+        assert_eq!(base, noslow);
+        assert_eq!(base, par_noslow);
+    }
+
+    #[test]
+    fn duplicate_writes_from_one_pid_resolve_deterministically() {
+        for policy in [
+            WritePolicy::Arbitrary,
+            WritePolicy::PriorityMin,
+            WritePolicy::CombineMin,
+            WritePolicy::CombineMax,
+            WritePolicy::CombineSum,
+            WritePolicy::CombineOr,
+        ] {
+            let run = || {
+                let mut m = Machine::with_policy(13, policy);
+                let mut shm = Shm::new();
+                let a = shm.alloc("a", 4, 0);
+                m.step(&mut shm, 0..4, |ctx| {
+                    ctx.write(a, 0, 5);
+                    ctx.write(a, 0, ctx.pid as i64);
+                });
+                shm.slice(a).to_vec()
+            };
+            assert_eq!(run(), run(), "policy {policy:?} must replay");
+        }
+    }
+
+    #[test]
+    fn steady_state_steps_do_not_allocate_new_buffer_capacity() {
+        let mut m = Machine::new(14);
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 4096, 0);
+        let warm = |m: &mut Machine, shm: &mut Shm| {
+            m.step(shm, 0..4096, |ctx| ctx.write(a, ctx.pid, 1));
+        };
+        warm(&mut m, &mut shm);
+        let cap_before: usize = m
+            .arena
+            .chunk_bufs
+            .iter_mut()
+            .map(|b| b.0.get_mut().capacity())
+            .sum();
+        for _ in 0..10 {
+            warm(&mut m, &mut shm);
+        }
+        let cap_after: usize = m
+            .arena
+            .chunk_bufs
+            .iter_mut()
+            .map(|b| b.0.get_mut().capacity())
+            .sum();
+        assert_eq!(
+            cap_before, cap_after,
+            "steady-state steps must reuse arena capacity"
+        );
     }
 }

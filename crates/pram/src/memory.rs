@@ -28,7 +28,18 @@ impl Shm {
     }
 
     /// Allocate a named array of `len` cells, all set to `fill`.
+    ///
+    /// # Panics
+    /// If `len` exceeds `u32::MAX` cells: the machine packs cell indices
+    /// into 32 bits in its write log, so a larger array would silently
+    /// truncate addresses. (2³² × 8-byte words is already a 32 GiB array —
+    /// far beyond anything the experiments allocate.)
     pub fn alloc(&mut self, name: &str, len: usize, fill: Word) -> ArrayId {
+        assert!(
+            len <= u32::MAX as usize,
+            "Shm::alloc(\"{name}\"): {len} cells exceeds the u32::MAX addressable \
+             cells per array (write-log indices are packed into 32 bits)"
+        );
         self.arrays.push(vec![fill; len]);
         self.names.push(name.to_string());
         ArrayId(self.arrays.len() as u32 - 1)
@@ -71,10 +82,14 @@ impl Shm {
         &self.names[a.0 as usize]
     }
 
-    /// Commit a resolved write (machine-internal).
-    #[inline]
-    pub(crate) fn commit(&mut self, a: u32, i: u32, v: Word) {
-        self.arrays[a as usize][i as usize] = v;
+    /// Base pointer and length of every array, for the machine's commit
+    /// phase (machine-internal). Taking `&mut self` guarantees the caller
+    /// holds exclusive access to the memory for the pointers' lifetime.
+    pub(crate) fn raw_parts(&mut self) -> Vec<(*mut Word, usize)> {
+        self.arrays
+            .iter_mut()
+            .map(|a| (a.as_mut_ptr(), a.len()))
+            .collect()
     }
 }
 

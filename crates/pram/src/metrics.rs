@@ -29,6 +29,8 @@ pub struct PhaseRecord {
     pub charged_steps: u64,
     /// Analytically charged work attributed to the phase.
     pub charged_work: u64,
+    /// Host wall-clock nanoseconds spent simulating the phase's steps.
+    pub host_ns: u64,
 }
 
 /// Accumulated PRAM costs for one run.
@@ -46,6 +48,26 @@ pub struct Metrics {
     pub charged_work: u64,
     /// Per-phase breakdown, in the order phases were opened.
     pub phases: Vec<PhaseRecord>,
+    /// Steps the host actually executed (differs from `steps` after
+    /// [`Metrics::absorb_parallel`], which maxes simulated time across
+    /// children but sums what the host really ran).
+    pub host_steps: u64,
+    /// Host wall-clock nanoseconds spent in compute phases (running the
+    /// step closures). Host observability only — never a simulated cost.
+    pub host_compute_ns: u64,
+    /// Host wall-clock nanoseconds spent in commit phases (write
+    /// resolution). Host observability only.
+    pub host_commit_ns: u64,
+    /// Total writes buffered by step closures.
+    pub writes_buffered: u64,
+    /// Cells that received a committed value.
+    pub writes_committed: u64,
+    /// Cells written by two or more processors in one step (resolved by
+    /// the step's [`crate::WritePolicy`]).
+    pub write_conflicts: u64,
+    /// Steps whose commit took the conflict-free fast path (in-order
+    /// scatter: no sort, no policy resolution).
+    pub fastpath_steps: u64,
     /// Index into `phases` of the currently open phase, if any.
     current_phase: Option<usize>,
 }
@@ -75,6 +97,30 @@ impl Metrics {
             self.phases[i].steps += 1;
             self.phases[i].work += procs;
         }
+    }
+
+    /// Record the host wall time of one executed step (compute + commit).
+    pub(crate) fn record_host_ns(&mut self, compute_ns: u64, commit_ns: u64) {
+        self.host_steps += 1;
+        self.host_compute_ns += compute_ns;
+        self.host_commit_ns += commit_ns;
+        if let Some(i) = self.current_phase {
+            self.phases[i].host_ns += compute_ns + commit_ns;
+        }
+    }
+
+    /// Total host wall time spent simulating, in nanoseconds.
+    pub fn host_total_ns(&self) -> u64 {
+        self.host_compute_ns + self.host_commit_ns
+    }
+
+    /// Fraction of host-executed steps whose commit took the conflict-free
+    /// fast path (`None` before any step executes).
+    pub fn fastpath_hit_rate(&self) -> Option<f64> {
+        if self.host_steps == 0 {
+            return None;
+        }
+        Some(self.fastpath_steps as f64 / self.host_steps as f64)
     }
 
     /// Record an analytic charge.
@@ -127,6 +173,17 @@ impl Metrics {
         self.charged_work += children.iter().map(|c| c.charged_work).sum::<u64>();
         let concurrent_peak: u64 = children.iter().map(|c| c.peak_processors).sum();
         self.peak_processors = self.peak_processors.max(concurrent_peak);
+        // Host-side observability counters reflect what the host actually
+        // did, so they always add up (even though *simulated* time is max'd).
+        for c in children {
+            self.host_steps += c.host_steps;
+            self.host_compute_ns += c.host_compute_ns;
+            self.host_commit_ns += c.host_commit_ns;
+            self.writes_buffered += c.writes_buffered;
+            self.writes_committed += c.writes_committed;
+            self.write_conflicts += c.write_conflicts;
+            self.fastpath_steps += c.fastpath_steps;
+        }
         if let Some(i) = self.current_phase {
             let p = &mut self.phases[i];
             p.steps += children.iter().map(|c| c.steps).max().unwrap();
@@ -146,12 +203,20 @@ impl Metrics {
         self.peak_processors = self.peak_processors.max(other.peak_processors);
         self.charged_steps += other.charged_steps;
         self.charged_work += other.charged_work;
+        self.host_steps += other.host_steps;
+        self.host_compute_ns += other.host_compute_ns;
+        self.host_commit_ns += other.host_commit_ns;
+        self.writes_buffered += other.writes_buffered;
+        self.writes_committed += other.writes_committed;
+        self.write_conflicts += other.write_conflicts;
+        self.fastpath_steps += other.fastpath_steps;
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
                 mine.steps += p.steps;
                 mine.work += p.work;
                 mine.charged_steps += p.charged_steps;
                 mine.charged_work += p.charged_work;
+                mine.host_ns += p.host_ns;
             } else {
                 self.phases.push(p.clone());
             }

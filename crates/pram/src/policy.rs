@@ -57,6 +57,28 @@ impl WritePolicy {
             WritePolicy::CombineOr => writes.iter().fold(0i64, |a, &(_, v)| a | v),
         }
     }
+
+    /// Resolve one run of the machine's sorted write log (all entries target
+    /// the same cell; already sorted by writer pid, then buffering order).
+    ///
+    /// Same rules as [`WritePolicy::resolve`] but operating directly on the
+    /// packed log entries so the hot commit loop never materialises a
+    /// per-cell `(pid, value)` vector.
+    #[inline]
+    pub(crate) fn resolve_run(&self, run: &[crate::machine::WriteEntry], tiebreak: u64) -> i64 {
+        debug_assert!(!run.is_empty());
+        match self {
+            WritePolicy::Arbitrary => {
+                let i = (tiebreak % run.len() as u64) as usize;
+                run[i].val
+            }
+            WritePolicy::PriorityMin => run[0].val,
+            WritePolicy::CombineMin => run.iter().map(|e| e.val).min().unwrap(),
+            WritePolicy::CombineMax => run.iter().map(|e| e.val).max().unwrap(),
+            WritePolicy::CombineSum => run.iter().fold(0i64, |a, e| a.wrapping_add(e.val)),
+            WritePolicy::CombineOr => run.iter().fold(0i64, |a, e| a | e.val),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -84,8 +106,9 @@ mod tests {
         assert!(W.iter().any(|&(_, v)| v == v0));
         assert_eq!(v0, WritePolicy::Arbitrary.resolve(W, 17));
         // different tiebreaks should be able to pick different winners
-        let distinct: std::collections::HashSet<i64> =
-            (0..30).map(|t| WritePolicy::Arbitrary.resolve(W, t)).collect();
+        let distinct: std::collections::HashSet<i64> = (0..30)
+            .map(|t| WritePolicy::Arbitrary.resolve(W, t))
+            .collect();
         assert!(distinct.len() > 1);
     }
 

@@ -1,0 +1,246 @@
+//! A minimal persistent worker pool for the simulator's hot paths.
+//!
+//! The simulator previously fanned the compute phase out over rayon. This
+//! pool replaces it with a std-only, dependency-free equivalent that is
+//! tailored to the step pipeline's needs:
+//!
+//! * **Persistent workers** — threads are spawned once (lazily, on first
+//!   parallel step) and reused for every subsequent step, so steady-state
+//!   steps pay no spawn cost.
+//! * **Chunk-indexed dispatch** — a job is a closure over a chunk index
+//!   `0..nchunks`; workers pull indices from a shared atomic counter, which
+//!   load-balances uneven chunks for free.
+//! * **Caller participation** — the dispatching thread works through chunks
+//!   too, so a pool on an `N`-core host uses all `N` cores, and on a 1-core
+//!   host (`available_parallelism() == 1`) the pool spawns **zero** threads
+//!   and [`run`] degenerates to an inline sequential loop with no
+//!   synchronisation at all.
+//!
+//! Determinism note: which thread executes a chunk is scheduling-dependent,
+//! but chunks are data-independent (each owns its slice of processors and
+//! its own write buffer), so the simulator's observable state never depends
+//! on the assignment.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+/// A chunk-indexed job: called with each index in `0..nchunks` exactly once.
+type Job<'a> = &'a (dyn Fn(usize) + Sync);
+
+struct Slot {
+    /// Monotone dispatch epoch; bumped once per [`ThreadPool::run`].
+    epoch: u64,
+    /// The current job, lifetime-erased. Present only while an epoch is
+    /// being executed; cleared before `run` returns, so workers can never
+    /// observe a dangling job.
+    job: Option<&'static (dyn Fn(usize) + Sync)>,
+    /// Number of chunks in the current job.
+    nchunks: usize,
+    /// Workers currently executing the job.
+    active: usize,
+    /// Pool shutdown flag (used by tests; the global pool lives forever).
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    /// Next chunk index to claim for the current epoch.
+    cursor: AtomicUsize,
+    /// Set if any chunk panicked during the current epoch.
+    poisoned: AtomicBool,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A persistent chunk-dispatch pool.
+pub struct ThreadPool {
+    shared: &'static Shared,
+    workers: usize,
+}
+
+impl ThreadPool {
+    fn with_workers(workers: usize) -> Self {
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                job: None,
+                nchunks: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            cursor: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        }));
+        for _ in 0..workers {
+            thread::Builder::new()
+                .name("pram-pool".into())
+                .spawn(move || worker_loop(shared))
+                .expect("spawn pool worker");
+        }
+        Self { shared, workers }
+    }
+
+    /// Worker threads (excluding the caller). 0 on single-core hosts.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `job(c)` for every `c in 0..nchunks`, returning when all
+    /// chunks are done. The caller participates; with zero workers this is
+    /// an inline loop.
+    pub fn run(&self, nchunks: usize, job: Job<'_>) {
+        if nchunks == 0 {
+            return;
+        }
+        if self.workers == 0 || nchunks == 1 {
+            for c in 0..nchunks {
+                job(c);
+            }
+            return;
+        }
+
+        let shared = self.shared;
+        shared.poisoned.store(false, Ordering::Relaxed);
+        {
+            let mut slot = shared.slot.lock().unwrap();
+            // Lifetime erasure: `job` outlives this call, and this call does
+            // not return until `slot.job` is cleared and no worker is active,
+            // so workers can never use the reference after it dies.
+            let eternal: &'static (dyn Fn(usize) + Sync) =
+                unsafe { std::mem::transmute::<Job<'_>, Job<'static>>(job) };
+            shared.cursor.store(0, Ordering::Relaxed);
+            slot.job = Some(eternal);
+            slot.nchunks = nchunks;
+            slot.epoch += 1;
+        }
+        shared.work_cv.notify_all();
+
+        // Participate.
+        execute_chunks(shared, nchunks, job);
+
+        // Wait for stragglers, then retire the job before returning.
+        let mut slot = shared.slot.lock().unwrap();
+        while slot.active > 0 {
+            slot = shared.done_cv.wait(slot).unwrap();
+        }
+        slot.job = None;
+        drop(slot);
+
+        if shared.poisoned.load(Ordering::Relaxed) {
+            resume_unwind(Box::new("a simulator step chunk panicked in the pool"));
+        }
+    }
+}
+
+fn execute_chunks(shared: &Shared, nchunks: usize, job: Job<'_>) {
+    loop {
+        let c = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if c >= nchunks {
+            return;
+        }
+        if catch_unwind(AssertUnwindSafe(|| job(c))).is_err() {
+            shared.poisoned.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let (job, nchunks) = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    if let Some(job) = slot.job {
+                        slot.active += 1;
+                        break (job, slot.nchunks);
+                    }
+                    // job already retired: keep waiting on the next epoch
+                }
+                slot = shared.work_cv.wait(slot).unwrap();
+            }
+        };
+
+        execute_chunks(shared, nchunks, job);
+
+        let mut slot = shared.slot.lock().unwrap();
+        slot.active -= 1;
+        if slot.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// The process-wide pool, sized to the host (`available_parallelism - 1`
+/// workers, since the caller participates). Spawned lazily on first use.
+pub fn global() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let cores = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::with_workers(cores.saturating_sub(1))
+    })
+}
+
+/// Total execution lanes (workers + the calling thread).
+pub fn num_threads() -> usize {
+    global().workers() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        let pool = global();
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        pool.run(100, &|c| {
+            hits[c].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_chunks_is_a_noop() {
+        global().run(0, &|_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn reusable_across_many_dispatches() {
+        let pool = global();
+        let total = AtomicUsize::new(0);
+        for round in 1..=50 {
+            pool.run(round, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), (1..=50).sum::<usize>());
+    }
+
+    #[test]
+    fn chunks_can_mutate_disjoint_state() {
+        // the machine's usage pattern: each chunk owns cell c
+        struct Cell(std::cell::UnsafeCell<u64>);
+        unsafe impl Sync for Cell {}
+        let cells: Vec<Cell> = (0..64)
+            .map(|_| Cell(std::cell::UnsafeCell::new(0)))
+            .collect();
+        global().run(64, &|c| unsafe {
+            *cells[c].0.get() = c as u64 * 3;
+        });
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(unsafe { *c.0.get() }, i as u64 * 3);
+        }
+    }
+}

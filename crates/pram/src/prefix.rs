@@ -29,7 +29,11 @@ pub fn inclusive_prefix_sum(m: &mut Machine, shm: &mut Shm, arr: ArrayId) {
         m.step(shm, 0..n, move |ctx| {
             let i = ctx.pid;
             let v = ctx.read(s, i);
-            let v = if i >= d { v.wrapping_add(ctx.read(s, i - d)) } else { v };
+            let v = if i >= d {
+                v.wrapping_add(ctx.read(s, i - d))
+            } else {
+                v
+            };
             ctx.write(t, i, v);
         });
         std::mem::swap(&mut src, &mut dst);
@@ -158,9 +162,9 @@ mod tests {
             let a = arr_from(&mut shm, &vals);
             let (out, total) = exclusive_prefix_sum(&mut m, &mut shm, a);
             let mut acc = 0;
-            for i in 0..n {
+            for (i, &v) in vals.iter().enumerate() {
                 assert_eq!(shm.get(out, i), acc);
-                acc += vals[i];
+                acc += v;
             }
             assert_eq!(total, acc);
             assert_eq!(shm.slice(a), vals.as_slice(), "input must be untouched");

@@ -69,7 +69,8 @@ where
 /// 2. pairwise knockout over blocks: pair (u < v), both flagged ⇒ v loses
 ///    (1 step, b² ≤ n + O(√n) procs).
 /// 3. the unique flagged non-loser block writes its id (1 step, b procs).
-/// 4.–6. repeat the same three steps inside the winning block.
+///
+/// Steps 4–6 repeat the same three steps inside the winning block.
 pub fn leftmost_nonzero(m: &mut Machine, shm: &mut Shm, bits: ArrayId) -> Option<usize> {
     let n = shm.len(bits);
     if n == 0 {
@@ -183,7 +184,14 @@ pub fn min_index_quadratic(m: &mut Machine, shm: &mut Shm, keys: &[i64]) -> Opti
 }
 
 /// One-step broadcast: processor `src_pid` writes `value` to `cell[idx]`.
-pub fn broadcast(m: &mut Machine, shm: &mut Shm, cell: ArrayId, idx: usize, src_pid: usize, value: Word) {
+pub fn broadcast(
+    m: &mut Machine,
+    shm: &mut Shm,
+    cell: ArrayId,
+    idx: usize,
+    src_pid: usize,
+    value: Word,
+) {
     m.step(shm, src_pid..src_pid + 1, |ctx| {
         ctx.write(cell, idx, value);
     });
@@ -252,11 +260,16 @@ mod tests {
         let mut rng = crate::rng::SplitMix64::new(9);
         for n in [1usize, 2, 3, 10, 17, 64, 100, 257] {
             for _ in 0..10 {
-                let bits: Vec<Word> =
-                    (0..n).map(|_| if rng.bernoulli(0.1) { 1 } else { 0 }).collect();
+                let bits: Vec<Word> = (0..n)
+                    .map(|_| if rng.bernoulli(0.1) { 1 } else { 0 })
+                    .collect();
                 let expect = bits.iter().position(|&b| b != 0);
                 let (mut m, mut shm, a) = setup(&bits);
-                assert_eq!(leftmost_nonzero(&mut m, &mut shm, a), expect, "n={n} bits={bits:?}");
+                assert_eq!(
+                    leftmost_nonzero(&mut m, &mut shm, a),
+                    expect,
+                    "n={n} bits={bits:?}"
+                );
             }
         }
     }

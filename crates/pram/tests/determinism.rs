@@ -1,0 +1,158 @@
+//! Execution-path equivalence: the machine's observable behaviour — final
+//! memory AND the PRAM/observability accounting — must be a pure function
+//! of (seed, program), identical across every host execution mode:
+//!
+//! * sequential vs pool-parallel compute,
+//! * conflict-free fast-path vs sorted slow-path commits,
+//! * parallel vs sequential sort/resolve in the slow path.
+//!
+//! Random step programs cover every [`WritePolicy`], in-order and reversed
+//! scatters (fast vs slow path triggers), conflict pile-ups, RNG-driven
+//! targets, and duplicate writes from one processor.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use ipch_pram::{Machine, Shm, Tuning, Word, WritePolicy};
+
+const POLICIES: [WritePolicy; 6] = [
+    WritePolicy::Arbitrary,
+    WritePolicy::PriorityMin,
+    WritePolicy::CombineMin,
+    WritePolicy::CombineMax,
+    WritePolicy::CombineSum,
+    WritePolicy::CombineOr,
+];
+
+/// One randomly generated step: processor count, conflict-resolution rule,
+/// write pattern, and a pattern parameter.
+#[derive(Clone, Copy, Debug)]
+struct StepSpec {
+    nprocs: usize,
+    policy: WritePolicy,
+    pattern: u8,
+    param: u64,
+}
+
+/// Everything observable about a run (minus host wall-clock and the
+/// fast-path counter, which legitimately differ across modes).
+#[derive(Debug, PartialEq, Eq)]
+struct Observed {
+    memory: Vec<Vec<Word>>,
+    steps: u64,
+    work: u64,
+    peak: u64,
+    writes_buffered: u64,
+    writes_committed: u64,
+    write_conflicts: u64,
+}
+
+fn run_program(tuning: Tuning, lens: &[usize], program: &[StepSpec]) -> Observed {
+    let mut m = Machine::new(0xA11CE);
+    m.tuning = tuning;
+    let mut shm = Shm::new();
+    let arrays: Vec<_> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| shm.alloc(&format!("a{i}"), len, 0))
+        .collect();
+
+    for spec in program {
+        let a0 = arrays[0];
+        let a1 = arrays[spec.param as usize % arrays.len()];
+        let len0 = shm.len(a0);
+        let len1 = shm.len(a1);
+        let (pattern, param) = (spec.pattern, spec.param);
+        m.step_with_policy(&mut shm, 0..spec.nprocs, spec.policy, move |ctx| {
+            let pid = ctx.pid;
+            match pattern {
+                // in-order scatter — the fast-path shape (when nprocs <= len0)
+                0 => ctx.write(a0, pid % len0, pid as Word),
+                // reversed scatter — conflict-free but out of order
+                1 => ctx.write(a0, len0 - 1 - (pid % len0), pid as Word),
+                // conflict pile-up on a handful of cells
+                2 => ctx.write(a0, (pid.wrapping_mul(param as usize)) % len0.min(7), 1),
+                // RNG-driven target (exercises the lazy per-pid stream)
+                3 => {
+                    let i = ctx.rng().next_below(len1 as u64) as usize;
+                    ctx.write(a1, i, pid as Word + 1);
+                }
+                // duplicate writes from one processor to one cell
+                4 => {
+                    ctx.write(a1, pid % len1, 5);
+                    ctx.write(a1, pid % len1, pid as Word);
+                }
+                // read-only step (commit sees an empty log)
+                _ => {
+                    let row = ctx.slice(a0);
+                    let _ = std::hint::black_box(row[pid % len0]);
+                }
+            }
+        });
+    }
+
+    Observed {
+        memory: arrays.iter().map(|&a| shm.slice(a).to_vec()).collect(),
+        steps: m.metrics.steps,
+        work: m.metrics.work,
+        peak: m.metrics.peak_processors,
+        writes_buffered: m.metrics.writes_buffered,
+        writes_committed: m.metrics.writes_committed,
+        write_conflicts: m.metrics.write_conflicts,
+    }
+}
+
+fn step_spec() -> impl Strategy<Value = StepSpec> {
+    (1usize..3000, 0usize..6, 0u8..6, 1u64..64).prop_map(|(nprocs, pol, pattern, param)| StepSpec {
+        nprocs,
+        policy: POLICIES[pol],
+        pattern,
+        param,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_execution_paths_are_equivalent(
+        lens in vec(1usize..300, 1..4),
+        program in vec(step_spec(), 1..6),
+    ) {
+        let base = run_program(
+            Tuning { force_sequential: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        let auto = run_program(Tuning::default(), &lens, &program);
+        let parallel = run_program(
+            Tuning { force_parallel: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        let slow_only = run_program(
+            Tuning { disable_fast_path: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        let parallel_slow = run_program(
+            Tuning { force_parallel: true, disable_fast_path: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        prop_assert_eq!(&base, &auto, "auto-threshold diverged");
+        prop_assert_eq!(&base, &parallel, "parallel compute/commit diverged");
+        prop_assert_eq!(&base, &slow_only, "sorted slow path diverged");
+        prop_assert_eq!(&base, &parallel_slow, "parallel slow path diverged");
+    }
+
+    #[test]
+    fn replay_is_bit_identical(
+        lens in vec(1usize..200, 1..3),
+        program in vec(step_spec(), 1..5),
+    ) {
+        let a = run_program(Tuning::default(), &lens, &program);
+        let b = run_program(Tuning::default(), &lens, &program);
+        prop_assert_eq!(a, b);
+    }
+}

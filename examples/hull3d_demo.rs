@@ -22,17 +22,28 @@ fn main() {
     verify_upper_hull3(&points, &out.facets, false).expect("facets verify");
     println!("n = {}", points.len());
     println!("upper-hull facets: {}", out.facets.len());
-    println!("probes: {} (+{} backstop), fallback = {}",
-        trace.probe_facets, trace.backstop_probes, trace.fallback);
+    println!(
+        "probes: {} (+{} backstop), fallback = {}",
+        trace.probe_facets, trace.backstop_probes, trace.fallback
+    );
     println!("levels: {}", trace.levels.len());
 
     let m = &machine.metrics;
-    println!("\nPRAM cost: {} steps, {} work ({:.1} per point)",
-        m.total_steps(), m.total_work(), m.total_work() as f64 / points.len() as f64);
+    println!(
+        "\nPRAM cost: {} steps, {} work ({:.1} per point)",
+        m.total_steps(),
+        m.total_work(),
+        m.total_work() as f64 / points.len() as f64
+    );
 
     // the paper's output convention: every point knows the face above it
     let p0 = points[0];
     let f = out.facets[out.face_above[0]];
-    println!("\npoint 0 at ({:.2}, {:.2}, {:.2}) sits under facet {:?}",
-        p0.x, p0.y, p0.z, f.ids());
+    println!(
+        "\npoint 0 at ({:.2}, {:.2}, {:.2}) sits under facet {:?}",
+        p0.x,
+        p0.y,
+        p0.z,
+        f.ids()
+    );
 }

@@ -18,14 +18,21 @@ use ipch_pram::{Machine, Shm};
 fn main() {
     let n = 8192;
     println!("n = {n}\n");
-    println!("{:>6} {:>12} {:>10} {:>10} {:>10}", "h", "PRAM work", "KS ops", "Jarvis", "Monotone");
+    println!(
+        "{:>6} {:>12} {:>10} {:>10} {:>10}",
+        "h", "PRAM work", "KS ops", "Jarvis", "Monotone"
+    );
     for h in [8usize, 32, 128, 512] {
         let pts = circle_plus_interior(h, n, 1);
 
         let mut machine = Machine::new(3);
         let mut shm = Shm::new();
-        let (out, _) = upper_hull_unsorted(&mut machine, &mut shm, &pts, &UnsortedParams::default());
-        assert_eq!(out.hull.num_edges() + 1, ipch_geom::hull_chain::upper_hull_indices(&pts).len());
+        let (out, _) =
+            upper_hull_unsorted(&mut machine, &mut shm, &pts, &UnsortedParams::default());
+        assert_eq!(
+            out.hull.num_edges() + 1,
+            ipch_geom::hull_chain::upper_hull_indices(&pts).len()
+        );
 
         let ops = |f: fn(&[ipch_geom::Point2], &mut SeqStats) -> ipch_geom::UpperHull| {
             let mut st = SeqStats::default();

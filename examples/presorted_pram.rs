@@ -41,6 +41,9 @@ fn main() {
         // Lemma 7: what does the log* run cost on p = n / log* n processors?
         let p = (n / 3).max(1) as u64;
         let c = schedule::simulate_with_p(&m2.metrics, p, schedule::DEFAULT_TC);
-        println!("  Lemma 7    : on p = n/log*n = {p} processors, T = {:.0}\n", c.time);
+        println!(
+            "  Lemma 7    : on p = n/log*n = {p} processors, T = {:.0}\n",
+            c.time
+        );
     }
 }

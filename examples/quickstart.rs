@@ -25,15 +25,23 @@ fn main() {
     println!("upper hull vertices: {:?}", out.hull.vertices);
     println!("hull edges h = {}", out.hull.num_edges());
     verify_upper_hull(&points, &out.hull).expect("hull verifies");
-    out.verify_pointers(&points).expect("every point knows its edge");
+    out.verify_pointers(&points)
+        .expect("every point knows its edge");
 
     let m = &machine.metrics;
     println!("\nPRAM cost of the run:");
     println!("  time   (steps): {}", m.total_steps());
     println!("  work           : {}", m.total_work());
-    println!("  work / n       : {:.1}", m.total_work() as f64 / points.len() as f64);
+    println!(
+        "  work / n       : {:.1}",
+        m.total_work() as f64 / points.len() as f64
+    );
     println!("  peak processors: {}", m.peak_processors);
-    println!("\nrecursion: {} levels, {} phases, fallback = {}",
-        trace.levels.len(), trace.phases, trace.fallback);
+    println!(
+        "\nrecursion: {} levels, {} phases, fallback = {}",
+        trace.levels.len(),
+        trace.phases,
+        trace.fallback
+    );
     println!("first point's covering edge: {:?}", out.edge_above[0]);
 }

@@ -1,0 +1,309 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros — backed by a simple median-of-samples wall-clock timer instead
+//! of criterion's statistical machinery.
+//!
+//! Each benchmark prints one line:
+//!
+//! ```text
+//! group/name/param    median 12.345 µs/iter   (10 samples x 8 iters)  81.0 Melem/s
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` for parameterised benches.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter value only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    pub last_median: Duration,
+    /// Iterations per sample chosen by the calibrator (after `iter`).
+    pub last_iters: u64,
+}
+
+impl Bencher {
+    /// Measure `f`, recording the median per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up and per-sample iteration-count calibration: target
+        // ~2 ms per sample, at least one iteration
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed() / iters as u32);
+        }
+        per_iter.sort_unstable();
+        self.last_median = per_iter[per_iter.len() / 2];
+        self.last_iters = iters;
+    }
+}
+
+/// Formats a duration compactly (ns/µs/ms/s).
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(count: u64, per: Duration, unit: &str) -> String {
+    let per_s = count as f64 / per.as_secs_f64();
+    if per_s >= 1e9 {
+        format!("{:.2} G{unit}/s", per_s / 1e9)
+    } else if per_s >= 1e6 {
+        format!("{:.2} M{unit}/s", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.2} k{unit}/s", per_s / 1e3)
+    } else {
+        format!("{per_s:.2} {unit}/s")
+    }
+}
+
+/// One measured result, also exposed so harnesses can persist results.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Full `group/bench/param` id.
+    pub id: String,
+    /// Median wall-clock time per iteration.
+    pub median: Duration,
+    /// Throughput annotation active when measured, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl Measurement {
+    /// Elements-per-second implied by the throughput annotation.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        match self.throughput {
+            Some(Throughput::Elements(n)) => Some(n as f64 / self.median.as_secs_f64()),
+            _ => None,
+        }
+    }
+}
+
+/// The top-level harness object.
+pub struct Criterion {
+    sample_size: usize,
+    /// Every measurement taken through this harness, in execution order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a closure under a bare name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let sample_size = self.sample_size;
+        run_one(self, None, &id.id, sample_size, None, f);
+    }
+}
+
+/// A group of related benchmarks (criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Annotate subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let group = self.name.clone();
+        let throughput = self.throughput;
+        run_one(self.parent, Some(&group), &id.id, samples, throughput, f);
+    }
+
+    /// Benchmark a closure against a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Close the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    parent: &mut Criterion,
+    group: Option<&str>,
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher {
+        samples,
+        last_median: Duration::ZERO,
+        last_iters: 0,
+    };
+    f(&mut b);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!("  {}", fmt_rate(n, b.last_median, "elem")),
+        Some(Throughput::Bytes(n)) => format!("  {}", fmt_rate(n, b.last_median, "B")),
+        None => String::new(),
+    };
+    println!(
+        "{full:<48} median {:>12}/iter   ({} samples x {} iters){rate}",
+        fmt_duration(b.last_median),
+        samples,
+        b.last_iters,
+    );
+    parent.measurements.push(Measurement {
+        id: full,
+        median: b.last_median,
+        throughput,
+    });
+}
+
+/// Declare a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // `cargo test --benches` runs bench binaries with `--test`; a
+            // full measurement run there would be slow noise, so bail out.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.measurements.len(), 2);
+        assert_eq!(c.measurements[0].id, "g/noop");
+        assert_eq!(c.measurements[1].id, "g/sum/64");
+        assert!(c.measurements[0].elements_per_sec().unwrap() > 0.0);
+    }
+}

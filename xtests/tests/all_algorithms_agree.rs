@@ -18,7 +18,10 @@ fn check_all(pts: &[Point2], label: &str) {
 
     // sequential
     let seqs: Vec<(&str, UpperHull)> = vec![
-        ("monotone", monotone::upper_hull(pts, &mut SeqStats::default())),
+        (
+            "monotone",
+            monotone::upper_hull(pts, &mut SeqStats::default()),
+        ),
         ("graham", graham::upper_hull(pts, &mut SeqStats::default())),
         ("jarvis", jarvis::upper_hull(pts, &mut SeqStats::default())),
         ("ks", ks::upper_hull(pts, &mut SeqStats::default())),
@@ -31,12 +34,8 @@ fn check_all(pts: &[Point2], label: &str) {
     // parallel — unsorted input
     let mut m = Machine::new(1);
     let mut shm = Shm::new();
-    let (o, _) = unsorted::upper_hull_unsorted(
-        &mut m,
-        &mut shm,
-        pts,
-        &unsorted::UnsortedParams::default(),
-    );
+    let (o, _) =
+        unsorted::upper_hull_unsorted(&mut m, &mut shm, pts, &unsorted::UnsortedParams::default());
     assert_eq!(hull_points(pts, &o.hull), oracle, "{label}: unsorted");
 
     let mut m = Machine::new(2);
@@ -63,7 +62,11 @@ fn check_all(pts: &[Point2], label: &str) {
         &sorted,
         &presorted::PresortedParams::default(),
     );
-    assert_eq!(hull_points(&sorted, &o.hull), oracle_sorted, "{label}: presorted");
+    assert_eq!(
+        hull_points(&sorted, &o.hull),
+        oracle_sorted,
+        "{label}: presorted"
+    );
 
     let mut m = Machine::new(5);
     let mut shm = Shm::new();
@@ -73,7 +76,11 @@ fn check_all(pts: &[Point2], label: &str) {
         &sorted,
         &logstar::LogstarParams::default(),
     );
-    assert_eq!(hull_points(&sorted, &o.hull), oracle_sorted, "{label}: logstar");
+    assert_eq!(
+        hull_points(&sorted, &o.hull),
+        oracle_sorted,
+        "{label}: logstar"
+    );
 
     let mut m = Machine::new(6);
     let mut shm = Shm::new();
@@ -115,5 +122,12 @@ fn gaussian_inputs() {
 fn degenerate_inputs() {
     check_all(&g2::grid(100), "grid");
     check_all(&g2::collinear_on_line(80, 1.5, -2.0, 5), "collinear");
-    check_all(&[Point2::new(0.0, 0.0), Point2::new(1.0, 1.0), Point2::new(2.0, 0.5)], "tri");
+    check_all(
+        &[
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(2.0, 0.5),
+        ],
+        "tri",
+    );
 }

@@ -12,9 +12,13 @@ fn unsorted2d_replays_exactly() {
     let run = |seed: u64| {
         let mut m = Machine::new(seed);
         let mut shm = Shm::new();
-        let (out, trace) =
-            upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
-        (out.hull.vertices, out.edge_above, trace.levels.len(), m.metrics.total_work())
+        let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+        (
+            out.hull.vertices,
+            out.edge_above,
+            trace.levels.len(),
+            m.metrics.total_work(),
+        )
     };
     let a = run(42);
     let b = run(42);

@@ -27,19 +27,26 @@ fn presorted_steps_bounded_by_constant() {
 
 #[test]
 fn unsorted_work_tracks_output_not_input() {
-    // Theorem 5: at fixed h, work/n must not grow with n.
+    // Theorem 5: at fixed h, work/n must not grow with n. Single instances
+    // have high variance (the random splitter can draw several unbalanced
+    // levels in a row), so compare means over a few seeded instances.
     let h = 16;
+    let seeds = 5u64;
     let mut per_point = Vec::new();
     for n in [2048usize, 8192] {
-        let pts = g2::circle_plus_interior(h, n, 3);
-        let mut m = Machine::new(4);
-        let mut shm = Shm::new();
-        upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
-        per_point.push(m.metrics.total_work() as f64 / n as f64);
+        let mut mean = 0.0;
+        for seed in 0..seeds {
+            let pts = g2::circle_plus_interior(h, n, seed);
+            let mut m = Machine::new(seed + 100);
+            let mut shm = Shm::new();
+            upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+            mean += m.metrics.total_work() as f64 / n as f64 / seeds as f64;
+        }
+        per_point.push(mean);
     }
     assert!(
         per_point[1] < per_point[0] * 2.0,
-        "work/n grew with n at fixed h: {per_point:?}"
+        "mean work/n grew with n at fixed h: {per_point:?}"
     );
 }
 

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 
 use ipch_geom::hull_chain::{verify_upper_hull, UpperHull};
-use ipch_geom::predicates::{orient2d_sign, orient2d_exact};
+use ipch_geom::predicates::{orient2d_exact, orient2d_sign};
 use ipch_geom::Point2;
 use ipch_pram::{Machine, Shm, EMPTY};
 

@@ -90,7 +90,8 @@ fn unsorted_survives_torture() {
             geometric_hull(&pts, &UpperHull::of(&pts)),
             "{name}"
         );
-        out.verify_pointers(&pts).unwrap_or_else(|e| panic!("{name}: {e}"));
+        out.verify_pointers(&pts)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
     }
 }
 
@@ -112,7 +113,10 @@ fn dac_survives_torture() {
 fn sequential_baselines_survive_torture() {
     for (name, pts) in torture_cases() {
         for (alg, f) in [
-            ("monotone", monotone::upper_hull as fn(&[Point2], &mut SeqStats) -> UpperHull),
+            (
+                "monotone",
+                monotone::upper_hull as fn(&[Point2], &mut SeqStats) -> UpperHull,
+            ),
             ("ks", ks::upper_hull),
             ("chan", chan::upper_hull),
             ("quickhull", quickhull::upper_hull),
