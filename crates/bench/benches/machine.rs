@@ -17,7 +17,7 @@
 //! to `bench_results/machine.csv` so runs accumulate a throughput history.
 
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
-use ipch_pram::{Machine, Shm, Tuning, WritePolicy};
+use ipch_pram::{primitives, Machine, ReduceOp, Shm, Tuning, WritePolicy};
 
 const SIZES: [usize; 4] = [1 << 10, 1 << 14, 1 << 18, 1 << 22];
 
@@ -220,6 +220,123 @@ fn bench_machine(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fused bulk-kernel layer vs the identical workload routed through
+/// the generic per-processor `step` dispatch (`Tuning::disable_kernels`).
+/// Each fused/generic pair executes the same PRAM program and charges the
+/// same metrics; the ratio is pure host-dispatch overhead.
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+
+    for &n in &SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+
+        for (name, generic) in [("map-fused", false), ("map-generic", true)] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let mut m = machine(Tuning {
+                    disable_kernels: generic,
+                    ..Tuning::default()
+                });
+                let mut shm = Shm::new();
+                let a = shm.alloc("a", n, 1);
+                let out = shm.alloc("out", n, 0);
+                b.iter(|| {
+                    m.kernel_map(&mut shm, 0..n, out, |t, i| t.read(a, i) + 1);
+                    black_box(shm.get(out, n - 1))
+                });
+            });
+        }
+
+        for (name, generic) in [("scatter-fused", false), ("scatter-generic", true)] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let mut m = machine(Tuning {
+                    disable_kernels: generic,
+                    ..Tuning::default()
+                });
+                let mut shm = Shm::new();
+                let a = shm.alloc("a", n, 1);
+                let out = shm.alloc("out", n, 0);
+                b.iter(|| {
+                    m.kernel_scatter(&mut shm, 0..n, |t, i| {
+                        if t.read(a, i) != 0 && i % 4 != 3 {
+                            Some((out, i, i as i64))
+                        } else {
+                            None
+                        }
+                    });
+                    black_box(shm.get(out, 0))
+                });
+            });
+        }
+
+        for (name, generic) in [("reduce-fused", false), ("reduce-generic", true)] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let mut m = machine(Tuning {
+                    disable_kernels: generic,
+                    ..Tuning::default()
+                });
+                let mut shm = Shm::new();
+                let a = shm.alloc("a", n, 1);
+                let cell = shm.alloc("cell", 1, 0);
+                b.iter(|| {
+                    m.kernel_reduce(&mut shm, 0..n, ReduceOp::Sum, cell, 0, |t, i| {
+                        Some(t.read(a, i))
+                    });
+                    black_box(shm.get(cell, 0))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Workspace-leak regression: 10⁴ iterated primitive calls must not grow
+/// the live array population — scoped arenas recycle the same slots. The
+/// CSV records host ns/step and the peak live-array count (the number
+/// this PR pins at O(1); before scoped arenas it grew by ~7 arrays per
+/// iteration).
+fn leak_bench() -> std::io::Result<()> {
+    use std::io::Write;
+    const ITERS: usize = 10_000;
+    let n = 1 << 12;
+    let mut m = Machine::new(7);
+    let mut shm = Shm::new();
+    let flags = shm.alloc("flags", n, 0);
+    shm.host_set(flags, n / 2, 1);
+    let mut peak = 0usize;
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        black_box(primitives::or_over(&mut m, &mut shm, flags, 0, n));
+        black_box(primitives::leftmost_nonzero(&mut m, &mut shm, flags));
+        peak = peak.max(shm.array_count());
+    }
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let ns_per_step = elapsed_ns as f64 / m.metrics.steps as f64;
+    println!(
+        "leak bench: {ITERS} iterations, {} steps, {:.0} ns/step, peak live arrays {peak}",
+        m.metrics.steps, ns_per_step
+    );
+    assert!(
+        peak <= 16,
+        "workspace leak: {peak} live arrays after {ITERS} iterations"
+    );
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("leak.csv");
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if fresh {
+        writeln!(f, "iterations,steps,host_ns_per_step,peak_live_arrays")?;
+    }
+    writeln!(f, "{ITERS},{},{ns_per_step:.1},{peak}", m.metrics.steps)?;
+    println!("appended results: {}", path.display());
+    Ok(())
+}
+
 fn append_results(c: &Criterion) -> std::io::Result<std::path::PathBuf> {
     use std::io::Write;
     // anchor at the workspace root: bench binaries run with the package
@@ -257,6 +374,7 @@ fn main() {
     }
     let mut c = Criterion::default();
     bench_machine(&mut c);
+    bench_kernels(&mut c);
 
     // speedup summary: the optimized pipeline vs its own sorted path and
     // vs the reconstructed previous-generation commit path
@@ -282,8 +400,36 @@ fn main() {
             );
         }
     }
+    // fused-kernel summary: the same PRAM program through the bulk kernels
+    // vs the generic per-processor dispatch
+    for &n in &SIZES {
+        let t = |name: &str| {
+            c.measurements
+                .iter()
+                .find(|m| m.id == format!("kernels/{name}/{n}"))
+                .map(|m| m.median.as_nanos() as f64)
+        };
+        if let (Some(mf), Some(mg), Some(sf), Some(sg), Some(rf), Some(rg)) = (
+            t("map-fused"),
+            t("map-generic"),
+            t("scatter-fused"),
+            t("scatter-generic"),
+            t("reduce-fused"),
+            t("reduce-generic"),
+        ) {
+            println!(
+                "n={n}: kernels map {:.2}x, scatter {:.2}x, reduce {:.2}x vs generic dispatch",
+                mg / mf,
+                sg / sf,
+                rg / rf,
+            );
+        }
+    }
     match append_results(&c) {
         Ok(p) => println!("appended results: {}", p.display()),
         Err(e) => eprintln!("could not append results: {e}"),
+    }
+    if let Err(e) = leak_bench() {
+        eprintln!("could not run leak bench: {e}");
     }
 }

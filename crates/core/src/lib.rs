@@ -95,17 +95,20 @@ pub fn column_tops_pram(
     if t == 0 {
         return vec![];
     }
-    let keep = shm.alloc("hull2d.tops", t, 0);
-    m.step(shm, 0..t, |ctx| {
-        let pos = ctx.pid;
-        if pos + 1 == t || points[sorted_ids[pos + 1]].x != points[sorted_ids[pos]].x {
-            ctx.write(keep, pos, 1);
-        }
-    });
-    (0..t)
-        .filter(|&pos| shm.get(keep, pos) != 0)
-        .map(|pos| sorted_ids[pos])
-        .collect()
+    shm.scope(|shm| {
+        let keep = shm.alloc("hull2d.tops", t, 0);
+        m.kernel_scatter(shm, 0..t, |_, pos| {
+            if pos + 1 == t || points[sorted_ids[pos + 1]].x != points[sorted_ids[pos]].x {
+                Some((keep, pos, 1))
+            } else {
+                None
+            }
+        });
+        (0..t)
+            .filter(|&pos| shm.get(keep, pos) != 0)
+            .map(|pos| sorted_ids[pos])
+            .collect()
+    })
 }
 
 /// Build per-point edge pointers from a finished hull: every point
@@ -122,38 +125,39 @@ pub fn assign_edges_pram(
     if ne == 0 || n == 0 {
         return vec![usize::MAX; n];
     }
-    let lo = shm.alloc("hull2d.lo", n, 0);
-    let hi = shm.alloc("hull2d.hi", n, ne as i64 - 1);
-    let verts = &hull.vertices;
-    // invariant: the covering edge index lies in [lo, hi]
-    let rounds = (usize::BITS - ne.leading_zeros()) as usize + 1;
-    for _ in 0..rounds {
-        m.step(shm, 0..n, |ctx| {
-            let i = ctx.pid;
-            let l = ctx.read(lo, i);
-            let h = ctx.read(hi, i);
-            if l >= h {
-                return;
-            }
-            let mid = (l + h) / 2;
-            // edge `mid` spans [x(mid), x(mid+1)]
-            if points[verts[(mid + 1) as usize]].x >= points[i].x {
-                ctx.write(hi, i, mid);
-            } else {
-                ctx.write(lo, i, mid + 1);
-            }
-        });
-    }
-    (0..n)
-        .map(|i| {
-            let e = shm.get(lo, i) as usize;
-            let u = points[verts[e]];
-            let v = points[verts[e + 1]];
-            if u.x <= points[i].x && points[i].x <= v.x {
-                e
-            } else {
-                usize::MAX
-            }
-        })
-        .collect()
+    shm.scope(|shm| {
+        let lo = shm.alloc("hull2d.lo", n, 0);
+        let hi = shm.alloc("hull2d.hi", n, ne as i64 - 1);
+        let verts = &hull.vertices;
+        // invariant: the covering edge index lies in [lo, hi]
+        let rounds = (usize::BITS - ne.leading_zeros()) as usize + 1;
+        for _ in 0..rounds {
+            m.kernel_scatter(shm, 0..n, |t, i| {
+                let l = t.read(lo, i);
+                let h = t.read(hi, i);
+                if l >= h {
+                    return None;
+                }
+                let mid = (l + h) / 2;
+                // edge `mid` spans [x(mid), x(mid+1)]
+                if points[verts[(mid + 1) as usize]].x >= points[i].x {
+                    Some((hi, i, mid))
+                } else {
+                    Some((lo, i, mid + 1))
+                }
+            });
+        }
+        (0..n)
+            .map(|i| {
+                let e = shm.get(lo, i) as usize;
+                let u = points[verts[e]];
+                let v = points[verts[e + 1]];
+                if u.x <= points[i].x && points[i].x <= v.x {
+                    e
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect()
+    })
 }

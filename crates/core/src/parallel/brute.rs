@@ -32,48 +32,48 @@ pub fn upper_hull_brute(
         return UpperHull::new(vec![ids[0]]);
     }
     let npairs = n * n;
-    let bad = shm.alloc("pbrute.bad", npairs, 0);
-    m.step_with_policy(shm, 0..npairs * n, WritePolicy::CombineOr, |ctx| {
-        let p = ctx.pid / n;
-        let w = ctx.pid % n;
-        let (i, j) = (p / n, p % n);
-        let (u, v) = (points[ids[i]], points[ids[j]]);
-        if u.x >= v.x {
-            if w == 0 {
-                ctx.write(bad, p, 1);
+    // marking workspace is scoped: failure sweeps re-invoke this oracle in
+    // loops, and each invocation recycles the same slot
+    let mut edges: Vec<(usize, usize)> = shm.scope(|shm| {
+        let bad = shm.alloc("pbrute.bad", npairs, 0);
+        m.kernel_scatter_with_policy(shm, 0..npairs * n, WritePolicy::CombineOr, |_, pid| {
+            let p = pid / n;
+            let w = pid % n;
+            let (i, j) = (p / n, p % n);
+            let (u, v) = (points[ids[i]], points[ids[j]]);
+            if u.x >= v.x {
+                return if w == 0 { Some((bad, p, 1)) } else { None };
             }
-            return;
-        }
-        let q = points[ids[w]];
-        let s = orient2d_sign(u, v, q);
-        if s > 0 {
-            ctx.write(bad, p, 1); // witness above the candidate edge
-            return;
-        }
-        if s == 0 && (q.x < u.x || q.x > v.x) {
-            // a contact outside the span: the true strict edge extends
-            // further, so (u, v) is only a sub-segment of it
-            ctx.write(bad, p, 1);
-            return;
-        }
-        // vertical domination of an endpoint kills the pair
-        if (q.x == u.x && q.y > u.y) || (q.x == v.x && q.y > v.y) {
-            ctx.write(bad, p, 1);
-            return;
-        }
-        // exact duplicate of an endpoint with a smaller id: dedupe so only
-        // one copy of each edge survives
-        if (q == u && ids[w] < ids[i]) || (q == v && ids[w] < ids[j]) {
-            ctx.write(bad, p, 1);
-        }
-    });
+            let q = points[ids[w]];
+            let s = orient2d_sign(u, v, q);
+            if s > 0 {
+                return Some((bad, p, 1)); // witness above the candidate edge
+            }
+            if s == 0 && (q.x < u.x || q.x > v.x) {
+                // a contact outside the span: the true strict edge extends
+                // further, so (u, v) is only a sub-segment of it
+                return Some((bad, p, 1));
+            }
+            // vertical domination of an endpoint kills the pair
+            if (q.x == u.x && q.y > u.y) || (q.x == v.x && q.y > v.y) {
+                return Some((bad, p, 1));
+            }
+            // exact duplicate of an endpoint with a smaller id: dedupe so only
+            // one copy of each edge survives
+            if (q == u && ids[w] < ids[i]) || (q == v && ids[w] < ids[j]) {
+                return Some((bad, p, 1));
+            }
+            None
+        });
 
-    let mut edges: Vec<(usize, usize)> = Vec::new();
-    for p in 0..npairs {
-        if shm.get(bad, p) == 0 {
-            edges.push((ids[p / n], ids[p % n]));
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        for p in 0..npairs {
+            if shm.get(bad, p) == 0 {
+                edges.push((ids[p / n], ids[p % n]));
+            }
         }
-    }
+        edges
+    });
     if edges.is_empty() {
         // all points share one x: the hull is the topmost point
         let top = ids

@@ -34,7 +34,7 @@ use ipch_geom::{Point2, UpperHull};
 use ipch_lp::bridge::{bridge_brute, Bridge};
 use ipch_lp::inplace_bridge::{find_bridge_inplace, IbConfig};
 use ipch_pram::prefix::compact_indices;
-use ipch_pram::{Machine, Metrics, Shm, WritePolicy, EMPTY};
+use ipch_pram::{Machine, Metrics, ReduceOp, Shm, WritePolicy, EMPTY};
 
 use super::dac::upper_hull_dac;
 use super::trace::{LevelRecord, UnsortedTrace};
@@ -199,25 +199,30 @@ pub fn upper_hull_unsorted(
         // ---- step 2: failure sweeping -----------------------------------
         m.metrics.begin_phase("sweep");
         if !failed.is_empty() && !params.disable_sweeping {
-            let flags = shm.alloc("uns.fail", problems.len(), EMPTY);
-            let ff = failed.clone();
-            m.step(shm, 0..problems.len(), move |ctx| {
-                let j = ctx.pid;
-                if ff.binary_search(&j).is_ok() {
-                    ctx.write(flags, j, j as i64);
+            // scoped: one "uns.fail" slot (plus Ragde's internal workspace)
+            // is recycled across all levels instead of leaking per level
+            let sweep_list: Vec<usize> = shm.scope(|shm| {
+                let flags = shm.alloc("uns.fail", problems.len(), EMPTY);
+                let ff = failed.clone();
+                m.kernel_scatter(shm, 0..problems.len(), move |_, j| {
+                    if ff.binary_search(&j).is_ok() {
+                        Some((flags, j, j as i64))
+                    } else {
+                        None
+                    }
+                });
+                let comp = ipch_inplace::ragde::ragde_compact_det(m, shm, flags, sweep_bound);
+                match comp {
+                    Some(c) => shm
+                        .slice(c.dst)
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != EMPTY)
+                        .map(|x| x as usize)
+                        .collect(),
+                    None => failed.clone(),
                 }
             });
-            let comp = ipch_inplace::ragde::ragde_compact_det(m, shm, flags, sweep_bound);
-            let sweep_list: Vec<usize> = match comp {
-                Some(c) => shm
-                    .slice(c.dst)
-                    .iter()
-                    .copied()
-                    .filter(|&x| x != EMPTY)
-                    .map(|x| x as usize)
-                    .collect(),
-                None => failed.clone(),
-            };
             let mut sweep_children: Vec<Metrics> = Vec::new();
             for j in sweep_list {
                 let mut child = m.child(j as u64 ^ 0xfa11);
@@ -329,11 +334,14 @@ pub fn upper_hull_unsorted(
             trace.phases += 1;
             // parallel prefix sum over the problem-id space (the paper's
             // compaction) — executed, O(log) steps
-            let pflags = shm.alloc("uns.pflags", problems.len().max(1), 0);
-            for j in 0..problems.len() {
-                shm.host_set(pflags, j, 1);
-            }
-            let (_, count) = compact_indices(m, shm, pflags);
+            let count = shm.scope(|shm| {
+                let pflags = shm.alloc("uns.pflags", problems.len().max(1), 0);
+                for j in 0..problems.len() {
+                    shm.host_set(pflags, j, 1);
+                }
+                let (_, count) = compact_indices(m, shm, pflags);
+                count
+            });
             let l = edges.len() + count;
             trace.l_history.push(l);
             if l >= fallback_threshold {
@@ -504,12 +512,13 @@ fn sweep_problem(
 }
 
 fn combine_max_x(m: &mut Machine, shm: &mut Shm, points: &[Point2], ids: &[usize]) -> f64 {
-    let cell = shm.alloc("uns.maxx", 1, i64::MIN);
-    m.step_with_policy(shm, ids, WritePolicy::CombineMax, |ctx| {
-        let i = ctx.pid;
-        ctx.write(cell, 0, ipch_lp::constraint::f64_key(points[i].x));
+    let key = shm.scope(|shm| {
+        let cell = shm.alloc("uns.maxx", 1, i64::MIN);
+        m.kernel_reduce(shm, ids, ReduceOp::Max, cell, 0, |_, i| {
+            Some(ipch_lp::constraint::f64_key(points[i].x))
+        });
+        shm.get(cell, 0)
     });
-    let key = shm.get(cell, 0);
     ids.iter()
         .map(|&i| points[i].x)
         .find(|&x| ipch_lp::constraint::f64_key(x) == key)
@@ -517,12 +526,13 @@ fn combine_max_x(m: &mut Machine, shm: &mut Shm, points: &[Point2], ids: &[usize
 }
 
 fn combine_max_x_neg(m: &mut Machine, shm: &mut Shm, points: &[Point2], ids: &[usize]) -> f64 {
-    let cell = shm.alloc("uns.minx", 1, i64::MIN);
-    m.step_with_policy(shm, ids, WritePolicy::CombineMax, |ctx| {
-        let i = ctx.pid;
-        ctx.write(cell, 0, ipch_lp::constraint::f64_key(-points[i].x));
+    let key = shm.scope(|shm| {
+        let cell = shm.alloc("uns.minx", 1, i64::MIN);
+        m.kernel_reduce(shm, ids, ReduceOp::Max, cell, 0, |_, i| {
+            Some(ipch_lp::constraint::f64_key(-points[i].x))
+        });
+        shm.get(cell, 0)
     });
-    let key = shm.get(cell, 0);
     ids.iter()
         .map(|&i| -points[i].x)
         .find(|&x| ipch_lp::constraint::f64_key(x) == key)
@@ -537,14 +547,17 @@ fn combine_max_x_below(
     ids: &[usize],
     below: f64,
 ) -> Option<f64> {
-    let cell = shm.alloc("uns.max2", 1, i64::MIN);
-    m.step_with_policy(shm, ids, WritePolicy::CombineMax, |ctx| {
-        let i = ctx.pid;
-        if points[i].x < below {
-            ctx.write(cell, 0, ipch_lp::constraint::f64_key(points[i].x));
-        }
+    let key = shm.scope(|shm| {
+        let cell = shm.alloc("uns.max2", 1, i64::MIN);
+        m.kernel_reduce(shm, ids, ReduceOp::Max, cell, 0, |_, i| {
+            if points[i].x < below {
+                Some(ipch_lp::constraint::f64_key(points[i].x))
+            } else {
+                None
+            }
+        });
+        shm.get(cell, 0)
     });
-    let key = shm.get(cell, 0);
     if key == i64::MIN {
         return None;
     }

@@ -13,7 +13,7 @@ use ipch_geom::Point3;
 use ipch_inplace::compact::inplace_compact;
 use ipch_inplace::sample::random_sample_with_p;
 use ipch_lp::bridge::facet_brute;
-use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
+use ipch_pram::{Machine, Shm, EMPTY};
 
 use crate::facet::Facet;
 
@@ -69,37 +69,38 @@ pub fn find_facet_inplace(
         return facet_brute(m, shm, points, active, x0, y0).map(|(a, b, c)| Facet { a, b, c });
     }
 
-    let surv = shm.alloc("fp.surv", universe, 0);
-    m.step(shm, active, |ctx| {
-        let i = ctx.pid;
-        ctx.write(surv, i, 1);
-    });
+    // every round's workspace (survivor flags, compaction scratch, sample
+    // claims) is scoped to this call — nothing leaks into the caller's Shm
+    shm.scope(|shm| {
+        let surv = shm.alloc("fp.surv", universe, 0);
+        m.kernel_map(shm, active, surv, |_, _| 1);
 
-    let mut p_j = 2.0 * k as f64 / p as f64;
-    let mut best: Option<Facet> = None;
-    for round in 0..cfg.max_rounds {
-        let survivors: Vec<usize> = active
-            .iter()
-            .copied()
-            .filter(|&i| shm.get(surv, i) != 0)
-            .collect();
+        let mut p_j = 2.0 * k as f64 / p as f64;
+        let mut best: Option<Facet> = None;
+        for round in 0..cfg.max_rounds {
+            let survivors: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| shm.get(surv, i) != 0)
+                .collect();
 
-        let mut base: Vec<usize> = Vec::new();
-        if round >= cfg.beta || survivors.len() <= 4 * k {
-            let sarr = shm.alloc("fp.sarr", universe, EMPTY);
-            m.step(shm, &survivors, |ctx| {
-                let i = ctx.pid;
-                ctx.write(sarr, i, i as i64);
-            });
-            if let Some(c) = inplace_compact(m, shm, sarr, capacity, 0.34) {
-                for s in 0..shm.len(c.slots) {
-                    let v = shm.get(c.slots, s);
-                    if v != EMPTY {
-                        base.push(v as usize);
+            // per-round scratch is recycled round to round
+            let mut base: Vec<usize> = shm.scope(|shm| {
+                if round >= cfg.beta || survivors.len() <= 4 * k {
+                    let sarr = shm.alloc("fp.sarr", universe, EMPTY);
+                    m.kernel_map(shm, &survivors, sarr, |_, i| i as i64);
+                    if let Some(c) = inplace_compact(m, shm, sarr, capacity, 0.34) {
+                        let mut b = Vec::new();
+                        for s in 0..shm.len(c.slots) {
+                            let v = shm.get(c.slots, s);
+                            if v != EMPTY {
+                                b.push(v as usize);
+                            }
+                        }
+                        return b;
                     }
                 }
-            } else {
-                let out = random_sample_with_p(
+                random_sample_with_p(
                     m,
                     shm,
                     &survivors,
@@ -107,53 +108,40 @@ pub fn find_facet_inplace(
                     k,
                     cfg.sample_attempts,
                     Some(p_j),
-                );
-                base.extend_from_slice(&out.sample);
-            }
-        } else {
-            let out = random_sample_with_p(
-                m,
-                shm,
-                &survivors,
-                universe,
-                k,
-                cfg.sample_attempts,
-                Some(p_j),
-            );
-            base.extend_from_slice(&out.sample);
-        }
-        if let Some(f) = best {
-            for id in f.ids() {
-                if !base.contains(&id) {
-                    base.push(id);
+                )
+                .sample
+            });
+            if let Some(f) = best {
+                for id in f.ids() {
+                    if !base.contains(&id) {
+                        base.push(id);
+                    }
                 }
             }
-        }
-        p_j = (p_j * 2.0 * k as f64).min(1.0);
-        if base.len() > capacity || base.len() < 3 {
-            continue;
-        }
+            p_j = (p_j * 2.0 * k as f64).min(1.0);
+            if base.len() > capacity || base.len() < 3 {
+                continue;
+            }
 
-        let mut child = m.child(round as u64 ^ 0xface);
-        let sol = facet_brute(&mut child, shm, points, &base, x0, y0);
-        m.metrics.absorb(&child.metrics);
-        let Some((a, b, c)) = sol else { continue };
-        let facet = Facet { a, b, c };
-        best = Some(facet);
+            let mut child = m.child(round as u64 ^ 0xface);
+            let sol = facet_brute(&mut child, shm, points, &base, x0, y0);
+            m.metrics.absorb(&child.metrics);
+            let Some((a, b, c)) = sol else { continue };
+            let facet = Facet { a, b, c };
+            best = Some(facet);
 
-        // survivor step: one concurrent step over the active set
-        let (pa, pb, pc) = (points[a], points[b], points[c]);
-        m.step_with_policy(shm, active, WritePolicy::Arbitrary, |ctx| {
-            let i = ctx.pid;
-            let above = orient3d_sign(pa, pb, pc, points[i]) < 0;
-            ctx.write(surv, i, if above { 1 } else { 0 });
-        });
-        let nsurv = active.iter().filter(|&&i| shm.get(surv, i) != 0).count();
-        if nsurv == 0 {
-            return Some(facet);
+            // survivor step: one concurrent step over the active set
+            let (pa, pb, pc) = (points[a], points[b], points[c]);
+            m.kernel_map(shm, active, surv, move |_, i| {
+                (orient3d_sign(pa, pb, pc, points[i]) < 0) as i64
+            });
+            let nsurv = active.iter().filter(|&&i| shm.get(surv, i) != 0).count();
+            if nsurv == 0 {
+                return Some(facet);
+            }
         }
-    }
-    None
+        None
+    })
 }
 
 #[cfg(test)]

@@ -215,25 +215,30 @@ pub fn upper_hull3_unsorted(
         trace.levels[ri].failures = failed.len();
         if !failed.is_empty() {
             let bound = ((n as f64).powf(0.25).ceil() as usize).max(4);
-            let flags = shm.alloc("u3.fail", regions.len(), EMPTY);
-            let ff = failed.clone();
-            m.step(shm, 0..regions.len(), move |ctx| {
-                let j = ctx.pid;
-                if ff.binary_search(&j).is_ok() {
-                    ctx.write(flags, j, j as i64);
+            // scoped: the flag slot and Ragde's workspace are recycled level
+            // to level instead of leaking per level
+            let sweep_list: Vec<usize> = shm.scope(|shm| {
+                let flags = shm.alloc("u3.fail", regions.len(), EMPTY);
+                let ff = failed.clone();
+                m.kernel_scatter(shm, 0..regions.len(), move |_, j| {
+                    if ff.binary_search(&j).is_ok() {
+                        Some((flags, j, j as i64))
+                    } else {
+                        None
+                    }
+                });
+                let comp = ipch_inplace::ragde::ragde_compact_det(m, shm, flags, bound);
+                match comp {
+                    Some(c) => shm
+                        .slice(c.dst)
+                        .iter()
+                        .copied()
+                        .filter(|&x| x != EMPTY)
+                        .map(|x| x as usize)
+                        .collect(),
+                    None => failed.clone(),
                 }
             });
-            let comp = ipch_inplace::ragde::ragde_compact_det(m, shm, flags, bound);
-            let sweep_list: Vec<usize> = match comp {
-                Some(c) => shm
-                    .slice(c.dst)
-                    .iter()
-                    .copied()
-                    .filter(|&x| x != EMPTY)
-                    .map(|x| x as usize)
-                    .collect(),
-                None => failed.clone(),
-            };
             let mut sweep_children: Vec<Metrics> = Vec::new();
             for j in sweep_list {
                 let mut child = m.child(j as u64 ^ 0x3dfa);

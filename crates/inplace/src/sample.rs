@@ -104,65 +104,73 @@ pub fn random_sample_with_p(
         .unwrap_or(2.0 * k as f64 / mcount as f64)
         .min(1.0);
 
-    // Private registers, indexed by element id.
-    let attempt = shm.alloc("sample.attempt", universe, 0);
-    let placed = shm.alloc("sample.placed", universe, 0);
-    let try_slot = shm.alloc("sample.try", universe, EMPTY);
+    // Private registers, indexed by element id — scoped so iterated
+    // samples (votes, bridge rounds) recycle the same slots. The claimed
+    // workspace itself is the caller's and stays unscoped.
+    let attempted = shm.scope(|shm| {
+        let attempt = shm.alloc("sample.attempt", universe, 0);
+        let placed = shm.alloc("sample.placed", universe, 0);
+        let try_slot = shm.alloc("sample.try", universe, EMPTY);
 
-    // Step 1: coin flips.
-    m.step(shm, active, |ctx| {
-        let pid = ctx.pid;
-        if ctx.rng().bernoulli(p_attempt) {
-            ctx.write(attempt, pid, 1);
+        // Step 1: coin flips (per-processor RNG — stays a generic step).
+        m.step(shm, active, |ctx| {
+            let pid = ctx.pid;
+            if ctx.rng().bernoulli(p_attempt) {
+                ctx.write(attempt, pid, 1);
+            }
+        });
+        let attempted = shm.slice(attempt).iter().filter(|&&x| x != 0).count();
+
+        for _round in 0..attempts {
+            // this round's collision-protocol cells, recycled across rounds
+            shm.scope(|shm| {
+                let first = shm.alloc("sample.first", ws_len, EMPTY);
+                let second = shm.alloc("sample.second", ws_len, EMPTY);
+
+                // Step 2a: pick a slot (per-processor RNG — generic step).
+                m.step(shm, active, |ctx| {
+                    let pid = ctx.pid;
+                    if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
+                        let s = ctx.rng().next_below(ws_len as u64) as i64;
+                        ctx.write(try_slot, pid, s);
+                    }
+                });
+                // Step 2b: attempt the write if the slot is unoccupied.
+                m.kernel_scatter(shm, active, |t, pid| {
+                    if t.read(attempt, pid) != 0 && t.read(placed, pid) == 0 {
+                        let s = t.read(try_slot, pid) as usize;
+                        if t.read(workspace, s) == EMPTY {
+                            return Some((first, s, pid as i64));
+                        }
+                    }
+                    None
+                });
+                // Step 3: losers re-attempt, poisoning the cell.
+                m.kernel_scatter(shm, active, |t, pid| {
+                    if t.read(attempt, pid) != 0 && t.read(placed, pid) == 0 {
+                        let s = t.read(try_slot, pid) as usize;
+                        if t.read(workspace, s) == EMPTY && t.read(first, s) != pid as i64 {
+                            return Some((second, s, pid as i64));
+                        }
+                    }
+                    None
+                });
+                // Step 4: collision-free winners claim their slot (writes two
+                // arrays per processor — not a kernel shape, stays generic).
+                m.step(shm, active, |ctx| {
+                    let pid = ctx.pid;
+                    if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
+                        let s = ctx.read(try_slot, pid) as usize;
+                        if ctx.read(first, s) == pid as i64 && ctx.read(second, s) == EMPTY {
+                            ctx.write(workspace, s, pid as i64);
+                            ctx.write(placed, pid, 1);
+                        }
+                    }
+                });
+            });
         }
+        attempted
     });
-    let attempted = shm.slice(attempt).iter().filter(|&&x| x != 0).count();
-
-    for _round in 0..attempts {
-        // fresh scratch cells for this round's collision protocol
-        let first = shm.alloc("sample.first", ws_len, EMPTY);
-        let second = shm.alloc("sample.second", ws_len, EMPTY);
-
-        // Step 2a: pick a slot.
-        m.step(shm, active, |ctx| {
-            let pid = ctx.pid;
-            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
-                let s = ctx.rng().next_below(ws_len as u64) as i64;
-                ctx.write(try_slot, pid, s);
-            }
-        });
-        // Step 2b: attempt the write if the slot is unoccupied (unclaimed).
-        m.step(shm, active, |ctx| {
-            let pid = ctx.pid;
-            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
-                let s = ctx.read(try_slot, pid) as usize;
-                if ctx.read(workspace, s) == EMPTY {
-                    ctx.write(first, s, pid as i64);
-                }
-            }
-        });
-        // Step 3: losers re-attempt, poisoning the cell.
-        m.step(shm, active, |ctx| {
-            let pid = ctx.pid;
-            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
-                let s = ctx.read(try_slot, pid) as usize;
-                if ctx.read(workspace, s) == EMPTY && ctx.read(first, s) != pid as i64 {
-                    ctx.write(second, s, pid as i64);
-                }
-            }
-        });
-        // Step 4: collision-free winners claim their slot.
-        m.step(shm, active, |ctx| {
-            let pid = ctx.pid;
-            if ctx.read(attempt, pid) != 0 && ctx.read(placed, pid) == 0 {
-                let s = ctx.read(try_slot, pid) as usize;
-                if ctx.read(first, s) == pid as i64 && ctx.read(second, s) == EMPTY {
-                    ctx.write(workspace, s, pid as i64);
-                    ctx.write(placed, pid, 1);
-                }
-            }
-        });
-    }
 
     let sample: Vec<usize> = shm
         .slice(workspace)

@@ -40,15 +40,18 @@ pub fn random_vote(
     // 0/1 view of the claimed slots, then leftmost-one (both O(1) steps).
     let ws = out.workspace;
     let n = shm.len(ws);
-    let view = shm.alloc("vote.view", n, 0);
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(ws, i) != EMPTY {
-            ctx.write(view, i, 1);
-        }
-    });
-    let slot = primitives::leftmost_nonzero(m, shm, view)?;
-    Some(shm.get(ws, slot) as usize)
+    shm.scope(|shm| {
+        let view = shm.alloc("vote.view", n, 0);
+        m.kernel_scatter(shm, 0..n, |t, i| {
+            if t.read(ws, i) != EMPTY {
+                Some((view, i, 1))
+            } else {
+                None
+            }
+        });
+        let slot = primitives::leftmost_nonzero(m, shm, view)?;
+        Some(shm.get(ws, slot) as usize)
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 //! candidates whose f64 objective keys tie, an exact rational comparison
 //! breaks the tie host-side (charged O(1)).
 
-use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
+use ipch_pram::{Machine, ReduceOp, Shm, WritePolicy, EMPTY};
 
 use crate::constraint::{
     candidate_objective, candidate_satisfies_fast, compare_objectives, cramer2, f64_key, Halfplane,
@@ -70,83 +70,94 @@ pub fn solve_lp2_brute(
         })
         .collect();
 
-    // Step 1: feasibility marking. Processor (p, k) with p = i·n + j checks
-    // candidate (i, j) against constraint k. Infeasible or degenerate pairs
-    // are knocked out via a Combining-Or write.
-    let bad = shm.alloc("lp2.bad", npairs, 0);
-    m.step_with_policy(shm, 0..npairs * n, WritePolicy::CombineOr, |ctx| {
-        let p = ctx.pid / n;
-        let k = ctx.pid % n;
-        match &cands[p] {
-            None => {
-                if k == 0 {
-                    ctx.write(bad, p, 1); // diagonal, duplicate, or parallel
+    // All three steps run against scoped workspace — iterated LP solves
+    // (e.g. inside Alon–Megiddo rounds) recycle the same three slots.
+    shm.scope(|shm| {
+        // Step 1: feasibility marking. Processor (p, k) with p = i·n + j
+        // checks candidate (i, j) against constraint k. Infeasible or
+        // degenerate pairs are knocked out via a Combining-Or write.
+        let bad = shm.alloc("lp2.bad", npairs, 0);
+        m.kernel_scatter_with_policy(shm, 0..npairs * n, WritePolicy::CombineOr, |_, pid| {
+            let p = pid / n;
+            let k = pid % n;
+            match &cands[p] {
+                None => {
+                    if k == 0 {
+                        Some((bad, p, 1)) // diagonal, duplicate, or parallel
+                    } else {
+                        None
+                    }
+                }
+                Some((exact, approx)) => {
+                    if !candidate_satisfies_fast(exact, *approx, &constraints[k]) {
+                        Some((bad, p, 1))
+                    } else {
+                        None
+                    }
                 }
             }
-            Some((exact, approx)) => {
-                if !candidate_satisfies_fast(exact, *approx, &constraints[k]) {
-                    ctx.write(bad, p, 1);
+        });
+
+        // Step 2: Combining-Min over surviving candidates' objective keys.
+        let best = shm.alloc("lp2.best", 1, i64::MAX);
+        m.kernel_reduce(shm, 0..npairs, ReduceOp::Min, best, 0, |t, p| {
+            if t.read(bad, p) != 0 {
+                return None;
+            }
+            cands[p]
+                .as_ref()
+                .map(|((d, dx, dy), _)| f64_key(candidate_objective(d, dx, dy, obj)))
+        });
+        let best_key = shm.get(best, 0);
+        if best_key == i64::MAX {
+            return Lp2Outcome::NoVertexOptimum;
+        }
+
+        // Step 3: candidates achieving the key elect a winner (priority rule:
+        // the lowest-numbered pair).
+        let win = shm.alloc("lp2.win", 1, EMPTY);
+        m.kernel_reduce(shm, 0..npairs, ReduceOp::First, win, 0, |t, p| {
+            if t.read(bad, p) != 0 {
+                return None;
+            }
+            match &cands[p] {
+                Some(((d, dx, dy), _))
+                    if f64_key(candidate_objective(d, dx, dy, obj)) == best_key =>
+                {
+                    Some(p as i64)
+                }
+                _ => None,
+            }
+        });
+        let mut wp = shm.get(win, 0) as usize;
+
+        // Host-side exact tie-break among same-key candidates (charged O(1)):
+        // f64 keys quantize the objective, so candidates within one rounding
+        // step of each other need the rational comparison.
+        m.charge(1, npairs as u64);
+        for (p, cand) in cands.iter().enumerate() {
+            if shm.get(bad, p) != 0 || p == wp {
+                continue;
+            }
+            if let Some(((d, dx, dy), _)) = cand {
+                let key = f64_key(candidate_objective(d, dx, dy, obj));
+                let ((wd, wdx, wdy), _) = cands[wp].as_ref().unwrap();
+                if key == best_key
+                    && compare_objectives((d, dx, dy), (wd, wdx, wdy), obj)
+                        == std::cmp::Ordering::Less
+                {
+                    wp = p;
                 }
             }
         }
-    });
 
-    // Step 2: Combining-Min over surviving candidates' objective keys.
-    let best = shm.alloc("lp2.best", 1, i64::MAX);
-    m.step_with_policy(shm, 0..npairs, WritePolicy::CombineMin, |ctx| {
-        let p = ctx.pid;
-        if ctx.read(bad, p) != 0 {
-            return;
-        }
-        if let Some(((d, dx, dy), _)) = &cands[p] {
-            ctx.write(best, 0, f64_key(candidate_objective(d, dx, dy, obj)));
-        }
-    });
-    let best_key = shm.get(best, 0);
-    if best_key == i64::MAX {
-        return Lp2Outcome::NoVertexOptimum;
-    }
-
-    // Step 3: candidates achieving the key elect a winner.
-    let win = shm.alloc("lp2.win", 1, EMPTY);
-    m.step_with_policy(shm, 0..npairs, WritePolicy::PriorityMin, |ctx| {
-        let p = ctx.pid;
-        if ctx.read(bad, p) != 0 {
-            return;
-        }
-        if let Some(((d, dx, dy), _)) = &cands[p] {
-            if f64_key(candidate_objective(d, dx, dy, obj)) == best_key {
-                ctx.write(win, 0, p as i64);
-            }
-        }
-    });
-    let mut wp = shm.get(win, 0) as usize;
-
-    // Host-side exact tie-break among same-key candidates (charged O(1)):
-    // f64 keys quantize the objective, so candidates within one rounding
-    // step of each other need the rational comparison.
-    m.charge(1, npairs as u64);
-    for (p, cand) in cands.iter().enumerate() {
-        if shm.get(bad, p) != 0 || p == wp {
-            continue;
-        }
-        if let Some(((d, dx, dy), _)) = cand {
-            let key = f64_key(candidate_objective(d, dx, dy, obj));
-            let ((wd, wdx, wdy), _) = cands[wp].as_ref().unwrap();
-            if key == best_key
-                && compare_objectives((d, dx, dy), (wd, wdx, wdy), obj) == std::cmp::Ordering::Less
-            {
-                wp = p;
-            }
-        }
-    }
-
-    let (i, j) = (wp / n, wp % n);
-    let ((d, dx, dy), _) = cands[wp].as_ref().unwrap();
-    Lp2Outcome::Optimal(Lp2Solution {
-        x: dx.approx() / d.approx(),
-        y: dy.approx() / d.approx(),
-        tight: (i, j),
+        let (i, j) = (wp / n, wp % n);
+        let ((d, dx, dy), _) = cands[wp].as_ref().unwrap();
+        Lp2Outcome::Optimal(Lp2Solution {
+            x: dx.approx() / d.approx(),
+            y: dy.approx() / d.approx(),
+            tight: (i, j),
+        })
     })
 }
 

@@ -1,0 +1,795 @@
+//! Fused bulk-kernel execution for the step shapes that dominate the
+//! reproduced algorithms.
+//!
+//! The generic [`Machine::step`] pays a per-processor toll: a [`crate::Ctx`]
+//! is constructed for every virtual processor, its closure is dispatched,
+//! and every write becomes a 24-byte log entry that the commit phase must
+//! re-examine. That is the honest way to execute an *arbitrary* step — but
+//! almost every step the hull algorithms actually issue has one of four
+//! fixed shapes, and for those the simulator can run one tight host loop
+//! per chunk instead (the same observation behind GPU ports of PRAM hull
+//! algorithms: a PRAM step maps to a bulk kernel, not per-processor
+//! interpretation):
+//!
+//! * [`Machine::kernel_map`] — processor `pid` writes `f(pid)` to
+//!   `out[pid]`. Conflict-free by construction.
+//! * [`Machine::kernel_permute`] — processor `pid` writes one value to a
+//!   computed cell of `out`, all destinations distinct. Conflict-free by
+//!   contract (violations are caught in debug builds and are a value race,
+//!   never undefined behaviour, in release).
+//! * [`Machine::kernel_scatter`] — processor `pid` makes at most one
+//!   *conditional* write anywhere; conflicts allowed. The fused loop skips
+//!   `Ctx` construction but still feeds the machine's commit pipeline, so
+//!   conflict resolution and its accounting are *the generic code*, not a
+//!   re-implementation.
+//! * [`Machine::kernel_reduce`] — every processor contributes at most one
+//!   value, combined into a single target cell under a [`ReduceOp`]
+//!   (concurrent-OR, combining sum/min/max, priority-first). Partial
+//!   accumulators per chunk, folded on the host.
+//!
+//! # The metrics-identity invariant
+//!
+//! Kernels are a *host-performance* device, never a model shortcut. Every
+//! kernel charges exactly the metrics the generic path would charge for the
+//! same step: one step, `|pids|` work, the same `writes_buffered`,
+//! `writes_committed` and `write_conflicts`. The only observable differences
+//! are host-side (`host_*_ns`, `fastpath_steps`, and the [`crate::Metrics::kernel_steps`]
+//! counter). [`crate::Tuning::disable_kernels`] routes every kernel through
+//! the generic step path — the equivalence suite runs both and asserts
+//! memory and metrics are bit-identical, under every write policy and both
+//! sequential and parallel execution.
+//!
+//! Kernel closures read the pre-step snapshot through a [`KCtx`], which
+//! refuses reads of the kernel's own output array (for `map`/`permute` the
+//! output buffer is detached during the loop, so the read the generic path
+//! would have served from the snapshot must be rejected identically on the
+//! fused path — the refusal keeps the two paths observably the same).
+//!
+//! ```
+//! use ipch_pram::{Machine, ReduceOp, Shm};
+//!
+//! let mut m = Machine::new(1);
+//! let mut shm = Shm::new();
+//! let xs = shm.alloc("xs", 8, 3);
+//! let out = shm.alloc("out", 8, 0);
+//! let acc = shm.alloc("acc", 1, 0);
+//!
+//! // out[pid] = xs[pid] * 2, one synchronous step, no per-pid Ctx.
+//! m.kernel_map(&mut shm, 0..8, out, |t, pid| t.read(xs, pid) * 2);
+//! // acc[0] = sum over pids, one combining-CRCW step.
+//! m.kernel_reduce(&mut shm, 0..8, ReduceOp::Sum, acc, 0, |t, pid| {
+//!     Some(t.read(out, pid))
+//! });
+//! assert_eq!(shm.get(acc, 0), 48);
+//! assert_eq!(m.metrics.steps, 2);
+//! assert_eq!(m.metrics.work, 16);
+//! assert_eq!(m.metrics.kernel_steps, 2);
+//! ```
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Instant;
+
+use crate::machine::{ChunkCell, Machine, Pids, WriteEntry, CHUNK};
+use crate::memory::{ArrayId, Shm};
+use crate::policy::WritePolicy;
+use crate::pool;
+use crate::Word;
+
+/// Sentinel for "no array is off-limits" in a [`KCtx`].
+const NO_FORBIDDEN: u32 = u32::MAX;
+
+/// Read-only view of the pre-step memory snapshot handed to kernel
+/// closures.
+///
+/// Unlike [`crate::Ctx`] it carries no write buffer and no RNG — a kernel's
+/// write is the closure's *return value*, which is what lets the fused loop
+/// skip the write log on conflict-free shapes.
+pub struct KCtx<'a> {
+    shm: &'a Shm,
+    /// Array the closure may not read (`NO_FORBIDDEN` if none): the output
+    /// array of `map`/`permute`, whose buffer is detached during the fused
+    /// loop. Enforced identically on the generic fallback path so the two
+    /// paths reject the same programs.
+    forbidden: u32,
+}
+
+impl<'a> KCtx<'a> {
+    #[inline]
+    fn check(&self, a: ArrayId) {
+        assert!(
+            a.0 != self.forbidden,
+            "kernel closure may not read the kernel's own output array \
+             (reads see the pre-step snapshot; buffer the value in a prior step)"
+        );
+    }
+
+    /// Read a cell of the pre-step memory snapshot.
+    #[inline]
+    pub fn read(&self, a: ArrayId, i: usize) -> Word {
+        self.check(a);
+        self.shm.get(a, i)
+    }
+
+    /// Borrow a whole array of the pre-step snapshot (see [`crate::Ctx::slice`]).
+    #[inline]
+    pub fn slice(&self, a: ArrayId) -> &'a [Word] {
+        self.check(a);
+        self.shm.slice(a)
+    }
+
+    /// Length of a shared array.
+    #[inline]
+    pub fn len(&self, a: ArrayId) -> usize {
+        self.check(a);
+        self.shm.len(a)
+    }
+}
+
+/// Combining rule of a [`Machine::kernel_reduce`] step.
+///
+/// Each variant corresponds exactly to one CRCW [`WritePolicy`]; the kernel
+/// is required to produce the value that policy would commit if every
+/// contributing processor wrote the target cell in one generic step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Bitwise OR of all contributions ([`WritePolicy::CombineOr`]) — the
+    /// paper's §2.2 concurrent-OR.
+    Or,
+    /// Wrapping sum ([`WritePolicy::CombineSum`]).
+    Sum,
+    /// Minimum ([`WritePolicy::CombineMin`]).
+    Min,
+    /// Maximum ([`WritePolicy::CombineMax`]).
+    Max,
+    /// Contribution of the lowest-numbered contributing processor
+    /// ([`WritePolicy::PriorityMin`]).
+    First,
+}
+
+impl ReduceOp {
+    /// The write policy this op is defined to replicate.
+    pub fn policy(self) -> WritePolicy {
+        match self {
+            ReduceOp::Or => WritePolicy::CombineOr,
+            ReduceOp::Sum => WritePolicy::CombineSum,
+            ReduceOp::Min => WritePolicy::CombineMin,
+            ReduceOp::Max => WritePolicy::CombineMax,
+            ReduceOp::First => WritePolicy::PriorityMin,
+        }
+    }
+
+    /// Fold identity (matches the empty prefix of the policy's own fold).
+    #[inline]
+    fn identity(self) -> Word {
+        match self {
+            ReduceOp::Or | ReduceOp::Sum => 0,
+            ReduceOp::Min => Word::MAX,
+            ReduceOp::Max => Word::MIN,
+            ReduceOp::First => 0, // unused: First resolves by minimum pid
+        }
+    }
+
+    /// Two-element combine. All variants are commutative and associative
+    /// (Sum by two's-complement wrapping), so per-chunk partial folds are
+    /// bit-identical to the generic path's sorted-run fold.
+    #[inline]
+    fn combine(self, a: Word, b: Word) -> Word {
+        match self {
+            ReduceOp::Or => a | b,
+            ReduceOp::Sum => a.wrapping_add(b),
+            ReduceOp::Min => a.min(b),
+            ReduceOp::Max => a.max(b),
+            ReduceOp::First => a, // unused: First resolves by minimum pid
+        }
+    }
+}
+
+/// Per-chunk accumulator of a fused reduce.
+struct Partial {
+    /// Number of contributing processors in the chunk.
+    k: u64,
+    /// Folded contribution under the op's combine.
+    acc: Word,
+    /// Lowest contributing pid (`u64::MAX` if none) and its value, for
+    /// [`ReduceOp::First`].
+    min_pid: u64,
+    min_pid_val: Word,
+}
+
+impl Partial {
+    fn empty(op: ReduceOp) -> Self {
+        Self {
+            k: 0,
+            acc: op.identity(),
+            min_pid: u64::MAX,
+            min_pid_val: 0,
+        }
+    }
+}
+
+impl Machine {
+    /// True when a compute loop over `count` processors should fan out over
+    /// the pool (same rule as the generic step's compute phase).
+    #[inline]
+    pub(crate) fn parallel_compute(&self, count: usize) -> bool {
+        !self.tuning.force_sequential
+            && (self.tuning.force_parallel || count >= self.tuning.par_compute_threshold)
+    }
+
+    /// One synchronous step in which processor `pid` writes `f(pid)` to
+    /// `out[pid]`.
+    ///
+    /// Fused path: the output buffer is detached, each chunk of processors
+    /// runs a tight loop storing results directly, and the write log is
+    /// skipped entirely. Charges one step, `|pids|` work, `|pids|` writes
+    /// buffered and committed, zero conflicts — identical to the generic
+    /// path on this shape.
+    ///
+    /// Contract: pids are distinct (they address distinct cells) and `f`
+    /// does not read `out` (enforced by [`KCtx`]).
+    pub fn kernel_map<'a, P, F>(&mut self, shm: &mut Shm, pids: P, out: ArrayId, f: F)
+    where
+        P: Into<Pids<'a>>,
+        F: Fn(&KCtx, usize) -> Word + Sync,
+    {
+        let pids = pids.into();
+        if self.tuning.disable_kernels {
+            let forbidden = out.0;
+            self.step(shm, pids, |ctx| {
+                let t = KCtx {
+                    shm: ctx.snapshot(),
+                    forbidden,
+                };
+                let v = f(&t, ctx.pid);
+                ctx.write(out, ctx.pid, v);
+            });
+            return;
+        }
+        self.fused_write(shm, pids, out, |t, pid| (pid, f(t, pid)));
+    }
+
+    /// One synchronous step in which processor `pid` writes one value to a
+    /// computed cell of `out`; `f` returns `(destination, value)`.
+    ///
+    /// Contract: destinations are distinct across processors (a permutation
+    /// into `out`); `f` does not read `out`. Duplicate destinations panic in
+    /// debug builds; in release the racing relaxed stores commit *some*
+    /// contender (never undefined behaviour) — but such a program is outside
+    /// the kernel contract and must use [`Machine::kernel_scatter`].
+    pub fn kernel_permute<'a, P, F>(&mut self, shm: &mut Shm, pids: P, out: ArrayId, f: F)
+    where
+        P: Into<Pids<'a>>,
+        F: Fn(&KCtx, usize) -> (usize, Word) + Sync,
+    {
+        let pids = pids.into();
+        if self.tuning.disable_kernels {
+            let forbidden = out.0;
+            self.step(shm, pids, |ctx| {
+                let t = KCtx {
+                    shm: ctx.snapshot(),
+                    forbidden,
+                };
+                let (d, v) = f(&t, ctx.pid);
+                ctx.write(out, d, v);
+            });
+            return;
+        }
+        self.fused_write(shm, pids, out, f);
+    }
+
+    /// Shared fused loop of `kernel_map`/`kernel_permute`: detach the output
+    /// buffer, store each processor's `(destination, value)` directly,
+    /// charge conflict-free metrics.
+    fn fused_write<F>(&mut self, shm: &mut Shm, pids: Pids<'_>, out: ArrayId, f: F)
+    where
+        F: Fn(&KCtx, usize) -> (usize, Word) + Sync,
+    {
+        let count = pids.count();
+        self.step_counter += 1;
+        self.metrics.record_step(count as u64);
+        if count == 0 {
+            return;
+        }
+        let t_start = Instant::now();
+
+        let mut buf = shm.take_array(out);
+        {
+            // Distinct destinations mean distinct cells; the atomic relaxed
+            // store keeps a contract violation a value race, never UB.
+            // (AtomicI64 has the same size and bit validity as i64.)
+            let cells: &[AtomicI64] = unsafe {
+                std::slice::from_raw_parts(buf.as_mut_ptr().cast::<AtomicI64>(), buf.len())
+            };
+            #[cfg(debug_assertions)]
+            let seen: Vec<std::sync::atomic::AtomicBool> =
+                (0..cells.len()).map(|_| Default::default()).collect();
+            let t = KCtx {
+                shm,
+                forbidden: out.0,
+            };
+            let pids_ref = &pids;
+            let run_chunk = |c: usize| {
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(count);
+                for i in lo..hi {
+                    let pid = pids_ref.get(i);
+                    let (d, v) = f(&t, pid);
+                    #[cfg(debug_assertions)]
+                    assert!(
+                        !seen[d].swap(true, Ordering::Relaxed),
+                        "kernel wrote out[{d}] twice: map/permute destinations must be \
+                         distinct (conflicting writes need kernel_scatter)"
+                    );
+                    cells[d].store(v, Ordering::Relaxed);
+                }
+            };
+            let nchunks = count.div_ceil(CHUNK);
+            if self.parallel_compute(count) {
+                pool::global().run(nchunks, &run_chunk);
+            } else {
+                for c in 0..nchunks {
+                    run_chunk(c);
+                }
+            }
+        }
+        shm.put_back(out, buf);
+
+        // Metrics-identity with the generic path on this conflict-free
+        // shape: every processor buffers one write, every write commits.
+        self.metrics.writes_buffered += count as u64;
+        self.metrics.writes_committed += count as u64;
+        self.metrics.kernel_steps += 1;
+        self.metrics
+            .record_host_ns(t_start.elapsed().as_nanos() as u64, 0);
+    }
+
+    /// One synchronous step in which each processor makes at most one
+    /// conditional write anywhere (`f` returns `Some((array, index, value))`
+    /// to write), resolved under the machine's default policy.
+    pub fn kernel_scatter<'a, P, F>(&mut self, shm: &mut Shm, pids: P, f: F)
+    where
+        P: Into<Pids<'a>>,
+        F: Fn(&KCtx, usize) -> Option<(ArrayId, usize, Word)> + Sync,
+    {
+        let policy = self.policy;
+        self.kernel_scatter_with_policy(shm, pids, policy, f);
+    }
+
+    /// [`Machine::kernel_scatter`] with an explicit write rule.
+    ///
+    /// Conflicts are allowed: the fused loop only skips per-pid `Ctx`
+    /// construction — buffered entries go through the machine's ordinary
+    /// commit pipeline, so resolution, determinism and accounting are
+    /// shared with the generic path by construction.
+    pub fn kernel_scatter_with_policy<'a, P, F>(
+        &mut self,
+        shm: &mut Shm,
+        pids: P,
+        policy: WritePolicy,
+        f: F,
+    ) where
+        P: Into<Pids<'a>>,
+        F: Fn(&KCtx, usize) -> Option<(ArrayId, usize, Word)> + Sync,
+    {
+        let pids = pids.into();
+        if self.tuning.disable_kernels {
+            self.step_with_policy(shm, pids, policy, |ctx| {
+                let t = KCtx {
+                    shm: ctx.snapshot(),
+                    forbidden: NO_FORBIDDEN,
+                };
+                if let Some((a, i, v)) = f(&t, ctx.pid) {
+                    ctx.write(a, i, v);
+                }
+            });
+            return;
+        }
+
+        let count = pids.count();
+        let step_no = self.step_counter;
+        self.step_counter += 1;
+        self.metrics.record_step(count as u64);
+        if count == 0 {
+            return;
+        }
+        let t_start = Instant::now();
+
+        let mut arena = std::mem::take(&mut self.arena);
+        let nchunks = count.div_ceil(CHUNK);
+        arena.prepare(nchunks);
+        {
+            let t = KCtx {
+                shm,
+                forbidden: NO_FORBIDDEN,
+            };
+            let pids_ref = &pids;
+            let bufs = &arena.chunk_bufs[..nchunks];
+            let run_chunk = |c: usize| {
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(count);
+                // SAFETY: chunk c is executed exactly once; buffer c is ours.
+                let writes = unsafe { bufs[c].get_mut_unchecked() };
+                for i in lo..hi {
+                    let pid = pids_ref.get(i);
+                    if let Some((a, idx, v)) = f(&t, pid) {
+                        debug_assert!(
+                            idx < t.shm.len(a),
+                            "scatter write out of bounds: {} >= {}",
+                            idx,
+                            t.shm.len(a)
+                        );
+                        assert!(pid <= u32::MAX as usize, "pid {pid} exceeds u32 range");
+                        writes.push(WriteEntry {
+                            key: ((a.0 as u64) << 32) | idx as u64,
+                            pidseq: (pid as u64) << 32,
+                            val: v,
+                        });
+                    }
+                }
+            };
+            if self.parallel_compute(count) {
+                pool::global().run(nchunks, &run_chunk);
+            } else {
+                for c in 0..nchunks {
+                    run_chunk(c);
+                }
+            }
+        }
+        let t_computed = Instant::now();
+        self.commit(shm, policy, step_no, &mut arena, nchunks);
+        let t_committed = Instant::now();
+        self.arena = arena;
+        self.metrics.kernel_steps += 1;
+        self.metrics.record_host_ns(
+            t_computed.duration_since(t_start).as_nanos() as u64,
+            t_committed.duration_since(t_computed).as_nanos() as u64,
+        );
+    }
+
+    /// One synchronous combining-CRCW step: every processor contributes at
+    /// most one value (`f` returns `Some(v)` to contribute), and
+    /// `target[tidx]` receives the combination under `op` — exactly what the
+    /// generic path commits when all contributors write that cell under
+    /// [`ReduceOp::policy`].
+    ///
+    /// Charges one step, `|pids|` work, one buffered write per contributor,
+    /// one committed cell (if any contributor) and one conflict (if two or
+    /// more) — identical to the generic path.
+    pub fn kernel_reduce<'a, P, F>(
+        &mut self,
+        shm: &mut Shm,
+        pids: P,
+        op: ReduceOp,
+        target: ArrayId,
+        tidx: usize,
+        f: F,
+    ) where
+        P: Into<Pids<'a>>,
+        F: Fn(&KCtx, usize) -> Option<Word> + Sync,
+    {
+        let pids = pids.into();
+        if self.tuning.disable_kernels {
+            self.step_with_policy(shm, pids, op.policy(), |ctx| {
+                let t = KCtx {
+                    shm: ctx.snapshot(),
+                    forbidden: NO_FORBIDDEN,
+                };
+                if let Some(v) = f(&t, ctx.pid) {
+                    ctx.write(target, tidx, v);
+                }
+            });
+            return;
+        }
+
+        let count = pids.count();
+        self.step_counter += 1;
+        self.metrics.record_step(count as u64);
+        if count == 0 {
+            return;
+        }
+        let t_start = Instant::now();
+
+        let nchunks = count.div_ceil(CHUNK);
+        let partials: Vec<ChunkCell<Partial>> = (0..nchunks)
+            .map(|_| ChunkCell::new(Partial::empty(op)))
+            .collect();
+        {
+            let t = KCtx {
+                shm,
+                forbidden: NO_FORBIDDEN,
+            };
+            let pids_ref = &pids;
+            let partials_ref = &partials;
+            let run_chunk = |c: usize| {
+                let lo = c * CHUNK;
+                let hi = ((c + 1) * CHUNK).min(count);
+                // SAFETY: chunk c is executed exactly once; partial c is ours.
+                let p = unsafe { partials_ref[c].get_mut_unchecked() };
+                for i in lo..hi {
+                    let pid = pids_ref.get(i);
+                    if let Some(v) = f(&t, pid) {
+                        p.k += 1;
+                        p.acc = op.combine(p.acc, v);
+                        if (pid as u64) < p.min_pid {
+                            p.min_pid = pid as u64;
+                            p.min_pid_val = v;
+                        }
+                    }
+                }
+            };
+            if self.parallel_compute(count) {
+                pool::global().run(nchunks, &run_chunk);
+            } else {
+                for c in 0..nchunks {
+                    run_chunk(c);
+                }
+            }
+        }
+
+        let mut total_k = 0u64;
+        let mut acc = op.identity();
+        let mut min_pid = u64::MAX;
+        let mut min_pid_val = 0;
+        for cell in partials {
+            let p = cell.into_inner();
+            if p.k == 0 {
+                continue;
+            }
+            total_k += p.k;
+            acc = op.combine(acc, p.acc);
+            if p.min_pid < min_pid {
+                min_pid = p.min_pid;
+                min_pid_val = p.min_pid_val;
+            }
+        }
+        self.metrics.writes_buffered += total_k;
+        if total_k > 0 {
+            let v = match op {
+                ReduceOp::First => min_pid_val,
+                _ => acc,
+            };
+            assert!(
+                tidx < shm.len(target),
+                "reduce target out of bounds: {} >= {}",
+                tidx,
+                shm.len(target)
+            );
+            shm.host_set(target, tidx, v);
+            self.metrics.writes_committed += 1;
+            if total_k >= 2 {
+                self.metrics.write_conflicts += 1;
+            }
+        }
+        self.metrics.kernel_steps += 1;
+        self.metrics
+            .record_host_ns(t_start.elapsed().as_nanos() as u64, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Tuning;
+    use crate::Metrics;
+
+    /// The metric fields kernels must replicate exactly (host-observability
+    /// counters — host_ns, fastpath_steps, kernel_steps — excluded).
+    fn observed(m: &Metrics) -> (u64, u64, u64, u64, u64, u64) {
+        (
+            m.steps,
+            m.work,
+            m.peak_processors,
+            m.writes_buffered,
+            m.writes_committed,
+            m.write_conflicts,
+        )
+    }
+
+    fn machines(policy: WritePolicy) -> (Machine, Machine) {
+        let fused = Machine::with_policy(99, policy);
+        let mut generic = Machine::with_policy(99, policy);
+        generic.tuning = Tuning {
+            disable_kernels: true,
+            ..Tuning::default()
+        };
+        (fused, generic)
+    }
+
+    #[test]
+    fn map_matches_generic_step_memory_and_metrics() {
+        let (mut mf, mut mg) = machines(WritePolicy::Arbitrary);
+        let run = |m: &mut Machine| {
+            let mut shm = Shm::new();
+            let xs = shm.alloc("xs", 100, 0);
+            for i in 0..100 {
+                shm.host_set(xs, i, i as i64);
+            }
+            let out = shm.alloc("out", 100, 0);
+            m.kernel_map(&mut shm, 0..100, out, |t, pid| t.read(xs, pid) * 3 + 1);
+            shm.slice(out).to_vec()
+        };
+        let a = run(&mut mf);
+        let b = run(&mut mg);
+        assert_eq!(a, b);
+        assert_eq!(observed(&mf.metrics), observed(&mg.metrics));
+        assert_eq!(mf.metrics.kernel_steps, 1);
+        assert_eq!(mg.metrics.kernel_steps, 0);
+    }
+
+    #[test]
+    fn map_over_pid_list_writes_those_cells_only() {
+        let mut m = Machine::new(7);
+        let mut shm = Shm::new();
+        let out = shm.alloc("out", 10, -1);
+        let pids = vec![1usize, 4, 9];
+        m.kernel_map(&mut shm, &pids, out, |_, pid| pid as i64);
+        assert_eq!(shm.slice(out), &[-1, 1, -1, -1, 4, -1, -1, -1, -1, 9]);
+        assert_eq!(m.metrics.work, 3);
+        assert_eq!(m.metrics.writes_committed, 3);
+    }
+
+    #[test]
+    fn permute_reverses() {
+        let (mut mf, mut mg) = machines(WritePolicy::Arbitrary);
+        let run = |m: &mut Machine| {
+            let mut shm = Shm::new();
+            let out = shm.alloc("out", 64, 0);
+            m.kernel_permute(&mut shm, 0..64, out, |_, pid| (63 - pid, pid as i64));
+            shm.slice(out).to_vec()
+        };
+        let a = run(&mut mf);
+        let b = run(&mut mg);
+        assert_eq!(a, b);
+        assert!(a.iter().enumerate().all(|(i, &v)| v == (63 - i) as i64));
+        assert_eq!(observed(&mf.metrics), observed(&mg.metrics));
+    }
+
+    #[test]
+    fn scatter_resolves_conflicts_like_generic_path() {
+        for policy in [
+            WritePolicy::Arbitrary,
+            WritePolicy::PriorityMin,
+            WritePolicy::CombineMin,
+            WritePolicy::CombineMax,
+            WritePolicy::CombineSum,
+            WritePolicy::CombineOr,
+        ] {
+            let (mut mf, mut mg) = machines(policy);
+            let run = |m: &mut Machine| {
+                let mut shm = Shm::new();
+                let out = shm.alloc("out", 16, 0);
+                // every processor writes cell pid%16/4 — 4-way conflicts —
+                // and odd pids abstain
+                m.kernel_scatter(&mut shm, 0..64, |_, pid| {
+                    if pid % 2 == 1 {
+                        return None;
+                    }
+                    Some((out, (pid % 16) / 4, pid as i64 + 1))
+                });
+                shm.slice(out).to_vec()
+            };
+            let a = run(&mut mf);
+            let b = run(&mut mg);
+            assert_eq!(a, b, "policy {policy:?}");
+            assert_eq!(
+                observed(&mf.metrics),
+                observed(&mg.metrics),
+                "policy {policy:?}"
+            );
+            assert!(mf.metrics.write_conflicts > 0);
+        }
+    }
+
+    #[test]
+    fn reduce_ops_match_their_policies() {
+        for op in [
+            ReduceOp::Or,
+            ReduceOp::Sum,
+            ReduceOp::Min,
+            ReduceOp::Max,
+            ReduceOp::First,
+        ] {
+            let (mut mf, mut mg) = machines(WritePolicy::Arbitrary);
+            let run = |m: &mut Machine| {
+                let mut shm = Shm::new();
+                let xs = shm.alloc("xs", 50, 0);
+                for i in 0..50 {
+                    shm.host_set(xs, i, (i as i64 * 13) % 29 - 7);
+                }
+                let cell = shm.alloc("cell", 1, -99);
+                m.kernel_reduce(&mut shm, 0..50, op, cell, 0, |t, pid| {
+                    if pid % 3 == 0 {
+                        None
+                    } else {
+                        Some(t.read(xs, pid))
+                    }
+                });
+                shm.get(cell, 0)
+            };
+            let a = run(&mut mf);
+            let b = run(&mut mg);
+            assert_eq!(a, b, "op {op:?}");
+            assert_eq!(observed(&mf.metrics), observed(&mg.metrics), "op {op:?}");
+        }
+    }
+
+    #[test]
+    fn reduce_first_takes_lowest_pid_even_from_unsorted_pid_list() {
+        let (mut mf, mut mg) = machines(WritePolicy::Arbitrary);
+        let run = |m: &mut Machine| {
+            let mut shm = Shm::new();
+            let cell = shm.alloc("cell", 1, 0);
+            let pids = vec![9usize, 2, 7, 30, 4];
+            m.kernel_reduce(&mut shm, &pids, ReduceOp::First, cell, 0, |_, pid| {
+                Some(pid as i64 * 100)
+            });
+            shm.get(cell, 0)
+        };
+        assert_eq!(run(&mut mf), 200);
+        assert_eq!(run(&mut mg), 200);
+    }
+
+    #[test]
+    fn reduce_with_no_contributors_commits_nothing() {
+        let (mut mf, mut mg) = machines(WritePolicy::Arbitrary);
+        let run = |m: &mut Machine| {
+            let mut shm = Shm::new();
+            let cell = shm.alloc("cell", 1, 42);
+            m.kernel_reduce(&mut shm, 0..32, ReduceOp::Or, cell, 0, |_, _| None);
+            shm.get(cell, 0)
+        };
+        assert_eq!(run(&mut mf), 42);
+        assert_eq!(run(&mut mg), 42);
+        assert_eq!(observed(&mf.metrics), observed(&mg.metrics));
+        assert_eq!(mf.metrics.writes_committed, 0);
+    }
+
+    #[test]
+    fn zero_processor_kernel_costs_a_step_but_no_work() {
+        let mut m = Machine::new(3);
+        let mut shm = Shm::new();
+        let out = shm.alloc("out", 4, 0);
+        m.kernel_map(&mut shm, 0..0, out, |_, pid| pid as i64);
+        assert_eq!(m.metrics.steps, 1);
+        assert_eq!(m.metrics.work, 0);
+        assert_eq!(m.metrics.writes_buffered, 0);
+    }
+
+    #[test]
+    fn parallel_fused_loops_match_sequential() {
+        let n = (1 << 15) + 17; // over the fan-out threshold
+        let run = |force_parallel: bool| {
+            let mut m = Machine::new(5);
+            m.tuning.force_parallel = force_parallel;
+            m.tuning.force_sequential = !force_parallel;
+            let mut shm = Shm::new();
+            let out = shm.alloc("out", n, 0);
+            let acc = shm.alloc("acc", 1, 0);
+            m.kernel_map(&mut shm, 0..n, out, |_, pid| (pid as i64).wrapping_mul(7));
+            m.kernel_reduce(&mut shm, 0..n, ReduceOp::Sum, acc, 0, |t, pid| {
+                Some(t.read(out, pid))
+            });
+            (shm.slice(out).to_vec(), shm.get(acc, 0))
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "own output array")]
+    fn reading_the_output_array_is_rejected() {
+        let mut m = Machine::new(6);
+        let mut shm = Shm::new();
+        let out = shm.alloc("out", 8, 0);
+        m.kernel_map(&mut shm, 0..8, out, |t, pid| t.read(out, pid) + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "own output array")]
+    fn generic_fallback_rejects_output_reads_identically() {
+        let mut m = Machine::new(6);
+        m.tuning.disable_kernels = true;
+        let mut shm = Shm::new();
+        let out = shm.alloc("out", 8, 0);
+        m.kernel_map(&mut shm, 0..8, out, |t, pid| t.read(out, pid) + 1);
+    }
+}

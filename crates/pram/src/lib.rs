@@ -16,6 +16,10 @@
 //!   processor computes against a snapshot of shared memory (all reads see
 //!   the pre-step state), writes are collected, conflicts are resolved under
 //!   the machine's [`WritePolicy`], and the step is committed atomically.
+//! * [`kernel`] executes the four step shapes that dominate the algorithms
+//!   (map, permute, scatter, reduce) as fused bulk host loops that charge
+//!   metrics identical to the generic step path — see that module's
+//!   metrics-identity invariant.
 //! * [`Metrics`] accumulates time, work and peak processor count, with a
 //!   named per-phase breakdown, plus a separate "charged" bucket for costs
 //!   accounted analytically (documented wherever used).
@@ -41,6 +45,7 @@
 //!   available for primitives that are usually stated on stronger variants;
 //!   every use site documents which rule it assumes.
 
+pub mod kernel;
 pub mod machine;
 pub mod memory;
 pub mod metrics;
@@ -52,6 +57,7 @@ pub mod rng;
 pub mod schedule;
 pub mod sort;
 
+pub use kernel::{KCtx, ReduceOp};
 pub use machine::{Ctx, Machine, Tuning};
 pub use memory::{ArrayId, Shm};
 pub use metrics::{Metrics, PhaseRecord};

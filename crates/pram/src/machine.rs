@@ -71,7 +71,7 @@ impl Pids<'_> {
     }
 
     #[inline]
-    fn get(&self, i: usize) -> usize {
+    pub(crate) fn get(&self, i: usize) -> usize {
         match self {
             Pids::Range(lo, _) => lo + i,
             Pids::List(l) => l[i],
@@ -131,14 +131,14 @@ impl WriteEntry {
 
 /// Interior-mutable cell handed to pool chunks; each chunk index touches
 /// exactly one cell, which is what makes the unsafe access sound.
-struct ChunkCell<T>(UnsafeCell<T>);
+pub(crate) struct ChunkCell<T>(pub(crate) UnsafeCell<T>);
 
 // SAFETY: access discipline is "chunk c touches cell c only", enforced by
 // the pool delivering each chunk index exactly once.
 unsafe impl<T: Send> Sync for ChunkCell<T> {}
 
 impl<T> ChunkCell<T> {
-    fn new(v: T) -> Self {
+    pub(crate) fn new(v: T) -> Self {
         Self(UnsafeCell::new(v))
     }
 
@@ -148,11 +148,11 @@ impl<T> ChunkCell<T> {
     /// Caller must be the unique accessor of this cell for the duration of
     /// the returned borrow (the pool's exactly-once chunk dispatch).
     #[allow(clippy::mut_from_ref)]
-    unsafe fn get_mut_unchecked(&self) -> &mut T {
+    pub(crate) unsafe fn get_mut_unchecked(&self) -> &mut T {
         &mut *self.0.get()
     }
 
-    fn into_inner(self) -> T {
+    pub(crate) fn into_inner(self) -> T {
         self.0.into_inner()
     }
 }
@@ -161,8 +161,8 @@ impl<T> ChunkCell<T> {
 /// gathered log, and merge scratch. Capacities are retained across steps so
 /// the steady state allocates nothing.
 #[derive(Default)]
-struct WriteArena {
-    chunk_bufs: Vec<ChunkCell<Vec<WriteEntry>>>,
+pub(crate) struct WriteArena {
+    pub(crate) chunk_bufs: Vec<ChunkCell<Vec<WriteEntry>>>,
     flat: Vec<WriteEntry>,
     scratch: Vec<WriteEntry>,
 }
@@ -178,7 +178,7 @@ impl std::fmt::Debug for WriteArena {
 
 impl WriteArena {
     /// Make at least `n` cleared chunk buffers available.
-    fn prepare(&mut self, n: usize) {
+    pub(crate) fn prepare(&mut self, n: usize) {
         for buf in self.chunk_bufs.iter_mut().take(n) {
             buf.0.get_mut().clear();
         }
@@ -236,6 +236,13 @@ impl<'a> Ctx<'a, '_> {
         self.shm.len(a)
     }
 
+    /// The pre-step memory snapshot (crate-internal: the kernel layer's
+    /// generic fallback builds its read-only view from it).
+    #[inline]
+    pub(crate) fn snapshot(&self) -> &'a Shm {
+        self.shm
+    }
+
     /// Buffer a write to be committed at the end of the step.
     #[inline]
     pub fn write(&mut self, a: ArrayId, i: usize, v: Word) {
@@ -288,6 +295,12 @@ pub struct Tuning {
     pub force_parallel: bool,
     /// Disable the conflict-free fast path (always gather + sort).
     pub disable_fast_path: bool,
+    /// Route every [`crate::kernel`] entry point through the generic
+    /// [`Machine::step`] path instead of the fused bulk loops. The two paths
+    /// are required to be observably identical (memory contents and
+    /// steps/work/conflict metrics); this switch exists so the equivalence
+    /// tests can prove it.
+    pub disable_kernels: bool,
 }
 
 impl Default for Tuning {
@@ -298,12 +311,13 @@ impl Default for Tuning {
             force_sequential: false,
             force_parallel: false,
             disable_fast_path: false,
+            disable_kernels: false,
         }
     }
 }
 
 /// Processors per compute chunk (one pooled write buffer each).
-const CHUNK: usize = 8192;
+pub(crate) const CHUNK: usize = 8192;
 
 /// A randomized CRCW PRAM.
 ///
@@ -342,8 +356,8 @@ pub struct Machine {
     /// Host-performance knobs (never affect simulated semantics).
     pub tuning: Tuning,
     seed: u64,
-    step_counter: u64,
-    arena: WriteArena,
+    pub(crate) step_counter: u64,
+    pub(crate) arena: WriteArena,
 }
 
 impl Machine {
@@ -529,7 +543,7 @@ impl Machine {
     }
 
     /// Resolve and commit the buffered writes of one step.
-    fn commit(
+    pub(crate) fn commit(
         &mut self,
         shm: &mut Shm,
         policy: WritePolicy,
@@ -623,16 +637,19 @@ fn log_is_strictly_monotone(bufs: &mut [ChunkCell<Vec<WriteEntry>>]) -> bool {
 
 /// Raw shared-memory committer used where disjointness of the written cells
 /// is guaranteed by construction (fast path, boundary-aligned run ranges).
-struct ShmWriter {
-    arrays: Vec<(*mut Word, usize)>,
+/// Borrows [`Shm::raw_parts`]'s incrementally-maintained cache, so
+/// constructing one is O(1) in the steady state instead of O(#arrays ever
+/// allocated).
+struct ShmWriter<'a> {
+    arrays: &'a [(*mut Word, usize)],
 }
 
 // SAFETY: every use site guarantees the set of (array, idx) cells written
 // through a given `&ShmWriter` from different threads is disjoint.
-unsafe impl Sync for ShmWriter {}
+unsafe impl Sync for ShmWriter<'_> {}
 
-impl ShmWriter {
-    fn new(shm: &mut Shm) -> Self {
+impl<'a> ShmWriter<'a> {
+    fn new(shm: &'a mut Shm) -> Self {
         Self {
             arrays: shm.raw_parts(),
         }

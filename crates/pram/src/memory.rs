@@ -1,4 +1,5 @@
-//! Simulated shared memory: a set of named `i64` arrays.
+//! Simulated shared memory: a set of named `i64` arrays, with scoped
+//! workspace recycling.
 //!
 //! The reproduced algorithms follow the paper's in-place discipline: the
 //! input points live in a read-only host array and shared memory holds only
@@ -7,6 +8,40 @@
 //! only mutated through [`crate::Machine::step`] commits — except for
 //! explicitly host-side initialisation via [`Shm::host_set`], which models
 //! "the input arrives in memory" and costs nothing.
+//!
+//! # Scoped workspace arenas
+//!
+//! The paper's primitives (concurrent OR, knockout minimum, prefix sums, …)
+//! each need a few cells of workspace, and the algorithms invoke them inside
+//! loops. Originally every invocation allocated fresh arrays that lived for
+//! the whole run, so long recursions leaked memory *and* slowed every
+//! subsequent commit (the machine's committer indexes all arrays ever
+//! allocated). [`Shm::scope`] fixes both: arrays allocated inside a scope
+//! are returned to a size-bucketed free list when the scope exits, and the
+//! next allocation of a similar size reuses the slot — same `ArrayId`, same
+//! heap buffer, zero steady-state growth:
+//!
+//! ```
+//! # use ipch_pram::Shm;
+//! let mut shm = Shm::new();
+//! let before = shm.array_count();
+//! for _ in 0..1000 {
+//!     shm.scope(|shm| {
+//!         let ws = shm.alloc("loop.workspace", 64, 0);
+//!         shm.host_set(ws, 0, 1); // … run steps against ws …
+//!     });
+//! }
+//! assert_eq!(shm.array_count(), before + 1, "workspace slot is recycled");
+//! ```
+//!
+//! Discipline: an `ArrayId` allocated inside a scope is *dead* once the
+//! scope exits — the slot may be handed to a later allocation of any size.
+//! Results that must outlive the scope are either read out host-side before
+//! the scope closes or kept alive with [`Shm::promote`]. Exited slots are
+//! truncated to zero length, so a stale read or write trips a bounds check
+//! instead of silently aliasing recycled workspace.
+
+use std::borrow::Cow;
 
 use crate::Word;
 
@@ -14,11 +49,61 @@ use crate::Word;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ArrayId(pub(crate) u32);
 
+/// Cached `(base pointer, len)` of every array slot, rebuilt only when an
+/// allocation changes the layout (see [`Shm::raw_parts`]).
+#[derive(Default)]
+struct RawCache(Vec<(*mut Word, usize)>);
+
+// SAFETY: the cached pointers are only ever dereferenced by the machine's
+// commit phase, which obtains them through `Shm::raw_parts(&mut self)` —
+// an exclusive borrow of the memory — and upholds cell-disjointness across
+// its own threads. The cache itself is plain data.
+unsafe impl Send for RawCache {}
+unsafe impl Sync for RawCache {}
+
 /// The shared memory of one simulated PRAM.
-#[derive(Clone, Debug, Default)]
+#[derive(Default)]
 pub struct Shm {
     arrays: Vec<Vec<Word>>,
-    names: Vec<String>,
+    names: Vec<Cow<'static, str>>,
+    /// One entry per open scope: the slots allocated while it was the
+    /// innermost scope (recycled when it exits).
+    scopes: Vec<Vec<u32>>,
+    /// Free slots bucketed by power-of-two capacity class
+    /// (`free[c]` holds slots whose buffer capacity is in `(2^(c-1), 2^c]`).
+    free: Vec<Vec<u32>>,
+    raw: RawCache,
+    raw_dirty: bool,
+}
+
+impl Clone for Shm {
+    fn clone(&self) -> Self {
+        Self {
+            arrays: self.arrays.clone(),
+            names: self.names.clone(),
+            scopes: self.scopes.clone(),
+            free: self.free.clone(),
+            // pointers refer to the source's buffers — rebuild lazily
+            raw: RawCache::default(),
+            raw_dirty: true,
+        }
+    }
+}
+
+impl std::fmt::Debug for Shm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shm")
+            .field("arrays", &self.arrays)
+            .field("names", &self.names)
+            .field("open_scopes", &self.scopes.len())
+            .finish()
+    }
+}
+
+/// Power-of-two size class of a buffer capacity (0 for empty buffers).
+#[inline]
+fn size_class(cap: usize) -> usize {
+    (usize::BITS - cap.next_power_of_two().leading_zeros()) as usize
 }
 
 impl Shm {
@@ -29,20 +114,118 @@ impl Shm {
 
     /// Allocate a named array of `len` cells, all set to `fill`.
     ///
+    /// Inside a [`Shm::scope`] the allocation is satisfied from the scope
+    /// free list when a recycled slot of a matching size class exists, so
+    /// steady-state workspace allocation touches no allocator at all (the
+    /// name, too, is a `Cow` — string literals are stored without copying).
+    ///
     /// # Panics
     /// If `len` exceeds `u32::MAX` cells: the machine packs cell indices
     /// into 32 bits in its write log, so a larger array would silently
     /// truncate addresses. (2³² × 8-byte words is already a 32 GiB array —
     /// far beyond anything the experiments allocate.)
-    pub fn alloc(&mut self, name: &str, len: usize, fill: Word) -> ArrayId {
+    pub fn alloc(&mut self, name: impl Into<Cow<'static, str>>, len: usize, fill: Word) -> ArrayId {
+        let name = name.into();
         assert!(
             len <= u32::MAX as usize,
             "Shm::alloc(\"{name}\"): {len} cells exceeds the u32::MAX addressable \
              cells per array (write-log indices are packed into 32 bits)"
         );
-        self.arrays.push(vec![fill; len]);
-        self.names.push(name.to_string());
-        ArrayId(self.arrays.len() as u32 - 1)
+        let slot = match self.take_free(len) {
+            Some(slot) => {
+                let buf = &mut self.arrays[slot as usize];
+                buf.clear();
+                buf.resize(len, fill);
+                self.names[slot as usize] = name;
+                slot
+            }
+            None => {
+                self.arrays.push(vec![fill; len]);
+                self.names.push(name);
+                (self.arrays.len() - 1) as u32
+            }
+        };
+        if let Some(top) = self.scopes.last_mut() {
+            top.push(slot);
+        }
+        self.raw_dirty = true;
+        ArrayId(slot)
+    }
+
+    /// Pop a recycled slot whose buffer capacity class matches `len` (exact
+    /// class, then one class up — bounding reuse waste to ~4×).
+    fn take_free(&mut self, len: usize) -> Option<u32> {
+        let c = size_class(len);
+        for class in c..(c + 2).min(self.free.len()) {
+            if let Some(slot) = self.free[class].pop() {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Open a workspace scope: arrays allocated until the matching
+    /// [`Shm::pop_scope`] are recycled when it closes. Prefer the closure
+    /// form [`Shm::scope`].
+    pub fn push_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    /// Close the innermost scope, recycling every array allocated in it
+    /// (except those [`Shm::promote`]d out). Their `ArrayId`s are dead:
+    /// the slots are truncated to zero length and parked on the free list.
+    ///
+    /// # Panics
+    /// If no scope is open.
+    pub fn pop_scope(&mut self) {
+        let slots = self
+            .scopes
+            .pop()
+            .expect("Shm::pop_scope without push_scope");
+        for slot in slots {
+            let buf = &mut self.arrays[slot as usize];
+            buf.clear();
+            let class = size_class(buf.capacity());
+            if self.free.len() <= class {
+                self.free.resize_with(class + 1, Vec::new);
+            }
+            self.free[class].push(slot);
+            self.names[slot as usize] = Cow::Borrowed("<recycled>");
+        }
+        self.raw_dirty = true;
+    }
+
+    /// Run `f` inside a fresh workspace scope (see the module docs):
+    /// everything it allocates is recycled on exit unless promoted.
+    pub fn scope<R>(&mut self, f: impl FnOnce(&mut Shm) -> R) -> R {
+        self.push_scope();
+        let r = f(self);
+        self.pop_scope();
+        r
+    }
+
+    /// Move array `a` out of the innermost scope into the enclosing scope
+    /// (or make it permanent if there is none), so it survives the innermost
+    /// scope's exit. No-op if `a` does not belong to the innermost scope.
+    pub fn promote(&mut self, a: ArrayId) {
+        let depth = self.scopes.len();
+        if depth == 0 {
+            return;
+        }
+        let top = &mut self.scopes[depth - 1];
+        if let Some(pos) = top.iter().position(|&s| s == a.0) {
+            top.swap_remove(pos);
+            if depth >= 2 {
+                self.scopes[depth - 2].push(a.0);
+            }
+        }
+    }
+
+    /// Number of live array slots (live arrays + parked free slots). The
+    /// leak benchmarks watch this: with scoped workspace it stays O(1) in
+    /// the number of primitive invocations.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
     }
 
     /// Number of cells in array `a`.
@@ -82,14 +265,37 @@ impl Shm {
         &self.names[a.0 as usize]
     }
 
-    /// Base pointer and length of every array, for the machine's commit
+    /// Base pointer and length of every array slot, for the machine's commit
     /// phase (machine-internal). Taking `&mut self` guarantees the caller
     /// holds exclusive access to the memory for the pointers' lifetime.
-    pub(crate) fn raw_parts(&mut self) -> Vec<(*mut Word, usize)> {
-        self.arrays
-            .iter_mut()
-            .map(|a| (a.as_mut_ptr(), a.len()))
-            .collect()
+    ///
+    /// The cache is maintained incrementally: it is rebuilt only after an
+    /// allocation (the only operation that can move a buffer or change a
+    /// length), so in the steady state — scoped workspace recycling, no
+    /// fresh allocations between steps — a commit pays nothing here, and
+    /// commit cost no longer scales with the lifetime allocation count.
+    pub(crate) fn raw_parts(&mut self) -> &[(*mut Word, usize)] {
+        if self.raw_dirty {
+            self.raw.0.clear();
+            self.raw
+                .0
+                .extend(self.arrays.iter_mut().map(|a| (a.as_mut_ptr(), a.len())));
+            self.raw_dirty = false;
+        }
+        &self.raw.0
+    }
+
+    /// Detach array `a`'s buffer for a kernel's exclusive writes (the slot
+    /// reads as empty until [`Shm::put_back`] restores it, so a kernel
+    /// closure that illegally reads its own output trips a bounds check).
+    pub(crate) fn take_array(&mut self, a: ArrayId) -> Vec<Word> {
+        std::mem::take(&mut self.arrays[a.0 as usize])
+    }
+
+    /// Restore a buffer detached by [`Shm::take_array`]. The heap buffer is
+    /// unchanged, so the raw-parts cache stays valid.
+    pub(crate) fn put_back(&mut self, a: ArrayId, buf: Vec<Word>) {
+        self.arrays[a.0 as usize] = buf;
     }
 }
 
@@ -119,5 +325,94 @@ mod tests {
         let a = shm.alloc("a", 2, 7);
         let _ = shm.alloc("b", 2, 8);
         assert_eq!(shm.get(a, 0), 7);
+    }
+
+    #[test]
+    fn owned_names_are_accepted() {
+        let mut shm = Shm::new();
+        let a = shm.alloc(format!("dyn{}", 3), 1, 0);
+        assert_eq!(shm.name(a), "dyn3");
+    }
+
+    #[test]
+    fn scope_recycles_slots_and_buffers() {
+        let mut shm = Shm::new();
+        let keep = shm.alloc("keep", 4, 1);
+        let mut first_id = None;
+        for round in 0..100 {
+            shm.scope(|shm| {
+                let ws = shm.alloc("ws", 32, 0);
+                match first_id {
+                    None => first_id = Some(ws),
+                    Some(id) => assert_eq!(ws, id, "round {round}: slot must be reused"),
+                }
+                assert_eq!(shm.slice(ws), &[0; 32], "recycled slot must be re-filled");
+                shm.host_set(ws, 0, round);
+            });
+        }
+        assert_eq!(shm.array_count(), 2);
+        assert_eq!(shm.slice(keep), &[1, 1, 1, 1], "outer arrays untouched");
+    }
+
+    #[test]
+    fn recycled_slot_reads_as_empty_until_reused() {
+        let mut shm = Shm::new();
+        let id = shm.scope(|shm| shm.alloc("tmp", 8, 0));
+        assert_eq!(shm.len(id), 0, "dead id must not expose stale cells");
+    }
+
+    #[test]
+    fn nested_scopes_recycle_independently() {
+        let mut shm = Shm::new();
+        shm.scope(|shm| {
+            let outer = shm.alloc("outer", 16, 7);
+            shm.scope(|shm| {
+                let inner = shm.alloc("inner", 16, 9);
+                assert_eq!(shm.get(inner, 0), 9);
+                assert_eq!(shm.get(outer, 0), 7);
+            });
+            // outer survives the inner scope's exit
+            assert_eq!(shm.get(outer, 15), 7);
+        });
+        assert_eq!(shm.array_count(), 2);
+    }
+
+    #[test]
+    fn promote_survives_scope_exit() {
+        let mut shm = Shm::new();
+        let kept = shm.scope(|shm| {
+            let tmp = shm.alloc("tmp", 4, 1);
+            let kept = shm.alloc("kept", 4, 2);
+            shm.promote(kept);
+            let _ = tmp;
+            kept
+        });
+        assert_eq!(shm.slice(kept), &[2, 2, 2, 2]);
+        // the unpromoted sibling was recycled
+        assert_eq!(shm.array_count(), 2);
+        let reused = shm.alloc("reuse", 4, 3);
+        assert_ne!(reused, kept);
+    }
+
+    #[test]
+    fn free_list_does_not_serve_wildly_larger_buffers() {
+        let mut shm = Shm::new();
+        shm.scope(|shm| {
+            shm.alloc("big", 1 << 16, 0);
+        });
+        // a tiny allocation must not pin the 64Ki buffer
+        let small = shm.alloc("small", 2, 0);
+        assert!(shm.slice(small).len() == 2);
+        assert_eq!(shm.array_count(), 2);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 4, 5);
+        let mut copy = shm.clone();
+        copy.host_set(a, 0, -9);
+        assert_eq!(shm.get(a, 0), 5);
+        assert_eq!(copy.get(a, 0), -9);
     }
 }

@@ -68,6 +68,11 @@ pub struct Metrics {
     /// Steps whose commit took the conflict-free fast path (in-order
     /// scatter: no sort, no policy resolution).
     pub fastpath_steps: u64,
+    /// Steps executed as fused bulk kernels ([`crate::kernel`]): no per-pid
+    /// `Ctx`, and (except for conflicted scatters) no write log at all.
+    /// Kernel steps charge the same steps/work/write/conflict metrics as the
+    /// generic path; this counter is host observability only.
+    pub kernel_steps: u64,
     /// Index into `phases` of the currently open phase, if any.
     current_phase: Option<usize>,
 }
@@ -183,6 +188,7 @@ impl Metrics {
             self.writes_committed += c.writes_committed;
             self.write_conflicts += c.write_conflicts;
             self.fastpath_steps += c.fastpath_steps;
+            self.kernel_steps += c.kernel_steps;
         }
         if let Some(i) = self.current_phase {
             let p = &mut self.phases[i];
@@ -210,6 +216,7 @@ impl Metrics {
         self.writes_committed += other.writes_committed;
         self.write_conflicts += other.write_conflicts;
         self.fastpath_steps += other.fastpath_steps;
+        self.kernel_steps += other.kernel_steps;
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
                 mine.steps += p.steps;

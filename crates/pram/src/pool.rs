@@ -13,7 +13,7 @@
 //! * **Caller participation** — the dispatching thread works through chunks
 //!   too, so a pool on an `N`-core host uses all `N` cores, and on a 1-core
 //!   host (`available_parallelism() == 1`) the pool spawns **zero** threads
-//!   and [`run`] degenerates to an inline sequential loop with no
+//!   and [`ThreadPool::run`] degenerates to an inline sequential loop with no
 //!   synchronisation at all.
 //!
 //! Determinism note: which thread executes a chunk is scheduling-dependent,

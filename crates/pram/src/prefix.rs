@@ -20,33 +20,29 @@ pub fn inclusive_prefix_sum(m: &mut Machine, shm: &mut Shm, arr: ArrayId) {
     if n <= 1 {
         return;
     }
-    let scratch = shm.alloc("prefix.scratch", n, 0);
-    let mut src = arr;
-    let mut dst = scratch;
-    let mut d = 1usize;
-    while d < n {
-        let (s, t) = (src, dst);
-        m.step(shm, 0..n, move |ctx| {
-            let i = ctx.pid;
-            let v = ctx.read(s, i);
-            let v = if i >= d {
-                v.wrapping_add(ctx.read(s, i - d))
-            } else {
-                v
-            };
-            ctx.write(t, i, v);
-        });
-        std::mem::swap(&mut src, &mut dst);
-        d <<= 1;
-    }
-    if src != arr {
-        // even number of rounds landed the result in scratch: copy back (1 step)
-        m.step(shm, 0..n, |ctx| {
-            let i = ctx.pid;
-            let v = ctx.read(scratch, i);
-            ctx.write(arr, i, v);
-        });
-    }
+    shm.scope(|shm| {
+        let scratch = shm.alloc("prefix.scratch", n, 0);
+        let mut src = arr;
+        let mut dst = scratch;
+        let mut d = 1usize;
+        while d < n {
+            let s = src;
+            m.kernel_map(shm, 0..n, dst, move |t, i| {
+                let v = t.read(s, i);
+                if i >= d {
+                    v.wrapping_add(t.read(s, i - d))
+                } else {
+                    v
+                }
+            });
+            std::mem::swap(&mut src, &mut dst);
+            d <<= 1;
+        }
+        if src != arr {
+            // even number of rounds landed the result in scratch: copy back (1 step)
+            m.kernel_map(shm, 0..n, arr, |t, i| t.read(scratch, i));
+        }
+    });
 }
 
 /// Exclusive prefix sum: returns a fresh array `out` with
@@ -59,19 +55,24 @@ pub fn exclusive_prefix_sum(m: &mut Machine, shm: &mut Shm, arr: ArrayId) -> (Ar
     if n == 0 {
         return (out, 0);
     }
-    let incl = shm.alloc("prefix.incl", n, 0);
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        let v = ctx.read(arr, i);
-        ctx.write(incl, i, v);
+    let total = shm.scope(|shm| {
+        let incl = shm.alloc("prefix.incl", n, 0);
+        m.kernel_map(shm, 0..n, incl, |t, i| t.read(arr, i));
+        inclusive_prefix_sum(m, shm, incl);
+        m.kernel_map(
+            shm,
+            0..n,
+            out,
+            move |t, i| {
+                if i == 0 {
+                    0
+                } else {
+                    t.read(incl, i - 1)
+                }
+            },
+        );
+        shm.get(incl, n - 1)
     });
-    inclusive_prefix_sum(m, shm, incl);
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        let v = if i == 0 { 0 } else { ctx.read(incl, i - 1) };
-        ctx.write(out, i, v);
-    });
-    let total = shm.get(incl, n - 1);
     (out, total)
 }
 
@@ -81,22 +82,33 @@ pub fn exclusive_prefix_sum(m: &mut Machine, shm: &mut Shm, arr: ArrayId) -> (Ar
 /// §4.1 step 3. Cost: one prefix sum + 2 steps.
 pub fn compact_indices(m: &mut Machine, shm: &mut Shm, flags: ArrayId) -> (ArrayId, usize) {
     let n = shm.len(flags);
-    let ranks = shm.alloc("compact.ranks", n, 0);
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        let v = if ctx.read(flags, i) != 0 { 1 } else { 0 };
-        ctx.write(ranks, i, v);
-    });
-    let (excl, total) = exclusive_prefix_sum(m, shm, ranks);
-    let dest = shm.alloc("compact.dest", total as usize, crate::EMPTY);
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(flags, i) != 0 {
-            let r = ctx.read(excl, i) as usize;
-            ctx.write(dest, r, i as Word);
-        }
-    });
-    (dest, total as usize)
+    shm.scope(|shm| {
+        let ranks = shm.alloc("compact.ranks", n, 0);
+        m.kernel_map(
+            shm,
+            0..n,
+            ranks,
+            |t, i| {
+                if t.read(flags, i) != 0 {
+                    1
+                } else {
+                    0
+                }
+            },
+        );
+        let (excl, total) = exclusive_prefix_sum(m, shm, ranks);
+        let dest = shm.alloc("compact.dest", total as usize, crate::EMPTY);
+        m.kernel_scatter(shm, 0..n, |t, i| {
+            if t.read(flags, i) != 0 {
+                Some((dest, t.read(excl, i) as usize, i as Word))
+            } else {
+                None
+            }
+        });
+        // the result outlives the workspace scope
+        shm.promote(dest);
+        (dest, total as usize)
+    })
 }
 
 #[cfg(test)]

@@ -1,7 +1,8 @@
 //! Constant-time CRCW primitives the paper invokes.
 //!
-//! Each primitive here is built from genuine [`crate::Machine::step`]s, so
-//! its measured cost is its real cost in the model:
+//! Each primitive here is built from genuine synchronous machine steps
+//! (executed as fused [`crate::kernel`]s, which charge identical metrics),
+//! so its measured cost is its real cost in the model:
 //!
 //! * [`or_over`] / [`any_nonzero`] — "this amounts to an OR" (paper §2.2):
 //!   one concurrent-write step.
@@ -16,10 +17,14 @@
 //! The knockout scheme deliberately enumerates all pairs as virtual
 //! processors — that *is* the algorithm's cost, and the experiments (table
 //! F4, T8) rely on the super-linear work being visible in the metrics.
+//!
+//! All per-invocation workspace (`or.result`, `lmz.*`, `minq.*`, …) lives in
+//! a [`Shm::scope`], so primitives called inside loops recycle a constant
+//! set of array slots instead of growing shared memory without bound.
 
+use crate::kernel::{KCtx, ReduceOp};
 use crate::machine::Machine;
 use crate::memory::{ArrayId, Shm};
-use crate::policy::WritePolicy;
 use crate::{Word, EMPTY};
 
 /// One-step concurrent OR over `flags[lo..hi]` (cells are 0/1).
@@ -27,36 +32,39 @@ use crate::{Word, EMPTY};
 /// Returns true iff some flag in range is non-zero. Costs exactly 1 step and
 /// `hi - lo` work. Any CRCW variant suffices (all writers write 1).
 pub fn or_over(m: &mut Machine, shm: &mut Shm, flags: ArrayId, lo: usize, hi: usize) -> bool {
-    let res = shm.alloc("or.result", 1, 0);
-    m.step_with_policy(shm, lo..hi, WritePolicy::CombineOr, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(flags, i) != 0 {
-            ctx.write(res, 0, 1);
-        }
-    });
-    shm.get(res, 0) != 0
+    shm.scope(|shm| {
+        let res = shm.alloc("or.result", 1, 0);
+        m.kernel_reduce(shm, lo..hi, ReduceOp::Or, res, 0, |t, pid| {
+            if t.read(flags, pid) != 0 {
+                Some(1)
+            } else {
+                None
+            }
+        });
+        shm.get(res, 0) != 0
+    })
 }
 
 /// One-step test "does any active processor satisfy `pred`?".
+///
+/// The predicate runs *inside* the step against the pre-step snapshot (a
+/// [`KCtx`]), so the whole test is one genuine PRAM step of `|pids|` work —
+/// the concurrent-OR of paper §2.2 with an arbitrary local predicate.
 pub fn any_nonzero<F>(m: &mut Machine, shm: &mut Shm, pids: &[usize], pred: F) -> bool
 where
-    F: Fn(usize, &Shm) -> bool + Sync,
+    F: Fn(usize, &KCtx) -> bool + Sync,
 {
-    let res = shm.alloc("any.result", 1, 0);
-    // Capture a raw pred through the ctx snapshot: the closure reads shm via ctx.
-    let hits = m.step_map_with_policy(shm, pids, WritePolicy::CombineOr, |ctx| {
-        // Predicate evaluated against the snapshot; we cannot hand &Shm to
-        // the caller inside ctx, so we evaluate host-side below instead.
-        ctx.pid
-    });
-    // Evaluate predicate host-side against post-step memory (identical to
-    // pre-step memory: the step above wrote nothing) and do the OR write in
-    // a second step to keep accounting honest.
-    let active: Vec<usize> = hits.into_iter().filter(|&pid| pred(pid, shm)).collect();
-    m.step_with_policy(shm, &active, WritePolicy::CombineOr, |ctx| {
-        ctx.write(res, 0, 1);
-    });
-    shm.get(res, 0) != 0
+    shm.scope(|shm| {
+        let res = shm.alloc("any.result", 1, 0);
+        m.kernel_reduce(shm, pids, ReduceOp::Or, res, 0, |t, pid| {
+            if pred(pid, t) {
+                Some(1)
+            } else {
+                None
+            }
+        });
+        shm.get(res, 0) != 0
+    })
 }
 
 /// Eppstein–Galil / Fich-style leftmost non-zero (Observation 2.1).
@@ -65,7 +73,7 @@ where
 /// O(n) processors per step, or `None` if the array is all zero.
 ///
 /// Scheme: split into b = ⌈√n⌉ blocks of size ≤ b.
-/// 1. flagged[j] := OR of block j (1 step, n procs).
+/// 1. `flagged[j]` := OR of block j (1 step, n procs).
 /// 2. pairwise knockout over blocks: pair (u < v), both flagged ⇒ v loses
 ///    (1 step, b² ≤ n + O(√n) procs).
 /// 3. the unique flagged non-loser block writes its id (1 step, b procs).
@@ -79,72 +87,82 @@ pub fn leftmost_nonzero(m: &mut Machine, shm: &mut Shm, bits: ArrayId) -> Option
     let b = (n as f64).sqrt().ceil() as usize;
     let nblocks = n.div_ceil(b);
 
-    let flagged = shm.alloc("lmz.flagged", nblocks, 0);
-    let loser = shm.alloc("lmz.loser", nblocks, 0);
-    let winner = shm.alloc("lmz.winner", 1, EMPTY);
+    shm.scope(|shm| {
+        let flagged = shm.alloc("lmz.flagged", nblocks, 0);
+        let loser = shm.alloc("lmz.loser", nblocks, 0);
+        let winner = shm.alloc("lmz.winner", 1, EMPTY);
 
-    // Step 1: per-element OR into its block flag.
-    m.step_with_policy(shm, 0..n, WritePolicy::CombineOr, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(bits, i) != 0 {
-            ctx.write(flagged, i / b, 1);
-        }
-    });
+        // Step 1: per-element OR into its block flag.
+        m.kernel_scatter(shm, 0..n, |t, pid| {
+            if t.read(bits, pid) != 0 {
+                Some((flagged, pid / b, 1))
+            } else {
+                None
+            }
+        });
 
-    // Step 2: knockout among blocks. Processor p encodes pair (u, v).
-    m.step(shm, 0..nblocks * nblocks, |ctx| {
-        let (u, v) = (ctx.pid / nblocks, ctx.pid % nblocks);
-        if u < v && ctx.read(flagged, u) != 0 && ctx.read(flagged, v) != 0 {
-            ctx.write(loser, v, 1);
-        }
-    });
+        // Step 2: knockout among blocks. Processor p encodes pair (u, v).
+        m.kernel_scatter(shm, 0..nblocks * nblocks, |t, pid| {
+            let (u, v) = (pid / nblocks, pid % nblocks);
+            if u < v && t.read(flagged, u) != 0 && t.read(flagged, v) != 0 {
+                Some((loser, v, 1))
+            } else {
+                None
+            }
+        });
 
-    // Step 3: the surviving flagged block announces itself.
-    m.step(shm, 0..nblocks, |ctx| {
-        let j = ctx.pid;
-        if ctx.read(flagged, j) != 0 && ctx.read(loser, j) == 0 {
-            ctx.write(winner, 0, j as Word);
-        }
-    });
+        // Step 3: the surviving flagged block announces itself.
+        m.kernel_scatter(shm, 0..nblocks, |t, pid| {
+            if t.read(flagged, pid) != 0 && t.read(loser, pid) == 0 {
+                Some((winner, 0, pid as Word))
+            } else {
+                None
+            }
+        });
 
-    let wblock = shm.get(winner, 0);
-    if wblock == EMPTY {
-        return None;
-    }
-    let wblock = wblock as usize;
-    let lo = wblock * b;
-    let hi = (lo + b).min(n);
-    let blen = hi - lo;
+        let wblock = shm.get(winner, 0);
+        if wblock == EMPTY {
+            return None;
+        }
+        let wblock = wblock as usize;
+        let lo = wblock * b;
+        let hi = (lo + b).min(n);
+        let blen = hi - lo;
 
-    // Steps 4–6: same knockout inside the winning block.
-    let eflag = shm.alloc("lmz.eflag", blen, 0);
-    let eloser = shm.alloc("lmz.eloser", blen, 0);
-    let ewin = shm.alloc("lmz.ewin", 1, EMPTY);
-    m.step(shm, 0..blen, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(bits, lo + i) != 0 {
-            ctx.write(eflag, i, 1);
-        }
-    });
-    m.step(shm, 0..blen * blen, |ctx| {
-        let (u, v) = (ctx.pid / blen, ctx.pid % blen);
-        if u < v && ctx.read(eflag, u) != 0 && ctx.read(eflag, v) != 0 {
-            ctx.write(eloser, v, 1);
-        }
-    });
-    m.step(shm, 0..blen, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(eflag, i) != 0 && ctx.read(eloser, i) == 0 {
-            ctx.write(ewin, 0, (lo + i) as Word);
-        }
-    });
+        // Steps 4–6: same knockout inside the winning block.
+        let eflag = shm.alloc("lmz.eflag", blen, 0);
+        let eloser = shm.alloc("lmz.eloser", blen, 0);
+        let ewin = shm.alloc("lmz.ewin", 1, EMPTY);
+        m.kernel_scatter(shm, 0..blen, |t, pid| {
+            if t.read(bits, lo + pid) != 0 {
+                Some((eflag, pid, 1))
+            } else {
+                None
+            }
+        });
+        m.kernel_scatter(shm, 0..blen * blen, |t, pid| {
+            let (u, v) = (pid / blen, pid % blen);
+            if u < v && t.read(eflag, u) != 0 && t.read(eflag, v) != 0 {
+                Some((eloser, v, 1))
+            } else {
+                None
+            }
+        });
+        m.kernel_scatter(shm, 0..blen, |t, pid| {
+            if t.read(eflag, pid) != 0 && t.read(eloser, pid) == 0 {
+                Some((ewin, 0, (lo + pid) as Word))
+            } else {
+                None
+            }
+        });
 
-    let w = shm.get(ewin, 0);
-    if w == EMPTY {
-        None
-    } else {
-        Some(w as usize)
-    }
+        let w = shm.get(ewin, 0);
+        if w == EMPTY {
+            None
+        } else {
+            Some(w as usize)
+        }
+    })
 }
 
 /// O(1)-time minimum by pairwise knockout with m² processors.
@@ -159,28 +177,33 @@ pub fn min_index_quadratic(m: &mut Machine, shm: &mut Shm, keys: &[i64]) -> Opti
     if n == 0 {
         return None;
     }
-    let loser = shm.alloc("minq.loser", n, 0);
-    let win = shm.alloc("minq.win", 1, EMPTY);
-    m.step(shm, 0..n * n, |ctx| {
-        let (u, v) = (ctx.pid / n, ctx.pid % n);
-        if u < v {
-            // strictly-smaller key wins; equal keys favour the smaller index
-            if keys[u] <= keys[v] {
-                ctx.write(loser, v, 1);
+    shm.scope(|shm| {
+        let loser = shm.alloc("minq.loser", n, 0);
+        let win = shm.alloc("minq.win", 1, EMPTY);
+        m.kernel_scatter(shm, 0..n * n, |_, pid| {
+            let (u, v) = (pid / n, pid % n);
+            if u < v {
+                // strictly-smaller key wins; equal keys favour the smaller index
+                if keys[u] <= keys[v] {
+                    Some((loser, v, 1))
+                } else {
+                    Some((loser, u, 1))
+                }
             } else {
-                ctx.write(loser, u, 1);
+                None
             }
-        }
-    });
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(loser, i) == 0 {
-            ctx.write(win, 0, i as Word);
-        }
-    });
-    let w = shm.get(win, 0);
-    debug_assert_ne!(w, EMPTY);
-    Some(w as usize)
+        });
+        m.kernel_scatter(shm, 0..n, |t, pid| {
+            if t.read(loser, pid) == 0 {
+                Some((win, 0, pid as Word))
+            } else {
+                None
+            }
+        });
+        let w = shm.get(win, 0);
+        debug_assert_ne!(w, EMPTY);
+        Some(w as usize)
+    })
 }
 
 /// One-step broadcast: processor `src_pid` writes `value` to `cell[idx]`.
@@ -192,9 +215,7 @@ pub fn broadcast(
     src_pid: usize,
     value: Word,
 ) {
-    m.step(shm, src_pid..src_pid + 1, |ctx| {
-        ctx.write(cell, idx, value);
-    });
+    m.kernel_scatter(shm, src_pid..src_pid + 1, |_, _| Some((cell, idx, value)));
 }
 
 /// One-step concurrent count using Combining-CRCW (Fetch&Add flavour).
@@ -205,14 +226,17 @@ pub fn broadcast(
 /// experiments label which one a table used.
 pub fn count_ones_combining(m: &mut Machine, shm: &mut Shm, flags: ArrayId) -> u64 {
     let n = shm.len(flags);
-    let acc = shm.alloc("count.acc", 1, 0);
-    m.step_with_policy(shm, 0..n, WritePolicy::CombineSum, |ctx| {
-        let i = ctx.pid;
-        if ctx.read(flags, i) != 0 {
-            ctx.write(acc, 0, 1);
-        }
-    });
-    shm.get(acc, 0) as u64
+    shm.scope(|shm| {
+        let acc = shm.alloc("count.acc", 1, 0);
+        m.kernel_reduce(shm, 0..n, ReduceOp::Sum, acc, 0, |t, pid| {
+            if t.read(flags, pid) != 0 {
+                Some(1)
+            } else {
+                None
+            }
+        });
+        shm.get(acc, 0) as u64
+    })
 }
 
 #[cfg(test)]
@@ -234,6 +258,21 @@ mod tests {
         assert!(or_over(&mut m, &mut shm, a, 0, 4));
         assert!(!or_over(&mut m, &mut shm, a, 0, 2));
         assert_eq!(m.metrics.steps, 2);
+    }
+
+    #[test]
+    fn or_over_recycles_its_workspace() {
+        let (mut m, mut shm, a) = setup(&[0, 1, 0, 0]);
+        or_over(&mut m, &mut shm, a, 0, 4);
+        let count = shm.array_count();
+        for _ in 0..100 {
+            or_over(&mut m, &mut shm, a, 0, 4);
+        }
+        assert_eq!(
+            shm.array_count(),
+            count,
+            "iterated or_over must not grow shared memory"
+        );
     }
 
     #[test]
@@ -303,11 +342,27 @@ mod tests {
     }
 
     #[test]
-    fn any_nonzero_costs_two_steps() {
+    fn any_nonzero_costs_one_step_each() {
         let (mut m, mut shm, _a) = setup(&[0, 0, 0]);
         let pids = vec![0usize, 1, 2];
         assert!(any_nonzero(&mut m, &mut shm, &pids, |pid, _| pid == 2));
         assert!(!any_nonzero(&mut m, &mut shm, &pids, |_, _| false));
-        assert_eq!(m.metrics.steps, 4);
+        assert_eq!(
+            m.metrics.steps, 2,
+            "each any_nonzero test is one genuine PRAM step"
+        );
+        assert_eq!(m.metrics.work, 6);
+    }
+
+    #[test]
+    fn any_nonzero_predicate_reads_the_snapshot() {
+        let (mut m, mut shm, a) = setup(&[0, 7, 0]);
+        let pids = vec![0usize, 1, 2];
+        assert!(any_nonzero(&mut m, &mut shm, &pids, |pid, t| t
+            .read(a, pid)
+            == 7));
+        assert!(!any_nonzero(&mut m, &mut shm, &pids, |pid, t| t
+            .read(a, pid)
+            < 0));
     }
 }

@@ -29,55 +29,60 @@ pub fn bitonic_sort(m: &mut Machine, shm: &mut Shm, keys: ArrayId, payload: Opti
     }
     let np = n.next_power_of_two();
 
-    // physically pad to a power of two with +∞ keys (one copy step in,
-    // one out; padding wires must participate in descending regions, so
-    // virtual padding would be incorrect)
-    let wk = shm.alloc("bitonic.keys", np, Word::MAX);
-    let wp = shm.alloc("bitonic.payload", np, 0);
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        ctx.write(wk, i, ctx.read(keys, i));
-        if let Some(p) = payload {
-            ctx.write(wp, i, ctx.read(p, i));
-        }
-    });
+    // network workspace is scoped: iterated sorts recycle the same two slots
+    shm.scope(|shm| {
+        // physically pad to a power of two with +∞ keys (one copy step in,
+        // one out; padding wires must participate in descending regions, so
+        // virtual padding would be incorrect)
+        let wk = shm.alloc("bitonic.keys", np, Word::MAX);
+        let wp = shm.alloc("bitonic.payload", np, 0);
+        // pad-in writes two arrays per processor — not a kernel shape, so it
+        // stays a generic step (as do the comparator layers below)
+        m.step(shm, 0..n, |ctx| {
+            let i = ctx.pid;
+            ctx.write(wk, i, ctx.read(keys, i));
+            if let Some(p) = payload {
+                ctx.write(wp, i, ctx.read(p, i));
+            }
+        });
 
-    let mut k = 2usize;
-    while k <= np {
-        let mut j = k / 2;
-        while j >= 1 {
-            // one network layer = one synchronous step of np/2 comparators
-            m.step(shm, 0..np / 2, |ctx| {
-                // comparator c handles wires (i, i ^ j): insert a 0 at bit
-                // position log2(j) of c to enumerate the i with bit j clear
-                let c = ctx.pid;
-                let low = c & (j - 1);
-                let high = (c & !(j - 1)) << 1;
-                let i = high | low;
-                let l = i | j;
-                debug_assert!(i < l && l < np);
-                let ascending = (i & k) == 0;
-                let (a, b) = (ctx.read(wk, i), ctx.read(wk, l));
-                let out_of_order = if ascending { a > b } else { a < b };
-                if out_of_order {
-                    ctx.write(wk, i, b);
-                    ctx.write(wk, l, a);
-                    let (pa, pb) = (ctx.read(wp, i), ctx.read(wp, l));
-                    ctx.write(wp, i, pb);
-                    ctx.write(wp, l, pa);
-                }
-            });
-            j /= 2;
+        let mut k = 2usize;
+        while k <= np {
+            let mut j = k / 2;
+            while j >= 1 {
+                // one network layer = one synchronous step of np/2 comparators
+                m.step(shm, 0..np / 2, |ctx| {
+                    // comparator c handles wires (i, i ^ j): insert a 0 at bit
+                    // position log2(j) of c to enumerate the i with bit j clear
+                    let c = ctx.pid;
+                    let low = c & (j - 1);
+                    let high = (c & !(j - 1)) << 1;
+                    let i = high | low;
+                    let l = i | j;
+                    debug_assert!(i < l && l < np);
+                    let ascending = (i & k) == 0;
+                    let (a, b) = (ctx.read(wk, i), ctx.read(wk, l));
+                    let out_of_order = if ascending { a > b } else { a < b };
+                    if out_of_order {
+                        ctx.write(wk, i, b);
+                        ctx.write(wk, l, a);
+                        let (pa, pb) = (ctx.read(wp, i), ctx.read(wp, l));
+                        ctx.write(wp, i, pb);
+                        ctx.write(wp, l, pa);
+                    }
+                });
+                j /= 2;
+            }
+            k *= 2;
         }
-        k *= 2;
-    }
 
-    m.step(shm, 0..n, |ctx| {
-        let i = ctx.pid;
-        ctx.write(keys, i, ctx.read(wk, i));
-        if let Some(p) = payload {
-            ctx.write(p, i, ctx.read(wp, i));
-        }
+        m.step(shm, 0..n, |ctx| {
+            let i = ctx.pid;
+            ctx.write(keys, i, ctx.read(wk, i));
+            if let Some(p) = payload {
+                ctx.write(p, i, ctx.read(wp, i));
+            }
+        });
     });
 }
 
@@ -91,14 +96,16 @@ pub fn is_sorted(shm: &Shm, keys: ArrayId) -> bool {
 /// the sorted payloads — the convenience entry point algorithms use.
 pub fn sort_pairs(m: &mut Machine, shm: &mut Shm, pairs: &[(Word, Word)]) -> Vec<Word> {
     let n = pairs.len();
-    let keys = shm.alloc("sort.keys", n, 0);
-    let vals = shm.alloc("sort.vals", n, 0);
-    for (i, &(k, v)) in pairs.iter().enumerate() {
-        shm.host_set(keys, i, k);
-        shm.host_set(vals, i, v);
-    }
-    bitonic_sort(m, shm, keys, Some(vals));
-    shm.slice(vals).to_vec()
+    shm.scope(|shm| {
+        let keys = shm.alloc("sort.keys", n, 0);
+        let vals = shm.alloc("sort.vals", n, 0);
+        for (i, &(k, v)) in pairs.iter().enumerate() {
+            shm.host_set(keys, i, k);
+            shm.host_set(vals, i, v);
+        }
+        bitonic_sort(m, shm, keys, Some(vals));
+        shm.slice(vals).to_vec()
+    })
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use ipch_pram::{Machine, Shm, Tuning, Word, WritePolicy};
+use ipch_pram::{Machine, ReduceOp, Shm, Tuning, Word, WritePolicy};
 
 const POLICIES: [WritePolicy; 6] = [
     WritePolicy::Arbitrary,
@@ -54,7 +54,7 @@ fn run_program(tuning: Tuning, lens: &[usize], program: &[StepSpec]) -> Observed
     let arrays: Vec<_> = lens
         .iter()
         .enumerate()
-        .map(|(i, &len)| shm.alloc(&format!("a{i}"), len, 0))
+        .map(|(i, &len)| shm.alloc(format!("a{i}"), len, 0))
         .collect();
 
     for spec in program {
@@ -154,5 +154,157 @@ proptest! {
         let a = run_program(Tuning::default(), &lens, &program);
         let b = run_program(Tuning::default(), &lens, &program);
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel/generic equivalence: every fused kernel shape must be observably
+// identical — final memory AND steps/work/write/conflict metrics — to the
+// generic step path it replaces (`Tuning::disable_kernels`), under every
+// write policy / reduce op and both sequential and parallel execution.
+// ---------------------------------------------------------------------------
+
+const REDUCE_OPS: [ReduceOp; 5] = [
+    ReduceOp::Or,
+    ReduceOp::Sum,
+    ReduceOp::Min,
+    ReduceOp::Max,
+    ReduceOp::First,
+];
+
+/// One randomly generated kernel invocation.
+#[derive(Clone, Copy, Debug)]
+struct KernelSpec {
+    /// 0 = map, 1 = permute, 2 = scatter, 3 = reduce.
+    shape: u8,
+    nprocs: usize,
+    /// Scatter conflict rule.
+    policy: WritePolicy,
+    /// Reduce combining rule.
+    op: ReduceOp,
+    param: u64,
+}
+
+fn kernel_spec() -> impl Strategy<Value = KernelSpec> {
+    (0u8..4, 1usize..3000, 0usize..6, 0usize..5, 1u64..64).prop_map(
+        |(shape, nprocs, pol, op, param)| KernelSpec {
+            shape,
+            nprocs,
+            policy: POLICIES[pol],
+            op: REDUCE_OPS[op],
+            param,
+        },
+    )
+}
+
+fn run_kernel_program(tuning: Tuning, lens: &[usize], program: &[KernelSpec]) -> Observed {
+    let mut m = Machine::new(0xB0B);
+    m.tuning = tuning;
+    let mut shm = Shm::new();
+    let arrays: Vec<_> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| shm.alloc(format!("a{i}"), len, 0))
+        .collect();
+    // map/permute output (pid-indexed, so sized to the largest pid set) and
+    // the reduce target cell
+    let out = shm.alloc("out", 3000, 0);
+    let cell = shm.alloc("cell", 1, 0);
+
+    for spec in program {
+        let a0 = arrays[0];
+        let a1 = arrays[spec.param as usize % arrays.len()];
+        let len0 = shm.len(a0);
+        let len1 = shm.len(a1);
+        let param = spec.param as usize;
+        match spec.shape {
+            // map: out[pid] = g(a0[pid % len0])
+            0 => m.kernel_map(&mut shm, 0..spec.nprocs, out, move |t, pid| {
+                t.read(a0, pid % len0).wrapping_mul(3) ^ param as Word
+            }),
+            // permute: rotate by param — a bijection on 0..nprocs
+            1 => {
+                let n = spec.nprocs;
+                m.kernel_permute(&mut shm, 0..n, out, move |t, pid| {
+                    ((pid + param) % n, t.read(a1, pid % len1) + pid as Word)
+                })
+            }
+            // scatter: conflicting conditional writes under a random policy
+            2 => m.kernel_scatter_with_policy(
+                &mut shm,
+                0..spec.nprocs,
+                spec.policy,
+                move |t, pid| {
+                    if pid % 3 == 0 {
+                        return None;
+                    }
+                    let i = pid.wrapping_mul(param) % len1.min(11);
+                    Some((a1, i, t.read(a0, pid % len0) + pid as Word))
+                },
+            ),
+            // reduce: combine contributions of ~4/5 of the processors
+            _ => m.kernel_reduce(&mut shm, 0..spec.nprocs, spec.op, cell, 0, move |t, pid| {
+                if pid % 5 == 4 {
+                    None
+                } else {
+                    Some(t.read(a0, pid % len0).wrapping_add(pid as Word))
+                }
+            }),
+        }
+    }
+
+    let mut memory: Vec<Vec<Word>> = arrays.iter().map(|&a| shm.slice(a).to_vec()).collect();
+    memory.push(shm.slice(out).to_vec());
+    memory.push(shm.slice(cell).to_vec());
+    Observed {
+        memory,
+        steps: m.metrics.steps,
+        work: m.metrics.work,
+        peak: m.metrics.peak_processors,
+        writes_buffered: m.metrics.writes_buffered,
+        writes_committed: m.metrics.writes_committed,
+        write_conflicts: m.metrics.write_conflicts,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_are_equivalent_to_generic_steps(
+        lens in vec(1usize..300, 1..4),
+        program in vec(kernel_spec(), 1..6),
+    ) {
+        let fused = run_kernel_program(
+            Tuning { force_sequential: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        let generic = run_kernel_program(
+            Tuning { force_sequential: true, disable_kernels: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        prop_assert_eq!(&fused, &generic, "fused kernels diverged from generic steps");
+
+        let fused_par = run_kernel_program(
+            Tuning { force_parallel: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        let generic_par = run_kernel_program(
+            Tuning { force_parallel: true, disable_kernels: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        prop_assert_eq!(&fused, &fused_par, "parallel fused kernels diverged");
+        prop_assert_eq!(&fused, &generic_par, "parallel generic path diverged");
+
+        let generic_slow = run_kernel_program(
+            Tuning { disable_kernels: true, disable_fast_path: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        prop_assert_eq!(&fused, &generic_slow, "slow-path generic diverged from kernels");
     }
 }
