@@ -12,9 +12,17 @@
 
 use ipch_geom::predicates::orient2d_sign;
 use ipch_geom::{Point2, UpperHull};
-use ipch_pram::{Machine, Shm, WritePolicy};
+use ipch_pram::{Machine, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy};
 
 use crate::{assign_edges_pram, HullOutput};
+
+/// Concurrency contract: Common-CRCW — concurrent writers of a cell always
+/// agree on the value (the only races are the constant "kill" marks).
+pub const BRUTE_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull2d/brute",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::SameValue,
+};
 
 /// Upper hull of the subset `ids` of `points` in O(1) steps and Θ(|ids|³)
 /// work. Vertex ids refer to the original array.
@@ -24,6 +32,7 @@ pub fn upper_hull_brute(
     points: &[Point2],
     ids: &[usize],
 ) -> UpperHull {
+    m.declare_contract(&BRUTE_CONTRACT);
     let n = ids.len();
     if n == 0 {
         return UpperHull::new(vec![]);

@@ -12,7 +12,7 @@
 
 use ipch_geom::point::argsort_xy;
 use ipch_geom::{Point2, UpperHull};
-use ipch_pram::{Machine, Shm};
+use ipch_pram::{Machine, ModelClass, ModelContract, RaceExpectation, Shm};
 
 use super::merge::merge_groups;
 use crate::{assign_edges_pram, HullOutput};
@@ -29,6 +29,14 @@ pub enum SortMode {
     ExecutedBitonic,
 }
 
+/// Concurrency contract: EREW — pairwise merges partition reads and
+/// writes, so no cell is ever touched by two processors in one step.
+pub const DAC_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull2d/dac",
+    class: ModelClass::Erew,
+    races: RaceExpectation::Forbidden,
+};
+
 /// Upper hull by pairwise-merge divide and conquer. If `presorted` is
 /// false the input is sorted per `sort` (see [`SortMode`]).
 pub fn upper_hull_dac_with(
@@ -38,6 +46,7 @@ pub fn upper_hull_dac_with(
     presorted: bool,
     sort: SortMode,
 ) -> HullOutput {
+    m.declare_contract(&DAC_CONTRACT);
     let n = points.len();
     if n == 0 {
         return HullOutput {

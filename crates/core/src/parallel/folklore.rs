@@ -11,10 +11,18 @@
 //! (§2.2) runs on its sub-log³n nodes with k = 3.
 
 use ipch_geom::{Point2, UpperHull};
-use ipch_pram::{Machine, Shm};
+use ipch_pram::{Machine, ModelClass, ModelContract, RaceExpectation, Shm};
 
 use super::merge::merge_groups;
 use crate::{assign_edges_pram, HullOutput};
+
+/// Concurrency contract: Common-CRCW — the merge-tree steps only race on
+/// constant kill/mark writes, so concurrent writers always agree.
+pub const FOLKLORE_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull2d/folklore",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::SameValue,
+};
 
 /// Upper hull of the contiguous presorted slice `ids` (indices into
 /// `points`, which must be x-sorted along `ids`). Runs in O(k) executed +
@@ -26,6 +34,7 @@ pub fn upper_hull_folklore(
     ids: &[usize],
     k: usize,
 ) -> UpperHull {
+    m.declare_contract(&FOLKLORE_CONTRACT);
     assert!(k >= 1);
     let ids = crate::column_tops_pram(m, shm, points, ids);
     let n = ids.len();

@@ -27,7 +27,7 @@
 //! simulator.
 
 use ipch_geom::{Point2, UpperHull};
-use ipch_pram::{Machine, Metrics, Shm, EMPTY};
+use ipch_pram::{Machine, Metrics, ModelClass, ModelContract, RaceExpectation, Shm, EMPTY};
 
 use super::brute::upper_hull_brute;
 use super::folklore::upper_hull_folklore;
@@ -72,6 +72,14 @@ pub struct LogstarReport {
     pub combine_failures: usize,
 }
 
+/// Concurrency contract: Common-CRCW — concurrent writers always agree
+/// (constant kill marks and duplicate hull-vertex stores).
+pub const LOGSTAR_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull2d/logstar",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::SameValue,
+};
+
 /// The O(log* n) algorithm. `points` must be sorted by [`Point2::cmp_xy`].
 pub fn upper_hull_logstar(
     m: &mut Machine,
@@ -79,6 +87,7 @@ pub fn upper_hull_logstar(
     points: &[Point2],
     params: &LogstarParams,
 ) -> (HullOutput, LogstarReport) {
+    m.declare_contract(&LOGSTAR_CONTRACT);
     let n = points.len();
     let mut report = LogstarReport::default();
     if n == 0 {

@@ -28,7 +28,9 @@
 use ipch_geom::{Point2, UpperHull};
 use ipch_lp::bridge::{bridge_brute, Bridge};
 use ipch_lp::inplace_bridge::{find_bridge_inplace, IbConfig};
-use ipch_pram::{Machine, Metrics, Shm, WritePolicy, EMPTY};
+use ipch_pram::{
+    Machine, Metrics, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy, EMPTY,
+};
 
 use super::folklore::upper_hull_folklore;
 use crate::HullOutput;
@@ -102,6 +104,16 @@ fn build_tree(n: usize) -> (Vec<Node>, usize) {
     (nodes, depth)
 }
 
+/// Concurrency contract: Arbitrary-CRCW in the paper; here every
+/// concurrent-write step either agrees on the value or resolves by a
+/// declared deterministic policy (Priority elections, Combine reductions),
+/// so the committed memory never depends on the simulator's tiebreak seed.
+pub const PRESORTED_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull2d/presorted",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// The presorted O(1)-time algorithm. `points` must be sorted by
 /// [`Point2::cmp_xy`]. Returns the hull output and a diagnostics report.
 pub fn upper_hull_presorted(
@@ -110,6 +122,7 @@ pub fn upper_hull_presorted(
     points: &[Point2],
     params: &PresortedParams,
 ) -> (HullOutput, PresortedReport) {
+    m.declare_contract(&PRESORTED_CONTRACT);
     let mut report = PresortedReport::default();
     let n = points.len();
     if n == 0 {

@@ -34,7 +34,9 @@ use ipch_geom::{Point2, UpperHull};
 use ipch_lp::bridge::{bridge_brute, Bridge};
 use ipch_lp::inplace_bridge::{find_bridge_inplace, IbConfig};
 use ipch_pram::prefix::compact_indices;
-use ipch_pram::{Machine, Metrics, ReduceOp, Shm, WritePolicy, EMPTY};
+use ipch_pram::{
+    Machine, Metrics, ModelClass, ModelContract, RaceExpectation, ReduceOp, Shm, WritePolicy, EMPTY,
+};
 
 use super::dac::upper_hull_dac;
 use super::trace::{LevelRecord, UnsortedTrace};
@@ -107,6 +109,16 @@ enum Sol {
     Pending,
 }
 
+/// Concurrency contract: Arbitrary-CRCW in the paper; every concurrent
+/// write here either agrees on the value or resolves by a deterministic
+/// declared policy (Priority elections in the bridge oracle, Combine
+/// reductions), so memory is independent of the tiebreak seed.
+pub const UNSORTED_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull2d/unsorted",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// Run the unsorted 2-D algorithm. Returns the hull output and the trace.
 ///
 /// # Examples
@@ -132,6 +144,7 @@ pub fn upper_hull_unsorted(
     points: &[Point2],
     params: &UnsortedParams,
 ) -> (HullOutput, UnsortedTrace) {
+    m.declare_contract(&UNSORTED_CONTRACT);
     let n = points.len();
     let mut trace = UnsortedTrace::default();
     if n == 0 {
@@ -620,6 +633,27 @@ mod tests {
         let mut shm = Shm::new();
         let (out, trace) = upper_hull_unsorted(&mut m, &mut shm, points, params);
         (out, trace, m)
+    }
+
+    /// Regression for the sweep/election fixes: the whole algorithm (bridge
+    /// elections included) must satisfy its declared contract — races may
+    /// be benign or policy-deterministic, never tiebreak-seed-dependent.
+    #[test]
+    fn analyzer_pins_contract() {
+        use ipch_pram::AnalyzeConfig;
+        let pts = uniform_disk(512, 7);
+        let mut m = Machine::new(3);
+        m.enable_analysis(AnalyzeConfig::default());
+        let mut shm = Shm::new();
+        shm.enable_shadow(true);
+        upper_hull_unsorted(&mut m, &mut shm, &pts, &UnsortedParams::default());
+        let r = m.analysis_report().unwrap();
+        assert_eq!(r.contract.unwrap().algorithm, "hull2d/unsorted");
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.seed_dependent_races, 0);
+        assert_eq!(r.unconfirmed_arbitrary_races, 0);
+        assert_eq!(r.uninit_reads, 0);
+        assert!(r.deterministic_races > 0, "elections should be exercised");
     }
 
     #[test]

@@ -13,7 +13,7 @@ use ipch_geom::Point3;
 use ipch_inplace::compact::inplace_compact;
 use ipch_inplace::sample::random_sample_with_p;
 use ipch_lp::bridge::facet_brute;
-use ipch_pram::{Machine, Shm, EMPTY};
+use ipch_pram::{Machine, ModelClass, ModelContract, RaceExpectation, Shm, EMPTY};
 
 use crate::facet::Facet;
 
@@ -42,6 +42,15 @@ impl Default for FpConfig {
     }
 }
 
+/// Concurrency contract: Arbitrary-CRCW in the paper; the sample-claim
+/// contest and the facet election resolve by Priority, so every race
+/// commits a value that is a deterministic function of the coin flips.
+pub const FIND_FACET_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull3d/find_facet",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// Find the upper-hull facet of the scattered subset `active` pierced by
 /// the vertical line through `(x0, y0)`, in place. `None` = outside the
 /// subset's xy-hull or round cap exceeded (the failure the caller sweeps).
@@ -54,6 +63,7 @@ pub fn find_facet_inplace(
     y0: f64,
     cfg: &FpConfig,
 ) -> Option<Facet> {
+    m.declare_contract(&FIND_FACET_CONTRACT);
     let p = active.len();
     if p < 3 {
         return None;

@@ -32,7 +32,9 @@
 
 use ipch_geom::predicates::orient3d_sign;
 use ipch_geom::{Point2, Point3};
-use ipch_pram::{Machine, Metrics, Shm, WritePolicy, EMPTY};
+use ipch_pram::{
+    Machine, Metrics, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy, EMPTY,
+};
 
 use super::probe::{find_facet_inplace, FpConfig};
 use crate::facet::{xy_contains, Facet};
@@ -112,6 +114,15 @@ pub struct Hull3Output {
     pub face_above: Vec<usize>,
 }
 
+/// Concurrency contract: Arbitrary-CRCW in the paper; the kill step and
+/// all elections resolve by Priority, so committed memory is independent
+/// of the simulator's tiebreak seed.
+pub const UNSORTED3_CONTRACT: ModelContract = ModelContract {
+    algorithm: "hull3d/unsorted3d",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// The §4.3 algorithm.
 ///
 /// # Examples
@@ -134,6 +145,7 @@ pub fn upper_hull3_unsorted(
     points: &[Point3],
     params: &Unsorted3Params,
 ) -> (Hull3Output, Unsorted3Trace) {
+    m.declare_contract(&UNSORTED3_CONTRACT);
     let n = points.len();
     let mut trace = Unsorted3Trace::default();
     if n < 3 {
@@ -291,18 +303,30 @@ pub fn upper_hull3_unsorted(
             let nf = new_facets.len();
             let nfr = &new_facets;
             let act = &actives;
-            m.step_with_policy(shm, 0..actives.len() * nf, WritePolicy::Arbitrary, |ctx| {
-                let ai = ctx.pid / nf;
-                let fi = ctx.pid % nf;
-                let i = act[ai];
-                let (fidx, f) = nfr[fi];
-                if xy_contains(points, &f, points[i].xy())
-                    && orient3d_sign(points[f.a], points[f.b], points[f.c], points[i]) > 0
-                {
-                    ctx.write(alive, i, 0);
-                    ctx.write(face, i, fidx as i64);
-                }
-            });
+            // A point under several new facets is killed by all of them;
+            // any of their ids is a correct `face` value. Priority (rather
+            // than the paper's arbitrary-winner rule) makes the recorded id
+            // the first-listed covering facet: all writers of `face[i]`
+            // share the point and differ only in facet index, so min-pid =
+            // min facet slot, and the output no longer depends on the
+            // simulator's tiebreak seed.
+            m.step_with_policy(
+                shm,
+                0..actives.len() * nf,
+                WritePolicy::PriorityMin,
+                |ctx| {
+                    let ai = ctx.pid / nf;
+                    let fi = ctx.pid % nf;
+                    let i = act[ai];
+                    let (fidx, f) = nfr[fi];
+                    if xy_contains(points, &f, points[i].xy())
+                        && orient3d_sign(points[f.a], points[f.b], points[f.c], points[i]) > 0
+                    {
+                        ctx.write(alive, i, 0);
+                        ctx.write(face, i, fidx as i64);
+                    }
+                },
+            );
         }
 
         // --- divide: four quadrants about each region's splitter ---------
@@ -536,6 +560,26 @@ mod tests {
         let mut shm = Shm::new();
         let (out, trace) = upper_hull3_unsorted(&mut m, &mut shm, points, params);
         (out, trace, m)
+    }
+
+    /// Regression for the kill-step fix: the Priority kill writes (and the
+    /// facet elections below them) must leave every race deterministic —
+    /// the analyzer's salted replays must never flip a committed value.
+    #[test]
+    fn analyzer_pins_contract() {
+        use ipch_pram::AnalyzeConfig;
+        let pts = in_ball(200, 11);
+        let mut m = Machine::new(5);
+        m.enable_analysis(AnalyzeConfig::default());
+        let mut shm = Shm::new();
+        shm.enable_shadow(true);
+        upper_hull3_unsorted(&mut m, &mut shm, &pts, &Unsorted3Params::default());
+        let r = m.analysis_report().unwrap();
+        assert_eq!(r.contract.unwrap().algorithm, "hull3d/unsorted3d");
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.seed_dependent_races, 0);
+        assert_eq!(r.unconfirmed_arbitrary_races, 0);
+        assert!(r.deterministic_races > 0, "kill step should be exercised");
     }
 
     #[test]

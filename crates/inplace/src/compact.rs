@@ -26,9 +26,17 @@
 //!   the shared workspace, which here is the mark/compaction tables of size
 //!   O(bound⁴·sub) = O(m^{4ε+δ}).
 
-use ipch_pram::{ArrayId, Machine, Shm, EMPTY};
+use ipch_pram::{ArrayId, Machine, ModelClass, ModelContract, RaceExpectation, Shm, EMPTY};
 
 use crate::ragde::ragde_compact_det;
+
+/// Concurrency contract: Common-CRCW — the only races are occupancy marks
+/// and duplicate stores of identical payloads.
+pub const COMPACT_CONTRACT: ModelContract = ModelContract {
+    algorithm: "inplace/compact",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::SameValue,
+};
 
 /// Result of an in-place compaction.
 #[derive(Clone, Debug)]
@@ -58,6 +66,7 @@ pub fn inplace_compact(
     bound: usize,
     delta: f64,
 ) -> Option<InplaceCompaction> {
+    m.declare_contract(&COMPACT_CONTRACT);
     let n = shm.len(src);
     if n == 0 {
         let slots = shm.alloc("ipc.slots", 1, EMPTY);

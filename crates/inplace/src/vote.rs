@@ -13,9 +13,17 @@
 //! that: [`crate::sample::random_sample`] followed by the Eppstein–Galil
 //! leftmost-non-zero primitive.
 
-use ipch_pram::{primitives, Machine, Shm, EMPTY};
+use ipch_pram::{primitives, Machine, ModelClass, ModelContract, RaceExpectation, Shm, EMPTY};
 
 use crate::sample::random_sample;
+
+/// Concurrency contract: inherits the sample procedure's Priority claim
+/// contest; the leftmost-one election is Combine(min) — all deterministic.
+pub const VOTE_CONTRACT: ModelContract = ModelContract {
+    algorithm: "inplace/vote",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
 
 /// Choose one element of `active` uniformly at random, in place.
 ///
@@ -30,6 +38,7 @@ pub fn random_vote(
     k: usize,
     attempts: usize,
 ) -> Option<usize> {
+    m.declare_contract(&VOTE_CONTRACT);
     if active.is_empty() {
         return None;
     }

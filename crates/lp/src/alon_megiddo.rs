@@ -25,7 +25,7 @@
 //!   capacity or the round cap is hit — exactly the events whose
 //!   probability Lemma 2.2 bounds; the T6 experiment measures them.
 
-use ipch_pram::{Machine, Shm, WritePolicy};
+use ipch_pram::{Machine, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy};
 
 use crate::brute::{solve_lp2_brute, Lp2Outcome};
 use crate::constraint::{Halfplane, Lp2Solution, Objective2};
@@ -65,6 +65,14 @@ pub struct AmTrace {
     pub base_size: usize,
 }
 
+/// Concurrency contract: inherits the brute solver's Combine(min)
+/// elections; the violation-counting steps use Sum — all deterministic.
+pub const LP2_AM_CONTRACT: ModelContract = ModelContract {
+    algorithm: "lp/alon_megiddo",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// Solve `minimize obj` over `constraints` by the Alon–Megiddo scheme.
 pub fn solve_lp2_am(
     m: &mut Machine,
@@ -73,6 +81,7 @@ pub fn solve_lp2_am(
     obj: &Objective2,
     cfg: &AmConfig,
 ) -> Option<(Lp2Solution, AmTrace)> {
+    m.declare_contract(&LP2_AM_CONTRACT);
     let n = constraints.len();
     if n < 2 {
         return None;

@@ -92,9 +92,14 @@ pub fn bridge_brute(
         }
     });
 
-    // Step 2: surviving pairs elect a representative supporting line.
+    // Step 2: surviving pairs elect a representative supporting line. All
+    // survivors support the same bridge geometry, but their ids differ, so
+    // the election runs under Priority (lexicographically least pair) —
+    // an Arbitrary-policy election here would make the representative, and
+    // hence the returned contact pair, depend on the simulator's tiebreak
+    // seed whenever contacts are collinear.
     let win = shm.alloc("bridge.win", 1, EMPTY);
-    m.step(shm, 0..npairs, |ctx| {
+    m.step_with_policy(shm, 0..npairs, WritePolicy::PriorityMin, |ctx| {
         let p = ctx.pid;
         if ctx.read(bad, p) == 0 {
             ctx.write(win, 0, p as i64);
@@ -239,9 +244,12 @@ pub fn facet_brute(
         }
     });
 
-    // Step 3: elect a surviving triple.
+    // Step 3: elect a surviving triple. As in [`bridge_brute`], survivors
+    // are interchangeable (coplanar-contact degeneracies yield several) but
+    // not identical, so Priority elects the least candidate index instead
+    // of a seed-dependent Arbitrary winner.
     let win = shm.alloc("facet.win", 1, EMPTY);
-    m.step(shm, 0..nc, |ctx| {
+    m.step_with_policy(shm, 0..nc, WritePolicy::PriorityMin, |ctx| {
         let c = ctx.pid;
         if ctx.read(bad2, c) == 0 {
             ctx.write(win, 0, cands_ref[c] as i64);
@@ -284,6 +292,41 @@ mod tests {
             }
         }
         b
+    }
+
+    /// Regression for the election fixes: with four collinear hull points
+    /// every straddling pair supports the bridge line, so `bridge.win`
+    /// takes concurrent distinct writes — Priority must make the winner a
+    /// deterministic function of the input, never of the tiebreak seed.
+    #[test]
+    fn analyzer_pins_bridge_election() {
+        use ipch_pram::{AnalyzeConfig, ModelClass, ModelContract, RaceExpectation};
+        const CONTRACT: ModelContract = ModelContract {
+            algorithm: "lp/bridge_brute",
+            class: ModelClass::Crcw,
+            races: RaceExpectation::Deterministic,
+        };
+        let pts = vec![
+            p(-2.0, 0.0),
+            p(-1.0, 0.0),
+            p(1.0, 0.0),
+            p(2.0, 0.0),
+            p(0.0, -1.0),
+        ];
+        let mut m = Machine::new(9);
+        m.enable_analysis(AnalyzeConfig::default());
+        m.declare_contract(&CONTRACT);
+        let mut shm = Shm::new();
+        shm.enable_shadow(true);
+        let ids: Vec<usize> = (0..pts.len()).collect();
+        let b = bridge_brute(&mut m, &mut shm, &pts, &ids, 0.0).expect("bridge exists");
+        // canonical contacts: largest x ≤ 0 and smallest x > 0 on the line
+        assert_eq!((b.left, b.right), (1, 2));
+        let r = m.analysis_report().unwrap();
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.seed_dependent_races, 0);
+        assert_eq!(r.unconfirmed_arbitrary_races, 0);
+        assert!(r.deterministic_races > 0, "election should be contested");
     }
 
     #[test]
@@ -355,6 +398,38 @@ mod tests {
         let mut shm = Shm::new();
         let b = bridge_brute(&mut m, &mut shm, &pts, &ids, 2.0).unwrap();
         assert_eq!((b.left, b.right), (3, 4));
+    }
+
+    /// As [`analyzer_pins_bridge_election`], for the 3-D facet election: a
+    /// coplanar square top makes several triples support the pierced facet,
+    /// so `facet.win` takes concurrent distinct writes under Priority.
+    #[test]
+    fn analyzer_pins_facet_election() {
+        use ipch_pram::{AnalyzeConfig, ModelClass, ModelContract, RaceExpectation};
+        const CONTRACT: ModelContract = ModelContract {
+            algorithm: "lp/facet_brute",
+            class: ModelClass::Crcw,
+            races: RaceExpectation::Deterministic,
+        };
+        let pts = vec![
+            Point3::new(1.0, 1.0, 0.0),
+            Point3::new(1.0, -1.0, 0.0),
+            Point3::new(-1.0, 1.0, 0.0),
+            Point3::new(-1.0, -1.0, 0.0),
+            Point3::new(0.0, 0.0, -2.0),
+        ];
+        let mut m = Machine::new(4);
+        m.enable_analysis(AnalyzeConfig::default());
+        m.declare_contract(&CONTRACT);
+        let mut shm = Shm::new();
+        shm.enable_shadow(true);
+        let ids: Vec<usize> = (0..pts.len()).collect();
+        facet_brute(&mut m, &mut shm, &pts, &ids, 0.1, 0.05).expect("facet exists");
+        let r = m.analysis_report().unwrap();
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.seed_dependent_races, 0);
+        assert_eq!(r.unconfirmed_arbitrary_races, 0);
+        assert!(r.deterministic_races > 0, "election should be contested");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! candidates whose f64 objective keys tie, an exact rational comparison
 //! breaks the tie host-side (charged O(1)).
 
-use ipch_pram::{Machine, ReduceOp, Shm, WritePolicy, EMPTY};
+use ipch_pram::{
+    Machine, ModelClass, ModelContract, RaceExpectation, ReduceOp, Shm, WritePolicy, EMPTY,
+};
 
 use crate::constraint::{
     candidate_objective, candidate_satisfies_fast, compare_objectives, cramer2, f64_key, Halfplane,
@@ -30,6 +32,15 @@ pub enum Lp2Outcome {
     NoVertexOptimum,
 }
 
+/// Concurrency contract: the feasibility marks agree; the best-vertex
+/// election is a Combine(min) reduction — deterministic, never
+/// seed-dependent.
+pub const LP2_BRUTE_CONTRACT: ModelContract = ModelContract {
+    algorithm: "lp/brute2",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// Solve `minimize obj` over `constraints` by the Observation 2.2 method.
 ///
 /// Costs O(1) executed steps and Θ(n³) work for n constraints (d = 2).
@@ -39,6 +50,7 @@ pub fn solve_lp2_brute(
     constraints: &[Halfplane],
     obj: &Objective2,
 ) -> Lp2Outcome {
+    m.declare_contract(&LP2_BRUTE_CONTRACT);
     let n = constraints.len();
     if n < 2 {
         return Lp2Outcome::NoVertexOptimum;
@@ -168,6 +180,34 @@ mod tests {
 
     fn hp(a: f64, b: f64, c: f64) -> Halfplane {
         Halfplane { a, b, c }
+    }
+
+    /// The best-vertex election is a Combine(min) reduction: concurrent
+    /// distinct writes, resolved deterministically — the declared contract
+    /// must hold with zero seed-dependent races.
+    #[test]
+    fn analyzer_pins_combine_election() {
+        use ipch_pram::AnalyzeConfig;
+        // regular fan of tangent halfplanes around the unit circle
+        let n = 24;
+        let cs: Vec<Halfplane> = (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                hp(t.cos(), t.sin(), -1.0)
+            })
+            .collect();
+        let mut m = Machine::new(6);
+        m.enable_analysis(AnalyzeConfig::default());
+        let mut shm = Shm::new();
+        shm.enable_shadow(true);
+        let out = solve_lp2_brute(&mut m, &mut shm, &cs, &Objective2 { cx: 0.0, cy: 1.0 });
+        assert!(matches!(out, Lp2Outcome::Optimal(_)));
+        let r = m.analysis_report().unwrap();
+        assert_eq!(r.contract.unwrap().algorithm, "lp/brute2");
+        assert!(r.is_clean(), "{}", r.render());
+        assert_eq!(r.seed_dependent_races, 0);
+        assert_eq!(r.unconfirmed_arbitrary_races, 0);
+        assert!(r.deterministic_races > 0, "combine election exercised");
     }
 
     #[test]

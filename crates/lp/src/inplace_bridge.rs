@@ -27,7 +27,7 @@
 
 use ipch_geom::predicates::orient2d_sign;
 use ipch_geom::Point2;
-use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
+use ipch_pram::{Machine, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy, EMPTY};
 
 use ipch_inplace::compact::inplace_compact;
 use ipch_inplace::sample::random_sample_with_p;
@@ -108,6 +108,15 @@ pub fn find_bridge_inplace(
     }
 }
 
+/// Concurrency contract: Arbitrary-CRCW in the paper; the sample-claim
+/// contest and the bridge elections resolve by Priority, so every race is
+/// a deterministic function of the coin flips.
+pub const INPLACE_BRIDGE_CONTRACT: ModelContract = ModelContract {
+    algorithm: "lp/inplace_bridge",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// As [`find_bridge_inplace`], but always returns the trace.
 pub fn find_bridge_inplace_traced(
     m: &mut Machine,
@@ -117,6 +126,7 @@ pub fn find_bridge_inplace_traced(
     x0: f64,
     cfg: &IbConfig,
 ) -> (Option<Bridge>, IbTrace) {
+    m.declare_contract(&INPLACE_BRIDGE_CONTRACT);
     let mut trace = IbTrace::default();
     let p = active.len();
     if p < 2 {

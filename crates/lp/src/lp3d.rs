@@ -12,7 +12,7 @@
 //! expansions) and each test is a sign computation.
 
 use ipch_geom::exact::{two_product, Expansion};
-use ipch_pram::{Machine, Shm, WritePolicy, EMPTY};
+use ipch_pram::{Machine, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy, EMPTY};
 
 use crate::constraint::{f64_key, Halfspace};
 
@@ -93,6 +93,14 @@ pub fn candidate3_satisfies(
     t.sign() * d.sign() >= 0
 }
 
+/// Concurrency contract: as the 2-D brute solver — agreeing marks plus a
+/// Combine(min) best-vertex election.
+pub const LP3_BRUTE_CONTRACT: ModelContract = ModelContract {
+    algorithm: "lp/brute3",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::Deterministic,
+};
+
 /// Solve `minimize obj` over `constraints` by Observation 2.2 (d = 3).
 ///
 /// Costs O(1) executed steps and Θ(n⁴)-scale work. Like the 2-D solver,
@@ -104,6 +112,7 @@ pub fn solve_lp3_brute(
     constraints: &[Halfspace],
     obj: &Objective3,
 ) -> Lp3Outcome {
+    m.declare_contract(&LP3_BRUTE_CONTRACT);
     let n = constraints.len();
     if n < 3 {
         return Lp3Outcome::NoVertexOptimum;

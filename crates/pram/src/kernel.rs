@@ -66,17 +66,27 @@
 //! assert_eq!(m.metrics.kernel_steps, 2);
 //! ```
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Instant;
 
-use crate::machine::{ChunkCell, Machine, Pids, WriteEntry, CHUNK};
-use crate::memory::{ArrayId, Shm};
+use crate::analyze::{ReadEntry, ReadTrace, READ_ALL};
+use crate::machine::{ChunkCell, Ctx, Machine, Pids, WriteEntry, CHUNK};
+use crate::memory::{ArrayId, Shm, ShmError};
 use crate::policy::WritePolicy;
 use crate::pool;
 use crate::Word;
 
 /// Sentinel for "no array is off-limits" in a [`KCtx`].
 const NO_FORBIDDEN: u32 = u32::MAX;
+
+/// Read-trace hookup of one [`KCtx`]: the owning chunk's buffer plus the
+/// pid of the processor currently being simulated (kernels reuse one `KCtx`
+/// for a whole chunk, so the pid is set per iteration).
+struct KTrace<'a> {
+    buf: &'a ReadTrace,
+    pid: Cell<u32>,
+}
 
 /// Read-only view of the pre-step memory snapshot handed to kernel
 /// closures.
@@ -91,22 +101,70 @@ pub struct KCtx<'a> {
     /// loop. Enforced identically on the generic fallback path so the two
     /// paths reject the same programs.
     forbidden: u32,
+    /// Analyzer read trace, when attached (fused paths build one per chunk;
+    /// generic fallbacks inherit the enclosing [`crate::Ctx`]'s buffer).
+    trace: Option<KTrace<'a>>,
 }
 
 impl<'a> KCtx<'a> {
+    /// A `KCtx` for one fused-loop chunk: traces into `trace` if the
+    /// analyzer is attached ([`KCtx::set_pid`] attributes each iteration).
+    fn for_chunk(shm: &'a Shm, forbidden: u32, trace: Option<&'a ReadTrace>) -> Self {
+        Self {
+            shm,
+            forbidden,
+            trace: trace.map(|buf| KTrace {
+                buf,
+                pid: Cell::new(0),
+            }),
+        }
+    }
+
+    /// A `KCtx` for a generic-fallback step closure, inheriting the
+    /// enclosing [`crate::Ctx`]'s read-trace buffer and pid.
+    fn for_ctx(ctx: &'a Ctx<'_, '_>, forbidden: u32) -> KCtx<'a> {
+        KCtx {
+            shm: ctx.snapshot(),
+            forbidden,
+            trace: ctx.read_trace().map(|buf| KTrace {
+                buf,
+                pid: Cell::new(ctx.pid as u32),
+            }),
+        }
+    }
+
+    /// Attribute subsequent traced reads to `pid` (fused loops only).
+    #[inline]
+    fn set_pid(&self, pid: usize) {
+        if let Some(t) = &self.trace {
+            t.pid.set(pid as u32);
+        }
+    }
+
     #[inline]
     fn check(&self, a: ArrayId) {
         assert!(
-            a.0 != self.forbidden,
+            a.slot() != self.forbidden,
             "kernel closure may not read the kernel's own output array \
              (reads see the pre-step snapshot; buffer the value in a prior step)"
         );
+    }
+
+    #[inline]
+    fn record(&self, key: u64) {
+        if let Some(t) = &self.trace {
+            t.buf.borrow_mut().push(ReadEntry {
+                key,
+                pid: t.pid.get(),
+            });
+        }
     }
 
     /// Read a cell of the pre-step memory snapshot.
     #[inline]
     pub fn read(&self, a: ArrayId, i: usize) -> Word {
         self.check(a);
+        self.record(((a.slot() as u64) << 32) | i as u64);
         self.shm.get(a, i)
     }
 
@@ -114,10 +172,11 @@ impl<'a> KCtx<'a> {
     #[inline]
     pub fn slice(&self, a: ArrayId) -> &'a [Word] {
         self.check(a);
+        self.record(((a.slot() as u64) << 32) | READ_ALL as u64);
         self.shm.slice(a)
     }
 
-    /// Length of a shared array.
+    /// Length of a shared array (metadata, not a traced cell read).
     #[inline]
     pub fn len(&self, a: ArrayId) -> usize {
         self.check(a);
@@ -234,12 +293,9 @@ impl Machine {
     {
         let pids = pids.into();
         if self.tuning.disable_kernels {
-            let forbidden = out.0;
+            let forbidden = out.slot();
             self.step(shm, pids, |ctx| {
-                let t = KCtx {
-                    shm: ctx.snapshot(),
-                    forbidden,
-                };
+                let t = KCtx::for_ctx(ctx, forbidden);
                 let v = f(&t, ctx.pid);
                 ctx.write(out, ctx.pid, v);
             });
@@ -263,12 +319,9 @@ impl Machine {
     {
         let pids = pids.into();
         if self.tuning.disable_kernels {
-            let forbidden = out.0;
+            let forbidden = out.slot();
             self.step(shm, pids, |ctx| {
-                let t = KCtx {
-                    shm: ctx.snapshot(),
-                    forbidden,
-                };
+                let t = KCtx::for_ctx(ctx, forbidden);
                 let (d, v) = f(&t, ctx.pid);
                 ctx.write(out, d, v);
             });
@@ -285,12 +338,26 @@ impl Machine {
         F: Fn(&KCtx, usize) -> (usize, Word) + Sync,
     {
         let count = pids.count();
+        let step_no = self.step_counter;
         self.step_counter += 1;
         self.metrics.record_step(count as u64);
         if count == 0 {
             return;
         }
         let t_start = Instant::now();
+
+        let nchunks = count.div_ceil(CHUNK);
+        let mut analysis = self.analysis.take();
+        // With the analyzer attached, the fused loop also records its writes
+        // (into the pooled arena buffers, exactly the generic log format) so
+        // classification sees the same trace either way.
+        let mut arena = analysis.as_ref().map(|_| std::mem::take(&mut self.arena));
+        if let Some(an) = &mut analysis {
+            an.prepare(nchunks);
+        }
+        if let Some(ar) = &mut arena {
+            ar.prepare(nchunks);
+        }
 
         let mut buf = shm.take_array(out);
         {
@@ -303,17 +370,32 @@ impl Machine {
             #[cfg(debug_assertions)]
             let seen: Vec<std::sync::atomic::AtomicBool> =
                 (0..cells.len()).map(|_| Default::default()).collect();
-            let t = KCtx {
-                shm,
-                forbidden: out.0,
-            };
+            let shm_ref: &Shm = shm;
+            let forbidden = out.slot();
             let pids_ref = &pids;
+            let trace_bufs = analysis.as_deref().map(|a| &a.read_bufs[..nchunks]);
+            let write_bufs = arena.as_ref().map(|ar| &ar.chunk_bufs[..nchunks]);
             let run_chunk = |c: usize| {
                 let lo = c * CHUNK;
                 let hi = ((c + 1) * CHUNK).min(count);
+                // SAFETY: chunk-exclusive buffers (chunk c touches cell c only).
+                let trace = trace_bufs.map(|t| unsafe { &*t[c].0.get() });
+                let mut writes = write_bufs.map(|b| unsafe { b[c].get_mut_unchecked() });
+                let t = KCtx::for_chunk(shm_ref, forbidden, trace);
                 for i in lo..hi {
                     let pid = pids_ref.get(i);
+                    t.set_pid(pid);
                     let (d, v) = f(&t, pid);
+                    if d >= cells.len() {
+                        panic!(
+                            "{}",
+                            ShmError::OutOfBounds {
+                                name: shm_ref.slot_name(out.slot()).to_string(),
+                                index: d,
+                                len: cells.len(),
+                            }
+                        );
+                    }
                     #[cfg(debug_assertions)]
                     assert!(
                         !seen[d].swap(true, Ordering::Relaxed),
@@ -321,9 +403,15 @@ impl Machine {
                          distinct (conflicting writes need kernel_scatter)"
                     );
                     cells[d].store(v, Ordering::Relaxed);
+                    if let Some(w) = writes.as_mut() {
+                        w.push(WriteEntry {
+                            key: ((out.slot() as u64) << 32) | d as u64,
+                            pidseq: (pid as u64) << 32,
+                            val: v,
+                        });
+                    }
                 }
             };
-            let nchunks = count.div_ceil(CHUNK);
             if self.parallel_compute(count) {
                 pool::global().run(nchunks, &run_chunk);
             } else {
@@ -341,6 +429,24 @@ impl Machine {
         self.metrics.kernel_steps += 1;
         self.metrics
             .record_host_ns(t_start.elapsed().as_nanos() as u64, 0);
+        if let (Some(an), Some(ar)) = (&mut analysis, &mut arena) {
+            let seed = self.seed();
+            let report = self.metrics.analysis.get_or_insert_with(Box::default);
+            crate::analyze::finish_step(
+                an,
+                report,
+                shm,
+                seed,
+                step_no,
+                self.policy,
+                nchunks,
+                &mut ar.chunk_bufs[..nchunks],
+            );
+        }
+        if let Some(ar) = arena {
+            self.arena = ar;
+        }
+        self.analysis = analysis;
     }
 
     /// One synchronous step in which each processor makes at most one
@@ -374,10 +480,7 @@ impl Machine {
         let pids = pids.into();
         if self.tuning.disable_kernels {
             self.step_with_policy(shm, pids, policy, |ctx| {
-                let t = KCtx {
-                    shm: ctx.snapshot(),
-                    forbidden: NO_FORBIDDEN,
-                };
+                let t = KCtx::for_ctx(ctx, NO_FORBIDDEN);
                 if let Some((a, i, v)) = f(&t, ctx.pid) {
                     ctx.write(a, i, v);
                 }
@@ -397,30 +500,33 @@ impl Machine {
         let mut arena = std::mem::take(&mut self.arena);
         let nchunks = count.div_ceil(CHUNK);
         arena.prepare(nchunks);
+        let mut analysis = self.analysis.take();
+        if let Some(an) = &mut analysis {
+            an.prepare(nchunks);
+        }
         {
-            let t = KCtx {
-                shm,
-                forbidden: NO_FORBIDDEN,
-            };
+            let shm_ref: &Shm = shm;
             let pids_ref = &pids;
             let bufs = &arena.chunk_bufs[..nchunks];
+            let trace_bufs = analysis.as_deref().map(|a| &a.read_bufs[..nchunks]);
             let run_chunk = |c: usize| {
                 let lo = c * CHUNK;
                 let hi = ((c + 1) * CHUNK).min(count);
                 // SAFETY: chunk c is executed exactly once; buffer c is ours.
                 let writes = unsafe { bufs[c].get_mut_unchecked() };
+                // SAFETY: same chunk-exclusive discipline for the read trace.
+                let trace = trace_bufs.map(|t| unsafe { &*t[c].0.get() });
+                let t = KCtx::for_chunk(shm_ref, NO_FORBIDDEN, trace);
                 for i in lo..hi {
                     let pid = pids_ref.get(i);
+                    t.set_pid(pid);
                     if let Some((a, idx, v)) = f(&t, pid) {
-                        debug_assert!(
-                            idx < t.shm.len(a),
-                            "scatter write out of bounds: {} >= {}",
-                            idx,
-                            t.shm.len(a)
-                        );
+                        if let Err(e) = shm_ref.check_access(a, idx) {
+                            panic!("{e}");
+                        }
                         assert!(pid <= u32::MAX as usize, "pid {pid} exceeds u32 range");
                         writes.push(WriteEntry {
-                            key: ((a.0 as u64) << 32) | idx as u64,
+                            key: ((a.slot() as u64) << 32) | idx as u64,
                             pidseq: (pid as u64) << 32,
                             val: v,
                         });
@@ -438,12 +544,27 @@ impl Machine {
         let t_computed = Instant::now();
         self.commit(shm, policy, step_no, &mut arena, nchunks);
         let t_committed = Instant::now();
-        self.arena = arena;
         self.metrics.kernel_steps += 1;
         self.metrics.record_host_ns(
             t_computed.duration_since(t_start).as_nanos() as u64,
             t_committed.duration_since(t_computed).as_nanos() as u64,
         );
+        if let Some(an) = &mut analysis {
+            let seed = self.seed();
+            let report = self.metrics.analysis.get_or_insert_with(Box::default);
+            crate::analyze::finish_step(
+                an,
+                report,
+                shm,
+                seed,
+                step_no,
+                policy,
+                nchunks,
+                &mut arena.chunk_bufs[..nchunks],
+            );
+        }
+        self.arena = arena;
+        self.analysis = analysis;
     }
 
     /// One synchronous combining-CRCW step: every processor contributes at
@@ -470,10 +591,7 @@ impl Machine {
         let pids = pids.into();
         if self.tuning.disable_kernels {
             self.step_with_policy(shm, pids, op.policy(), |ctx| {
-                let t = KCtx {
-                    shm: ctx.snapshot(),
-                    forbidden: NO_FORBIDDEN,
-                };
+                let t = KCtx::for_ctx(ctx, NO_FORBIDDEN);
                 if let Some(v) = f(&t, ctx.pid) {
                     ctx.write(target, tidx, v);
                 }
@@ -482,6 +600,7 @@ impl Machine {
         }
 
         let count = pids.count();
+        let step_no = self.step_counter;
         self.step_counter += 1;
         self.metrics.record_step(count as u64);
         if count == 0 {
@@ -490,29 +609,52 @@ impl Machine {
         let t_start = Instant::now();
 
         let nchunks = count.div_ceil(CHUNK);
+        let mut analysis = self.analysis.take();
+        // With the analyzer attached, record one write entry per contributor
+        // (what the generic path would buffer) so the race census is
+        // identical either way.
+        let mut arena = analysis.as_ref().map(|_| std::mem::take(&mut self.arena));
+        if let Some(an) = &mut analysis {
+            an.prepare(nchunks);
+        }
+        if let Some(ar) = &mut arena {
+            ar.prepare(nchunks);
+        }
         let partials: Vec<ChunkCell<Partial>> = (0..nchunks)
             .map(|_| ChunkCell::new(Partial::empty(op)))
             .collect();
         {
-            let t = KCtx {
-                shm,
-                forbidden: NO_FORBIDDEN,
-            };
+            let shm_ref: &Shm = shm;
             let pids_ref = &pids;
             let partials_ref = &partials;
+            let trace_bufs = analysis.as_deref().map(|a| &a.read_bufs[..nchunks]);
+            let write_bufs = arena.as_ref().map(|ar| &ar.chunk_bufs[..nchunks]);
+            let target_key = ((target.slot() as u64) << 32) | tidx as u64;
             let run_chunk = |c: usize| {
                 let lo = c * CHUNK;
                 let hi = ((c + 1) * CHUNK).min(count);
-                // SAFETY: chunk c is executed exactly once; partial c is ours.
+                // SAFETY: chunk c is executed exactly once; partial c and the
+                // trace/write buffers c are ours.
                 let p = unsafe { partials_ref[c].get_mut_unchecked() };
+                let trace = trace_bufs.map(|t| unsafe { &*t[c].0.get() });
+                let mut writes = write_bufs.map(|b| unsafe { b[c].get_mut_unchecked() });
+                let t = KCtx::for_chunk(shm_ref, NO_FORBIDDEN, trace);
                 for i in lo..hi {
                     let pid = pids_ref.get(i);
+                    t.set_pid(pid);
                     if let Some(v) = f(&t, pid) {
                         p.k += 1;
                         p.acc = op.combine(p.acc, v);
                         if (pid as u64) < p.min_pid {
                             p.min_pid = pid as u64;
                             p.min_pid_val = v;
+                        }
+                        if let Some(w) = writes.as_mut() {
+                            w.push(WriteEntry {
+                                key: target_key,
+                                pidseq: (pid as u64) << 32,
+                                val: v,
+                            });
                         }
                     }
                 }
@@ -548,12 +690,6 @@ impl Machine {
                 ReduceOp::First => min_pid_val,
                 _ => acc,
             };
-            assert!(
-                tidx < shm.len(target),
-                "reduce target out of bounds: {} >= {}",
-                tidx,
-                shm.len(target)
-            );
             shm.host_set(target, tidx, v);
             self.metrics.writes_committed += 1;
             if total_k >= 2 {
@@ -563,6 +699,24 @@ impl Machine {
         self.metrics.kernel_steps += 1;
         self.metrics
             .record_host_ns(t_start.elapsed().as_nanos() as u64, 0);
+        if let (Some(an), Some(ar)) = (&mut analysis, &mut arena) {
+            let seed = self.seed();
+            let report = self.metrics.analysis.get_or_insert_with(Box::default);
+            crate::analyze::finish_step(
+                an,
+                report,
+                shm,
+                seed,
+                step_no,
+                op.policy(),
+                nchunks,
+                &mut ar.chunk_bufs[..nchunks],
+            );
+        }
+        if let Some(ar) = arena {
+            self.arena = ar;
+        }
+        self.analysis = analysis;
     }
 }
 

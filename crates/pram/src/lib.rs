@@ -45,6 +45,7 @@
 //!   available for primitives that are usually stated on stronger variants;
 //!   every use site documents which rule it assumes.
 
+pub mod analyze;
 pub mod kernel;
 pub mod machine;
 pub mod memory;
@@ -57,9 +58,13 @@ pub mod rng;
 pub mod schedule;
 pub mod sort;
 
+pub use analyze::{
+    AnalysisReport, AnalyzeConfig, ModelClass, ModelContract, RaceExpectation, Violation,
+    ViolationKind,
+};
 pub use kernel::{KCtx, ReduceOp};
 pub use machine::{Ctx, Machine, Tuning};
-pub use memory::{ArrayId, Shm};
+pub use memory::{ArrayId, Shm, ShmError};
 pub use metrics::{Metrics, PhaseRecord};
 pub use policy::WritePolicy;
 

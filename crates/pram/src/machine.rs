@@ -43,6 +43,7 @@
 use std::cell::UnsafeCell;
 use std::time::Instant;
 
+use crate::analyze::{Analysis, ReadEntry, ReadTrace, READ_ALL};
 use crate::memory::{ArrayId, Shm};
 use crate::metrics::Metrics;
 use crate::policy::WritePolicy;
@@ -124,7 +125,7 @@ impl WriteEntry {
 
     /// Full unique sort key.
     #[inline]
-    fn sort_key(&self) -> u128 {
+    pub(crate) fn sort_key(&self) -> u128 {
         ((self.key as u128) << 64) | self.pidseq as u128
     }
 }
@@ -198,12 +199,21 @@ pub struct Ctx<'a, 'b> {
     rng: Option<SplitMix64>,
     writes: &'b mut Vec<WriteEntry>,
     wseq: u32,
+    /// Read-trace buffer of this processor's chunk, when the concurrency
+    /// analyzer ([`crate::analyze`]) is attached.
+    trace: Option<&'b ReadTrace>,
 }
 
-impl<'a> Ctx<'a, '_> {
+impl<'a, 'b> Ctx<'a, 'b> {
     /// Read a cell of the pre-step memory snapshot.
     #[inline]
     pub fn read(&self, a: ArrayId, i: usize) -> Word {
+        if let Some(t) = self.trace {
+            t.borrow_mut().push(ReadEntry {
+                key: ((a.slot() as u64) << 32) | i as u64,
+                pid: self.pid as u32,
+            });
+        }
         self.shm.get(a, i)
     }
 
@@ -227,10 +237,16 @@ impl<'a> Ctx<'a, '_> {
     /// ```
     #[inline]
     pub fn slice(&self, a: ArrayId) -> &'a [Word] {
+        if let Some(t) = self.trace {
+            t.borrow_mut().push(ReadEntry {
+                key: ((a.slot() as u64) << 32) | READ_ALL as u64,
+                pid: self.pid as u32,
+            });
+        }
         self.shm.slice(a)
     }
 
-    /// Length of a shared array.
+    /// Length of a shared array (metadata, not a traced cell read).
     #[inline]
     pub fn len(&self, a: ArrayId) -> usize {
         self.shm.len(a)
@@ -243,22 +259,32 @@ impl<'a> Ctx<'a, '_> {
         self.shm
     }
 
+    /// This chunk's read-trace buffer, if the analyzer is attached
+    /// (crate-internal: the kernel fallback paths thread it into [`crate::KCtx`]).
+    #[inline]
+    pub(crate) fn read_trace(&self) -> Option<&'b ReadTrace> {
+        self.trace
+    }
+
     /// Buffer a write to be committed at the end of the step.
+    ///
+    /// # Panics
+    /// With a typed [`crate::memory::ShmError`] message on an out-of-range
+    /// index or a stale (scope-exited) array id — in every build profile:
+    /// the commit phase writes through raw pointers, so an unchecked bad
+    /// index would be undefined behaviour, not a recoverable error.
     #[inline]
     pub fn write(&mut self, a: ArrayId, i: usize, v: Word) {
-        debug_assert!(
-            i < self.shm.len(a),
-            "write out of bounds: {} >= {}",
-            i,
-            self.shm.len(a)
-        );
+        if let Err(e) = self.shm.check_access(a, i) {
+            panic!("{e}");
+        }
         assert!(
             self.pid <= u32::MAX as usize,
             "pid {} exceeds u32 range",
             self.pid
         );
         self.writes.push(WriteEntry {
-            key: ((a.0 as u64) << 32) | i as u64,
+            key: ((a.slot() as u64) << 32) | i as u64,
             pidseq: ((self.pid as u64) << 32) | self.wseq as u64,
             val: v,
         });
@@ -358,6 +384,10 @@ pub struct Machine {
     seed: u64,
     pub(crate) step_counter: u64,
     pub(crate) arena: WriteArena,
+    /// Concurrency-analyzer state, when attached
+    /// ([`Machine::enable_analysis`]); the report lives in
+    /// [`Metrics::analysis`] so it follows the child-absorb flow.
+    pub(crate) analysis: Option<Box<Analysis>>,
 }
 
 impl Machine {
@@ -370,6 +400,7 @@ impl Machine {
             seed,
             step_counter: 0,
             arena: WriteArena::default(),
+            analysis: None,
         }
     }
 
@@ -410,13 +441,18 @@ impl Machine {
     /// [`Metrics::absorb_parallel`] (time = max, work = sum) or
     /// [`Metrics::absorb`] (sequential composition).
     pub fn child(&self, tag: u64) -> Machine {
+        let mut metrics = Metrics::new();
+        if self.analysis.is_some() {
+            metrics.analysis = Some(Box::default());
+        }
         Machine {
-            metrics: Metrics::new(),
+            metrics,
             policy: self.policy,
             tuning: self.tuning,
             seed: mix64(self.seed ^ mix64(tag.wrapping_mul(0xDEAD_BEEF_1234_5677))),
             step_counter: 0,
             arena: WriteArena::default(),
+            analysis: self.analysis.as_ref().map(|a| Box::new(a.child())),
         }
     }
 
@@ -482,13 +518,18 @@ impl Machine {
 
         let t_start = Instant::now();
         let mut arena = std::mem::take(&mut self.arena);
+        let mut analysis = self.analysis.take();
         let nchunks = count.div_ceil(CHUNK);
         arena.prepare(nchunks);
+        if let Some(an) = &mut analysis {
+            an.prepare(nchunks);
+        }
 
         let seed = self.seed;
         let shm_ref: &Shm = shm;
         let pids_ref = &pids;
         let bufs = &arena.chunk_bufs[..nchunks];
+        let trace_bufs = analysis.as_deref().map(|a| &a.read_bufs[..nchunks]);
         let outs: Vec<ChunkCell<Vec<R>>> =
             (0..nchunks).map(|_| ChunkCell::new(Vec::new())).collect();
 
@@ -500,6 +541,8 @@ impl Machine {
             // SAFETY: chunk c is executed exactly once; cells c are ours.
             let writes = unsafe { bufs[c].get_mut_unchecked() };
             let results = unsafe { outs[c].get_mut_unchecked() };
+            // SAFETY: same chunk-exclusive discipline for the read trace.
+            let trace = trace_bufs.map(|t| unsafe { &*t[c].0.get() });
             results.reserve(hi - lo);
             for i in lo..hi {
                 let mut ctx = Ctx {
@@ -510,6 +553,7 @@ impl Machine {
                     rng: None,
                     writes,
                     wseq: 0,
+                    trace,
                 };
                 results.push(f(&mut ctx));
             }
@@ -539,6 +583,20 @@ impl Machine {
             t_computed.duration_since(t_start).as_nanos() as u64,
             t_committed.duration_since(t_computed).as_nanos() as u64,
         );
+        if let Some(an) = &mut analysis {
+            let report = self.metrics.analysis.get_or_insert_with(Box::default);
+            crate::analyze::finish_step(
+                an,
+                report,
+                shm,
+                seed,
+                step_no,
+                policy,
+                nchunks,
+                &mut self.arena.chunk_bufs[..nchunks],
+            );
+        }
+        self.analysis = analysis;
         results
     }
 
@@ -670,9 +728,11 @@ impl<'a> ShmWriter<'a> {
 }
 
 /// The per-cell tiebreak hash (identical to the original implementation, so
-/// `Arbitrary` winners replay exactly across simulator versions).
+/// `Arbitrary` winners replay exactly across simulator versions). Crate
+/// visibility: the analyzer replays it with salted seeds to detect
+/// seed-dependent races.
 #[inline]
-fn cell_tiebreak(seed: u64, step_no: u64, key: u64) -> u64 {
+pub(crate) fn cell_tiebreak(seed: u64, step_no: u64, key: u64) -> u64 {
     mix64(seed ^ mix64(step_no ^ key.wrapping_mul(0x9E3779B97F4A7C15)))
 }
 

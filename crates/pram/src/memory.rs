@@ -1,5 +1,5 @@
 //! Simulated shared memory: a set of named `i64` arrays, with scoped
-//! workspace recycling.
+//! workspace recycling and generation-checked handles.
 //!
 //! The reproduced algorithms follow the paper's in-place discipline: the
 //! input points live in a read-only host array and shared memory holds only
@@ -18,7 +18,7 @@
 //! subsequent commit (the machine's committer indexes all arrays ever
 //! allocated). [`Shm::scope`] fixes both: arrays allocated inside a scope
 //! are returned to a size-bucketed free list when the scope exits, and the
-//! next allocation of a similar size reuses the slot — same `ArrayId`, same
+//! next allocation of a similar size reuses the slot — same slot index, same
 //! heap buffer, zero steady-state growth:
 //!
 //! ```
@@ -34,20 +34,97 @@
 //! assert_eq!(shm.array_count(), before + 1, "workspace slot is recycled");
 //! ```
 //!
-//! Discipline: an `ArrayId` allocated inside a scope is *dead* once the
-//! scope exits — the slot may be handed to a later allocation of any size.
-//! Results that must outlive the scope are either read out host-side before
-//! the scope closes or kept alive with [`Shm::promote`]. Exited slots are
-//! truncated to zero length, so a stale read or write trips a bounds check
-//! instead of silently aliasing recycled workspace.
+//! # Scope safety: generation-checked handles
+//!
+//! An [`ArrayId`] allocated inside a scope is *dead* once the scope exits —
+//! the slot may be handed to a later allocation of any size. Results that
+//! must outlive the scope are either read out host-side before the scope
+//! closes or kept alive with [`Shm::promote`]. Every `ArrayId` carries the
+//! **generation** of its slot, and every access checks it: using a dead id —
+//! even after its slot has been recycled to a new array of the same size —
+//! fails with the uniform typed error [`ShmError::StaleArrayId`] instead of
+//! silently aliasing recycled workspace. Out-of-range indices likewise fail
+//! with [`ShmError::OutOfBounds`]. The panicking accessors ([`Shm::get`],
+//! [`Shm::slice`], [`Shm::host_set`], …) all panic with the corresponding
+//! `ShmError` message; `try_` variants ([`Shm::try_get`], …) return the
+//! error for callers (and tests) that want to handle it.
+//!
+//! # Shadow initialisation tracking
+//!
+//! For the [`crate::analyze`] layer, [`Shm::enable_shadow`] attaches a
+//! per-cell initialisation bitmap: cells become initialised by the alloc
+//! fill (configurable), by host writes, or by committed step writes. The
+//! analyzer reports reads of never-initialised cells. Disabled by default
+//! and entirely absent from the hot path when off.
 
 use std::borrow::Cow;
 
 use crate::Word;
 
-/// Handle to one shared array.
+/// Handle to one shared array: a slot index plus the slot's generation at
+/// allocation time. Accessing the slot after the owning scope has exited
+/// (which bumps the generation) is a [`ShmError::StaleArrayId`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct ArrayId(pub(crate) u32);
+pub struct ArrayId {
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+impl ArrayId {
+    /// The raw slot index (machine-internal: write-log keys and kernel
+    /// forbidden-array checks are keyed by slot).
+    #[inline]
+    pub(crate) fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+/// Uniform typed error for every illegal shared-memory access.
+///
+/// All panicking `Shm` accessors panic with the `Display` rendering of one
+/// of these variants, so "index out of bounds" and "use after scope exit"
+/// are diagnosable uniformly wherever they surface (host code, step
+/// closures, kernel closures, or the commit pipeline's write validation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ShmError {
+    /// Index past the end of a live array.
+    OutOfBounds {
+        /// Debug name of the array.
+        name: String,
+        /// The offending index.
+        index: usize,
+        /// The array's length.
+        len: usize,
+    },
+    /// Access through an `ArrayId` whose scope has exited: the slot was
+    /// recycled (or parked on the free list) after the id was issued.
+    StaleArrayId {
+        /// Debug name the slot currently carries (`"<recycled>"` while
+        /// parked, or the name of the array that reused the slot).
+        name: String,
+        /// The slot index of the dead handle.
+        slot: u32,
+    },
+}
+
+impl std::fmt::Display for ShmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShmError::OutOfBounds { name, index, len } => write!(
+                f,
+                "shm access out of bounds: index {index} >= len {len} of array \"{name}\""
+            ),
+            ShmError::StaleArrayId { name, slot } => write!(
+                f,
+                "shm use after scope exit: stale ArrayId for slot {slot} \
+                 (slot now holds \"{name}\"); promote the array or read it \
+                 out before its scope closes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShmError {}
 
 /// Cached `(base pointer, len)` of every array slot, rebuilt only when an
 /// allocation changes the layout (see [`Shm::raw_parts`]).
@@ -61,17 +138,30 @@ struct RawCache(Vec<(*mut Word, usize)>);
 unsafe impl Send for RawCache {}
 unsafe impl Sync for RawCache {}
 
+/// Optional per-cell initialisation shadow (see module docs).
+#[derive(Clone, Default)]
+struct ShadowInit {
+    /// `init[slot][i]` — cell `i` of slot has been initialised.
+    init: Vec<Vec<bool>>,
+    /// Whether the alloc-time fill counts as initialising.
+    fill_initializes: bool,
+}
+
 /// The shared memory of one simulated PRAM.
 #[derive(Default)]
 pub struct Shm {
     arrays: Vec<Vec<Word>>,
     names: Vec<Cow<'static, str>>,
+    /// Per-slot generation, bumped whenever the slot is parked on the free
+    /// list; an `ArrayId` is live iff its generation matches.
+    gens: Vec<u32>,
     /// One entry per open scope: the slots allocated while it was the
     /// innermost scope (recycled when it exits).
     scopes: Vec<Vec<u32>>,
     /// Free slots bucketed by power-of-two capacity class
     /// (`free[c]` holds slots whose buffer capacity is in `(2^(c-1), 2^c]`).
     free: Vec<Vec<u32>>,
+    shadow: Option<Box<ShadowInit>>,
     raw: RawCache,
     raw_dirty: bool,
 }
@@ -81,8 +171,10 @@ impl Clone for Shm {
         Self {
             arrays: self.arrays.clone(),
             names: self.names.clone(),
+            gens: self.gens.clone(),
             scopes: self.scopes.clone(),
             free: self.free.clone(),
+            shadow: self.shadow.clone(),
             // pointers refer to the source's buffers — rebuild lazily
             raw: RawCache::default(),
             raw_dirty: true,
@@ -142,14 +234,27 @@ impl Shm {
             None => {
                 self.arrays.push(vec![fill; len]);
                 self.names.push(name);
+                self.gens.push(0);
                 (self.arrays.len() - 1) as u32
             }
         };
         if let Some(top) = self.scopes.last_mut() {
             top.push(slot);
         }
+        if let Some(shadow) = &mut self.shadow {
+            let init = shadow.fill_initializes;
+            let bits = &mut shadow.init;
+            if bits.len() <= slot as usize {
+                bits.resize_with(slot as usize + 1, Vec::new);
+            }
+            bits[slot as usize].clear();
+            bits[slot as usize].resize(len, init);
+        }
         self.raw_dirty = true;
-        ArrayId(slot)
+        ArrayId {
+            slot,
+            gen: self.gens[slot as usize],
+        }
     }
 
     /// Pop a recycled slot whose buffer capacity class matches `len` (exact
@@ -172,8 +277,9 @@ impl Shm {
     }
 
     /// Close the innermost scope, recycling every array allocated in it
-    /// (except those [`Shm::promote`]d out). Their `ArrayId`s are dead:
-    /// the slots are truncated to zero length and parked on the free list.
+    /// (except those [`Shm::promote`]d out). Their `ArrayId`s are dead: the
+    /// slot generations advance, so any later access through a dead id is a
+    /// [`ShmError::StaleArrayId`] — even after the slot is reused.
     ///
     /// # Panics
     /// If no scope is open.
@@ -191,6 +297,7 @@ impl Shm {
             }
             self.free[class].push(slot);
             self.names[slot as usize] = Cow::Borrowed("<recycled>");
+            self.gens[slot as usize] = self.gens[slot as usize].wrapping_add(1);
         }
         self.raw_dirty = true;
     }
@@ -213,10 +320,10 @@ impl Shm {
             return;
         }
         let top = &mut self.scopes[depth - 1];
-        if let Some(pos) = top.iter().position(|&s| s == a.0) {
+        if let Some(pos) = top.iter().position(|&s| s == a.slot) {
             top.swap_remove(pos);
             if depth >= 2 {
-                self.scopes[depth - 2].push(a.0);
+                self.scopes[depth - 2].push(a.slot);
             }
         }
     }
@@ -228,9 +335,50 @@ impl Shm {
         self.arrays.len()
     }
 
+    /// Check that `a` is live (its slot generation matches).
+    #[inline]
+    fn check_live(&self, a: ArrayId) -> Result<(), ShmError> {
+        if self.gens[a.slot as usize] != a.gen {
+            return Err(ShmError::StaleArrayId {
+                name: self.names[a.slot as usize].to_string(),
+                slot: a.slot,
+            });
+        }
+        Ok(())
+    }
+
+    /// Check that `a` is live and `i` is in range.
+    #[inline]
+    pub(crate) fn check_access(&self, a: ArrayId, i: usize) -> Result<(), ShmError> {
+        self.check_live(a)?;
+        let len = self.arrays[a.slot as usize].len();
+        if i >= len {
+            return Err(ShmError::OutOfBounds {
+                name: self.names[a.slot as usize].to_string(),
+                index: i,
+                len,
+            });
+        }
+        Ok(())
+    }
+
     /// Number of cells in array `a`.
+    ///
+    /// # Panics
+    /// With a [`ShmError::StaleArrayId`] message if `a`'s scope has exited.
+    #[inline]
     pub fn len(&self, a: ArrayId) -> usize {
-        self.arrays[a.0 as usize].len()
+        match self.try_len(a) {
+            Ok(l) => l,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Shm::len`], returning the typed error instead of panicking.
+    #[inline]
+    pub fn try_len(&self, a: ArrayId) -> Result<usize, ShmError> {
+        self.check_live(a)?;
+        Ok(self.arrays[a.slot as usize].len())
     }
 
     /// True if array `a` has no cells.
@@ -239,30 +387,146 @@ impl Shm {
     }
 
     /// Read one cell (concurrent reads are always legal on a CRCW PRAM).
+    ///
+    /// # Panics
+    /// With a [`ShmError`] message on a stale id or an out-of-range index.
     #[inline]
     pub fn get(&self, a: ArrayId, i: usize) -> Word {
-        self.arrays[a.0 as usize][i]
+        if self.gens[a.slot as usize] == a.gen {
+            if let Some(&v) = self.arrays[a.slot as usize].get(i) {
+                return v;
+            }
+        }
+        match self.try_get(a, i) {
+            Err(e) => panic!("{e}"),
+            Ok(_) => unreachable!(),
+        }
+    }
+
+    /// [`Shm::get`], returning the typed error instead of panicking.
+    #[inline]
+    pub fn try_get(&self, a: ArrayId, i: usize) -> Result<Word, ShmError> {
+        self.check_access(a, i)?;
+        Ok(self.arrays[a.slot as usize][i])
     }
 
     /// Read-only view of a whole array (host-side inspection / verification).
+    ///
+    /// # Panics
+    /// With a [`ShmError::StaleArrayId`] message if `a`'s scope has exited.
+    #[inline]
     pub fn slice(&self, a: ArrayId) -> &[Word] {
-        &self.arrays[a.0 as usize]
+        match self.try_slice(a) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Shm::slice`], returning the typed error instead of panicking.
+    #[inline]
+    pub fn try_slice(&self, a: ArrayId) -> Result<&[Word], ShmError> {
+        self.check_live(a)?;
+        Ok(&self.arrays[a.slot as usize])
     }
 
     /// Host-side write, used for input setup and between-step host logic.
     /// Not a PRAM operation; never counted.
+    ///
+    /// # Panics
+    /// With a [`ShmError`] message on a stale id or an out-of-range index.
     pub fn host_set(&mut self, a: ArrayId, i: usize, v: Word) {
-        self.arrays[a.0 as usize][i] = v;
+        if let Err(e) = self.try_host_set(a, i, v) {
+            panic!("{e}");
+        }
+    }
+
+    /// [`Shm::host_set`], returning the typed error instead of panicking.
+    pub fn try_host_set(&mut self, a: ArrayId, i: usize, v: Word) -> Result<(), ShmError> {
+        self.check_access(a, i)?;
+        self.arrays[a.slot as usize][i] = v;
+        self.mark_init(a.slot, i);
+        Ok(())
     }
 
     /// Host-side fill of a whole array (workspace reset between phases).
+    ///
+    /// # Panics
+    /// With a [`ShmError::StaleArrayId`] message if `a`'s scope has exited.
     pub fn host_fill(&mut self, a: ArrayId, v: Word) {
-        self.arrays[a.0 as usize].fill(v);
+        if let Err(e) = self.check_live(a) {
+            panic!("{e}");
+        }
+        self.arrays[a.slot as usize].fill(v);
+        if let Some(shadow) = &mut self.shadow {
+            if let Some(bits) = shadow.init.get_mut(a.slot as usize) {
+                bits.fill(true);
+            }
+        }
     }
 
     /// Debug name of array `a`.
+    ///
+    /// # Panics
+    /// With a [`ShmError::StaleArrayId`] message if `a`'s scope has exited.
     pub fn name(&self, a: ArrayId) -> &str {
-        &self.names[a.0 as usize]
+        if let Err(e) = self.check_live(a) {
+            panic!("{e}");
+        }
+        &self.names[a.slot as usize]
+    }
+
+    /// Debug name of a raw slot (analyzer diagnostics).
+    pub(crate) fn slot_name(&self, slot: u32) -> &str {
+        self.names
+            .get(slot as usize)
+            .map(|n| n.as_ref())
+            .unwrap_or("<unknown>")
+    }
+
+    /// Attach (or reset) the per-cell initialisation shadow. With
+    /// `fill_initializes` the alloc-time fill counts as initialising —
+    /// the lenient default of [`crate::analyze`]; without it, only host
+    /// writes and committed step writes do, which is the strict sanitizer
+    /// mode for flushing out reads of never-written workspace.
+    ///
+    /// Arrays already allocated are treated as fully initialised.
+    pub fn enable_shadow(&mut self, fill_initializes: bool) {
+        let init = self.arrays.iter().map(|a| vec![true; a.len()]).collect();
+        self.shadow = Some(Box::new(ShadowInit {
+            init,
+            fill_initializes,
+        }));
+    }
+
+    /// True if the initialisation shadow is attached.
+    pub fn shadow_enabled(&self) -> bool {
+        self.shadow.is_some()
+    }
+
+    /// Mark one cell initialised (no-op without a shadow).
+    #[inline]
+    pub(crate) fn mark_init(&mut self, slot: u32, i: usize) {
+        if let Some(shadow) = &mut self.shadow {
+            if let Some(bits) = shadow.init.get_mut(slot as usize) {
+                if let Some(b) = bits.get_mut(i) {
+                    *b = true;
+                }
+            }
+        }
+    }
+
+    /// Whether a cell is initialised (`None` without a shadow).
+    #[inline]
+    pub(crate) fn is_init(&self, slot: u32, i: usize) -> Option<bool> {
+        let shadow = self.shadow.as_ref()?;
+        Some(
+            shadow
+                .init
+                .get(slot as usize)
+                .and_then(|bits| bits.get(i))
+                .copied()
+                .unwrap_or(true),
+        )
     }
 
     /// Base pointer and length of every array slot, for the machine's commit
@@ -288,14 +552,20 @@ impl Shm {
     /// Detach array `a`'s buffer for a kernel's exclusive writes (the slot
     /// reads as empty until [`Shm::put_back`] restores it, so a kernel
     /// closure that illegally reads its own output trips a bounds check).
+    ///
+    /// # Panics
+    /// With a [`ShmError::StaleArrayId`] message if `a`'s scope has exited.
     pub(crate) fn take_array(&mut self, a: ArrayId) -> Vec<Word> {
-        std::mem::take(&mut self.arrays[a.0 as usize])
+        if let Err(e) = self.check_live(a) {
+            panic!("{e}");
+        }
+        std::mem::take(&mut self.arrays[a.slot as usize])
     }
 
     /// Restore a buffer detached by [`Shm::take_array`]. The heap buffer is
     /// unchanged, so the raw-parts cache stays valid.
     pub(crate) fn put_back(&mut self, a: ArrayId, buf: Vec<Word>) {
-        self.arrays[a.0 as usize] = buf;
+        self.arrays[a.slot as usize] = buf;
     }
 }
 
@@ -338,13 +608,13 @@ mod tests {
     fn scope_recycles_slots_and_buffers() {
         let mut shm = Shm::new();
         let keep = shm.alloc("keep", 4, 1);
-        let mut first_id = None;
+        let mut first_slot = None;
         for round in 0..100 {
             shm.scope(|shm| {
                 let ws = shm.alloc("ws", 32, 0);
-                match first_id {
-                    None => first_id = Some(ws),
-                    Some(id) => assert_eq!(ws, id, "round {round}: slot must be reused"),
+                match first_slot {
+                    None => first_slot = Some(ws.slot),
+                    Some(slot) => assert_eq!(ws.slot, slot, "round {round}: slot must be reused"),
                 }
                 assert_eq!(shm.slice(ws), &[0; 32], "recycled slot must be re-filled");
                 shm.host_set(ws, 0, round);
@@ -355,10 +625,63 @@ mod tests {
     }
 
     #[test]
-    fn recycled_slot_reads_as_empty_until_reused() {
+    fn dead_id_is_a_stale_typed_error() {
         let mut shm = Shm::new();
         let id = shm.scope(|shm| shm.alloc("tmp", 8, 0));
-        assert_eq!(shm.len(id), 0, "dead id must not expose stale cells");
+        match shm.try_len(id) {
+            Err(ShmError::StaleArrayId { slot, .. }) => assert_eq!(slot, id.slot),
+            other => panic!("expected StaleArrayId, got {other:?}"),
+        }
+        assert!(shm.try_get(id, 0).is_err());
+        assert!(shm.try_slice(id).is_err());
+        assert!(shm.try_host_set(id, 0, 1).is_err());
+    }
+
+    #[test]
+    fn dead_id_stays_stale_after_slot_reuse() {
+        // The aliasing case the generations exist for: the slot is recycled
+        // to a NEW array of the same size class, and the old id must still
+        // be rejected rather than silently reading the new array's cells.
+        let mut shm = Shm::new();
+        let dead = shm.scope(|shm| shm.alloc("old", 16, 7));
+        let fresh = shm.alloc("new", 16, 42);
+        assert_eq!(fresh.slot, dead.slot, "slot must be recycled for the test");
+        assert_eq!(shm.get(fresh, 0), 42);
+        match shm.try_get(dead, 0) {
+            Err(ShmError::StaleArrayId { name, .. }) => assert_eq!(name, "new"),
+            other => panic!("expected StaleArrayId, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "use after scope exit")]
+    fn dead_id_panics_uniformly() {
+        let mut shm = Shm::new();
+        let id = shm.scope(|shm| shm.alloc("tmp", 8, 0));
+        let _ = shm.get(id, 0);
+    }
+
+    #[test]
+    fn out_of_bounds_is_a_typed_error() {
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 4, 0);
+        match shm.try_get(a, 4) {
+            Err(ShmError::OutOfBounds { index, len, name }) => {
+                assert_eq!((index, len), (4, 4));
+                assert_eq!(name, "a");
+            }
+            other => panic!("expected OutOfBounds, got {other:?}"),
+        }
+        assert!(shm.try_host_set(a, 99, 1).is_err());
+        assert_eq!(shm.try_get(a, 3), Ok(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics_uniformly() {
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 4, 0);
+        let _ = shm.get(a, 4);
     }
 
     #[test]
@@ -414,5 +737,43 @@ mod tests {
         copy.host_set(a, 0, -9);
         assert_eq!(shm.get(a, 0), 5);
         assert_eq!(copy.get(a, 0), -9);
+    }
+
+    #[test]
+    fn shadow_tracks_initialisation() {
+        let mut shm = Shm::new();
+        shm.enable_shadow(false);
+        let a = shm.alloc("a", 4, 0);
+        assert_eq!(shm.is_init(a.slot, 0), Some(false));
+        shm.host_set(a, 0, 5);
+        assert_eq!(shm.is_init(a.slot, 0), Some(true));
+        assert_eq!(shm.is_init(a.slot, 1), Some(false));
+        shm.host_fill(a, 1);
+        assert_eq!(shm.is_init(a.slot, 3), Some(true));
+
+        // lenient mode: the alloc fill initialises
+        let mut shm = Shm::new();
+        shm.enable_shadow(true);
+        let b = shm.alloc("b", 4, -1);
+        assert_eq!(shm.is_init(b.slot, 2), Some(true));
+    }
+
+    #[test]
+    fn shadow_resets_on_slot_reuse() {
+        let mut shm = Shm::new();
+        shm.enable_shadow(false);
+        let slot = shm.scope(|shm| {
+            let ws = shm.alloc("ws", 8, 0);
+            shm.host_set(ws, 3, 1);
+            assert_eq!(shm.is_init(ws.slot, 3), Some(true));
+            ws.slot
+        });
+        let fresh = shm.alloc("fresh", 8, 0);
+        assert_eq!(fresh.slot, slot);
+        assert_eq!(
+            shm.is_init(fresh.slot, 3),
+            Some(false),
+            "reused slot must not inherit the old array's init bits"
+        );
     }
 }

@@ -73,6 +73,11 @@ pub struct Metrics {
     /// Kernel steps charge the same steps/work/write/conflict metrics as the
     /// generic path; this counter is host observability only.
     pub kernel_steps: u64,
+    /// Dynamic-analysis report ([`crate::AnalysisReport`]), populated only
+    /// when [`crate::Machine::enable_analysis`] is on. Boxed so the common
+    /// disabled case costs one pointer. Child-machine reports fold into the
+    /// parent's on [`Metrics::absorb`]/[`Metrics::absorb_parallel`].
+    pub analysis: Option<Box<crate::AnalysisReport>>,
     /// Index into `phases` of the currently open phase, if any.
     current_phase: Option<usize>,
 }
@@ -189,6 +194,7 @@ impl Metrics {
             self.write_conflicts += c.write_conflicts;
             self.fastpath_steps += c.fastpath_steps;
             self.kernel_steps += c.kernel_steps;
+            self.absorb_analysis(c);
         }
         if let Some(i) = self.current_phase {
             let p = &mut self.phases[i];
@@ -217,6 +223,7 @@ impl Metrics {
         self.write_conflicts += other.write_conflicts;
         self.fastpath_steps += other.fastpath_steps;
         self.kernel_steps += other.kernel_steps;
+        self.absorb_analysis(other);
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {
                 mine.steps += p.steps;
@@ -226,6 +233,16 @@ impl Metrics {
                 mine.host_ns += p.host_ns;
             } else {
                 self.phases.push(p.clone());
+            }
+        }
+    }
+
+    /// Fold a child's analysis report (if any) into this one's.
+    fn absorb_analysis(&mut self, other: &Metrics) {
+        if let Some(theirs) = &other.analysis {
+            match &mut self.analysis {
+                Some(mine) => mine.merge(theirs, crate::analyze::MERGE_VIOLATION_CAP),
+                None => self.analysis = Some(theirs.clone()),
             }
         }
     }

@@ -13,7 +13,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use ipch_pram::{Machine, ReduceOp, Shm, Tuning, Word, WritePolicy};
+use ipch_pram::{AnalysisReport, AnalyzeConfig, Machine, ReduceOp, Shm, Tuning, Word, WritePolicy};
 
 const POLICIES: [WritePolicy; 6] = [
     WritePolicy::Arbitrary,
@@ -35,7 +35,10 @@ struct StepSpec {
 }
 
 /// Everything observable about a run (minus host wall-clock and the
-/// fast-path counter, which legitimately differ across modes).
+/// fast-path counter, which legitimately differ across modes). The
+/// analyzer's report is part of the observable surface: classification,
+/// race census, and the rendered violation list must not depend on how the
+/// host happened to execute the step (threads, chunking, kernel fusion).
 #[derive(Debug, PartialEq, Eq)]
 struct Observed {
     memory: Vec<Vec<Word>>,
@@ -45,12 +48,15 @@ struct Observed {
     writes_buffered: u64,
     writes_committed: u64,
     write_conflicts: u64,
+    analysis: Option<Box<AnalysisReport>>,
 }
 
 fn run_program(tuning: Tuning, lens: &[usize], program: &[StepSpec]) -> Observed {
     let mut m = Machine::new(0xA11CE);
     m.tuning = tuning;
+    m.enable_analysis(AnalyzeConfig::default());
     let mut shm = Shm::new();
+    shm.enable_shadow(true);
     let arrays: Vec<_> = lens
         .iter()
         .enumerate()
@@ -99,6 +105,7 @@ fn run_program(tuning: Tuning, lens: &[usize], program: &[StepSpec]) -> Observed
         writes_buffered: m.metrics.writes_buffered,
         writes_committed: m.metrics.writes_committed,
         write_conflicts: m.metrics.write_conflicts,
+        analysis: m.metrics.analysis.clone(),
     }
 }
 
@@ -200,7 +207,9 @@ fn kernel_spec() -> impl Strategy<Value = KernelSpec> {
 fn run_kernel_program(tuning: Tuning, lens: &[usize], program: &[KernelSpec]) -> Observed {
     let mut m = Machine::new(0xB0B);
     m.tuning = tuning;
+    m.enable_analysis(AnalyzeConfig::default());
     let mut shm = Shm::new();
+    shm.enable_shadow(true);
     let arrays: Vec<_> = lens
         .iter()
         .enumerate()
@@ -264,6 +273,7 @@ fn run_kernel_program(tuning: Tuning, lens: &[usize], program: &[KernelSpec]) ->
         writes_buffered: m.metrics.writes_buffered,
         writes_committed: m.metrics.writes_committed,
         write_conflicts: m.metrics.write_conflicts,
+        analysis: m.metrics.analysis.clone(),
     }
 }
 

@@ -1,0 +1,435 @@
+//! The analyzer acceptance suite: every paper algorithm runs under the
+//! dynamic concurrency analyzer ([`ipch_pram::analyze`]) with shadow-init
+//! tracking, at a small and a large input size, and must produce a report
+//! with
+//!
+//! * zero violations against its declared [`ModelContract`] (in
+//!   particular: no tiebreak-seed-dependent memory, no unconfirmed
+//!   `Arbitrary` races, no uninitialised reads, no access errors),
+//! * the model class its entry point declares (the paper's machine for
+//!   that algorithm: EREW for the divide-and-conquer baseline, CRCW for
+//!   everything else).
+//!
+//! Superlinear-work algorithms (the Θ(n³)/Θ(n⁴) brute-force oracles) run
+//! at proportionally scaled sizes so the traced-event volume stays
+//! test-suite sized; every other algorithm runs at n = 256 and n = 4096.
+//!
+//! A second half sweeps the write-policy taxonomy on primitive conflicting
+//! steps: each policy's races must land in exactly the expected bucket of
+//! the race census, for the generic and the fused-kernel path alike.
+
+use ipch_geom::generators as g2;
+use ipch_geom::point::sorted_by_x;
+use ipch_hull2d::parallel::{brute, dac, folklore, logstar, presorted, unsorted};
+use ipch_pram::{
+    AnalyzeConfig, Machine, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy, EMPTY,
+};
+
+fn analyzed(seed: u64) -> (Machine, Shm) {
+    let mut m = Machine::new(seed);
+    m.enable_analysis(AnalyzeConfig::default());
+    let mut shm = Shm::new();
+    shm.enable_shadow(true);
+    (m, shm)
+}
+
+/// The suite's acceptance predicate: contract declared and satisfied,
+/// expected machine class, and none of the hard violation classes.
+fn check(label: &str, m: &Machine, algorithm: &str, class: ModelClass) {
+    let r = m
+        .analysis_report()
+        .unwrap_or_else(|| panic!("{label}: no report"));
+    let c = r
+        .contract
+        .unwrap_or_else(|| panic!("{label}: entry point declared no contract"));
+    assert_eq!(c.algorithm, algorithm, "{label}: wrong contract");
+    assert_eq!(c.class, class, "{label}: contract class drifted");
+    // The contract class is an upper bound: a lucky run may avoid every
+    // concurrent access (observe a weaker class), but never need a
+    // stronger machine than declared.
+    assert!(r.class <= class, "{label}: observed class {}", r.class);
+    assert!(r.is_clean(), "{label}:\n{}", r.render());
+    assert_eq!(r.seed_dependent_races, 0, "{label}: seed-dependent memory");
+    assert_eq!(r.unconfirmed_arbitrary_races, 0, "{label}");
+    assert_eq!(r.uninit_reads, 0, "{label}: uninitialised reads");
+    assert!(r.steps_analyzed > 0, "{label}: nothing traced");
+}
+
+// ---------------------------------------------------------------------------
+// 2-D hull algorithms
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hull2d_brute_clean() {
+    // Θ(n³) work: scaled sizes.
+    for (seed, n) in [(1u64, 64usize), (2, 256)] {
+        let pts = g2::uniform_disk(n, seed);
+        let ids: Vec<usize> = (0..n).collect();
+        let (mut m, mut shm) = analyzed(seed);
+        brute::upper_hull_brute(&mut m, &mut shm, &pts, &ids);
+        check("hull2d/brute", &m, "hull2d/brute", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn hull2d_folklore_clean() {
+    for (seed, n) in [(3u64, 256usize), (4, 4096)] {
+        let pts = sorted_by_x(&g2::uniform_disk(n, seed));
+        let ids: Vec<usize> = (0..pts.len()).collect();
+        let (mut m, mut shm) = analyzed(seed);
+        folklore::upper_hull_folklore(&mut m, &mut shm, &pts, &ids, 3);
+        check("hull2d/folklore", &m, "hull2d/folklore", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn hull2d_presorted_clean() {
+    for (seed, n) in [(5u64, 256usize), (6, 4096)] {
+        let pts = sorted_by_x(&g2::uniform_disk(n, seed));
+        let (mut m, mut shm) = analyzed(seed);
+        presorted::upper_hull_presorted(&mut m, &mut shm, &pts, &Default::default());
+        check("hull2d/presorted", &m, "hull2d/presorted", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn hull2d_logstar_clean() {
+    for (seed, n) in [(7u64, 256usize), (8, 4096)] {
+        let pts = sorted_by_x(&g2::uniform_disk(n, seed));
+        let (mut m, mut shm) = analyzed(seed);
+        logstar::upper_hull_logstar(&mut m, &mut shm, &pts, &Default::default());
+        check("hull2d/logstar", &m, "hull2d/logstar", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn hull2d_unsorted_clean() {
+    for (seed, n) in [(9u64, 256usize), (10, 4096)] {
+        let pts = g2::uniform_disk(n, seed);
+        let (mut m, mut shm) = analyzed(seed);
+        unsorted::upper_hull_unsorted(&mut m, &mut shm, &pts, &Default::default());
+        check("hull2d/unsorted", &m, "hull2d/unsorted", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn hull2d_dac_is_erew() {
+    for (seed, n) in [(11u64, 256usize), (12, 4096)] {
+        let pts = g2::uniform_disk(n, seed);
+        let (mut m, mut shm) = analyzed(seed);
+        dac::upper_hull_dac(&mut m, &mut shm, &pts, false);
+        let r = m.analysis_report().unwrap();
+        assert_eq!(r.total_races(), 0, "EREW algorithm raced:\n{}", r.render());
+        check("hull2d/dac", &m, "hull2d/dac", ModelClass::Erew);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 3-D hull algorithms
+// ---------------------------------------------------------------------------
+
+#[test]
+fn hull3d_find_facet_clean() {
+    use ipch_hull3d::parallel::probe;
+    for (seed, n) in [(13u64, 256usize), (14, 4096)] {
+        let pts = ipch_geom::gen3d::in_ball(n, seed);
+        let active: Vec<usize> = (0..n).collect();
+        let (mut m, mut shm) = analyzed(seed);
+        probe::find_facet_inplace(
+            &mut m,
+            &mut shm,
+            &pts,
+            &active,
+            0.01,
+            0.02,
+            &probe::FpConfig::default(),
+        );
+        check(
+            "hull3d/find_facet",
+            &m,
+            "hull3d/find_facet",
+            ModelClass::Crcw,
+        );
+    }
+}
+
+#[test]
+fn hull3d_unsorted3d_clean() {
+    use ipch_hull3d::parallel::unsorted3d;
+    // The full 3-D algorithm probes Θ(hull-size) facets; 4096 points under
+    // full tracing is minutes of host time, so the large size is 1024.
+    for (seed, n) in [(15u64, 256usize), (16, 1024)] {
+        let pts = ipch_geom::gen3d::in_ball(n, seed);
+        let (mut m, mut shm) = analyzed(seed);
+        unsorted3d::upper_hull3_unsorted(&mut m, &mut shm, &pts, &Default::default());
+        check(
+            "hull3d/unsorted3d",
+            &m,
+            "hull3d/unsorted3d",
+            ModelClass::Crcw,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear programming
+// ---------------------------------------------------------------------------
+
+#[test]
+fn lp_brute2_clean() {
+    use ipch_lp::brute::solve_lp2_brute;
+    // Θ(n³) work: scaled sizes.
+    for (seed, n) in [(17u64, 64usize), (18, 256)] {
+        let pts = g2::uniform_disk(512, seed);
+        let active: Vec<usize> = (0..n).collect();
+        let cons = ipch_lp::bridge::bridge_lp_constraints(&pts, &active);
+        let obj = ipch_lp::bridge::bridge_lp_objective(0.0);
+        let (mut m, mut shm) = analyzed(seed);
+        solve_lp2_brute(&mut m, &mut shm, &cons, &obj);
+        check("lp/brute2", &m, "lp/brute2", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn lp_brute3_clean() {
+    use ipch_lp::constraint::Halfspace;
+    use ipch_lp::lp3d::{solve_lp3_brute, Objective3};
+    // Θ(n⁴) work: scaled sizes. Tangent planes of the unit sphere bound
+    // the instance in every direction.
+    for (seed, n) in [(19u64, 16usize), (20, 40)] {
+        let cons: Vec<Halfspace> = (0..n)
+            .map(|i| {
+                let t = std::f64::consts::TAU * i as f64 / n as f64;
+                let ph = std::f64::consts::PI * (i as f64 + 0.5) / n as f64;
+                let (a, b, c) = (ph.sin() * t.cos(), ph.sin() * t.sin(), ph.cos());
+                Halfspace { a, b, c, d: -1.0 }
+            })
+            .collect();
+        let obj = Objective3 {
+            cx: 0.3,
+            cy: -0.2,
+            cz: 1.0,
+        };
+        let (mut m, mut shm) = analyzed(seed);
+        solve_lp3_brute(&mut m, &mut shm, &cons, &obj);
+        check("lp/brute3", &m, "lp/brute3", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn lp_alon_megiddo_clean() {
+    use ipch_lp::alon_megiddo::{solve_lp2_am, AmConfig};
+    for (seed, n) in [(21u64, 256usize), (22, 4096)] {
+        let pts = g2::uniform_disk(n, seed);
+        let active: Vec<usize> = (0..n).collect();
+        let cons = ipch_lp::bridge::bridge_lp_constraints(&pts, &active);
+        let obj = ipch_lp::bridge::bridge_lp_objective(0.0);
+        let (mut m, mut shm) = analyzed(seed);
+        solve_lp2_am(&mut m, &mut shm, &cons, &obj, &AmConfig::default());
+        check("lp/alon_megiddo", &m, "lp/alon_megiddo", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn lp_inplace_bridge_clean() {
+    use ipch_lp::inplace_bridge::{find_bridge_inplace_traced, IbConfig};
+    for (seed, n) in [(23u64, 256usize), (24, 4096)] {
+        let pts = g2::uniform_disk(n, seed);
+        let active: Vec<usize> = (0..n).collect();
+        let (mut m, mut shm) = analyzed(seed);
+        find_bridge_inplace_traced(&mut m, &mut shm, &pts, &active, 0.0, &IbConfig::default());
+        check(
+            "lp/inplace_bridge",
+            &m,
+            "lp/inplace_bridge",
+            ModelClass::Crcw,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-place toolbox
+// ---------------------------------------------------------------------------
+
+#[test]
+fn inplace_sample_clean() {
+    use ipch_inplace::sample::random_sample;
+    for (seed, n) in [(25u64, 256usize), (26, 4096)] {
+        let active: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+        let (mut m, mut shm) = analyzed(seed);
+        random_sample(&mut m, &mut shm, &active, n, 8, 4);
+        check("inplace/sample", &m, "inplace/sample", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn inplace_vote_clean() {
+    use ipch_inplace::vote::random_vote;
+    for (seed, n) in [(27u64, 256usize), (28, 4096)] {
+        let active: Vec<usize> = (0..n).filter(|i| i % 3 == 0).collect();
+        let (mut m, mut shm) = analyzed(seed);
+        random_vote(&mut m, &mut shm, &active, n, 8, 4);
+        check("inplace/vote", &m, "inplace/vote", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn inplace_compact_clean() {
+    use ipch_inplace::compact::inplace_compact;
+    for (seed, n) in [(29u64, 256usize), (30, 4096)] {
+        let (mut m, mut shm) = analyzed(seed);
+        let src = shm.alloc("src", n, EMPTY);
+        for (j, i) in (0..n).step_by(n / 16).enumerate() {
+            shm.host_set(src, i, j as i64);
+        }
+        inplace_compact(&mut m, &mut shm, src, 24, 0.25);
+        check("inplace/compact", &m, "inplace/compact", ModelClass::Crcw);
+    }
+}
+
+#[test]
+fn inplace_ragde_det_clean() {
+    use ipch_inplace::ragde::ragde_compact_det;
+    for (seed, n) in [(31u64, 256usize), (32, 4096)] {
+        let (mut m, mut shm) = analyzed(seed);
+        let src = shm.alloc("src", n, EMPTY);
+        for (j, i) in (0..n).step_by(n / 8).enumerate() {
+            shm.host_set(src, i, j as i64);
+        }
+        ragde_compact_det(&mut m, &mut shm, src, 8);
+        check(
+            "inplace/ragde_det",
+            &m,
+            "inplace/ragde_det",
+            ModelClass::Crcw,
+        );
+    }
+}
+
+#[test]
+fn inplace_ragde_rand_clean() {
+    use ipch_inplace::ragde::ragde_compact_rand;
+    for (seed, n) in [(33u64, 256usize), (34, 4096)] {
+        let (mut m, mut shm) = analyzed(seed);
+        let src = shm.alloc("src", n, EMPTY);
+        for (j, i) in (0..n).step_by(n / 8).enumerate() {
+            shm.host_set(src, i, j as i64);
+        }
+        ragde_compact_rand(&mut m, &mut shm, src, 8, 8);
+        check(
+            "inplace/ragde_rand",
+            &m,
+            "inplace/ragde_rand",
+            ModelClass::Crcw,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write-policy taxonomy sweep: a conflicting scatter under every policy,
+// on the generic path and the fused-kernel path, must land its races in
+// exactly the expected census bucket.
+// ---------------------------------------------------------------------------
+
+/// Expected census bucket for a policy resolving *distinct* values.
+fn expectation_for(policy: WritePolicy) -> RaceExpectation {
+    match policy {
+        WritePolicy::Arbitrary => RaceExpectation::SeedDependent,
+        _ => RaceExpectation::Deterministic,
+    }
+}
+
+const ALL_POLICIES: [WritePolicy; 6] = [
+    WritePolicy::Arbitrary,
+    WritePolicy::PriorityMin,
+    WritePolicy::CombineMin,
+    WritePolicy::CombineMax,
+    WritePolicy::CombineSum,
+    WritePolicy::CombineOr,
+];
+
+#[test]
+fn policy_sweep_distinct_values() {
+    for &policy in &ALL_POLICIES {
+        let contract = ModelContract {
+            algorithm: "sweep/distinct",
+            class: ModelClass::Crcw,
+            races: expectation_for(policy),
+        };
+        // generic step
+        let (mut m, mut shm) = analyzed(40);
+        m.declare_contract(&contract);
+        let a = shm.alloc("a", 8, 0);
+        m.step_with_policy(&mut shm, 0..64, policy, move |ctx| {
+            let pid = ctx.pid;
+            ctx.write(a, pid % 8, pid as i64 + 1);
+        });
+        let r = m.analysis_report().unwrap();
+        assert!(r.is_clean(), "{policy:?} generic:\n{}", r.render());
+        assert_eq!(r.class, ModelClass::Crcw, "{policy:?}");
+        let contended = match policy {
+            WritePolicy::Arbitrary => r.seed_dependent_races + r.unconfirmed_arbitrary_races,
+            _ => r.deterministic_races,
+        };
+        assert_eq!(contended, 8, "{policy:?}: race census off:\n{}", r.render());
+
+        // fused kernel path, same shape
+        let (mut m, mut shm) = analyzed(41);
+        m.declare_contract(&contract);
+        let a = shm.alloc("a", 8, 0);
+        m.kernel_scatter_with_policy(&mut shm, 0..64, policy, move |_, pid| {
+            Some((a, pid % 8, pid as i64 + 1))
+        });
+        let r = m.analysis_report().unwrap();
+        assert!(r.is_clean(), "{policy:?} kernel:\n{}", r.render());
+        let contended = match policy {
+            WritePolicy::Arbitrary => r.seed_dependent_races + r.unconfirmed_arbitrary_races,
+            _ => r.deterministic_races,
+        };
+        assert_eq!(contended, 8, "{policy:?} kernel:\n{}", r.render());
+    }
+}
+
+#[test]
+fn policy_sweep_agreeing_values() {
+    // When every contender writes the same value the race is benign under
+    // every policy — a SameValue contract must hold even for Arbitrary.
+    for &policy in &ALL_POLICIES {
+        let contract = ModelContract {
+            algorithm: "sweep/agree",
+            class: ModelClass::Crcw,
+            races: RaceExpectation::SameValue,
+        };
+        let (mut m, mut shm) = analyzed(42);
+        m.declare_contract(&contract);
+        let a = shm.alloc("a", 4, 0);
+        m.step_with_policy(&mut shm, 0..32, policy, move |ctx| {
+            ctx.write(a, ctx.pid % 4, 7);
+        });
+        let r = m.analysis_report().unwrap();
+        assert!(r.is_clean(), "{policy:?} agree:\n{}", r.render());
+        assert_eq!(r.benign_races, 4, "{policy:?}:\n{}", r.render());
+        assert_eq!(r.seed_dependent_races, 0, "{policy:?}");
+    }
+}
+
+#[test]
+fn seed_dependence_is_caught() {
+    // The negative control: distinct values under Arbitrary violate a
+    // Deterministic contract — the analyzer must flag it, not excuse it.
+    let contract = ModelContract {
+        algorithm: "sweep/negative",
+        class: ModelClass::Crcw,
+        races: RaceExpectation::Deterministic,
+    };
+    let (mut m, mut shm) = analyzed(43);
+    m.declare_contract(&contract);
+    let a = shm.alloc("a", 2, 0);
+    m.step(&mut shm, 0..64, move |ctx| {
+        let pid = ctx.pid;
+        ctx.write(a, pid % 2, pid as i64 + 1);
+    });
+    let r = m.analysis_report().unwrap();
+    assert!(!r.is_clean(), "arbitrary races must violate Deterministic");
+    assert!(r.seed_dependent_races + r.unconfirmed_arbitrary_races > 0);
+}
