@@ -30,7 +30,7 @@ fn bench_parallel2d(c: &mut Criterion) {
         b.iter(|| {
             let mut m = Machine::new(2);
             let mut shm = Shm::new();
-            upper_hull_logstar(&mut m, &mut shm, &sorted, &LogstarParams::default())
+            upper_hull_logstar(&mut m, &mut shm, &sorted, &LogstarParams::default()).unwrap()
         })
     });
     group.bench_function("unsorted_theorem5", |b| {

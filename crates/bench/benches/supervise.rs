@@ -1,0 +1,169 @@
+//! Supervisor overhead benches: what does routing a randomized algorithm
+//! through [`ipch_pram::supervise`] cost when *no* fault plan is installed?
+//!
+//! Three Las Vegas entry points, each measured bare and supervised:
+//!
+//! * `sample` — the §3.1 random-sample procedure vs
+//!   `random_sample_supervised` (certificate: subset + Lemma 3.1 bounds).
+//! * `bridge` — the §3.3 in-place bridge finder vs
+//!   `find_bridge_inplace_supervised` (certificate: straddle + support).
+//! * `hull`   — the Theorem 5 unsorted 2-D hull vs
+//!   `upper_hull_unsorted_supervised` (certificate: full hull verification
+//!   + output-pointer check).
+//!
+//! The bare side runs the algorithm on [`ipch_pram::attempt_machine`]`(m, 0)`
+//! — the *identical* machine (same derived seed, same random streams) the
+//! supervisor's first attempt executes on — so the two sides do exactly the
+//! same simulated work and the supervised/bare multiplier printed at the
+//! end isolates the supervision overhead: a `catch_unwind` frame, the
+//! certificate, and the metrics absorb. The simulated step commits dominate
+//! all three, so the multiplier should sit within host noise of 1.0 (the
+//! certificate is the only term that scales, and it is a single linear
+//! pass against hundreds of simulated steps).
+//!
+//! A custom `main` (instead of `criterion_main!`) appends every
+//! measurement to `bench_results/supervise.csv`.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use ipch_hull2d::parallel::supervised::upper_hull_unsorted_supervised;
+use ipch_hull2d::parallel::unsorted::{upper_hull_unsorted, UnsortedParams};
+use ipch_inplace::sample::random_sample;
+use ipch_inplace::supervised::random_sample_supervised;
+use ipch_lp::inplace_bridge::{find_bridge_inplace, IbConfig};
+use ipch_lp::supervised::find_bridge_inplace_supervised;
+use ipch_pram::{attempt_machine, Machine, Shm, SuperviseConfig};
+
+const SIZES: [usize; 2] = [512, 2048];
+const PROFILES: [&str; 3] = ["sample", "bridge", "hull"];
+
+fn bench_profile(c: &mut Criterion, profile: &str, supervised: bool) {
+    let mut group = c.benchmark_group("supervise");
+    group.sample_size(10);
+    let mode = if supervised { "sup" } else { "bare" };
+    let cfg = SuperviseConfig::default();
+
+    for &n in &SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        let id = BenchmarkId::new(format!("{profile}-{mode}"), n);
+        match profile {
+            "sample" => group.bench_with_input(id, &n, |b, &n| {
+                let active: Vec<usize> = (0..n).collect();
+                let mut m = Machine::new(11);
+                b.iter(|| {
+                    if supervised {
+                        let s = random_sample_supervised(&mut m, &active, n, 16, 4, &cfg)
+                            .expect("clean run");
+                        black_box(s.value.len())
+                    } else {
+                        let mut am = attempt_machine(&m, 0);
+                        let mut shm = Shm::new();
+                        let out = random_sample(&mut am, &mut shm, &active, n, 16, 4);
+                        black_box(out.sample.len())
+                    }
+                });
+            }),
+            "bridge" => group.bench_with_input(id, &n, |b, &n| {
+                let pts = ipch_geom::generators::uniform_disk(n, 7);
+                let active: Vec<usize> = (0..n).collect();
+                let ib = IbConfig::default();
+                let mut m = Machine::new(12);
+                b.iter(|| {
+                    if supervised {
+                        let s =
+                            find_bridge_inplace_supervised(&mut m, &pts, &active, 0.0, &ib, &cfg)
+                                .expect("clean run");
+                        black_box(s.value.0.left)
+                    } else {
+                        let mut am = attempt_machine(&m, 0);
+                        let mut shm = Shm::new();
+                        let (bridge, _) =
+                            find_bridge_inplace(&mut am, &mut shm, &pts, &active, 0.0, &ib)
+                                .expect("a bridge straddles x = 0 inside the disk");
+                        black_box(bridge.left)
+                    }
+                });
+            }),
+            _ => group.bench_with_input(id, &n, |b, &n| {
+                let pts = ipch_geom::generators::uniform_disk(n, 8);
+                let params = UnsortedParams::default();
+                let mut m = Machine::new(13);
+                b.iter(|| {
+                    if supervised {
+                        let s = upper_hull_unsorted_supervised(&mut m, &pts, &params, &cfg)
+                            .expect("clean run");
+                        black_box(s.value.0.hull.len())
+                    } else {
+                        let mut am = attempt_machine(&m, 0);
+                        let mut shm = Shm::new();
+                        let (out, _) = upper_hull_unsorted(&mut am, &mut shm, &pts, &params);
+                        black_box(out.hull.len())
+                    }
+                });
+            }),
+        }
+    }
+    group.finish();
+}
+
+fn append_results(c: &Criterion) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    // anchor at the workspace root: bench binaries run with the package
+    // directory as cwd, but results belong next to the tables' CSVs
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("supervise.csv");
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if fresh {
+        writeln!(f, "id,median_ns_per_iter,melem_per_s")?;
+    }
+    for m in &c.measurements {
+        writeln!(
+            f,
+            "{},{},{}",
+            m.id,
+            m.median.as_nanos(),
+            m.elements_per_sec()
+                .map(|r| format!("{:.3}", r / 1e6))
+                .unwrap_or_default()
+        )?;
+    }
+    Ok(path)
+}
+
+fn main() {
+    // `cargo test --benches` executes bench binaries with `--test`; a full
+    // measurement sweep there would be slow noise, so bail out.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut c = Criterion::default();
+    for profile in PROFILES {
+        bench_profile(&mut c, profile, false);
+        bench_profile(&mut c, profile, true);
+    }
+
+    // supervised-mode multiplier summary
+    for &n in &SIZES {
+        let t = |name: String| {
+            c.measurements
+                .iter()
+                .find(|m| m.id == format!("supervise/{name}/{n}"))
+                .map(|m| m.median.as_nanos() as f64)
+        };
+        for profile in PROFILES {
+            if let (Some(bare), Some(sup)) =
+                (t(format!("{profile}-bare")), t(format!("{profile}-sup")))
+            {
+                println!("n={n}: {profile} supervisor multiplier {:.2}x", sup / bare);
+            }
+        }
+    }
+    match append_results(&c) {
+        Ok(p) => println!("appended results: {}", p.display()),
+        Err(e) => eprintln!("could not append results: {e}"),
+    }
+}

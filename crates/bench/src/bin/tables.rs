@@ -1,7 +1,7 @@
 //! Regenerate the experiment tables (DESIGN.md §3).
 //!
 //! ```text
-//! tables [all|t1..t10|f1..f5|a1..a3|sim]... [--quick]
+//! tables [all|t1..t10|f1..f5|a1..a3|sim|faults]... [--quick]
 //! ```
 //!
 //! Prints each table and writes `bench_results/<id>.csv`.
@@ -44,6 +44,7 @@ fn main() {
                 "a2" => ex::a2(quick),
                 "a3" => ex::a3(quick),
                 "sim" => ex::sim(quick),
+                "faults" => ex::faults(quick),
                 other => {
                     eprintln!("unknown experiment: {other}");
                     std::process::exit(2);

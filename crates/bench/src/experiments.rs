@@ -97,7 +97,8 @@ pub fn t2(quick: bool) -> Table {
     for &n in ns {
         let pts = sorted_by_x(&g2::uniform_disk(n, 11));
         let (mut m, mut shm) = machine(3);
-        let (out, rep) = upper_hull_logstar(&mut m, &mut shm, &pts, &LogstarParams::default());
+        let (out, rep) =
+            upper_hull_logstar(&mut m, &mut shm, &pts, &LogstarParams::default()).unwrap();
         assert_eq!(out.hull, UpperHull::of(&pts));
         let logstar = 3u64; // log* n for any feasible n
         let p = (n as u64 / logstar).max(1);
@@ -619,7 +620,7 @@ pub fn t10(quick: bool) -> Table {
             })
             .collect();
         let (mut m, mut shm) = machine(13);
-        let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default());
+        let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default()).unwrap();
         t.row(vec![
             gm.to_string(),
             gq.to_string(),
@@ -989,6 +990,170 @@ pub fn sim(quick: bool) -> Table {
 }
 
 /// All experiments in order.
+/// FAULTS — empirical attempt-failure probability of the supervised Las
+/// Vegas entry points vs n, under fixed per-algorithm fault plans.
+///
+/// Las Vegas analysis (Lemmas 3.1/2.1, §5) bounds the probability that one
+/// *attempt* fails; the supervisor's retry count is geometric in that
+/// probability. This experiment measures the per-attempt failure rate
+/// directly, for three exposure profiles:
+///
+/// * `sample` under a forced-true coin bias — extra attempters push the
+///   sample over the 4k Lemma 3.1 ceiling, so failure rises with n;
+/// * `ragde` under cell corruption — the destination area is a shrinking
+///   fraction of live memory, so failure *falls* with n;
+/// * `unsorted` 2-D hull under light corruption — per-attempt exposure is
+///   rate × steps and steps grow with n, so failure rises with n.
+pub fn faults(quick: bool) -> Table {
+    use ipch_hull2d::parallel::supervised::upper_hull_unsorted_supervised;
+    use ipch_inplace::supervised::{ragde_compact_supervised, random_sample_supervised};
+    use ipch_pram::{FaultPlan, Outcome, RngBias, RunError, SuperviseConfig, Supervised};
+
+    let mut t = Table::new(
+        "faults",
+        "attempt failure probability under injected faults",
+        &[
+            "algorithm",
+            "n",
+            "trials",
+            "attempts",
+            "failed",
+            "fail_rate",
+            "first_try",
+            "retried",
+            "fell_back",
+            "typed_err",
+        ],
+    );
+
+    #[derive(Default)]
+    struct Tally {
+        trials: u64,
+        attempts: u64,
+        failed: u64,
+        first_try: u64,
+        retried: u64,
+        fell_back: u64,
+        typed_err: u64,
+    }
+    impl Tally {
+        fn absorb<T>(&mut self, r: &Result<Supervised<T>, RunError>, max_attempts: u64) {
+            self.trials += 1;
+            match r {
+                Ok(s) => {
+                    self.attempts += u64::from(s.attempts);
+                    match s.outcome {
+                        Outcome::FirstTry => self.first_try += 1,
+                        Outcome::Retried(k) => {
+                            self.retried += 1;
+                            self.failed += u64::from(k);
+                        }
+                        Outcome::FellBack => {
+                            self.fell_back += 1;
+                            self.failed += u64::from(s.attempts);
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.typed_err += 1;
+                    self.attempts += max_attempts;
+                    self.failed += max_attempts;
+                }
+            }
+        }
+        fn row(&self, t: &mut Table, algorithm: &str, n: usize) {
+            t.row(vec![
+                algorithm.to_string(),
+                n.to_string(),
+                self.trials.to_string(),
+                self.attempts.to_string(),
+                self.failed.to_string(),
+                f(self.failed as f64 / (self.attempts.max(1)) as f64),
+                self.first_try.to_string(),
+                self.retried.to_string(),
+                self.fell_back.to_string(),
+                self.typed_err.to_string(),
+            ]);
+        }
+    }
+
+    // The supervisor converts attempt panics into typed errors; keep the
+    // default hook from spraying backtraces for those expected events.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let ns: &[usize] = if quick {
+        &[256, 512, 1024]
+    } else {
+        &[256, 512, 1024, 2048, 4096]
+    };
+    let trials = if quick { 6 } else { 20 };
+    let cfg = SuperviseConfig::default();
+    let max_a = u64::from(cfg.max_attempts);
+
+    for &n in ns {
+        // sample: forced-true bias inflates the attempter count toward 4k.
+        let mut tally = Tally::default();
+        let active: Vec<usize> = (0..n).collect();
+        for s in 0..trials {
+            let mut m = Machine::new(1000 + s);
+            m.install_faults(FaultPlan {
+                rng_bias: Some(RngBias {
+                    rate: 0.06,
+                    force: true,
+                }),
+                ..FaultPlan::default()
+            });
+            let r = random_sample_supervised(&mut m, &active, n, 16, 4, &cfg);
+            tally.absorb(&r, max_a);
+        }
+        tally.row(&mut t, "sample", n);
+    }
+
+    for &n in ns {
+        // ragde: heavy corruption; the n-cell source dilutes the chance a
+        // corrupted cell lands in the small destination area.
+        let mut tally = Tally::default();
+        for s in 0..trials {
+            let (mut m, mut shm) = machine(2000 + s);
+            m.install_faults(FaultPlan {
+                corrupt_rate: 0.4,
+                ..FaultPlan::default()
+            });
+            let src = shm.alloc("faults.src", n, EMPTY);
+            for i in 0..6 {
+                shm.host_set(src, i * (n / 6), (100 + i) as i64);
+            }
+            let r = ragde_compact_supervised(&mut m, &mut shm, src, 8, 6, &cfg);
+            tally.absorb(&r, max_a);
+        }
+        tally.row(&mut t, "ragde", n);
+    }
+
+    for &n in ns {
+        // unsorted 2-D: light corruption, but exposure = rate × steps.
+        let mut tally = Tally::default();
+        let pts = g2::uniform_disk(n, 77);
+        for s in 0..trials {
+            let mut m = Machine::new(3000 + s);
+            m.install_faults(FaultPlan {
+                corrupt_rate: 0.01,
+                ..FaultPlan::default()
+            });
+            let r = upper_hull_unsorted_supervised(&mut m, &pts, &UnsortedParams::default(), &cfg);
+            tally.absorb(&r, max_a);
+        }
+        tally.row(&mut t, "unsorted", n);
+    }
+
+    let _ = std::panic::take_hook();
+    t.note(
+        "expected: sample fail_rate jumps once 0.06n crosses the 4k ceiling, unsorted rises \
+         with n (exposure = rate × steps); ragde stays high and flat (few, short attempts); \
+         typed_err counts runs that ended in a typed error — never a wrong answer",
+    );
+    t
+}
+
 pub fn all(quick: bool) -> Vec<Table> {
     vec![
         t1(quick),
@@ -1010,5 +1175,6 @@ pub fn all(quick: bool) -> Vec<Table> {
         a2(quick),
         a3(quick),
         sim(quick),
+        faults(quick),
     ]
 }

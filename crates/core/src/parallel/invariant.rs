@@ -30,7 +30,7 @@ use ipch_geom::predicates::orient2d_sign;
 use ipch_geom::{Point2, UpperHull};
 use ipch_inplace::sample::random_sample_with_p;
 use ipch_lp::bridge::Bridge;
-use ipch_pram::{Machine, Metrics, Shm, WritePolicy};
+use ipch_pram::{Machine, Metrics, RunError, Shm, WritePolicy};
 
 /// Tuning for the hull-element bridge finder.
 #[derive(Clone, Copy, Debug)]
@@ -189,20 +189,27 @@ pub struct HohReport {
 
 /// Upper hull of the union of x-disjoint `groups` (Lemma 2.6): a tree of
 /// bridges over the group boundaries, cover test, and stitching.
+///
+/// Fails with [`RunError::Invariant`] when a boundary bridge cannot be
+/// found even by the brute-force sweep — for honest inputs a straddling
+/// tangent always exists, so a missing one means the data the node saw was
+/// inconsistent (e.g. under injected memory corruption). Before this was
+/// typed, such a node was silently skipped and the stitched chain could be
+/// wrong.
 pub fn hull_of_hulls(
     m: &mut Machine,
     shm: &mut Shm,
     points: &[Point2],
     groups: &[UpperHull],
     cfg: &HbConfig,
-) -> (UpperHull, HohReport) {
+) -> Result<(UpperHull, HohReport), RunError> {
     let mut report = HohReport::default();
     let nonempty: Vec<&UpperHull> = groups.iter().filter(|h| !h.is_empty()).collect();
     if nonempty.is_empty() {
-        return (UpperHull::new(vec![]), report);
+        return Ok((UpperHull::new(vec![]), report));
     }
     if nonempty.len() == 1 {
-        return (nonempty[0].clone(), report);
+        return Ok((nonempty[0].clone(), report));
     }
     let groups: Vec<UpperHull> = groups.iter().filter(|h| !h.is_empty()).cloned().collect();
     let g = groups.len();
@@ -238,6 +245,16 @@ pub fn hull_of_hulls(
             bridges[vi] = brute_bridge_hulls(&mut child, points, &groups[lo..hi], &all, x0, qmax);
         }
         children.push(child.metrics);
+        if bridges[vi].is_none() {
+            m.metrics.absorb_parallel(&children);
+            return Err(RunError::Invariant {
+                algorithm: "hull2d/hull_of_hulls",
+                detail: format!(
+                    "no straddling bridge at boundary node {vi} (groups {lo}..{hi}, x0={x0}) \
+                     even after the brute-force sweep"
+                ),
+            });
+        }
     }
     m.metrics.absorb_parallel(&children);
 
@@ -336,7 +353,7 @@ pub fn hull_of_hulls(
     chain.sort_by(|&x, &y| points[x].cmp_xy(&points[y]));
     chain.dedup();
     super::merge::strictify(points, &mut chain);
-    (UpperHull::new(chain), report)
+    Ok((UpperHull::new(chain), report))
 }
 
 /// Reference check used by tests: the hull of the union computed directly.
@@ -433,7 +450,8 @@ mod tests {
                 let groups = make_groups(&pts, q);
                 let mut m = Machine::new(seed);
                 let mut shm = Shm::new();
-                let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default());
+                let (h, _) =
+                    hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default()).unwrap();
                 verify_upper_hull(&pts, &h).unwrap_or_else(|e| panic!("seed {seed} q {q}: {e}"));
                 assert_eq!(h, UpperHull::of(&pts), "seed {seed} q {q}");
             }
@@ -458,7 +476,7 @@ mod tests {
         ];
         let mut m = Machine::new(7);
         let mut shm = Shm::new();
-        let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default());
+        let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default()).unwrap();
         assert_eq!(h.vertices, vec![0, 5]);
     }
 
@@ -468,10 +486,10 @@ mod tests {
         let groups = make_groups(&pts, 30); // single group
         let mut m = Machine::new(8);
         let mut shm = Shm::new();
-        let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default());
+        let (h, _) = hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default()).unwrap();
         assert_eq!(h, UpperHull::of(&pts));
         // empty
-        let (h0, _) = hull_of_hulls(&mut m, &mut shm, &pts, &[], &HbConfig::default());
+        let (h0, _) = hull_of_hulls(&mut m, &mut shm, &pts, &[], &HbConfig::default()).unwrap();
         assert!(h0.is_empty());
     }
 
@@ -484,7 +502,7 @@ mod tests {
             let groups = make_groups(&pts, n / 10);
             let mut m = Machine::new(5);
             let mut shm = Shm::new();
-            hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default());
+            hull_of_hulls(&mut m, &mut shm, &pts, &groups, &HbConfig::default()).unwrap();
             steps.push(m.metrics.total_steps());
         }
         let (min, max) = (steps.iter().min().unwrap(), steps.iter().max().unwrap());

@@ -27,7 +27,9 @@
 //! simulator.
 
 use ipch_geom::{Point2, UpperHull};
-use ipch_pram::{Machine, Metrics, ModelClass, ModelContract, RaceExpectation, Shm, EMPTY};
+use ipch_pram::{
+    Machine, Metrics, ModelClass, ModelContract, RaceExpectation, RunError, Shm, EMPTY,
+};
 
 use super::brute::upper_hull_brute;
 use super::folklore::upper_hull_folklore;
@@ -81,27 +83,32 @@ pub const LOGSTAR_CONTRACT: ModelContract = ModelContract {
 };
 
 /// The O(log* n) algorithm. `points` must be sorted by [`Point2::cmp_xy`].
+///
+/// Fails with a typed [`RunError`] when a group is still unsolved after the
+/// failure sweep or the combine loses a boundary bridge — both impossible
+/// on honest runs but reachable under the fault plane, and formerly
+/// `unwrap()` panics.
 pub fn upper_hull_logstar(
     m: &mut Machine,
     shm: &mut Shm,
     points: &[Point2],
     params: &LogstarParams,
-) -> (HullOutput, LogstarReport) {
+) -> Result<(HullOutput, LogstarReport), RunError> {
     m.declare_contract(&LOGSTAR_CONTRACT);
     let n = points.len();
     let mut report = LogstarReport::default();
     if n == 0 {
-        return (
+        return Ok((
             HullOutput {
                 hull: UpperHull::new(vec![]),
                 edge_above: vec![],
             },
             report,
-        );
+        ));
     }
     let all: Vec<usize> = (0..n).collect();
     let ids = crate::column_tops_pram(m, shm, points, &all);
-    let hull = recurse(m, shm, points, &ids, params, 0, &mut report);
+    let hull = recurse(m, shm, points, &ids, params, 0, &mut report)?;
 
     // pointer assignment, charged at the paper's distributed cost
     m.charge(1, n as u64);
@@ -113,7 +120,7 @@ pub fn upper_hull_logstar(
             }
         }
     }
-    (HullOutput { hull, edge_above }, report)
+    Ok((HullOutput { hull, edge_above }, report))
 }
 
 fn edge_index_over(points: &[Point2], hull: &UpperHull, x: f64) -> Option<usize> {
@@ -141,11 +148,11 @@ fn recurse(
     params: &LogstarParams,
     depth: usize,
     report: &mut LogstarReport,
-) -> UpperHull {
+) -> Result<UpperHull, RunError> {
     report.depth = report.depth.max(depth);
     let n = ids.len();
     if n <= params.cutoff.max(4) {
-        return upper_hull_folklore(m, shm, points, ids, 2);
+        return Ok(upper_hull_folklore(m, shm, points, ids, 2));
     }
     let q = ((n.max(2) as f64).log2().powi(params.b as i32).ceil() as usize)
         .clamp(params.cutoff.max(4), n);
@@ -159,11 +166,19 @@ fn recurse(
         let failed = params.inject_failure > 0.0 && rng.bernoulli(params.inject_failure);
         if failed {
             hulls.push(None);
+            children.push(child.metrics);
         } else {
-            let h = recurse(&mut child, shm, points, chunk, params, depth + 1, report);
-            hulls.push(Some(h));
+            let r = recurse(&mut child, shm, points, chunk, params, depth + 1, report);
+            children.push(child.metrics);
+            match r {
+                Ok(h) => hulls.push(Some(h)),
+                Err(e) => {
+                    // keep the accounting of every group that did run
+                    m.metrics.absorb_parallel(&children);
+                    return Err(e);
+                }
+            }
         }
-        children.push(child.metrics);
     }
     m.metrics.absorb_parallel(&children);
 
@@ -207,10 +222,19 @@ fn recurse(
     }
 
     // 3. constant-time point-hull-invariant combine (Lemma 2.6)
-    let groups: Vec<UpperHull> = hulls.into_iter().map(|h| h.unwrap()).collect();
-    let (hull, hrep) = hull_of_hulls(m, shm, points, &groups, &params.hb);
+    let groups: Vec<UpperHull> = hulls
+        .into_iter()
+        .enumerate()
+        .map(|(gi, h)| {
+            h.ok_or_else(|| RunError::Invariant {
+                algorithm: "hull2d/logstar",
+                detail: format!("group {gi} at depth {depth} unsolved after the failure sweep"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let (hull, hrep) = hull_of_hulls(m, shm, points, &groups, &params.hb)?;
     report.combine_failures += hrep.failures;
-    hull
+    Ok(hull)
 }
 
 #[cfg(test)]
@@ -227,7 +251,7 @@ mod tests {
     ) -> (HullOutput, LogstarReport, Machine) {
         let mut m = Machine::new(seed);
         let mut shm = Shm::new();
-        let (out, rep) = upper_hull_logstar(&mut m, &mut shm, points, params);
+        let (out, rep) = upper_hull_logstar(&mut m, &mut shm, points, params).expect("logstar");
         (out, rep, m)
     }
 

@@ -7,5 +7,6 @@ pub mod invariant;
 pub mod logstar;
 pub mod merge;
 pub mod presorted;
+pub mod supervised;
 pub mod trace;
 pub mod unsorted;

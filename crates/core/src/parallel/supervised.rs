@@ -1,0 +1,162 @@
+//! Supervised (Las Vegas) entry points for the 2-D hull algorithms.
+//!
+//! Each wrapper runs its algorithm under [`ipch_pram::supervise`]: an
+//! attempt's result must pass the full certificate — chain convexity and
+//! coverage ([`verify_upper_hull`]) plus per-point pointer validity
+//! ([`HullOutput::verify_pointers`]) — before it is returned. Failed or
+//! panicking attempts retry on fresh child seeds; when every attempt fails,
+//! a deterministic algorithm with no coin flips (the divide-and-conquer
+//! merge tree, or Lemma 2.4's folklore hull for presorted input) produces
+//! the value instead. Under any installed [`ipch_pram::FaultPlan`] the
+//! caller therefore receives a certificate-verified hull or a typed
+//! [`RunError`] — never a silently wrong chain, never a panic.
+//!
+//! Each attempt allocates its own scratch [`Shm`]; the returned hulls are
+//! host-side values, so no shared-memory handles cross the attempt
+//! boundary.
+
+use ipch_geom::hull_chain::verify_upper_hull;
+use ipch_geom::Point2;
+use ipch_pram::{supervise, Machine, RunError, Shm, SuperviseConfig, Supervised};
+
+use super::dac::upper_hull_dac;
+use super::folklore::upper_hull_folklore_full;
+use super::logstar::{upper_hull_logstar, LogstarParams, LogstarReport};
+use super::trace::UnsortedTrace;
+use super::unsorted::{upper_hull_unsorted, UnsortedParams};
+use crate::HullOutput;
+
+/// The certificate every 2-D wrapper demands of a result.
+fn certify(algorithm: &'static str, points: &[Point2], out: &HullOutput) -> Result<(), RunError> {
+    verify_upper_hull(points, &out.hull)
+        .map_err(|detail| RunError::Verify { algorithm, detail })?;
+    out.verify_pointers(points)
+        .map_err(|detail| RunError::Verify { algorithm, detail })
+}
+
+/// Supervised §2.5 O(log* n) hull. `points` must be x-sorted
+/// ([`Point2::cmp_xy`]). Falls back to the deterministic merge tree.
+pub fn upper_hull_logstar_supervised(
+    m: &mut Machine,
+    points: &[Point2],
+    params: &LogstarParams,
+    cfg: &SuperviseConfig,
+) -> Result<Supervised<(HullOutput, LogstarReport)>, RunError> {
+    const ALG: &str = "hull2d/logstar";
+    let mut fallback = |fm: &mut Machine| {
+        let mut shm = Shm::new();
+        let out = upper_hull_dac(fm, &mut shm, points, true);
+        certify(ALG, points, &out)?;
+        Ok((out, LogstarReport::default()))
+    };
+    supervise(
+        m,
+        ALG,
+        cfg,
+        |am: &mut Machine| {
+            let mut shm = Shm::new();
+            let (out, rep) = upper_hull_logstar(am, &mut shm, points, params)?;
+            certify(ALG, points, &out)?;
+            Ok((out, rep))
+        },
+        Some(&mut fallback),
+    )
+}
+
+/// Supervised §3 output-sensitive hull on unsorted input (Theorem 5).
+/// Falls back to the deterministic sort-then-merge tree.
+pub fn upper_hull_unsorted_supervised(
+    m: &mut Machine,
+    points: &[Point2],
+    params: &UnsortedParams,
+    cfg: &SuperviseConfig,
+) -> Result<Supervised<(HullOutput, UnsortedTrace)>, RunError> {
+    const ALG: &str = "hull2d/unsorted";
+    let mut fallback = |fm: &mut Machine| {
+        let mut shm = Shm::new();
+        let out = upper_hull_dac(fm, &mut shm, points, false);
+        certify(ALG, points, &out)?;
+        Ok((out, UnsortedTrace::default()))
+    };
+    supervise(
+        m,
+        ALG,
+        cfg,
+        |am: &mut Machine| {
+            let mut shm = Shm::new();
+            let (out, trace) = upper_hull_unsorted(am, &mut shm, points, params);
+            certify(ALG, points, &out)?;
+            Ok((out, trace))
+        },
+        Some(&mut fallback),
+    )
+}
+
+/// Supervised divide-and-conquer hull. The algorithm itself is
+/// deterministic, so supervision only matters under injected faults: a
+/// corrupted run fails the certificate and retries on a child whose fault
+/// schedule re-derives (transient corruption decorrelates); the fallback
+/// is the folklore hull for presorted input, or a fresh merge-tree run
+/// otherwise.
+pub fn upper_hull_dac_supervised(
+    m: &mut Machine,
+    points: &[Point2],
+    presorted: bool,
+    cfg: &SuperviseConfig,
+) -> Result<Supervised<HullOutput>, RunError> {
+    const ALG: &str = "hull2d/dac";
+    let mut fallback = |fm: &mut Machine| {
+        let mut shm = Shm::new();
+        let out = if presorted {
+            upper_hull_folklore_full(fm, &mut shm, points, 2)
+        } else {
+            upper_hull_dac(fm, &mut shm, points, false)
+        };
+        certify(ALG, points, &out)?;
+        Ok(out)
+    };
+    supervise(
+        m,
+        ALG,
+        cfg,
+        |am: &mut Machine| {
+            let mut shm = Shm::new();
+            let out = upper_hull_dac(am, &mut shm, points, presorted);
+            certify(ALG, points, &out)?;
+            Ok(out)
+        },
+        Some(&mut fallback),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::generators::uniform_disk;
+    use ipch_geom::point::sorted_by_x;
+    use ipch_geom::UpperHull;
+    use ipch_pram::Outcome;
+
+    #[test]
+    fn clean_runs_succeed_first_try() {
+        let pts = sorted_by_x(&uniform_disk(600, 3));
+        let mut m = Machine::new(1);
+        let cfg = SuperviseConfig::default();
+        let s = upper_hull_logstar_supervised(&mut m, &pts, &LogstarParams::default(), &cfg)
+            .expect("clean logstar");
+        assert_eq!(s.outcome, Outcome::FirstTry);
+        assert_eq!(s.value.0.hull, UpperHull::of(&pts));
+
+        let unsorted = uniform_disk(600, 4);
+        let s = upper_hull_unsorted_supervised(&mut m, &unsorted, &UnsortedParams::default(), &cfg)
+            .expect("clean unsorted");
+        assert_eq!(s.outcome, Outcome::FirstTry);
+        assert_eq!(s.value.0.hull, UpperHull::of(&unsorted));
+
+        let s = upper_hull_dac_supervised(&mut m, &pts, true, &cfg).expect("clean dac");
+        assert_eq!(s.outcome, Outcome::FirstTry);
+        assert_eq!(s.value.hull, UpperHull::of(&pts));
+        assert_eq!(m.metrics.supervisor.runs, 3);
+        assert_eq!(m.metrics.supervisor.retries, 0);
+    }
+}

@@ -1,4 +1,5 @@
 //! Parallel 3-D hull on the CRCW PRAM simulator.
 
 pub mod probe;
+pub mod supervised;
 pub mod unsorted3d;

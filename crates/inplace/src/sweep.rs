@@ -173,6 +173,58 @@ mod tests {
         assert_eq!(r.swept, 10);
     }
 
+    /// The overflow path, end to end through the *real* machinery rather
+    /// than a counting stub: an installed fault plan (forced-false coin
+    /// flips) starves the §3.1 random-sample procedure inside every
+    /// attempt, the resulting mass failure exceeds the paper-style
+    /// compaction capacity, and [`ragde_compact_det`] — not a mock —
+    /// detects the overflow. The combinator must report the event and
+    /// still brute-force every failure exactly once.
+    #[test]
+    fn injected_mass_failure_overflows_real_compaction_and_sweeps() {
+        use crate::sample::random_sample;
+        use ipch_pram::{FaultPlan, RngBias};
+
+        let mut m = Machine::new(9);
+        m.install_faults(FaultPlan {
+            // every per-processor coin comes up false: no sampler ever
+            // throws a dart, so placed = 0 < k/2 and each attempt fails
+            rng_bias: Some(RngBias {
+                rate: 1.0,
+                force: false,
+            }),
+            ..FaultPlan::default()
+        });
+        let mut shm = Shm::new();
+        let n_sub = 24;
+        let k = 8;
+        let active: Vec<usize> = (0..64).collect();
+        let mut solved: Vec<usize> = Vec::new();
+        let r = failure_sweep(
+            &mut m,
+            &mut shm,
+            n_sub,
+            4, // capacity far under the injected failure mass
+            |child, shm, _j| {
+                shm.scope(|shm| {
+                    let out = random_sample(child, shm, &active, 64, k, 3);
+                    out.size_in_bounds(k)
+                })
+            },
+            |_, _, j| solved.push(j),
+        );
+        assert_eq!(r.failures.len(), n_sub, "bias must starve every attempt");
+        assert!(
+            r.compaction_overflow,
+            "real Ragde compaction must detect more than `bound` failures"
+        );
+        assert_eq!(r.swept, n_sub);
+        solved.sort_unstable();
+        assert_eq!(solved, (0..n_sub).collect::<Vec<_>>());
+        // the parent's metrics saw the injected bias from inside the children
+        assert!(m.metrics.faults.biased_streams > 0);
+    }
+
     #[test]
     fn parallel_time_accounting() {
         // 8 attempts, each costing 5 child steps: parallel time adds 5, not 40.

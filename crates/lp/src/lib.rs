@@ -33,3 +33,4 @@ pub mod inplace_bridge;
 pub mod lp3d;
 pub mod seidel;
 pub mod seidel3;
+pub mod supervised;

@@ -1,0 +1,218 @@
+//! Supervised (Las Vegas) entry points for the LP-flavoured primitives.
+//!
+//! A bridge or facet probe has a cheap independent certificate — the
+//! returned element must straddle/contain the query abscissa and *support*
+//! the active set (no active point strictly above it). The wrappers here
+//! check exactly that before returning anything, so under an installed
+//! [`ipch_pram::FaultPlan`] the caller receives a verified answer or a
+//! typed [`RunError`]:
+//!
+//! * [`find_bridge_inplace_supervised`] — the §3.3 randomized in-place
+//!   bridge finder; retries reseed the dart throws, exhaustion falls back
+//!   to the Θ(p³)-work brute-force bridge.
+//! * [`bridge_brute_supervised`] / [`facet_brute_supervised`] — the brute
+//!   probes, verification-wrapped: they are deterministic, so retries only
+//!   matter under injected faults (a re-derived fault schedule can clear a
+//!   transient corruption).
+
+use ipch_geom::predicates::{on_or_below, orient2d_sign, orient3d_sign};
+use ipch_geom::{Point2, Point3};
+use ipch_pram::{supervise, Machine, RunError, Shm, SuperviseConfig, Supervised};
+
+use crate::bridge::{bridge_brute, facet_brute, Bridge};
+use crate::inplace_bridge::{find_bridge_inplace, IbConfig, IbTrace};
+
+/// Certificate for a 2-D bridge over `active` at `x0`: endpoints active,
+/// straddling, and supporting (no active point strictly above the line).
+fn certify_bridge(
+    algorithm: &'static str,
+    points: &[Point2],
+    active: &[usize],
+    x0: f64,
+    b: &Bridge,
+) -> Result<(), RunError> {
+    let fail = |detail: String| RunError::Verify { algorithm, detail };
+    if !active.contains(&b.left) || !active.contains(&b.right) {
+        return Err(fail(format!(
+            "bridge ({}, {}) endpoints not in the active set",
+            b.left, b.right
+        )));
+    }
+    let (u, v) = (points[b.left], points[b.right]);
+    if !(u.x <= x0 && x0 < v.x) {
+        return Err(fail(format!(
+            "bridge ({}, {}) does not straddle x0 = {x0}",
+            b.left, b.right
+        )));
+    }
+    for &t in active {
+        if !on_or_below(u, v, points[t]) {
+            return Err(fail(format!(
+                "active point {t} lies strictly above the bridge ({}, {})",
+                b.left, b.right
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Supervised §3.3 in-place bridge finder. `None` from an attempt (dart
+/// rounds exhausted) is a typed invariant failure and retries; exhaustion
+/// falls back to [`bridge_brute`]. Returns the brute fallback's result
+/// with a default trace.
+pub fn find_bridge_inplace_supervised(
+    m: &mut Machine,
+    points: &[Point2],
+    active: &[usize],
+    x0: f64,
+    ib: &IbConfig,
+    cfg: &SuperviseConfig,
+) -> Result<Supervised<(Bridge, IbTrace)>, RunError> {
+    const ALG: &str = "lp/inplace_bridge";
+    let mut fallback = |fm: &mut Machine| {
+        let mut shm = Shm::new();
+        let b = bridge_brute(fm, &mut shm, points, active, x0).ok_or(RunError::Invariant {
+            algorithm: ALG,
+            detail: format!("brute fallback found no bridge straddling x0 = {x0}"),
+        })?;
+        certify_bridge(ALG, points, active, x0, &b)?;
+        Ok((b, IbTrace::default()))
+    };
+    supervise(
+        m,
+        ALG,
+        cfg,
+        |am: &mut Machine| {
+            let mut shm = Shm::new();
+            let (b, trace) =
+                find_bridge_inplace(am, &mut shm, points, active, x0, ib).ok_or_else(|| {
+                    RunError::Invariant {
+                        algorithm: ALG,
+                        detail: "no bridge after the configured sample/dart rounds".into(),
+                    }
+                })?;
+            certify_bridge(ALG, points, active, x0, &b)?;
+            Ok((b, trace))
+        },
+        Some(&mut fallback),
+    )
+}
+
+/// Supervised brute-force bridge: the deterministic probe, verification-
+/// wrapped (no fallback — the brute probe *is* the last resort).
+pub fn bridge_brute_supervised(
+    m: &mut Machine,
+    points: &[Point2],
+    active: &[usize],
+    x0: f64,
+    cfg: &SuperviseConfig,
+) -> Result<Supervised<Bridge>, RunError> {
+    const ALG: &str = "lp/bridge_brute";
+    supervise(
+        m,
+        ALG,
+        cfg,
+        |am: &mut Machine| {
+            let mut shm = Shm::new();
+            let b = bridge_brute(am, &mut shm, points, active, x0).ok_or(RunError::Invariant {
+                algorithm: ALG,
+                detail: format!("no pair of active points straddles x0 = {x0}"),
+            })?;
+            certify_bridge(ALG, points, active, x0, &b)?;
+            Ok(b)
+        },
+        None,
+    )
+}
+
+/// Supervised brute-force 3-D facet probe: the returned triple must be CCW
+/// seen from above, contain `(x0, y0)` in its xy-projection, and support
+/// the active set (no active point strictly above its plane).
+pub fn facet_brute_supervised(
+    m: &mut Machine,
+    points: &[Point3],
+    active: &[usize],
+    x0: f64,
+    y0: f64,
+    cfg: &SuperviseConfig,
+) -> Result<Supervised<(usize, usize, usize)>, RunError> {
+    const ALG: &str = "lp/facet_brute";
+    supervise(
+        m,
+        ALG,
+        cfg,
+        |am: &mut Machine| {
+            let mut shm = Shm::new();
+            let (a, b, c) =
+                facet_brute(am, &mut shm, points, active, x0, y0).ok_or(RunError::Invariant {
+                    algorithm: ALG,
+                    detail: format!("no facet over ({x0}, {y0}) in the active set"),
+                })?;
+            let fail = |detail: String| RunError::Verify {
+                algorithm: ALG,
+                detail,
+            };
+            let (pa, pb, pc) = (points[a], points[b], points[c]);
+            if orient2d_sign(pa.xy(), pb.xy(), pc.xy()) <= 0 {
+                return Err(fail(format!("facet ({a}, {b}, {c}) not CCW from above")));
+            }
+            let q = Point2::new(x0, y0);
+            let inside = orient2d_sign(pa.xy(), pb.xy(), q) >= 0
+                && orient2d_sign(pb.xy(), pc.xy(), q) >= 0
+                && orient2d_sign(pc.xy(), pa.xy(), q) >= 0;
+            if !inside {
+                return Err(fail(format!(
+                    "facet ({a}, {b}, {c}) projection misses ({x0}, {y0})"
+                )));
+            }
+            for &t in active {
+                if orient3d_sign(pa, pb, pc, points[t]) < 0 {
+                    return Err(fail(format!(
+                        "active point {t} strictly above facet ({a}, {b}, {c})"
+                    )));
+                }
+            }
+            Ok((a, b, c))
+        },
+        None,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_pram::Outcome;
+
+    fn disk(n: usize, seed: u64) -> Vec<Point2> {
+        ipch_geom::generators::uniform_disk(n, seed)
+    }
+
+    #[test]
+    fn clean_inplace_bridge_verifies_first_try() {
+        let pts = disk(800, 5);
+        let active: Vec<usize> = (0..pts.len()).collect();
+        let mut m = Machine::new(1);
+        let s = find_bridge_inplace_supervised(
+            &mut m,
+            &pts,
+            &active,
+            0.0,
+            &IbConfig::default(),
+            &SuperviseConfig::default(),
+        )
+        .expect("a bridge straddles x = 0 inside the disk");
+        assert_eq!(s.outcome, Outcome::FirstTry);
+        let b = s.value.0;
+        assert!(pts[b.left].x <= 0.0 && 0.0 < pts[b.right].x);
+    }
+
+    #[test]
+    fn brute_bridge_with_no_straddle_is_a_typed_error() {
+        let pts = disk(100, 6);
+        let active: Vec<usize> = (0..pts.len()).collect();
+        let mut m = Machine::new(2);
+        let err = bridge_brute_supervised(&mut m, &pts, &active, 1e9, &SuperviseConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, RunError::AttemptsExhausted { .. }));
+    }
+}

@@ -469,6 +469,11 @@ pub(crate) fn finish_step(
     policy: WritePolicy,
     nchunks: usize,
     write_bufs: &mut [ChunkCell<Vec<WriteEntry>>],
+    // Fault seed of `FaultPlan::adversarial_writes` when that fault is
+    // active: the winner replay below then mirrors the adversarial extremal
+    // pick the commit pipeline performed, so the analyzer still reports
+    // exactly what was committed.
+    adversary: Option<u64>,
 ) {
     // Gather the chunk traces and canonicalise. Sorting by (cell, pid[,seq])
     // makes the analysis independent of chunking and thread count, and for
@@ -599,17 +604,39 @@ pub(crate) fn finish_step(
                 } else {
                     // Distinct values under Arbitrary: replay the resolution
                     // under salted tiebreaks; any disagreement proves the
-                    // committed memory depends on the machine seed.
-                    let actual =
-                        run[(cell_tiebreak(seed, step_no, key) % run.len() as u64) as usize].val;
+                    // committed memory depends on the machine seed. When the
+                    // fault plane's adversary resolved this step, replay its
+                    // extremal pick instead (salting the fault seed), so
+                    // `actual` is always the value really committed.
+                    let resolve_with = |salt: Option<u64>| -> Word {
+                        match adversary {
+                            Some(fseed) => {
+                                let fs = match salt {
+                                    Some(s) => mix64(fseed ^ s),
+                                    None => fseed,
+                                };
+                                crate::faults::adversarial_pick(
+                                    fs,
+                                    step_no,
+                                    key,
+                                    run.iter().map(|e| e.val),
+                                )
+                            }
+                            None => {
+                                let tseed = match salt {
+                                    Some(s) => mix64(seed ^ s),
+                                    None => seed,
+                                };
+                                run[(cell_tiebreak(tseed, step_no, key) % run.len() as u64)
+                                    as usize]
+                                    .val
+                            }
+                        }
+                    };
+                    let actual = resolve_with(None);
                     let mut flipped: Option<Word> = None;
                     for s in 0..cfg.salt_checks {
-                        let salted = cell_tiebreak(
-                            mix64(seed ^ (0xA5A5_5A5A_0F0F_F0F0 ^ s as u64)),
-                            step_no,
-                            key,
-                        );
-                        let alt = run[(salted % run.len() as u64) as usize].val;
+                        let alt = resolve_with(Some(0xA5A5_5A5A_0F0F_F0F0 ^ s as u64));
                         if alt != actual {
                             flipped = Some(alt);
                             break;

@@ -292,7 +292,7 @@ impl Machine {
         F: Fn(&KCtx, usize) -> Word + Sync,
     {
         let pids = pids.into();
-        if self.tuning.disable_kernels {
+        if self.tuning.disable_kernels || self.faults.is_some() {
             let forbidden = out.slot();
             self.step(shm, pids, |ctx| {
                 let t = KCtx::for_ctx(ctx, forbidden);
@@ -318,7 +318,7 @@ impl Machine {
         F: Fn(&KCtx, usize) -> (usize, Word) + Sync,
     {
         let pids = pids.into();
-        if self.tuning.disable_kernels {
+        if self.tuning.disable_kernels || self.faults.is_some() {
             let forbidden = out.slot();
             self.step(shm, pids, |ctx| {
                 let t = KCtx::for_ctx(ctx, forbidden);
@@ -441,6 +441,7 @@ impl Machine {
                 self.policy,
                 nchunks,
                 &mut ar.chunk_bufs[..nchunks],
+                None, // faults installed ⇒ kernels already routed generic
             );
         }
         if let Some(ar) = arena {
@@ -478,7 +479,7 @@ impl Machine {
         F: Fn(&KCtx, usize) -> Option<(ArrayId, usize, Word)> + Sync,
     {
         let pids = pids.into();
-        if self.tuning.disable_kernels {
+        if self.tuning.disable_kernels || self.faults.is_some() {
             self.step_with_policy(shm, pids, policy, |ctx| {
                 let t = KCtx::for_ctx(ctx, NO_FORBIDDEN);
                 if let Some((a, i, v)) = f(&t, ctx.pid) {
@@ -561,6 +562,7 @@ impl Machine {
                 policy,
                 nchunks,
                 &mut arena.chunk_bufs[..nchunks],
+                None, // faults installed ⇒ kernels already routed generic
             );
         }
         self.arena = arena;
@@ -589,7 +591,7 @@ impl Machine {
         F: Fn(&KCtx, usize) -> Option<Word> + Sync,
     {
         let pids = pids.into();
-        if self.tuning.disable_kernels {
+        if self.tuning.disable_kernels || self.faults.is_some() {
             self.step_with_policy(shm, pids, op.policy(), |ctx| {
                 let t = KCtx::for_ctx(ctx, NO_FORBIDDEN);
                 if let Some(v) = f(&t, ctx.pid) {
@@ -711,6 +713,7 @@ impl Machine {
                 op.policy(),
                 nchunks,
                 &mut ar.chunk_bufs[..nchunks],
+                None, // faults installed ⇒ kernels already routed generic
             );
         }
         if let Some(ar) = arena {

@@ -46,6 +46,7 @@
 //!   every use site documents which rule it assumes.
 
 pub mod analyze;
+pub mod faults;
 pub mod kernel;
 pub mod machine;
 pub mod memory;
@@ -57,16 +58,22 @@ pub mod primitives;
 pub mod rng;
 pub mod schedule;
 pub mod sort;
+pub mod supervise;
 
 pub use analyze::{
     AnalysisReport, AnalyzeConfig, ModelClass, ModelContract, RaceExpectation, Violation,
     ViolationKind,
 };
+pub use faults::{Budget, DropWindow, FaultCounters, FaultPlan, RngBias};
 pub use kernel::{KCtx, ReduceOp};
 pub use machine::{Ctx, Machine, Tuning};
 pub use memory::{ArrayId, Shm, ShmError};
 pub use metrics::{Metrics, PhaseRecord};
 pub use policy::WritePolicy;
+pub use supervise::{
+    attempt_machine, supervise, Fallback, Outcome, RunError, SuperviseConfig, Supervised,
+    SupervisorStats,
+};
 
 /// The word type of simulated shared memory.
 ///

@@ -44,6 +44,7 @@ use std::cell::UnsafeCell;
 use std::time::Instant;
 
 use crate::analyze::{Analysis, ReadEntry, ReadTrace, READ_ALL};
+use crate::faults::{FaultPlan, FaultState, StepFaults};
 use crate::memory::{ArrayId, Shm};
 use crate::metrics::Metrics;
 use crate::policy::WritePolicy;
@@ -202,6 +203,12 @@ pub struct Ctx<'a, 'b> {
     /// Read-trace buffer of this processor's chunk, when the concurrency
     /// analyzer ([`crate::analyze`]) is attached.
     trace: Option<&'b ReadTrace>,
+    /// Fault plane ([`crate::faults`]): forced coin outcome of this
+    /// processor's RNG stream, when the stream is biased this step.
+    bias: Option<bool>,
+    /// Fault plane: this processor is dropped this step — it computes, but
+    /// none of its writes reach shared memory (a stalled processor).
+    dropped: bool,
 }
 
 impl<'a, 'b> Ctx<'a, 'b> {
@@ -283,6 +290,12 @@ impl<'a, 'b> Ctx<'a, 'b> {
             "pid {} exceeds u32 range",
             self.pid
         );
+        if self.dropped {
+            // Fault plane: a dropped processor's writes silently vanish
+            // (bounds are still validated above so a buggy index panics
+            // identically with and without the fault).
+            return;
+        }
         self.writes.push(WriteEntry {
             key: ((a.slot() as u64) << 32) | i as u64,
             pidseq: ((self.pid as u64) << 32) | self.wseq as u64,
@@ -296,11 +309,11 @@ impl<'a, 'b> Ctx<'a, 'b> {
     #[inline]
     pub fn rng(&mut self) -> &mut SplitMix64 {
         if self.rng.is_none() {
-            self.rng = Some(SplitMix64::for_step_pid(
-                self.seed,
-                self.step_no,
-                self.pid as u64,
-            ));
+            let mut r = SplitMix64::for_step_pid(self.seed, self.step_no, self.pid as u64);
+            if let Some(force) = self.bias {
+                r.set_bias(force);
+            }
+            self.rng = Some(r);
         }
         self.rng.as_mut().unwrap()
     }
@@ -388,6 +401,10 @@ pub struct Machine {
     /// ([`Machine::enable_analysis`]); the report lives in
     /// [`Metrics::analysis`] so it follows the child-absorb flow.
     pub(crate) analysis: Option<Box<Analysis>>,
+    /// Fault-injection state, when a [`FaultPlan`] is installed
+    /// ([`Machine::install_faults`]). Boxed so the (default) disabled case
+    /// costs one pointer and one branch per hook.
+    pub(crate) faults: Option<Box<FaultState>>,
 }
 
 impl Machine {
@@ -401,6 +418,7 @@ impl Machine {
             step_counter: 0,
             arena: WriteArena::default(),
             analysis: None,
+            faults: None,
         }
     }
 
@@ -445,15 +463,54 @@ impl Machine {
         if self.analysis.is_some() {
             metrics.analysis = Some(Box::default());
         }
+        let seed = mix64(self.seed ^ mix64(tag.wrapping_mul(0xDEAD_BEEF_1234_5677)));
         Machine {
             metrics,
             policy: self.policy,
             tuning: self.tuning,
-            seed: mix64(self.seed ^ mix64(tag.wrapping_mul(0xDEAD_BEEF_1234_5677))),
+            seed,
             step_counter: 0,
             arena: WriteArena::default(),
             analysis: self.analysis.as_ref().map(|a| Box::new(a.child())),
+            // Children inherit the fault plan (so injection reaches
+            // subcomputations) with a schedule derived from their own seed
+            // and a fresh budget latch.
+            faults: self.faults.as_ref().map(|f| Box::new(f.child(seed))),
         }
+    }
+
+    /// Install a fault-injection plan ([`crate::faults`]): subsequent steps
+    /// are perturbed per the plan, deterministically in (machine seed,
+    /// [`FaultPlan::salt`]). Replaces any previously installed plan. Child
+    /// machines created after this call inherit the plan.
+    ///
+    /// While any plan is installed, [`crate::kernel`] entry points route
+    /// through the generic step path (fault hooks live there), so the
+    /// kernel/generic metrics-identity invariant is only claimed with faults
+    /// disabled.
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultState::new(plan, self.seed)));
+    }
+
+    /// Remove any installed fault plan; subsequent behaviour is
+    /// byte-identical to a machine that never had one.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// True when a fault plan is installed.
+    pub fn faults_installed(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The adversarial-write fault seed, when that fault is active
+    /// (crate-internal: threaded into commit resolution and the analyzer's
+    /// winner replay).
+    #[inline]
+    pub(crate) fn adversary_seed(&self) -> Option<u64> {
+        self.faults
+            .as_deref()
+            .and_then(|f| f.plan.adversarial_writes.then_some(f.fault_seed))
     }
 
     /// Record an analytic cost (see [`Metrics`] docs for the contract).
@@ -512,9 +569,29 @@ impl Machine {
         let step_no = self.step_counter;
         self.step_counter += 1;
         self.metrics.record_step(count as u64);
+        // Fault plane: budget meters tick on every executed step (including
+        // empty ones) and trip at most once per machine. Execution is never
+        // cut short — the supervisor interprets the tripped latch.
+        if let Some(fs) = self.faults.as_deref_mut() {
+            if !fs.budget_tripped {
+                if let Some(b) = fs.plan.budget {
+                    if self.metrics.steps > b.max_steps || self.metrics.work > b.max_work {
+                        fs.budget_tripped = true;
+                        self.metrics.faults.budget_exhaustions += 1;
+                    }
+                }
+            }
+        }
         if count == 0 {
             return Vec::new();
         }
+        // Per-pid fault decisions for this step, if any are live (pure
+        // hashes of (fault seed, step, pid): identical across chunking and
+        // thread count).
+        let step_faults: Option<StepFaults> = self.faults.as_deref().and_then(|fs| {
+            let sf = StepFaults::for_step(fs, step_no);
+            sf.any_per_pid().then_some(sf)
+        });
 
         let t_start = Instant::now();
         let mut arena = std::mem::take(&mut self.arena);
@@ -545,8 +622,16 @@ impl Machine {
             let trace = trace_bufs.map(|t| unsafe { &*t[c].0.get() });
             results.reserve(hi - lo);
             for i in lo..hi {
+                let pid = pids_ref.get(i);
+                let (bias, dropped) = match &step_faults {
+                    Some(sf) => (
+                        sf.bias_for(step_no, pid as u64),
+                        sf.dropped(step_no, pid as u64),
+                    ),
+                    None => (None, false),
+                };
                 let mut ctx = Ctx {
-                    pid: pids_ref.get(i),
+                    pid,
                     shm: shm_ref,
                     seed,
                     step_no,
@@ -554,6 +639,8 @@ impl Machine {
                     writes,
                     wseq: 0,
                     trace,
+                    bias,
+                    dropped,
                 };
                 results.push(f(&mut ctx));
             }
@@ -574,6 +661,19 @@ impl Machine {
             results.extend(out.into_inner());
         }
 
+        // Count this step's per-pid fault events (host-side recount of the
+        // same pure hashes the chunks used, so no shared mutation races).
+        if let Some(sf) = &step_faults {
+            let (mut biased, mut dropped) = (0u64, 0u64);
+            for i in 0..count {
+                let pid = pids.get(i) as u64;
+                biased += sf.bias_for(step_no, pid).is_some() as u64;
+                dropped += sf.dropped(step_no, pid) as u64;
+            }
+            self.metrics.faults.biased_streams += biased;
+            self.metrics.faults.dropped_processors += dropped;
+        }
+
         let t_computed = Instant::now();
         self.commit(shm, policy, step_no, &mut arena, nchunks);
         let t_committed = Instant::now();
@@ -584,6 +684,7 @@ impl Machine {
             t_committed.duration_since(t_computed).as_nanos() as u64,
         );
         if let Some(an) = &mut analysis {
+            let adversary = self.adversary_seed();
             let report = self.metrics.analysis.get_or_insert_with(Box::default);
             crate::analyze::finish_step(
                 an,
@@ -594,9 +695,22 @@ impl Machine {
                 policy,
                 nchunks,
                 &mut self.arena.chunk_bufs[..nchunks],
+                adversary,
             );
         }
         self.analysis = analysis;
+
+        // Fault plane: transient cell corruption, applied *after* the
+        // analyzer observed the honestly committed step so the corruption
+        // reads as what it models — memory decay between steps, not a
+        // different write resolution.
+        if let Some(fs) = self.faults.as_deref() {
+            if let Some(h) = crate::faults::corruption_draw(fs, step_no) {
+                if shm.corrupt_cell(h).is_some() {
+                    self.metrics.faults.corrupted_cells += 1;
+                }
+            }
+        }
         results
     }
 
@@ -663,15 +777,17 @@ impl Machine {
         }
 
         let seed = self.seed;
-        let (committed, conflicts) = if parallel_commit {
-            resolve_runs_parallel(shm, &arena.flat, policy, seed, step_no)
+        let adversary = self.adversary_seed();
+        let (committed, conflicts, adversarial) = if parallel_commit {
+            resolve_runs_parallel(shm, &arena.flat, policy, seed, step_no, adversary)
         } else {
             let writer = ShmWriter::new(shm);
             // SAFETY: single-threaded resolution; runs target distinct cells.
-            unsafe { resolve_runs(&writer, &arena.flat, policy, seed, step_no) }
+            unsafe { resolve_runs(&writer, &arena.flat, policy, seed, step_no, adversary) }
         };
         self.metrics.writes_committed += committed;
         self.metrics.write_conflicts += conflicts;
+        self.metrics.faults.adversarial_resolutions += adversarial;
     }
 }
 
@@ -737,7 +853,11 @@ pub(crate) fn cell_tiebreak(seed: u64, step_no: u64, key: u64) -> u64 {
 }
 
 /// Resolve the sorted log's runs and commit winners through `writer`.
-/// Returns `(cells_committed, conflicted_cells)`.
+/// Returns `(cells_committed, conflicted_cells, adversarial_cells)`.
+///
+/// `adversary` is the fault seed of [`crate::faults::FaultPlan::adversarial_writes`]
+/// when that fault is active: conflicted `Arbitrary` cells then commit the
+/// worst-case extremal contender instead of the seeded tiebreak winner.
 ///
 /// # Safety
 /// The caller must guarantee no other thread writes the cells covered by
@@ -748,9 +868,11 @@ unsafe fn resolve_runs(
     policy: WritePolicy,
     seed: u64,
     step_no: u64,
-) -> (u64, u64) {
+    adversary: Option<u64>,
+) -> (u64, u64, u64) {
     let mut committed = 0u64;
     let mut conflicts = 0u64;
+    let mut adversarial = 0u64;
     let mut i = 0;
     let n = flat.len();
     while i < n {
@@ -768,12 +890,18 @@ unsafe fn resolve_runs(
             i += 1;
         }
         let run = &flat[start..i];
-        let v = policy.resolve_run(run, cell_tiebreak(seed, step_no, e.key));
+        let v = match (adversary, policy) {
+            (Some(fseed), WritePolicy::Arbitrary) => {
+                adversarial += 1;
+                crate::faults::adversarial_pick(fseed, step_no, e.key, run.iter().map(|w| w.val))
+            }
+            _ => policy.resolve_run(run, cell_tiebreak(seed, step_no, e.key)),
+        };
         writer.commit(e.array(), e.idx(), v);
         committed += 1;
         conflicts += 1;
     }
-    (committed, conflicts)
+    (committed, conflicts, adversarial)
 }
 
 /// Parallel run resolution: partition the sorted log at run boundaries and
@@ -785,7 +913,8 @@ fn resolve_runs_parallel(
     policy: WritePolicy,
     seed: u64,
     step_no: u64,
-) -> (u64, u64) {
+    adversary: Option<u64>,
+) -> (u64, u64, u64) {
     let lanes = pool::num_threads().max(1);
     let n = flat.len();
     let mut bounds: Vec<usize> = Vec::with_capacity(lanes + 1);
@@ -804,24 +933,26 @@ fn resolve_runs_parallel(
 
     let nranges = bounds.len() - 1;
     let writer = ShmWriter::new(shm);
-    let tallies: Vec<ChunkCell<(u64, u64)>> =
-        (0..nranges).map(|_| ChunkCell::new((0, 0))).collect();
+    let tallies: Vec<ChunkCell<(u64, u64, u64)>> =
+        (0..nranges).map(|_| ChunkCell::new((0, 0, 0))).collect();
     let bounds_ref = &bounds;
     let tallies_ref = &tallies;
     pool::global().run(nranges, &|r| {
         let range = &flat[bounds_ref[r]..bounds_ref[r + 1]];
         // SAFETY: ranges are run-aligned ⇒ cell-disjoint; tally r is ours.
-        let out = unsafe { resolve_runs(&writer, range, policy, seed, step_no) };
+        let out = unsafe { resolve_runs(&writer, range, policy, seed, step_no, adversary) };
         unsafe { *tallies_ref[r].get_mut_unchecked() = out };
     });
     let mut committed = 0;
     let mut conflicts = 0;
+    let mut adversarial = 0;
     for t in tallies {
-        let (c, k) = t.into_inner();
+        let (c, k, a) = t.into_inner();
         committed += c;
         conflicts += k;
+        adversarial += a;
     }
-    (committed, conflicts)
+    (committed, conflicts, adversarial)
 }
 
 /// Parallel merge sort by the unique packed key: segments are sorted on the
@@ -1170,6 +1301,153 @@ mod tests {
             };
             assert_eq!(run(), run(), "policy {policy:?} must replay");
         }
+    }
+
+    #[test]
+    fn adversarial_writes_commit_extremal_contender_deterministically() {
+        use crate::faults::FaultPlan;
+        let run = |adversarial: bool| {
+            let mut m = Machine::new(31);
+            if adversarial {
+                m.install_faults(FaultPlan {
+                    adversarial_writes: true,
+                    ..FaultPlan::default()
+                });
+            }
+            let mut shm = Shm::new();
+            let a = shm.alloc("cell", 1, EMPTY);
+            m.step(&mut shm, 0..16, |ctx| {
+                let pid = ctx.pid;
+                ctx.write(a, 0, pid as i64);
+            });
+            (shm.get(a, 0), m.metrics.faults.adversarial_resolutions)
+        };
+        let (v, n) = run(true);
+        assert!(
+            v == 0 || v == 15,
+            "adversary must pick an extremal, got {v}"
+        );
+        assert_eq!(n, 1);
+        assert_eq!(run(true), (v, n), "adversary must replay identically");
+        let (honest, hn) = run(false);
+        assert!((0..16).contains(&honest));
+        assert_eq!(hn, 0);
+    }
+
+    #[test]
+    fn biased_rng_forces_coin_outcomes_per_stream() {
+        use crate::faults::{FaultPlan, RngBias};
+        let mut m = Machine::new(32);
+        m.install_faults(FaultPlan {
+            rng_bias: Some(RngBias {
+                rate: 1.0,
+                force: false,
+            }),
+            ..FaultPlan::default()
+        });
+        let mut shm = Shm::new();
+        let _a = shm.alloc("a", 1, 0);
+        let flips = m.step_map(&mut shm, 0..64, |ctx| ctx.rng().bernoulli(0.999));
+        assert!(flips.iter().all(|&b| !b), "every coin must be forced false");
+        assert_eq!(m.metrics.faults.biased_streams, 64);
+        m.clear_faults();
+        let flips = m.step_map(&mut shm, 0..64, |ctx| ctx.rng().bernoulli(0.999));
+        assert!(flips.iter().filter(|&&b| b).count() > 56);
+    }
+
+    #[test]
+    fn dropped_processors_writes_never_commit() {
+        use crate::faults::{DropWindow, FaultPlan};
+        let mut m = Machine::new(33);
+        m.install_faults(FaultPlan {
+            drop_window: Some(DropWindow {
+                from_step: 0,
+                until_step: 1,
+                rate: 1.0,
+            }),
+            ..FaultPlan::default()
+        });
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 8, EMPTY);
+        // step 0: inside the window — all writes dropped
+        m.step(&mut shm, 0..8, |ctx| ctx.write(a, ctx.pid, 1));
+        assert_eq!(shm.slice(a), &[EMPTY; 8]);
+        assert_eq!(m.metrics.faults.dropped_processors, 8);
+        assert_eq!(m.metrics.writes_buffered, 0);
+        // step 1: past the window — writes land
+        m.step(&mut shm, 0..8, |ctx| ctx.write(a, ctx.pid, 1));
+        assert_eq!(shm.slice(a), &[1; 8]);
+        assert_eq!(m.metrics.faults.dropped_processors, 8);
+    }
+
+    #[test]
+    fn corruption_flips_bits_between_steps_and_is_counted() {
+        use crate::faults::FaultPlan;
+        let mut m = Machine::new(34);
+        m.install_faults(FaultPlan {
+            corrupt_rate: 1.0,
+            ..FaultPlan::default()
+        });
+        let mut shm = Shm::new();
+        let a = shm.alloc("a", 16, 0);
+        for _ in 0..5 {
+            m.step(&mut shm, 0..1, |_| {});
+        }
+        assert_eq!(m.metrics.faults.corrupted_cells, 5);
+        let ones: i64 = shm.slice(a).iter().map(|v| v.count_ones() as i64).sum();
+        assert!(ones > 0, "at least one surviving flipped bit expected");
+    }
+
+    #[test]
+    fn empty_plan_and_cleared_faults_are_byte_identical_to_no_faults() {
+        use crate::faults::FaultPlan;
+        let run = |mode: u8| {
+            let mut m = Machine::new(35);
+            match mode {
+                1 => m.install_faults(FaultPlan::default()),
+                2 => {
+                    m.install_faults(FaultPlan {
+                        corrupt_rate: 1.0,
+                        ..FaultPlan::default()
+                    });
+                    m.clear_faults();
+                }
+                _ => {}
+            }
+            let mut shm = Shm::new();
+            let a = shm.alloc("a", 64, 0);
+            let coins = m.step_map(&mut shm, 0..64, |ctx| {
+                let pid = ctx.pid;
+                ctx.write(a, pid % 7, pid as i64);
+                ctx.rng().bernoulli(0.5)
+            });
+            (shm.slice(a).to_vec(), coins, m.metrics.faults)
+        };
+        assert_eq!(run(0), run(1));
+        assert_eq!(run(0), run(2));
+        assert_eq!(run(0).2.total(), 0);
+    }
+
+    #[test]
+    fn children_inherit_the_fault_plan_with_fresh_schedules() {
+        use crate::faults::{FaultPlan, RngBias};
+        let mut m = Machine::new(36);
+        let plan = FaultPlan {
+            rng_bias: Some(RngBias {
+                rate: 1.0,
+                force: true,
+            }),
+            ..FaultPlan::default()
+        };
+        m.install_faults(plan.clone());
+        let mut child = m.child(9);
+        assert!(child.faults_installed());
+        let mut shm = Shm::new();
+        let _a = shm.alloc("a", 1, 0);
+        let flips = child.step_map(&mut shm, 0..8, |ctx| ctx.rng().bernoulli(0.0));
+        assert!(flips.iter().all(|&b| b), "inherited bias must apply");
+        m.metrics.absorb(&child.metrics);
+        assert_eq!(m.metrics.faults.biased_streams, 8);
     }
 
     #[test]

@@ -549,6 +549,29 @@ impl Shm {
         &self.raw.0
     }
 
+    /// Fault-plane hook ([`crate::faults`]): flip the low bit of one
+    /// hash-chosen cell of a live, non-empty array. Returns the
+    /// `(slot, index)` corrupted, or `None` when no array has cells (parked
+    /// free-list slots are empty, so they are never chosen). The buffer
+    /// itself is untouched (same pointer, same length), so the raw-parts
+    /// cache stays valid. The initialisation shadow is deliberately not
+    /// updated: corruption models decay of whatever was (or wasn't) there.
+    pub(crate) fn corrupt_cell(&mut self, h: u64) -> Option<(u32, usize)> {
+        let nslots = self.arrays.len();
+        if nslots == 0 {
+            return None;
+        }
+        // Probe forward from a hashed start slot to the first non-empty array.
+        let start = (h % nslots as u64) as usize;
+        let slot = (0..nslots)
+            .map(|d| (start + d) % nslots)
+            .find(|&s| !self.arrays[s].is_empty())?;
+        let buf = &mut self.arrays[slot];
+        let idx = (crate::rng::mix64(h) % buf.len() as u64) as usize;
+        buf[idx] ^= 1;
+        Some((slot as u32, idx))
+    }
+
     /// Detach array `a`'s buffer for a kernel's exclusive writes (the slot
     /// reads as empty until [`Shm::put_back`] restores it, so a kernel
     /// closure that illegally reads its own output trips a bounds check).
@@ -756,6 +779,27 @@ mod tests {
         shm.enable_shadow(true);
         let b = shm.alloc("b", 4, -1);
         assert_eq!(shm.is_init(b.slot, 2), Some(true));
+    }
+
+    #[test]
+    fn corrupt_cell_flips_one_live_bit_and_skips_empty_slots() {
+        let mut shm = Shm::new();
+        assert_eq!(shm.corrupt_cell(7), None, "no arrays: nothing to corrupt");
+        // park an empty slot on the free list (too big for the next alloc
+        // to recycle), then allocate a live array in a fresh slot
+        shm.scope(|shm| {
+            shm.alloc("tmp", 1 << 10, 0);
+        });
+        let a = shm.alloc("live", 4, 2);
+        assert_eq!(shm.array_count(), 2, "parked slot must not be recycled");
+        for h in 0..32u64 {
+            let before = shm.slice(a).to_vec();
+            let (slot, idx) = shm.corrupt_cell(h).expect("a non-empty array exists");
+            assert_eq!(slot, a.slot, "parked empty slots must be skipped");
+            assert_eq!(shm.get(a, idx), before[idx] ^ 1);
+            // undo so each probe starts from a clean state
+            shm.host_set(a, idx, before[idx]);
+        }
     }
 
     #[test]

@@ -78,6 +78,14 @@ pub struct Metrics {
     /// disabled case costs one pointer. Child-machine reports fold into the
     /// parent's on [`Metrics::absorb`]/[`Metrics::absorb_parallel`].
     pub analysis: Option<Box<crate::AnalysisReport>>,
+    /// Injected-fault event counts ([`crate::faults`]). All zero unless a
+    /// [`crate::faults::FaultPlan`] is installed. Host observability: both
+    /// absorbs sum these, so a parent sees every fault in its machine tree.
+    pub faults: crate::faults::FaultCounters,
+    /// Las Vegas supervisor statistics ([`mod@crate::supervise`]). All zero
+    /// unless an entry point ran under [`crate::supervise::supervise`].
+    /// Host observability: both absorbs sum these.
+    pub supervisor: crate::supervise::SupervisorStats,
     /// Index into `phases` of the currently open phase, if any.
     current_phase: Option<usize>,
 }
@@ -194,6 +202,8 @@ impl Metrics {
             self.write_conflicts += c.write_conflicts;
             self.fastpath_steps += c.fastpath_steps;
             self.kernel_steps += c.kernel_steps;
+            self.faults.absorb(&c.faults);
+            self.supervisor.absorb(&c.supervisor);
             self.absorb_analysis(c);
         }
         if let Some(i) = self.current_phase {
@@ -223,6 +233,8 @@ impl Metrics {
         self.write_conflicts += other.write_conflicts;
         self.fastpath_steps += other.fastpath_steps;
         self.kernel_steps += other.kernel_steps;
+        self.faults.absorb(&other.faults);
+        self.supervisor.absorb(&other.supervisor);
         self.absorb_analysis(other);
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {

@@ -14,6 +14,10 @@
 #[derive(Clone, Debug)]
 pub struct SplitMix64 {
     state: u64,
+    /// Fault-plane override: when set, [`SplitMix64::bernoulli`] returns this
+    /// value unconditionally (the biased-coin injection of
+    /// [`crate::faults`]). `None` for every normally constructed generator.
+    bias: Option<bool>,
 }
 
 const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -30,7 +34,10 @@ impl SplitMix64 {
     /// Create a generator from a seed.
     #[inline]
     pub fn new(seed: u64) -> Self {
-        Self { state: seed }
+        Self {
+            state: seed,
+            bias: None,
+        }
     }
 
     /// Derive a generator for a (step, pid) pair from a machine seed.
@@ -40,7 +47,19 @@ impl SplitMix64 {
     #[inline]
     pub fn for_step_pid(seed: u64, step: u64, pid: u64) -> Self {
         let s = mix64(seed ^ mix64(step.wrapping_mul(0xA24B_AED4_963E_E407) ^ mix64(pid)));
-        Self { state: s }
+        Self {
+            state: s,
+            bias: None,
+        }
+    }
+
+    /// Force every subsequent [`SplitMix64::bernoulli`] call to return
+    /// `force` (crate-internal: the fault plane biases selected per-(step,
+    /// pid) streams; see [`crate::faults::RngBias`]). The uniform draws
+    /// (`next_u64`/`next_below`/`next_f64`) are unaffected.
+    #[inline]
+    pub(crate) fn set_bias(&mut self, force: bool) {
+        self.bias = Some(force);
     }
 
     /// Next raw 64 bits.
@@ -76,6 +95,13 @@ impl SplitMix64 {
     /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
     #[inline]
     pub fn bernoulli(&mut self, p: f64) -> bool {
+        if let Some(force) = self.bias {
+            // Fault-plane biased coin: the stream still advances so the
+            // *sequence* of uniform draws is unperturbed, only the coin's
+            // outcome is forced.
+            let _ = self.next_f64();
+            return force;
+        }
         if p >= 1.0 {
             return true;
         }
@@ -86,10 +112,12 @@ impl SplitMix64 {
     }
 
     /// Fork a statistically independent child stream tagged by `tag`.
+    /// The fault-plane bias (if any) is not inherited.
     #[inline]
     pub fn fork(&mut self, tag: u64) -> Self {
         Self {
             state: mix64(self.next_u64() ^ mix64(tag)),
+            bias: None,
         }
     }
 }
@@ -166,6 +194,23 @@ mod tests {
         let hits = (0..100_000).filter(|_| r.bernoulli(0.25)).count();
         let rate = hits as f64 / 100_000.0;
         assert!((rate - 0.25).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn biased_coin_forces_outcome_but_advances_the_stream() {
+        let mut forced = SplitMix64::new(21);
+        forced.set_bias(false);
+        assert!((0..50).all(|_| !forced.bernoulli(1.0)));
+        let mut forced = SplitMix64::new(21);
+        forced.set_bias(true);
+        assert!((0..50).all(|_| forced.bernoulli(0.0)));
+        // the uniform stream is unperturbed: after k coin flips both the
+        // biased and unbiased generator sit at the same state
+        let mut plain = SplitMix64::new(21);
+        for _ in 0..50 {
+            let _ = plain.bernoulli(0.5);
+        }
+        assert_eq!(forced.next_u64(), plain.next_u64());
     }
 
     #[test]

@@ -21,7 +21,8 @@ fn main() {
 
         let mut m2 = Machine::new(2);
         let mut s2 = Shm::new();
-        let (o2, lrep) = upper_hull_logstar(&mut m2, &mut s2, &pts, &LogstarParams::default());
+        let (o2, lrep) =
+            upper_hull_logstar(&mut m2, &mut s2, &pts, &LogstarParams::default()).unwrap();
         assert_eq!(o1.hull, o2.hull);
 
         println!("n = {n}   (hull edges: {})", o1.hull.num_edges());

@@ -75,7 +75,8 @@ fn check_all(pts: &[Point2], label: &str) {
         &mut shm,
         &sorted,
         &logstar::LogstarParams::default(),
-    );
+    )
+    .unwrap();
     assert_eq!(
         hull_points(&sorted, &o.hull),
         oracle_sorted,

@@ -97,7 +97,7 @@ fn hull2d_logstar_clean() {
     for (seed, n) in [(7u64, 256usize), (8, 4096)] {
         let pts = sorted_by_x(&g2::uniform_disk(n, seed));
         let (mut m, mut shm) = analyzed(seed);
-        logstar::upper_hull_logstar(&mut m, &mut shm, &pts, &Default::default());
+        logstar::upper_hull_logstar(&mut m, &mut shm, &pts, &Default::default()).unwrap();
         check("hull2d/logstar", &m, "hull2d/logstar", ModelClass::Crcw);
     }
 }

@@ -1,0 +1,430 @@
+//! Chaos suite: fault plans × supervised algorithms.
+//!
+//! The supervisor's contract, asserted here for every algorithm family:
+//! under *any* installed fault plan a supervised run returns either a
+//! certificate-verified, oracle-correct value or a typed `RunError` —
+//! never a silently wrong answer, never a panic. The plans:
+//!
+//! * **budget** — a step budget every randomized attempt must exceed: a
+//!   deterministic function of the plan, so it defeats all retries and the
+//!   run lands on the (unbudgeted) deterministic fallback → `FellBack`.
+//! * **corrupt** — transient cell corruption at a moderate per-step rate:
+//!   the fault schedule re-derives from each attempt child's seed, so
+//!   failures decorrelate across retries; sweeping pinned seeds must show
+//!   at least one `Retried(k)` recovery per algorithm.
+//! * **bias** — the RNG fault that forces sampling/dart coins to a fixed
+//!   outcome; at rate 1.0 it starves every randomized sample and drives
+//!   the Las Vegas loops to their typed failure paths.
+//!
+//! Seeds are pinned; everything here is reproducible byte-for-byte.
+
+use ipch_geom::generators::uniform_disk;
+use ipch_geom::hull_chain::verify_upper_hull;
+use ipch_geom::point::sorted_by_x;
+use ipch_geom::UpperHull;
+use ipch_hull2d::parallel::logstar::LogstarParams;
+use ipch_hull2d::parallel::supervised::{
+    upper_hull_dac_supervised, upper_hull_logstar_supervised, upper_hull_unsorted_supervised,
+};
+use ipch_hull2d::parallel::unsorted::UnsortedParams;
+use ipch_hull3d::parallel::supervised::upper_hull3_unsorted_supervised;
+use ipch_hull3d::parallel::unsorted3d::Unsorted3Params;
+use ipch_hull3d::verify_upper_hull3;
+use ipch_inplace::supervised::{ragde_compact_supervised, random_sample_supervised};
+use ipch_lp::inplace_bridge::IbConfig;
+use ipch_lp::supervised::{bridge_brute_supervised, find_bridge_inplace_supervised};
+use ipch_pram::{
+    Budget, FaultPlan, Machine, Outcome, RngBias, RunError, Shm, SuperviseConfig, EMPTY,
+};
+
+/// A machine with `plan` installed (empty plan = clean control run).
+fn rig(seed: u64, plan: &FaultPlan) -> Machine {
+    let mut m = Machine::new(seed);
+    if !plan.is_empty() {
+        m.install_faults(plan.clone());
+    }
+    m
+}
+
+fn budget_plan(max_steps: u64) -> FaultPlan {
+    FaultPlan {
+        budget: Some(Budget {
+            max_steps,
+            max_work: u64::MAX,
+        }),
+        ..FaultPlan::default()
+    }
+}
+
+fn corrupt_plan(rate: f64) -> FaultPlan {
+    FaultPlan {
+        corrupt_rate: rate,
+        ..FaultPlan::default()
+    }
+}
+
+fn bias_plan(rate: f64, force: bool) -> FaultPlan {
+    FaultPlan {
+        rng_bias: Some(RngBias { rate, force }),
+        ..FaultPlan::default()
+    }
+}
+
+/// What one chaos run produced, reduced to what the contract talks about.
+#[derive(Debug, PartialEq, Eq)]
+enum Verdict {
+    /// Success whose value matched the oracle, with the supervision outcome.
+    Correct(Outcome),
+    /// A typed error — the permitted failure mode.
+    Typed,
+}
+
+/// Run `f` across `seeds` under `plan`; panic (failing the test) if any
+/// run panics or returns a wrong value. `f` must itself compare against
+/// the oracle and return the outcome.
+fn sweep(
+    seeds: std::ops::Range<u64>,
+    plan: &FaultPlan,
+    mut f: impl FnMut(&mut Machine) -> Result<Outcome, RunError>,
+) -> Vec<Verdict> {
+    seeds
+        .map(|seed| {
+            let mut m = rig(seed, plan);
+            match f(&mut m) {
+                Ok(o) => Verdict::Correct(o),
+                Err(_) => Verdict::Typed,
+            }
+        })
+        .collect()
+}
+
+fn count_retried(vs: &[Verdict]) -> usize {
+    vs.iter()
+        .filter(|v| matches!(v, Verdict::Correct(Outcome::Retried(_))))
+        .count()
+}
+
+// ---------------------------------------------------------------- hull2d
+
+fn logstar_run(m: &mut Machine, pts: &[ipch_geom::Point2]) -> Result<Outcome, RunError> {
+    let s = upper_hull_logstar_supervised(
+        m,
+        pts,
+        &LogstarParams::default(),
+        &SuperviseConfig::default(),
+    )?;
+    assert_eq!(s.value.0.hull, UpperHull::of(pts), "silently wrong hull");
+    verify_upper_hull(pts, &s.value.0.hull).unwrap();
+    Ok(s.outcome)
+}
+
+#[test]
+fn chaos_logstar_budget_falls_back() {
+    let pts = sorted_by_x(&uniform_disk(900, 21));
+    let vs = sweep(0..6, &budget_plan(4), |m| logstar_run(m, &pts));
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "budget must defeat every attempt, fallback must answer: {vs:?}"
+    );
+}
+
+#[test]
+fn chaos_logstar_corruption_retries_and_never_lies() {
+    let pts = sorted_by_x(&uniform_disk(700, 22));
+    let vs = sweep(0..24, &corrupt_plan(0.5), |m| logstar_run(m, &pts));
+    assert!(
+        count_retried(&vs) > 0,
+        "no Retried recovery in sweep: {vs:?}"
+    );
+}
+
+#[test]
+fn chaos_unsorted_budget_and_corruption() {
+    let pts = uniform_disk(800, 23);
+    let run = |m: &mut Machine| -> Result<Outcome, RunError> {
+        let s = upper_hull_unsorted_supervised(
+            m,
+            &pts,
+            &UnsortedParams::default(),
+            &SuperviseConfig::default(),
+        )?;
+        assert_eq!(s.value.0.hull, UpperHull::of(&pts), "silently wrong hull");
+        Ok(s.outcome)
+    };
+    let vs = sweep(0..6, &budget_plan(4), run);
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "{vs:?}"
+    );
+    let vs = sweep(0..24, &corrupt_plan(0.01), run);
+    assert!(
+        count_retried(&vs) > 0,
+        "no Retried recovery in sweep: {vs:?}"
+    );
+}
+
+#[test]
+fn chaos_dac_budget_and_corruption() {
+    let pts = sorted_by_x(&uniform_disk(700, 24));
+    let run = |m: &mut Machine| -> Result<Outcome, RunError> {
+        let s = upper_hull_dac_supervised(m, &pts, true, &SuperviseConfig::default())?;
+        assert_eq!(s.value.hull, UpperHull::of(&pts), "silently wrong hull");
+        Ok(s.outcome)
+    };
+    let vs = sweep(0..6, &budget_plan(4), run);
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "{vs:?}"
+    );
+    let vs = sweep(0..24, &corrupt_plan(0.5), run);
+    assert!(
+        count_retried(&vs) > 0,
+        "no Retried recovery in sweep: {vs:?}"
+    );
+}
+
+#[test]
+fn chaos_hull2d_bias_starves_sampling_but_cannot_force_a_wrong_hull() {
+    // rate-1.0 forced-false coins kill every dart/sample attempt
+    // deterministically; the algorithms' own sweeping plus supervision
+    // must still deliver a correct hull or a typed error.
+    let pts = sorted_by_x(&uniform_disk(600, 25));
+    let vs = sweep(0..8, &bias_plan(1.0, false), |m| logstar_run(m, &pts));
+    for v in &vs {
+        assert!(
+            matches!(v, Verdict::Correct(_) | Verdict::Typed),
+            "contract violated: {v:?}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------- hull3d
+
+fn hull3_run(m: &mut Machine, pts: &[ipch_geom::Point3]) -> Result<Outcome, RunError> {
+    let s = upper_hull3_unsorted_supervised(
+        m,
+        pts,
+        &Unsorted3Params::default(),
+        &SuperviseConfig::default(),
+    )?;
+    verify_upper_hull3(pts, &s.value.0.facets, false).expect("silently wrong facet set");
+    Ok(s.outcome)
+}
+
+#[test]
+fn chaos_hull3d_budget_falls_back() {
+    let pts = ipch_geom::gen3d::sphere_plus_interior(14, 260, 26);
+    let vs = sweep(0..6, &budget_plan(4), |m| hull3_run(m, &pts));
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn chaos_hull3d_corruption_retries_and_never_lies() {
+    let pts = ipch_geom::gen3d::sphere_plus_interior(12, 220, 27);
+    let vs = sweep(0..24, &corrupt_plan(0.01), |m| hull3_run(m, &pts));
+    assert!(
+        count_retried(&vs) > 0,
+        "no Retried recovery in sweep: {vs:?}"
+    );
+}
+
+// ------------------------------------------------------------------- lp
+
+fn bridge_run(
+    m: &mut Machine,
+    pts: &[ipch_geom::Point2],
+    active: &[usize],
+) -> Result<Outcome, RunError> {
+    let s = find_bridge_inplace_supervised(
+        m,
+        pts,
+        active,
+        0.0,
+        &IbConfig::default(),
+        &SuperviseConfig::default(),
+    )?;
+    // oracle: the supervised certificate is necessary AND sufficient for a
+    // bridge; cross-check against the hull edge over x0 = 0.
+    let hull = UpperHull::of(pts);
+    let (u, v) = hull
+        .edge_above(pts, ipch_geom::Point2::new(0.0, 0.0))
+        .expect("disk spans x = 0");
+    assert_eq!(
+        (s.value.0.left, s.value.0.right),
+        (u, v),
+        "silently wrong bridge"
+    );
+    Ok(s.outcome)
+}
+
+#[test]
+fn chaos_bridge_budget_falls_back() {
+    let pts = uniform_disk(500, 28);
+    let active: Vec<usize> = (0..pts.len()).collect();
+    let vs = sweep(0..6, &budget_plan(2), |m| bridge_run(m, &pts, &active));
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn chaos_bridge_bias_defeats_darts_then_brute_answers() {
+    // forced-false coins: no processor ever volunteers for a sample, the
+    // dart rounds come up empty, every attempt fails its invariant — the
+    // brute-force fallback still answers exactly.
+    let pts = uniform_disk(400, 29);
+    let active: Vec<usize> = (0..pts.len()).collect();
+    let vs = sweep(0..6, &bias_plan(1.0, false), |m| {
+        bridge_run(m, &pts, &active)
+    });
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "{vs:?}"
+    );
+}
+
+#[test]
+fn chaos_bridge_corruption_retries_and_never_lies() {
+    let pts = uniform_disk(500, 30);
+    let active: Vec<usize> = (0..pts.len()).collect();
+    let vs = sweep(0..24, &corrupt_plan(0.5), |m| bridge_run(m, &pts, &active));
+    assert!(
+        count_retried(&vs) > 0,
+        "no Retried recovery in sweep: {vs:?}"
+    );
+}
+
+#[test]
+fn chaos_brute_bridge_without_fallback_gives_typed_errors_only() {
+    // No fallback exists for the last-resort brute probe: under a budget
+    // no attempt can finish, and the result must be a typed exhaustion —
+    // not a panic, not a bogus bridge.
+    let pts = uniform_disk(200, 31);
+    let active: Vec<usize> = (0..pts.len()).collect();
+    for seed in 0..4 {
+        let mut m = rig(seed, &budget_plan(1));
+        let err = bridge_brute_supervised(&mut m, &pts, &active, 0.0, &SuperviseConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, RunError::AttemptsExhausted { .. }), "{err}");
+    }
+}
+
+// -------------------------------------------------------------- inplace
+
+#[test]
+fn chaos_sample_bias_starves_attempts_then_falls_back() {
+    let active: Vec<usize> = (0..600).collect();
+    let run = |m: &mut Machine| -> Result<Outcome, RunError> {
+        let s = random_sample_supervised(m, &active, 600, 16, 4, &SuperviseConfig::default())?;
+        assert!(
+            s.value.iter().all(|e| *e < 600),
+            "sample outside the universe"
+        );
+        Ok(s.outcome)
+    };
+    // forced-false coins: nobody attempts, the sample is empty, Lemma 3.1's
+    // bound fails every retry; the strided deterministic sample answers.
+    let vs = sweep(0..6, &bias_plan(1.0, false), run);
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "{vs:?}"
+    );
+    // A low-rate forced-TRUE bias inflates the attempter count to hover
+    // around the 4k Lemma bound, so whether an attempt fails is a coin of
+    // its own fault schedule — reseeded retries decorrelate, and sweeping
+    // seeds must show at least one Retried recovery.
+    let vs = sweep(0..24, &bias_plan(0.06, true), run);
+    assert!(
+        count_retried(&vs) > 0,
+        "no Retried recovery in sweep: {vs:?}"
+    );
+}
+
+#[test]
+fn chaos_ragde_corruption_and_budget() {
+    let run_with = |m: &mut Machine| -> Result<Outcome, RunError> {
+        let mut shm = Shm::new();
+        let src = shm.alloc("src", 256, EMPTY);
+        for i in [5usize, 50, 111, 180, 254] {
+            shm.host_set(src, i, (2000 + i) as i64);
+        }
+        let s = ragde_compact_supervised(m, &mut shm, src, 8, 6, &SuperviseConfig::default())?;
+        let mut got = ipch_inplace::ragde::payloads(&shm, &s.value);
+        got.sort_unstable();
+        // Oracle relative to the *current* source: injected corruption may
+        // legitimately rewrite src (the input itself is faulty memory), but
+        // the destination must hold exactly what src holds now — anything
+        // else is a silently wrong compaction.
+        let mut want = ipch_inplace::ragde::expected_payloads(&shm, src);
+        want.sort_unstable();
+        assert_eq!(got, want, "silently wrong compaction");
+        Ok(s.outcome)
+    };
+    let vs = sweep(0..6, &budget_plan(2), run_with);
+    assert!(
+        vs.iter()
+            .all(|v| matches!(v, Verdict::Correct(Outcome::FellBack))),
+        "{vs:?}"
+    );
+    let vs = sweep(0..32, &corrupt_plan(0.4), run_with);
+    assert!(
+        count_retried(&vs) > 0,
+        "no Retried recovery in sweep: {vs:?}"
+    );
+}
+
+// ------------------------------------------------------- cross-cutting
+
+#[test]
+fn chaos_metrics_count_what_happened() {
+    // One budget-defeated logstar run: 3 budget-voided attempts, 1 fallback.
+    let pts = sorted_by_x(&uniform_disk(400, 33));
+    let mut m = rig(7, &budget_plan(3));
+    let s = upper_hull_logstar_supervised(
+        &mut m,
+        &pts,
+        &LogstarParams::default(),
+        &SuperviseConfig::default(),
+    )
+    .expect("fallback answers");
+    assert_eq!(s.outcome, Outcome::FellBack);
+    assert_eq!(m.metrics.supervisor.runs, 1);
+    assert_eq!(m.metrics.supervisor.attempts, 3);
+    assert_eq!(m.metrics.supervisor.retries, 2);
+    assert_eq!(m.metrics.supervisor.fallbacks, 1);
+    assert_eq!(m.metrics.supervisor.budget_aborts, 3);
+    assert!(m.metrics.faults.budget_exhaustions >= 3);
+    assert!(s
+        .errors
+        .iter()
+        .all(|e| matches!(e, RunError::BudgetExhausted { .. })));
+}
+
+#[test]
+fn chaos_empty_plan_is_the_clean_machine() {
+    // Control: the supervised entry points under an empty plan behave as
+    // with no plan at all — FirstTry, no fault counters.
+    let pts = sorted_by_x(&uniform_disk(300, 34));
+    let mut m = rig(11, &FaultPlan::default());
+    assert!(!m.faults_installed());
+    let s = upper_hull_logstar_supervised(
+        &mut m,
+        &pts,
+        &LogstarParams::default(),
+        &SuperviseConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(s.outcome, Outcome::FirstTry);
+    assert_eq!(m.metrics.faults.total(), 0);
+}
