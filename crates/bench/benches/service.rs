@@ -1,0 +1,184 @@
+//! Serving-runtime overhead benches: what does routing a request through
+//! `ipch_service::Service` cost over calling the supervised algorithm
+//! directly?
+//!
+//! * `direct` — `upper_hull_unsorted_supervised` on a caller-owned
+//!   machine: the baseline everything else in the repo measures.
+//! * `served` — the same workload through the full service path:
+//!   admission (queue + tenant bookkeeping under the lock), breaker
+//!   planning, a request-owned machine with a cancellation token
+//!   attached, panic isolation, metrics absorption, and ticket delivery.
+//!   The service runs with `workers: 0` and is drained on the measuring
+//!   thread, so both sides execute on one thread and the served/direct
+//!   multiplier isolates the wrapper overhead (it should sit within host
+//!   noise of 1.0 — the simulated step commits dominate).
+//! * `shed` — the admission fast path under overload: the queue is
+//!   pre-filled to capacity, so every submission resolves to a typed
+//!   `Rejected` without touching a machine. This is the latency a client
+//!   sees when load is shed.
+//!
+//! A custom `main` (instead of `criterion_main!`) appends every
+//! measurement to `bench_results/service.csv`, plus one `shed-rate` row
+//! from a fixed overload scenario (a 200-request burst into a 16-deep
+//! queue, two workers): for that row the second column is the shed count
+//! and the third is the shed fraction.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use ipch_geom::generators::uniform_disk;
+use ipch_hull2d::parallel::supervised::upper_hull_unsorted_supervised;
+use ipch_hull2d::parallel::unsorted::UnsortedParams;
+use ipch_pram::{Machine, SuperviseConfig};
+use ipch_service::{Hull2dAlgo, Request, Service, ServiceConfig, ServiceError, Workload};
+
+const SIZES: [usize; 2] = [256, 1024];
+
+fn request(pts: &[ipch_geom::Point2], seed: u64) -> Request {
+    Request::new(
+        "bench",
+        seed,
+        Workload::Hull2d {
+            points: pts.to_vec(),
+            algo: Hull2dAlgo::Unsorted,
+        },
+    )
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+    for &n in &SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+        let pts = uniform_disk(n, 21);
+
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            let params = UnsortedParams::default();
+            let cfg = SuperviseConfig::default();
+            let mut m = Machine::new(31);
+            b.iter(|| {
+                let s =
+                    upper_hull_unsorted_supervised(&mut m, &pts, &params, &cfg).expect("clean run");
+                black_box(s.value.0.hull.len())
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("served", n), &n, |b, _| {
+            let svc = Service::new(ServiceConfig {
+                workers: 0,
+                ..ServiceConfig::default()
+            });
+            // Same machine seed as the direct side: the request's machine
+            // derives the same attempt streams, so both sides simulate
+            // identical work and the ratio isolates the wrapper.
+            b.iter(|| {
+                let t = svc.submit(request(&pts, 31)).expect("admitted");
+                svc.drain();
+                black_box(t.wait().expect("clean run").sim_steps)
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("shed", n), &n, |b, _| {
+            let svc = Service::new(ServiceConfig {
+                workers: 0,
+                queue_capacity: 4,
+                ..ServiceConfig::default()
+            });
+            // Fill the queue; every measured submission is then a typed
+            // rejection (never drained, so the queue stays full).
+            for seed in 0..4 {
+                svc.submit(request(&pts, seed)).expect("fills the queue");
+            }
+            b.iter(|| match svc.submit(request(&pts, 99)) {
+                Err(e @ ServiceError::Rejected { .. }) => black_box(e.code().len()),
+                other => panic!("expected a shed, got {other:?}"),
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fixed overload scenario for the shed-rate row: a 200-request burst
+/// into a 16-deep queue with two live workers (no pacing, so the burst
+/// front is admitted and the long tail is shed).
+fn shed_rate_scenario() -> (u64, f64) {
+    let svc = Service::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 16,
+        per_tenant_inflight: 256,
+        ..ServiceConfig::default()
+    });
+    let pts = uniform_disk(256, 22);
+    let mut tickets = Vec::new();
+    for seed in 0..200u64 {
+        if let Ok(t) = svc.submit(request(&pts, seed)) {
+            tickets.push(t);
+        }
+    }
+    for t in tickets {
+        t.wait().expect("admitted requests complete");
+    }
+    let stats = svc.health().stats;
+    assert_eq!(stats.submitted, stats.total_resolved(), "lost requests");
+    (
+        stats.total_shed(),
+        stats.total_shed() as f64 / stats.submitted as f64,
+    )
+}
+
+fn append_results(c: &Criterion, sheds: u64, rate: f64) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    // anchor at the workspace root: bench binaries run with the package
+    // directory as cwd, but results belong next to the tables' CSVs
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("service.csv");
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if fresh {
+        writeln!(f, "id,median_ns_per_iter,melem_per_s")?;
+    }
+    for m in &c.measurements {
+        writeln!(
+            f,
+            "{},{},{}",
+            m.id,
+            m.median.as_nanos(),
+            m.elements_per_sec()
+                .map(|r| format!("{:.3}", r / 1e6))
+                .unwrap_or_default()
+        )?;
+    }
+    writeln!(f, "service/shed-rate/burst200,{sheds},{rate:.3}")?;
+    Ok(path)
+}
+
+fn main() {
+    // `cargo test --benches` executes bench binaries with `--test`; a full
+    // measurement sweep there would be slow noise, so bail out.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let mut c = Criterion::default();
+    bench_latency(&mut c);
+
+    // served/direct multiplier summary
+    for &n in &SIZES {
+        let t = |name: &str| {
+            c.measurements
+                .iter()
+                .find(|m| m.id == format!("service/{name}/{n}"))
+                .map(|m| m.median.as_nanos() as f64)
+        };
+        if let (Some(direct), Some(served)) = (t("direct"), t("served")) {
+            println!("n={n}: service wrapper multiplier {:.2}x", served / direct);
+        }
+    }
+    let (sheds, rate) = shed_rate_scenario();
+    println!("overload burst: shed {sheds}/200 ({:.1}%)", rate * 100.0);
+    match append_results(&c, sheds, rate) {
+        Ok(p) => println!("appended results: {}", p.display()),
+        Err(e) => eprintln!("could not append results: {e}"),
+    }
+}

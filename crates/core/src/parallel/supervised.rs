@@ -14,8 +14,15 @@
 //! Each attempt allocates its own scratch [`Shm`]; the returned hulls are
 //! host-side values, so no shared-memory handles cross the attempt
 //! boundary.
+//!
+//! Being the public service-facing entry points, the wrappers also validate
+//! their input up front ([`ipch_geom::validate`]): NaN/infinite coordinates
+//! and duplicate points reject with [`RunError::InvalidInput`] before any
+//! machine step runs — downstream behaviour on such inputs is unspecified
+//! (a NaN poisons every orientation decision it meets).
 
 use ipch_geom::hull_chain::verify_upper_hull;
+use ipch_geom::validate::validate_points2;
 use ipch_geom::Point2;
 use ipch_pram::{supervise, Machine, RunError, Shm, SuperviseConfig, Supervised};
 
@@ -43,6 +50,7 @@ pub fn upper_hull_logstar_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<(HullOutput, LogstarReport)>, RunError> {
     const ALG: &str = "hull2d/logstar";
+    validate_points2(points).map_err(|e| RunError::invalid_input(ALG, e))?;
     let mut fallback = |fm: &mut Machine| {
         let mut shm = Shm::new();
         let out = upper_hull_dac(fm, &mut shm, points, true);
@@ -72,6 +80,7 @@ pub fn upper_hull_unsorted_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<(HullOutput, UnsortedTrace)>, RunError> {
     const ALG: &str = "hull2d/unsorted";
+    validate_points2(points).map_err(|e| RunError::invalid_input(ALG, e))?;
     let mut fallback = |fm: &mut Machine| {
         let mut shm = Shm::new();
         let out = upper_hull_dac(fm, &mut shm, points, false);
@@ -105,6 +114,7 @@ pub fn upper_hull_dac_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<HullOutput>, RunError> {
     const ALG: &str = "hull2d/dac";
+    validate_points2(points).map_err(|e| RunError::invalid_input(ALG, e))?;
     let mut fallback = |fm: &mut Machine| {
         let mut shm = Shm::new();
         let out = if presorted {
@@ -158,5 +168,30 @@ mod tests {
         assert_eq!(s.value.hull, UpperHull::of(&pts));
         assert_eq!(m.metrics.supervisor.runs, 3);
         assert_eq!(m.metrics.supervisor.retries, 0);
+    }
+
+    #[test]
+    fn nan_and_duplicate_inputs_reject_before_any_step() {
+        let mut bad = sorted_by_x(&uniform_disk(64, 5));
+        bad[10].y = f64::NAN;
+        let dup = {
+            let mut p = sorted_by_x(&uniform_disk(64, 6));
+            p[20] = p[21];
+            p
+        };
+        let cfg = SuperviseConfig::default();
+        let mut m = Machine::new(2);
+        for pts in [&bad, &dup] {
+            let e = upper_hull_logstar_supervised(&mut m, pts, &LogstarParams::default(), &cfg)
+                .unwrap_err();
+            assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+            let e = upper_hull_unsorted_supervised(&mut m, pts, &UnsortedParams::default(), &cfg)
+                .unwrap_err();
+            assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+            let e = upper_hull_dac_supervised(&mut m, pts, false, &cfg).unwrap_err();
+            assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+        }
+        assert_eq!(m.metrics.steps, 0, "rejection precedes any machine step");
+        assert_eq!(m.metrics.supervisor.attempts, 0);
     }
 }

@@ -17,6 +17,9 @@
 //!   tangent of two upper hulls, hull–hull intersection.
 //! * [`generators`] / [`gen3d`] — workload generators with controlled hull
 //!   size `h` (the knob every output-sensitivity experiment sweeps).
+//! * [`validate`] — typed input validation ([`InputError`]) shared by the
+//!   public entry points: finite coordinates, distinct points, finite query
+//!   parameters.
 
 pub mod exact;
 pub mod gen3d;
@@ -25,7 +28,9 @@ pub mod hull_chain;
 pub mod hullops;
 pub mod point;
 pub mod predicates;
+pub mod validate;
 
 pub use hull_chain::UpperHull;
 pub use point::{Point2, Point3};
 pub use predicates::{orient2d, orient3d, Orientation};
+pub use validate::InputError;

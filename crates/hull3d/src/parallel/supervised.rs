@@ -9,6 +9,7 @@
 //! Chand–Kapur gift wrapping — the sequential O(n·h) worst-case baseline,
 //! charged at one processor — whose output passes the same certificate.
 
+use ipch_geom::validate::validate_points3;
 use ipch_geom::Point3;
 use ipch_pram::{supervise, Machine, RunError, Shm, SuperviseConfig, Supervised};
 
@@ -43,6 +44,10 @@ pub fn upper_hull3_unsorted_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<(Hull3Output, Unsorted3Trace)>, RunError> {
     const ALG: &str = "hull3d/unsorted3d";
+    // Service-facing entry: reject NaN/infinite coordinates and duplicate
+    // points before any step runs (gift wrapping's supporting-plane search
+    // assumes distinct points; a NaN poisons every orientation test).
+    validate_points3(points).map_err(|e| RunError::invalid_input(ALG, e))?;
     let mut fallback = |fm: &mut Machine| {
         let mut stats = Seq3Stats::default();
         let facets = upper_hull3_giftwrap(points, &mut stats);
@@ -96,5 +101,22 @@ mod tests {
         .expect("clean 3d run");
         assert_eq!(s.outcome, Outcome::FirstTry);
         verify_upper_hull3(&pts, &s.value.0.facets, false).unwrap();
+    }
+
+    #[test]
+    fn malformed_inputs_reject_before_any_step() {
+        let mut m = Machine::new(6);
+        let cfg = SuperviseConfig::default();
+        let params = Unsorted3Params::default();
+        let mut nan = sphere_plus_interior(12, 64, 3);
+        nan[5].z = f64::NAN;
+        let mut dup = sphere_plus_interior(12, 64, 4);
+        dup[8] = dup[9];
+        for pts in [&nan, &dup] {
+            let e = upper_hull3_unsorted_supervised(&mut m, pts, &params, &cfg).unwrap_err();
+            assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+        }
+        assert_eq!(m.metrics.steps, 0);
+        assert_eq!(m.metrics.supervisor.attempts, 0);
     }
 }

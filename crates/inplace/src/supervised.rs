@@ -38,6 +38,24 @@ pub fn random_sample_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<Vec<usize>>, RunError> {
     const ALG: &str = "inplace/sample";
+    // Entry validation: active ids must be in-universe and distinct (the
+    // Lemma 3.1 size analysis counts distinct elements).
+    let mut seen = vec![false; universe];
+    for (pos, &i) in active.iter().enumerate() {
+        if i >= universe {
+            return Err(RunError::invalid_input(
+                ALG,
+                format!("active[{pos}] = {i} out of bounds for universe {universe}"),
+            ));
+        }
+        if seen[i] {
+            return Err(RunError::invalid_input(
+                ALG,
+                format!("active element {i} appears more than once"),
+            ));
+        }
+        seen[i] = true;
+    }
     let certify = |sample: &[usize], in_bounds: bool| -> Result<(), RunError> {
         let fail = |detail: String| RunError::Verify {
             algorithm: ALG,
@@ -193,5 +211,17 @@ mod tests {
         // every attempt fails, then the deterministic fallback refuses too
         assert!(matches!(err, RunError::Invariant { .. }));
         assert!(m.metrics.supervisor.fallbacks > 0);
+    }
+
+    #[test]
+    fn malformed_active_sets_reject_before_any_step() {
+        let mut m = Machine::new(6);
+        let cfg = SuperviseConfig::default();
+        let e = random_sample_supervised(&mut m, &[1, 2, 50], 50, 2, 4, &cfg).unwrap_err();
+        assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+        let e = random_sample_supervised(&mut m, &[1, 2, 2], 50, 2, 4, &cfg).unwrap_err();
+        assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+        assert_eq!(m.metrics.steps, 0);
+        assert_eq!(m.metrics.supervisor.attempts, 0);
     }
 }

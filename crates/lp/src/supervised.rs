@@ -16,11 +16,40 @@
 //!   transient corruption).
 
 use ipch_geom::predicates::{on_or_below, orient2d_sign, orient3d_sign};
+use ipch_geom::validate::{ensure_finite2, ensure_finite3, ensure_query};
 use ipch_geom::{Point2, Point3};
 use ipch_pram::{supervise, Machine, RunError, Shm, SuperviseConfig, Supervised};
 
 use crate::bridge::{bridge_brute, facet_brute, Bridge};
 use crate::inplace_bridge::{find_bridge_inplace, IbConfig, IbTrace};
+
+/// Entry validation shared by the LP wrappers: finite coordinates, finite
+/// query abscissa(s), and in-bounds active indices. Duplicate *points* are
+/// legal here (a bridge over a multiset is well defined); duplicate active
+/// indices are not — the sampling analysis counts distinct elements.
+fn validate_active(
+    algorithm: &'static str,
+    n_points: usize,
+    active: &[usize],
+) -> Result<(), RunError> {
+    let mut seen = vec![false; n_points];
+    for (pos, &i) in active.iter().enumerate() {
+        if i >= n_points {
+            return Err(RunError::invalid_input(
+                algorithm,
+                format!("active[{pos}] = {i} out of bounds for {n_points} points"),
+            ));
+        }
+        if seen[i] {
+            return Err(RunError::invalid_input(
+                algorithm,
+                format!("active index {i} appears more than once"),
+            ));
+        }
+        seen[i] = true;
+    }
+    Ok(())
+}
 
 /// Certificate for a 2-D bridge over `active` at `x0`: endpoints active,
 /// straddling, and supporting (no active point strictly above the line).
@@ -69,6 +98,9 @@ pub fn find_bridge_inplace_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<(Bridge, IbTrace)>, RunError> {
     const ALG: &str = "lp/inplace_bridge";
+    ensure_finite2(points).map_err(|e| RunError::invalid_input(ALG, e))?;
+    ensure_query("x0", x0).map_err(|e| RunError::invalid_input(ALG, e))?;
+    validate_active(ALG, points.len(), active)?;
     let mut fallback = |fm: &mut Machine| {
         let mut shm = Shm::new();
         let b = bridge_brute(fm, &mut shm, points, active, x0).ok_or(RunError::Invariant {
@@ -108,6 +140,9 @@ pub fn bridge_brute_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<Bridge>, RunError> {
     const ALG: &str = "lp/bridge_brute";
+    ensure_finite2(points).map_err(|e| RunError::invalid_input(ALG, e))?;
+    ensure_query("x0", x0).map_err(|e| RunError::invalid_input(ALG, e))?;
+    validate_active(ALG, points.len(), active)?;
     supervise(
         m,
         ALG,
@@ -137,6 +172,10 @@ pub fn facet_brute_supervised(
     cfg: &SuperviseConfig,
 ) -> Result<Supervised<(usize, usize, usize)>, RunError> {
     const ALG: &str = "lp/facet_brute";
+    ensure_finite3(points).map_err(|e| RunError::invalid_input(ALG, e))?;
+    ensure_query("x0", x0).map_err(|e| RunError::invalid_input(ALG, e))?;
+    ensure_query("y0", y0).map_err(|e| RunError::invalid_input(ALG, e))?;
+    validate_active(ALG, points.len(), active)?;
     supervise(
         m,
         ALG,
@@ -214,5 +253,39 @@ mod tests {
         let err = bridge_brute_supervised(&mut m, &pts, &active, 1e9, &SuperviseConfig::default())
             .unwrap_err();
         assert!(matches!(err, RunError::AttemptsExhausted { .. }));
+    }
+
+    #[test]
+    fn malformed_lp_inputs_reject_before_any_step() {
+        let cfg = SuperviseConfig::default();
+        let mut m = Machine::new(3);
+        let mut nan = disk(32, 7);
+        nan[3].x = f64::NAN;
+        let full: Vec<usize> = (0..32).collect();
+        let e =
+            find_bridge_inplace_supervised(&mut m, &nan, &full, 0.0, &IbConfig::default(), &cfg)
+                .unwrap_err();
+        assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+
+        let good = disk(32, 8);
+        let e = bridge_brute_supervised(&mut m, &good, &full, f64::INFINITY, &cfg).unwrap_err();
+        assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+
+        let oob = vec![0, 1, 99];
+        let e = bridge_brute_supervised(&mut m, &good, &oob, 0.0, &cfg).unwrap_err();
+        assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+
+        let repeated = vec![0, 1, 1];
+        let e = bridge_brute_supervised(&mut m, &good, &repeated, 0.0, &cfg).unwrap_err();
+        assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+
+        let pts3: Vec<Point3> = (0..8)
+            .map(|i| Point3::new(i as f64, (i * i) as f64, 1.0))
+            .collect();
+        let a3: Vec<usize> = (0..8).collect();
+        let e = facet_brute_supervised(&mut m, &pts3, &a3, f64::NAN, 0.0, &cfg).unwrap_err();
+        assert!(matches!(e, RunError::InvalidInput { .. }), "got {e}");
+
+        assert_eq!(m.metrics.steps, 0, "rejection precedes any machine step");
     }
 }

@@ -337,6 +337,9 @@ impl Machine {
     where
         F: Fn(&KCtx, usize) -> (usize, Word) + Sync,
     {
+        // Cancellation poll at the step boundary (same contract as the
+        // generic path: an expired machine records no further steps).
+        self.poll_cancel();
         let count = pids.count();
         let step_no = self.step_counter;
         self.step_counter += 1;
@@ -359,6 +362,7 @@ impl Machine {
             ar.prepare(nchunks);
         }
 
+        let mut mid_abort: Option<crate::cancel::CancelCause> = None;
         let mut buf = shm.take_array(out);
         {
             // Distinct destinations mean distinct cells; the atomic relaxed
@@ -416,11 +420,30 @@ impl Machine {
                 pool::global().run(nchunks, &run_chunk);
             } else {
                 for c in 0..nchunks {
+                    if c > 0 {
+                        if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
+                            mid_abort = Some(cause);
+                            break;
+                        }
+                    }
                     run_chunk(c);
                 }
             }
         }
         shm.put_back(out, buf);
+        if let Some(cause) = mid_abort {
+            // Mid-kernel abort: the output buffer is re-attached (Shm stays
+            // structurally intact and the machine reusable), but — unlike
+            // the generic path, which discards its buffered log whole — the
+            // fused loop stores directly, so a prefix of this step's writes
+            // may already be in `out`. A cancelled run's memory is never a
+            // result, so that is within the cancellation contract.
+            self.analysis = analysis;
+            if let Some(ar) = arena {
+                self.arena = ar;
+            }
+            crate::cancel::unwind(cause);
+        }
 
         // Metrics-identity with the generic path on this conflict-free
         // shape: every processor buffers one write, every write commits.
@@ -489,6 +512,7 @@ impl Machine {
             return;
         }
 
+        self.poll_cancel();
         let count = pids.count();
         let step_no = self.step_counter;
         self.step_counter += 1;
@@ -498,6 +522,7 @@ impl Machine {
         }
         let t_start = Instant::now();
 
+        let mut mid_abort: Option<crate::cancel::CancelCause> = None;
         let mut arena = std::mem::take(&mut self.arena);
         let nchunks = count.div_ceil(CHUNK);
         arena.prepare(nchunks);
@@ -538,9 +563,23 @@ impl Machine {
                 pool::global().run(nchunks, &run_chunk);
             } else {
                 for c in 0..nchunks {
+                    if c > 0 {
+                        if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
+                            mid_abort = Some(cause);
+                            break;
+                        }
+                    }
                     run_chunk(c);
                 }
             }
+        }
+        if let Some(cause) = mid_abort {
+            // Mid-kernel abort: buffered writes are discarded whole (this
+            // path shares the generic commit pipeline, so nothing has
+            // touched shared memory); pooled state goes back for reuse.
+            self.arena = arena;
+            self.analysis = analysis;
+            crate::cancel::unwind(cause);
         }
         let t_computed = Instant::now();
         self.commit(shm, policy, step_no, &mut arena, nchunks);
@@ -601,6 +640,7 @@ impl Machine {
             return;
         }
 
+        self.poll_cancel();
         let count = pids.count();
         let step_no = self.step_counter;
         self.step_counter += 1;
@@ -610,6 +650,7 @@ impl Machine {
         }
         let t_start = Instant::now();
 
+        let mut mid_abort: Option<crate::cancel::CancelCause> = None;
         let nchunks = count.div_ceil(CHUNK);
         let mut analysis = self.analysis.take();
         // With the analyzer attached, record one write entry per contributor
@@ -665,9 +706,24 @@ impl Machine {
                 pool::global().run(nchunks, &run_chunk);
             } else {
                 for c in 0..nchunks {
+                    if c > 0 {
+                        if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
+                            mid_abort = Some(cause);
+                            break;
+                        }
+                    }
                     run_chunk(c);
                 }
             }
+        }
+        if let Some(cause) = mid_abort {
+            // Mid-kernel abort: partials are host-local and simply dropped;
+            // the target cell was never touched.
+            self.analysis = analysis;
+            if let Some(ar) = arena {
+                self.arena = ar;
+            }
+            crate::cancel::unwind(cause);
         }
 
         let mut total_k = 0u64;

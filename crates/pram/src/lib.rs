@@ -46,6 +46,7 @@
 //!   every use site documents which rule it assumes.
 
 pub mod analyze;
+pub mod cancel;
 pub mod faults;
 pub mod kernel;
 pub mod machine;
@@ -64,11 +65,12 @@ pub use analyze::{
     AnalysisReport, AnalyzeConfig, ModelClass, ModelContract, RaceExpectation, Violation,
     ViolationKind,
 };
+pub use cancel::{silence_cancel_unwinds, CancelCause, CancelToken, CancelUnwind};
 pub use faults::{Budget, DropWindow, FaultCounters, FaultPlan, RngBias};
 pub use kernel::{KCtx, ReduceOp};
 pub use machine::{Ctx, Machine, Tuning};
 pub use memory::{ArrayId, Shm, ShmError};
-pub use metrics::{Metrics, PhaseRecord};
+pub use metrics::{Metrics, PhaseRecord, ServiceStats};
 pub use policy::WritePolicy;
 pub use supervise::{
     attempt_machine, supervise, Fallback, Outcome, RunError, SuperviseConfig, Supervised,

@@ -44,6 +44,7 @@ use std::cell::UnsafeCell;
 use std::time::Instant;
 
 use crate::analyze::{Analysis, ReadEntry, ReadTrace, READ_ALL};
+use crate::cancel::{CancelCause, CancelToken};
 use crate::faults::{FaultPlan, FaultState, StepFaults};
 use crate::memory::{ArrayId, Shm};
 use crate::metrics::Metrics;
@@ -405,6 +406,10 @@ pub struct Machine {
     /// ([`Machine::install_faults`]). Boxed so the (default) disabled case
     /// costs one pointer and one branch per hook.
     pub(crate) faults: Option<Box<FaultState>>,
+    /// Cooperative cancellation token, when installed
+    /// ([`Machine::set_cancel_token`]): polled at every step entry and
+    /// between sequential kernel chunks; see [`crate::cancel`].
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl Machine {
@@ -419,6 +424,7 @@ impl Machine {
             arena: WriteArena::default(),
             analysis: None,
             faults: None,
+            cancel: None,
         }
     }
 
@@ -476,6 +482,41 @@ impl Machine {
             // subcomputations) with a schedule derived from their own seed
             // and a fresh budget latch.
             faults: self.faults.as_ref().map(|f| Box::new(f.child(seed))),
+            // Children share the parent's cancel token, so a deadline
+            // covers the whole machine tree.
+            cancel: self.cancel.clone(),
+        }
+    }
+
+    /// Install a [`CancelToken`]: every subsequent step polls it on entry
+    /// (and sequential fused-kernel loops poll it between chunks), aborting
+    /// with a typed [`crate::cancel::CancelUnwind`] once the token is
+    /// cancelled or past its deadline. Children created after this call
+    /// share the token. Replaces any previously installed token.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Remove any installed cancel token; subsequent behaviour is identical
+    /// to a machine that never had one.
+    pub fn clear_cancel_token(&mut self) {
+        self.cancel = None;
+    }
+
+    /// The installed cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Poll the installed cancel token (no-op without one), unwinding with
+    /// a typed [`crate::cancel::CancelUnwind`] on expiry. Crate-internal:
+    /// called at step entry and between sequential kernel chunks.
+    #[inline]
+    pub(crate) fn poll_cancel(&self) {
+        if let Some(tok) = &self.cancel {
+            if let Err(cause) = tok.check() {
+                crate::cancel::unwind(cause);
+            }
         }
     }
 
@@ -564,6 +605,10 @@ impl Machine {
         R: Send,
         F: Fn(&mut Ctx) -> R + Sync,
     {
+        // Cancellation poll at the step boundary, *before* the step is
+        // recorded: a machine past its deadline executes zero further
+        // steps, so `metrics.steps` counts completed steps exactly.
+        self.poll_cancel();
         let pids = pids.into();
         let count = pids.count();
         let step_no = self.step_counter;
@@ -648,12 +693,33 @@ impl Machine {
 
         let parallel = !self.tuning.force_sequential
             && (self.tuning.force_parallel || count >= self.tuning.par_compute_threshold);
+        let mut mid_abort: Option<CancelCause> = None;
         if parallel {
+            // Parallel waves are one fan-out/join; the poll granularity
+            // here is the step boundary (see `crate::cancel`).
             pool::global().run(nchunks, &run_chunk);
         } else {
             for c in 0..nchunks {
+                if c > 0 {
+                    if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
+                        mid_abort = Some(cause);
+                        break;
+                    }
+                }
                 run_chunk(c);
             }
+        }
+        if let Some(cause) = mid_abort {
+            // Mid-compute abort: discard the buffered writes (nothing is
+            // committed), put the pooled arena and analyzer state back so
+            // the machine stays reusable (both are cleared by `prepare` at
+            // the next step), then unwind with the typed payload. The step
+            // was already recorded; its memory effects are dropped whole —
+            // never a partially committed step.
+            drop(outs);
+            self.arena = arena;
+            self.analysis = analysis;
+            crate::cancel::unwind(cause);
         }
 
         let mut results: Vec<R> = Vec::with_capacity(count);

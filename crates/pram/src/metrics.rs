@@ -86,8 +86,99 @@ pub struct Metrics {
     /// unless an entry point ran under [`crate::supervise::supervise`].
     /// Host observability: both absorbs sum these.
     pub supervisor: crate::supervise::SupervisorStats,
+    /// Serving-runtime statistics (admission, shedding, breaker activity).
+    /// All zero unless requests ran through `ipch-service`, which fills
+    /// this block in its aggregated metrics and health snapshots. Host
+    /// observability: both absorbs sum these.
+    pub service: ServiceStats,
     /// Index into `phases` of the currently open phase, if any.
     current_phase: Option<usize>,
+}
+
+/// Counters of the deadline-aware serving runtime (`ipch-service`): one
+/// block per service (aggregated across requests), carried on [`Metrics`]
+/// so health snapshots, absorbs and reports flow through the same plumbing
+/// as every other observability counter.
+///
+/// Invariant maintained by the runtime: every submitted request resolves
+/// exactly once, so `submitted == completed + rejected_queue_full +
+/// rejected_tenant_limit + shed_expired + cancelled + deadline_exceeded +
+/// invalid_inputs + run_errors + panics_isolated` once the service drains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests presented to the admission controller.
+    pub submitted: u64,
+    /// Requests that passed admission and were enqueued.
+    pub admitted: u64,
+    /// Requests that finished with a correct (certified) result.
+    pub completed: u64,
+    /// Requests shed at admission because the bounded queue was full.
+    pub rejected_queue_full: u64,
+    /// Requests shed at admission by the per-tenant concurrency limit.
+    pub rejected_tenant_limit: u64,
+    /// Requests shed *after* admission because their deadline expired
+    /// while still queued (never dispatched).
+    pub shed_expired: u64,
+    /// Requests aborted by an explicit client cancel.
+    pub cancelled: u64,
+    /// Requests aborted by deadline expiry mid-run.
+    pub deadline_exceeded: u64,
+    /// Requests rejected by input validation (typed `InputError`).
+    pub invalid_inputs: u64,
+    /// Requests that ended in a typed algorithm error
+    /// ([`crate::RunError`], e.g. attempts exhausted under faults).
+    pub run_errors: u64,
+    /// Requests whose handler panicked; the panic was isolated to the
+    /// request and surfaced as a typed error.
+    pub panics_isolated: u64,
+    /// Circuit-breaker transitions into a *more* degraded tier.
+    pub breaker_trips: u64,
+    /// Half-open probe requests dispatched at a less-degraded tier.
+    pub breaker_probes: u64,
+    /// Breaker transitions back to the full tier after a clean probe.
+    pub breaker_recoveries: u64,
+    /// Requests served at the reduced-retry degradation tier.
+    pub degraded_tier1_runs: u64,
+    /// Requests served at the sequential-exact degradation tier.
+    pub degraded_tier2_runs: u64,
+}
+
+impl ServiceStats {
+    /// Sum another block into this one (service-level roll-up).
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.completed += other.completed;
+        self.rejected_queue_full += other.rejected_queue_full;
+        self.rejected_tenant_limit += other.rejected_tenant_limit;
+        self.shed_expired += other.shed_expired;
+        self.cancelled += other.cancelled;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.invalid_inputs += other.invalid_inputs;
+        self.run_errors += other.run_errors;
+        self.panics_isolated += other.panics_isolated;
+        self.breaker_trips += other.breaker_trips;
+        self.breaker_probes += other.breaker_probes;
+        self.breaker_recoveries += other.breaker_recoveries;
+        self.degraded_tier1_runs += other.degraded_tier1_runs;
+        self.degraded_tier2_runs += other.degraded_tier2_runs;
+    }
+
+    /// Requests shed at or after admission (never dispatched).
+    pub fn total_shed(&self) -> u64 {
+        self.rejected_queue_full + self.rejected_tenant_limit + self.shed_expired
+    }
+
+    /// Requests that resolved, by any outcome (the "no lost request" sum).
+    pub fn total_resolved(&self) -> u64 {
+        self.completed
+            + self.total_shed()
+            + self.cancelled
+            + self.deadline_exceeded
+            + self.invalid_inputs
+            + self.run_errors
+            + self.panics_isolated
+    }
 }
 
 impl Metrics {
@@ -204,6 +295,7 @@ impl Metrics {
             self.kernel_steps += c.kernel_steps;
             self.faults.absorb(&c.faults);
             self.supervisor.absorb(&c.supervisor);
+            self.service.absorb(&c.service);
             self.absorb_analysis(c);
         }
         if let Some(i) = self.current_phase {
@@ -235,6 +327,7 @@ impl Metrics {
         self.kernel_steps += other.kernel_steps;
         self.faults.absorb(&other.faults);
         self.supervisor.absorb(&other.supervisor);
+        self.service.absorb(&other.service);
         self.absorb_analysis(other);
         for p in &other.phases {
             if let Some(mine) = self.phases.iter_mut().find(|q| q.name == p.name) {

@@ -42,6 +42,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use crate::cancel::{CancelCause, CancelUnwind};
 use crate::machine::Machine;
 use crate::rng::mix64;
 
@@ -87,6 +88,27 @@ pub enum RunError {
         /// The panic payload, when it was a string.
         detail: String,
     },
+    /// The run was cancelled by its [`crate::CancelToken`] (client
+    /// disconnect, shed, admin). Terminal: the supervisor neither retries
+    /// nor falls back — the cancellation covers the whole request.
+    Cancelled {
+        /// Name of the supervised algorithm.
+        algorithm: &'static str,
+    },
+    /// The run's deadline expired mid-flight. Terminal like `Cancelled`.
+    DeadlineExceeded {
+        /// Name of the supervised algorithm.
+        algorithm: &'static str,
+    },
+    /// The input was rejected before any attempt ran (NaN/infinite
+    /// coordinates, duplicate points where the algorithm forbids them, …).
+    /// Terminal: retrying cannot repair a malformed input.
+    InvalidInput {
+        /// Name of the supervised algorithm.
+        algorithm: &'static str,
+        /// What the validator rejected.
+        detail: String,
+    },
 }
 
 impl RunError {
@@ -97,8 +119,56 @@ impl RunError {
             | RunError::Verify { algorithm, .. }
             | RunError::Invariant { algorithm, .. }
             | RunError::BudgetExhausted { algorithm }
-            | RunError::Panic { algorithm, .. } => algorithm,
+            | RunError::Panic { algorithm, .. }
+            | RunError::Cancelled { algorithm }
+            | RunError::DeadlineExceeded { algorithm }
+            | RunError::InvalidInput { algorithm, .. } => algorithm,
         }
+    }
+
+    /// Stable machine-readable code for wire serialization and logs.
+    /// Contract: codes never change once shipped; new variants add new
+    /// codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RunError::AttemptsExhausted { .. } => "attempts_exhausted",
+            RunError::Verify { .. } => "verify_failed",
+            RunError::Invariant { .. } => "invariant_failed",
+            RunError::BudgetExhausted { .. } => "budget_exhausted",
+            RunError::Panic { .. } => "panic",
+            RunError::Cancelled { .. } => "cancelled",
+            RunError::DeadlineExceeded { .. } => "deadline_exceeded",
+            RunError::InvalidInput { .. } => "invalid_input",
+        }
+    }
+
+    /// Shorthand for a typed input rejection (entry points validate before
+    /// touching a machine).
+    pub fn invalid_input(algorithm: &'static str, detail: impl std::fmt::Display) -> RunError {
+        RunError::InvalidInput {
+            algorithm,
+            detail: detail.to_string(),
+        }
+    }
+
+    /// The [`RunError`] matching a cancellation cause.
+    pub fn from_cancel(algorithm: &'static str, cause: CancelCause) -> RunError {
+        match cause {
+            CancelCause::Cancelled => RunError::Cancelled { algorithm },
+            CancelCause::DeadlineExceeded => RunError::DeadlineExceeded { algorithm },
+        }
+    }
+
+    /// True for errors the supervisor treats as terminal: no retry, no
+    /// fallback (cancellation covers the whole request; a malformed input
+    /// stays malformed).
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            RunError::Cancelled { .. }
+                | RunError::DeadlineExceeded { .. }
+                | RunError::InvalidInput { .. }
+        )
     }
 }
 
@@ -124,6 +194,15 @@ impl std::fmt::Display for RunError {
             }
             RunError::Panic { algorithm, detail } => {
                 write!(f, "{algorithm}: attempt panicked: {detail}")
+            }
+            RunError::Cancelled { algorithm } => {
+                write!(f, "{algorithm}: run cancelled")
+            }
+            RunError::DeadlineExceeded { algorithm } => {
+                write!(f, "{algorithm}: deadline exceeded")
+            }
+            RunError::InvalidInput { algorithm, detail } => {
+                write!(f, "{algorithm}: invalid input: {detail}")
             }
         }
     }
@@ -190,6 +269,9 @@ pub struct SupervisorStats {
     pub panics_caught: u64,
     /// Attempts voided by a tripped fault-plane budget.
     pub budget_aborts: u64,
+    /// Runs aborted by a [`crate::CancelToken`] (explicit cancel or
+    /// deadline expiry); such runs end immediately — no retry, no fallback.
+    pub cancellations: u64,
 }
 
 impl SupervisorStats {
@@ -202,6 +284,7 @@ impl SupervisorStats {
         self.verify_failures += other.verify_failures;
         self.panics_caught += other.panics_caught;
         self.budget_aborts += other.budget_aborts;
+        self.cancellations += other.cancellations;
     }
 }
 
@@ -248,6 +331,12 @@ pub fn supervise<T>(
     let mut errors: Vec<RunError> = Vec::new();
 
     for k in 0..cfg.max_attempts {
+        // Cancellation before launching (or relaunching): a request whose
+        // deadline expired between attempts must not burn another attempt.
+        if let Some(cause) = m.cancel_token().and_then(|t| t.check().err()) {
+            m.metrics.supervisor.cancellations += 1;
+            return Err(RunError::from_cancel(algorithm, cause));
+        }
         m.metrics.supervisor.attempts += 1;
         if k > 0 {
             m.metrics.supervisor.retries += 1;
@@ -261,6 +350,14 @@ pub fn supervise<T>(
         let result = match caught {
             Ok(r) => r,
             Err(payload) => {
+                // A cancellation unwind is control flow, not a failed
+                // attempt: the child's partial metrics are already merged
+                // (the absorb above), and the run ends now — retrying a
+                // cancelled request would defeat the deadline.
+                if let Some(cu) = payload.downcast_ref::<CancelUnwind>() {
+                    m.metrics.supervisor.cancellations += 1;
+                    return Err(RunError::from_cancel(algorithm, cu.cause));
+                }
                 m.metrics.supervisor.panics_caught += 1;
                 Err(RunError::Panic {
                     algorithm,
@@ -286,6 +383,17 @@ pub fn supervise<T>(
                 });
             }
             Err(e) => {
+                // Terminal errors end the run at once: no further attempt
+                // can change a cancelled request or a malformed input.
+                if e.is_terminal() {
+                    if matches!(
+                        e,
+                        RunError::Cancelled { .. } | RunError::DeadlineExceeded { .. }
+                    ) {
+                        m.metrics.supervisor.cancellations += 1;
+                    }
+                    return Err(e);
+                }
                 match &e {
                     RunError::Verify { .. } => m.metrics.supervisor.verify_failures += 1,
                     RunError::BudgetExhausted { .. } => m.metrics.supervisor.budget_aborts += 1,
@@ -329,6 +437,10 @@ pub fn supervise<T>(
                 }),
                 Ok(Err(e)) => Err(e),
                 Err(payload) => {
+                    if let Some(cu) = payload.downcast_ref::<CancelUnwind>() {
+                        m.metrics.supervisor.cancellations += 1;
+                        return Err(RunError::from_cancel(algorithm, cu.cause));
+                    }
                     m.metrics.supervisor.panics_caught += 1;
                     Err(RunError::Panic {
                         algorithm,
@@ -550,6 +662,186 @@ mod tests {
             .all(|e| matches!(e, RunError::BudgetExhausted { .. })));
         assert_eq!(m.metrics.supervisor.budget_aborts, 3);
         assert_eq!(m.metrics.faults.budget_exhaustions, 3);
+    }
+
+    #[test]
+    fn cancellation_mid_attempt_is_typed_terminal_and_keeps_partial_metrics() {
+        crate::cancel::silence_cancel_unwinds();
+        let token = crate::CancelToken::new();
+        let mut m = Machine::new(20);
+        m.set_cancel_token(token.clone());
+        let out = supervise(
+            &mut m,
+            "cancel-me",
+            &SuperviseConfig::default(),
+            |child| {
+                // three steps succeed, then the client walks away
+                let v = count_to(child, 3);
+                token.cancel();
+                count_to(child, 5); // unwinds at the next step boundary
+                Ok(v)
+            },
+            Some(&mut |child: &mut Machine| Ok(count_to(child, 1))),
+        );
+        assert!(matches!(
+            out,
+            Err(RunError::Cancelled {
+                algorithm: "cancel-me"
+            })
+        ));
+        // terminal: one attempt, no retry, no fallback — and the cancelled
+        // attempt's partial work is still accounted
+        assert_eq!(m.metrics.supervisor.attempts, 1);
+        assert_eq!(m.metrics.supervisor.fallbacks, 0);
+        assert_eq!(m.metrics.supervisor.cancellations, 1);
+        assert_eq!(m.metrics.steps, 3);
+    }
+
+    #[test]
+    fn expired_deadline_skips_the_attempt_entirely() {
+        let mut m = Machine::new(21);
+        m.set_cancel_token(crate::CancelToken::with_deadline(std::time::Duration::ZERO));
+        let mut launched = false;
+        let out = supervise(
+            &mut m,
+            "late",
+            &SuperviseConfig::default(),
+            |child| {
+                launched = true;
+                Ok(count_to(child, 1))
+            },
+            Some(&mut |child: &mut Machine| Ok(count_to(child, 1))),
+        );
+        assert!(matches!(out, Err(RunError::DeadlineExceeded { .. })));
+        assert!(!launched, "no attempt may launch past the deadline");
+        assert_eq!(m.metrics.supervisor.attempts, 0);
+        assert_eq!(m.metrics.supervisor.cancellations, 1);
+    }
+
+    #[test]
+    fn invalid_input_is_terminal_without_retries() {
+        let mut m = Machine::new(22);
+        let mut tries = 0u32;
+        let out = supervise(
+            &mut m,
+            "picky",
+            &SuperviseConfig::default(),
+            |_child| -> Result<(), RunError> {
+                tries += 1;
+                Err(RunError::invalid_input("picky", "NaN at index 3"))
+            },
+            Some(&mut |_child: &mut Machine| Ok(())),
+        );
+        assert!(matches!(out, Err(RunError::InvalidInput { .. })));
+        assert_eq!(tries, 1, "malformed input must not be retried");
+        assert_eq!(m.metrics.supervisor.fallbacks, 0);
+    }
+
+    /// Pinned-seed regression (ISSUE 5 satellite): a child cancelled mid-run
+    /// must still deliver its `faults` and `supervisor` counters to the
+    /// parent through the absorb that precedes the supervisor's unwind
+    /// handling.
+    #[test]
+    fn absorb_preserves_fault_and_supervisor_counters_across_cancellation() {
+        crate::cancel::silence_cancel_unwinds();
+        let token = crate::CancelToken::new();
+        let mut m = Machine::new(0xC0FF_EE00_0005);
+        m.install_faults(FaultPlan {
+            corrupt_rate: 1.0, // one corrupted cell per executed step
+            ..FaultPlan::default()
+        });
+        m.set_cancel_token(token.clone());
+        let out = supervise(
+            &mut m,
+            "corrupted-and-cancelled",
+            &SuperviseConfig::default(),
+            |child| {
+                // a nested supervised run bumps the child's own supervisor
+                // counters, which must also survive the cancellation
+                let nested = supervise(
+                    child,
+                    "nested",
+                    &SuperviseConfig::default(),
+                    |gc| Ok(count_to(gc, 2)),
+                    None,
+                )?;
+                assert_eq!(nested.outcome, Outcome::FirstTry);
+                token.cancel();
+                count_to(child, 5); // unwinds
+                Ok(())
+            },
+            None,
+        );
+        assert!(matches!(out, Err(RunError::Cancelled { .. })));
+        // the nested run executed 2 steps with corrupt_rate 1.0 before the
+        // cancel; its fault events and supervisor counters reached the root
+        assert_eq!(m.metrics.supervisor.runs, 2, "root + nested");
+        assert_eq!(m.metrics.supervisor.attempts, 2);
+        assert_eq!(m.metrics.supervisor.cancellations, 1);
+        assert_eq!(m.metrics.steps, 2);
+        assert_eq!(
+            m.metrics.faults.corrupted_cells, 2,
+            "fault counters of the cancelled subtree must merge"
+        );
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        let cases: Vec<(RunError, &str)> = vec![
+            (
+                RunError::AttemptsExhausted {
+                    algorithm: "a",
+                    attempts: 3,
+                    last: Box::new(RunError::BudgetExhausted { algorithm: "a" }),
+                },
+                "attempts_exhausted",
+            ),
+            (
+                RunError::Verify {
+                    algorithm: "a",
+                    detail: String::new(),
+                },
+                "verify_failed",
+            ),
+            (
+                RunError::Invariant {
+                    algorithm: "a",
+                    detail: String::new(),
+                },
+                "invariant_failed",
+            ),
+            (
+                RunError::BudgetExhausted { algorithm: "a" },
+                "budget_exhausted",
+            ),
+            (
+                RunError::Panic {
+                    algorithm: "a",
+                    detail: String::new(),
+                },
+                "panic",
+            ),
+            (RunError::Cancelled { algorithm: "a" }, "cancelled"),
+            (
+                RunError::DeadlineExceeded { algorithm: "a" },
+                "deadline_exceeded",
+            ),
+            (
+                RunError::InvalidInput {
+                    algorithm: "a",
+                    detail: String::new(),
+                },
+                "invalid_input",
+            ),
+        ];
+        for (e, code) in &cases {
+            assert_eq!(e.code(), *code);
+            // every error renders through Display and the std Error trait
+            let dyn_err: &dyn std::error::Error = e;
+            assert!(!dyn_err.to_string().is_empty());
+        }
+        let codes: std::collections::HashSet<_> = cases.iter().map(|(e, _)| e.code()).collect();
+        assert_eq!(codes.len(), cases.len(), "codes are distinct");
     }
 
     #[test]

@@ -1,0 +1,157 @@
+//! `hulld` — demo traffic driver for the resilient serving runtime.
+//!
+//! Starts a [`Service`], pushes a mixed batch of requests at it (clean
+//! traffic, chaos-injected runs, tight deadlines, malformed inputs, and a
+//! few client cancellations), and prints the `/health` snapshot at the
+//! end. Usage:
+//!
+//! ```text
+//! hulld [REQUESTS] [WORKERS] [SEED]
+//! ```
+//!
+//! Defaults: 200 requests, 2 workers, seed 0xD1CE. Exits non-zero if any
+//! request is lost (the resolution invariant fails) — the same guarantee
+//! the chaos suite enforces, here as an executable smoke test.
+
+use std::time::Duration;
+
+use ipch_geom::{Point2, Point3};
+use ipch_pram::FaultPlan;
+use ipch_service::{Hull2dAlgo, Request, Service, ServiceConfig, ServiceError, Workload};
+
+/// SplitMix64 step — the driver's own tiny deterministic stream, so the
+/// demo replays identically for a given seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn points2(rng: &mut u64, n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|_| {
+            let x = (mix(rng) >> 11) as f64 / (1u64 << 53) as f64;
+            let y = (mix(rng) >> 11) as f64 / (1u64 << 53) as f64;
+            Point2 { x, y }
+        })
+        .collect()
+}
+
+fn points3(rng: &mut u64, n: usize) -> Vec<Point3> {
+    (0..n)
+        .map(|_| {
+            let x = (mix(rng) >> 11) as f64 / (1u64 << 53) as f64;
+            let y = (mix(rng) >> 11) as f64 / (1u64 << 53) as f64;
+            let z = (mix(rng) >> 11) as f64 / (1u64 << 53) as f64;
+            Point3 { x, y, z }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
+    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0xD1CE);
+
+    let svc = Service::new(ServiceConfig {
+        workers,
+        queue_capacity: 32,
+        per_tenant_inflight: 12,
+        ..ServiceConfig::default()
+    });
+
+    let mut rng = seed;
+    let tenants = ["alpha", "beta", "gamma"];
+    let mut tickets = Vec::new();
+    let (mut shed_at_admission, mut completed, mut failed, mut shed_later) =
+        (0u64, 0u64, 0u64, 0u64);
+
+    for i in 0..requests {
+        let r = mix(&mut rng);
+        let n = 16 + (r % 240) as usize;
+        let workload = match r % 3 {
+            0 => Workload::Hull2d {
+                points: points2(&mut rng, n),
+                algo: Hull2dAlgo::Unsorted,
+            },
+            1 => Workload::Hull2d {
+                points: points2(&mut rng, n),
+                algo: Hull2dAlgo::Dac,
+            },
+            _ => Workload::Hull3d {
+                points: points3(&mut rng, n),
+            },
+        };
+        let mut req = Request::new(tenants[i % tenants.len()], r, workload);
+        match r % 10 {
+            // A slice of chaos traffic: corrupted commits defeat the
+            // certificate and exercise retry, fallback, and the breakers.
+            0 | 1 => {
+                req.chaos = Some(FaultPlan {
+                    corrupt_rate: 0.5,
+                    ..FaultPlan::default()
+                })
+            }
+            // Tight deadlines: some expire in queue, some mid-run.
+            2 => req.deadline = Some(Duration::from_micros(r % 300)),
+            // Malformed input: typed rejection, no steps run.
+            3 => {
+                if let Workload::Hull2d { points, .. } = &mut req.workload {
+                    points[0].y = f64::NAN;
+                }
+            }
+            _ => {}
+        }
+        let cancel_this = r.is_multiple_of(17);
+        match svc.submit(req) {
+            Ok(t) => {
+                if cancel_this {
+                    t.cancel();
+                }
+                tickets.push(t);
+            }
+            Err(e) => {
+                assert!(matches!(e, ServiceError::Rejected { .. }));
+                shed_at_admission += 1;
+            }
+        }
+        // Keep some back-pressure but let the queue breathe.
+        if i % 8 == 7 {
+            svc.drain();
+        }
+    }
+    svc.drain();
+
+    for t in tickets {
+        match t.wait() {
+            Ok(_) => completed += 1,
+            Err(e) if e.is_shed() => shed_later += 1,
+            Err(_) => failed += 1,
+        }
+    }
+
+    let health = svc.health();
+    print!("{}", health.render());
+    println!(
+        "driver: completed={completed} failed_typed={failed} \
+         shed_at_admission={shed_at_admission} shed_in_queue={shed_later}"
+    );
+
+    let stats = health.stats;
+    if stats.submitted != stats.total_resolved() {
+        eprintln!(
+            "LOST REQUESTS: submitted={} resolved={}",
+            stats.submitted,
+            stats.total_resolved()
+        );
+        std::process::exit(1);
+    }
+    let m = svc.shutdown();
+    println!(
+        "aggregate: steps={} work={} attempts={} fallbacks={} cancellations={}",
+        m.steps, m.work, m.supervisor.attempts, m.supervisor.fallbacks, m.supervisor.cancellations
+    );
+}

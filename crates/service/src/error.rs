@@ -1,0 +1,175 @@
+//! Typed request-level failures of the serving runtime.
+//!
+//! The runtime's invariant is that every submitted request resolves exactly
+//! once, into a value or one of these errors — shedding is always *explicit*
+//! (a typed [`ServiceError::Rejected`] with a retry hint), never a silent
+//! queue drop, and algorithm failures arrive as the supervisor's own typed
+//! [`RunError`] rather than being flattened into strings.
+
+use std::time::Duration;
+
+use ipch_pram::RunError;
+
+/// Why admission (or the queue) refused a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded request queue was at capacity.
+    QueueFull {
+        /// Queue depth at rejection time (== configured capacity).
+        depth: usize,
+    },
+    /// The tenant already had its configured number of requests in flight
+    /// (queued + running).
+    TenantLimit {
+        /// The tenant's in-flight count at rejection time.
+        in_flight: usize,
+    },
+    /// The request's deadline expired while it was still queued; it was
+    /// shed without being dispatched.
+    Expired,
+}
+
+/// Typed failure of a request submitted to the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Load was shed. `retry_after` is an exponential-backoff hint: it
+    /// doubles with each consecutive rejection of the same tenant and
+    /// resets on admission.
+    Rejected {
+        /// What was over limit.
+        reason: RejectReason,
+        /// Suggested client backoff before resubmitting.
+        retry_after: Duration,
+    },
+    /// The run itself failed with a typed algorithm/runtime error
+    /// (cancellation, deadline, invalid input, attempts exhausted, an
+    /// isolated panic, …).
+    Run(RunError),
+    /// The service is shutting down and no longer admits requests.
+    ShuttingDown,
+}
+
+impl ServiceError {
+    /// Stable machine-readable code for wire serialization and logs.
+    /// [`ServiceError::Run`] defers to [`RunError::code`].
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::Rejected {
+                reason: RejectReason::QueueFull { .. },
+                ..
+            } => "rejected_queue_full",
+            ServiceError::Rejected {
+                reason: RejectReason::TenantLimit { .. },
+                ..
+            } => "rejected_tenant_limit",
+            ServiceError::Rejected {
+                reason: RejectReason::Expired,
+                ..
+            } => "shed_expired",
+            ServiceError::Run(e) => e.code(),
+            ServiceError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// True for the explicit load-shedding outcomes (the request never
+    /// ran).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, ServiceError::Rejected { .. })
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Rejected {
+                reason,
+                retry_after,
+            } => {
+                match reason {
+                    RejectReason::QueueFull { depth } => {
+                        write!(f, "shed: queue full at depth {depth}")?;
+                    }
+                    RejectReason::TenantLimit { in_flight } => {
+                        write!(f, "shed: tenant at {in_flight} requests in flight")?;
+                    }
+                    RejectReason::Expired => {
+                        write!(f, "shed: deadline expired while queued")?;
+                    }
+                }
+                write!(f, " (retry after {:?})", retry_after)
+            }
+            ServiceError::Run(e) => write!(f, "{e}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Run(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RunError> for ServiceError {
+    fn from(e: RunError) -> Self {
+        ServiceError::Run(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_distinct() {
+        let cases = [
+            (
+                ServiceError::Rejected {
+                    reason: RejectReason::QueueFull { depth: 4 },
+                    retry_after: Duration::from_millis(10),
+                },
+                "rejected_queue_full",
+            ),
+            (
+                ServiceError::Rejected {
+                    reason: RejectReason::TenantLimit { in_flight: 2 },
+                    retry_after: Duration::from_millis(10),
+                },
+                "rejected_tenant_limit",
+            ),
+            (
+                ServiceError::Rejected {
+                    reason: RejectReason::Expired,
+                    retry_after: Duration::from_millis(10),
+                },
+                "shed_expired",
+            ),
+            (
+                ServiceError::Run(RunError::Cancelled { algorithm: "x" }),
+                "cancelled",
+            ),
+            (ServiceError::ShuttingDown, "shutting_down"),
+        ];
+        let mut codes = std::collections::HashSet::new();
+        for (e, code) in cases {
+            assert_eq!(e.code(), code);
+            let dyn_err: &dyn std::error::Error = &e;
+            assert!(!dyn_err.to_string().is_empty());
+            assert!(codes.insert(code));
+        }
+    }
+
+    #[test]
+    fn shed_classification() {
+        assert!(ServiceError::Rejected {
+            reason: RejectReason::Expired,
+            retry_after: Duration::ZERO,
+        }
+        .is_shed());
+        assert!(!ServiceError::ShuttingDown.is_shed());
+        assert!(!ServiceError::Run(RunError::Cancelled { algorithm: "x" }).is_shed());
+    }
+}

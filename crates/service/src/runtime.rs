@@ -1,0 +1,1137 @@
+//! The serving runtime: bounded admission, a worker pool, cooperative
+//! cancellation, and per-algorithm degradation tiers.
+//!
+//! # Request lifecycle
+//!
+//! [`Service::submit`] is the synchronous admission decision. Under the
+//! service lock it either rejects the request with a typed
+//! [`ServiceError::Rejected`] (queue at capacity, tenant over its in-flight
+//! limit — with an exponential-backoff `retry_after` hint that doubles per
+//! consecutive rejection of the same tenant) or enqueues it and returns a
+//! [`Ticket`]. Admitted requests are never silently dropped: every ticket
+//! resolves exactly once, to a certified [`Response`] or a typed
+//! [`ServiceError`]. The [`ServiceStats`] resolution invariant
+//! (`submitted == completed + sheds + cancelled + … + panics_isolated`)
+//! is checked by the chaos suite.
+//!
+//! # Execution
+//!
+//! Workers pop jobs and run them *outside* the lock. Each job gets its own
+//! [`Machine`] (seeded from the request, chaos plan installed if any) with
+//! the ticket's [`CancelToken`] attached, so the simulator aborts
+//! cooperatively at the next step boundary once the deadline passes or the
+//! client cancels. The run is wrapped in `catch_unwind`: a panic is
+//! isolated to its request and surfaced as a typed [`RunError::Panic`].
+//!
+//! # Degradation
+//!
+//! A per-algorithm [`Breaker`] picks the [`Tier`] before dispatch and is
+//! fed a [`Signal`] after: consecutive strained results (retries,
+//! fallbacks, errors, panics) trip it a tier down — full supervision →
+//! single-attempt supervision → direct sequential exact hull — and
+//! half-open probes climb it back up once the strain clears.
+//!
+//! With `workers: 0` nothing runs until [`Service::drain`] processes the
+//! queue on the calling thread — the deterministic mode the unit and chaos
+//! tests use.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ipch_geom::validate::{validate_points2, validate_points3};
+use ipch_hull2d::parallel::supervised::{
+    upper_hull_dac_supervised, upper_hull_unsorted_supervised,
+};
+use ipch_hull2d::parallel::unsorted::UnsortedParams;
+use ipch_hull2d::seq::{monotone, SeqStats};
+use ipch_hull2d::verify_upper_hull;
+use ipch_hull3d::parallel::supervised::upper_hull3_unsorted_supervised;
+use ipch_hull3d::parallel::unsorted3d::Unsorted3Params;
+use ipch_hull3d::seq::giftwrap::upper_hull3_giftwrap;
+use ipch_hull3d::seq::Seq3Stats;
+use ipch_hull3d::verify_upper_hull3;
+use ipch_pram::{
+    silence_cancel_unwinds, CancelCause, CancelToken, CancelUnwind, Machine, Metrics, Outcome,
+    RunError, ServiceStats, SuperviseConfig,
+};
+
+use crate::breaker::{Breaker, BreakerConfig, Plan, Signal, Tier};
+use crate::error::{RejectReason, ServiceError};
+use crate::request::{Hull2dAlgo, Request, Response, ResponseValue, Workload};
+
+/// Service knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads. `0` runs nothing until [`Service::drain`] — the
+    /// deterministic single-threaded mode tests use.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are shed.
+    pub queue_capacity: usize,
+    /// Per-tenant in-flight (queued + running) limit.
+    pub per_tenant_inflight: usize,
+    /// Supervisor attempt budget at [`Tier::Full`] ([`Tier::ReducedRetry`]
+    /// always uses 1).
+    pub max_attempts: u32,
+    /// Deadline applied to requests that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Circuit-breaker thresholds (shared by every algorithm's breaker).
+    pub breaker: BreakerConfig,
+    /// First `retry_after` hint; doubles per consecutive rejection.
+    pub retry_after_base: Duration,
+    /// Ceiling for the `retry_after` hint.
+    pub retry_after_cap: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            per_tenant_inflight: 8,
+            max_attempts: 3,
+            default_deadline: None,
+            breaker: BreakerConfig::default(),
+            retry_after_base: Duration::from_millis(10),
+            retry_after_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// An admitted request waiting in (or popped from) the queue.
+struct Job {
+    req: Request,
+    token: CancelToken,
+    tx: mpsc::Sender<Result<Response, ServiceError>>,
+}
+
+/// Everything the lock protects.
+struct Inner {
+    queue: VecDeque<Job>,
+    /// Queued + running requests per tenant.
+    tenant_load: HashMap<String, usize>,
+    /// Consecutive rejections per tenant (drives the backoff hint).
+    reject_streak: HashMap<String, u32>,
+    /// One breaker per algorithm name, created on first dispatch.
+    breakers: HashMap<&'static str, Breaker>,
+    /// Service-wide aggregate: every request machine's metrics are
+    /// absorbed here, and `metrics.service` carries the runtime counters.
+    metrics: Metrics,
+    /// Requests currently executing (popped, not yet resolved).
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServiceConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+/// Handle for one submitted request. Resolves exactly once via
+/// [`Ticket::wait`]; [`Ticket::cancel`] requests cooperative cancellation
+/// (honored at the next PRAM step boundary if the job is already running).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServiceError>>,
+    token: CancelToken,
+}
+
+impl Ticket {
+    /// Ask the service to abandon this request. Queued → resolved as
+    /// cancelled without running; running → the machine aborts at the next
+    /// step boundary with [`RunError::Cancelled`].
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// The request's cancellation token (shared with its machine).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Block until the request resolves. A dropped service that never ran
+    /// the job surfaces as [`ServiceError::ShuttingDown`].
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        self.rx.recv().unwrap_or(Err(ServiceError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still pending.
+    pub fn try_wait(&self) -> Option<Result<Response, ServiceError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Point-in-time view of one algorithm's breaker, for [`Health`].
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerView {
+    /// Algorithm name (the breaker key).
+    pub algorithm: &'static str,
+    /// Current degradation tier.
+    pub tier: Tier,
+    /// Consecutive strained results at that tier.
+    pub strain_streak: u32,
+    /// A half-open probe is in flight.
+    pub probing: bool,
+}
+
+/// `/health`-style snapshot of the runtime.
+#[derive(Clone, Debug)]
+pub struct Health {
+    /// Requests waiting in the queue.
+    pub queue_depth: usize,
+    /// Requests currently executing.
+    pub in_flight: usize,
+    /// The service no longer admits requests.
+    pub shutting_down: bool,
+    /// Every algorithm breaker seen so far (sorted by name).
+    pub breakers: Vec<BreakerView>,
+    /// The runtime counters.
+    pub stats: ServiceStats,
+}
+
+impl Health {
+    /// Plain-text rendering (what `hulld` prints for `/health`).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "queue_depth={} in_flight={} shutting_down={}",
+            self.queue_depth, self.in_flight, self.shutting_down
+        );
+        for b in &self.breakers {
+            let _ = writeln!(
+                s,
+                "breaker {}: tier={:?} strain_streak={} probing={}",
+                b.algorithm, b.tier, b.strain_streak, b.probing
+            );
+        }
+        let st = &self.stats;
+        let _ = writeln!(
+            s,
+            "submitted={} admitted={} completed={} shed={} cancelled={} \
+             deadline_exceeded={} invalid_inputs={} run_errors={} panics_isolated={}",
+            st.submitted,
+            st.admitted,
+            st.completed,
+            st.total_shed(),
+            st.cancelled,
+            st.deadline_exceeded,
+            st.invalid_inputs,
+            st.run_errors,
+            st.panics_isolated,
+        );
+        let _ = writeln!(
+            s,
+            "breaker_trips={} breaker_probes={} breaker_recoveries={} \
+             degraded_tier1={} degraded_tier2={}",
+            st.breaker_trips,
+            st.breaker_probes,
+            st.breaker_recoveries,
+            st.degraded_tier1_runs,
+            st.degraded_tier2_runs,
+        );
+        s
+    }
+}
+
+/// The resilient hull-serving runtime. See the module docs for the
+/// lifecycle; construct with [`Service::new`], submit with
+/// [`Service::submit`], stop with [`Service::shutdown`] (or just drop it —
+/// workers are joined either way).
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A poisoned service lock means a worker panicked *while holding it* —
+/// impossible by construction (requests run outside the lock and the
+/// bookkeeping inside it doesn't panic), but recover rather than cascade.
+fn lock(shared: &Shared) -> MutexGuard<'_, Inner> {
+    shared.inner.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Service {
+    /// Start the runtime with `cfg.workers` worker threads.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        // Cancellation unwinds are routine control flow here; keep the
+        // default panic hook from spamming stderr for each one.
+        silence_cancel_unwinds();
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                tenant_load: HashMap::new(),
+                reject_streak: HashMap::new(),
+                breakers: HashMap::new(),
+                metrics: Metrics::new(),
+                in_flight: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cfg,
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hulld-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Synchronous admission. Returns a [`Ticket`] for an admitted request
+    /// or the typed shed decision; never blocks on capacity.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServiceError> {
+        let cfg = &self.shared.cfg;
+        let mut guard = lock(&self.shared);
+        let inner = &mut *guard;
+        if inner.shutdown {
+            return Err(ServiceError::ShuttingDown);
+        }
+        inner.metrics.service.submitted += 1;
+        if inner.queue.len() >= cfg.queue_capacity {
+            inner.metrics.service.rejected_queue_full += 1;
+            let retry_after = bump_backoff(cfg, inner, &req.tenant);
+            return Err(ServiceError::Rejected {
+                reason: RejectReason::QueueFull {
+                    depth: inner.queue.len(),
+                },
+                retry_after,
+            });
+        }
+        let load = inner.tenant_load.get(&req.tenant).copied().unwrap_or(0);
+        if load >= cfg.per_tenant_inflight {
+            inner.metrics.service.rejected_tenant_limit += 1;
+            let retry_after = bump_backoff(cfg, inner, &req.tenant);
+            return Err(ServiceError::Rejected {
+                reason: RejectReason::TenantLimit { in_flight: load },
+                retry_after,
+            });
+        }
+        inner.metrics.service.admitted += 1;
+        inner.reject_streak.remove(&req.tenant);
+        *inner.tenant_load.entry(req.tenant.clone()).or_insert(0) += 1;
+        let token = match req.deadline.or(cfg.default_deadline) {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        let (tx, rx) = mpsc::channel();
+        inner.queue.push_back(Job {
+            req,
+            token: token.clone(),
+            tx,
+        });
+        drop(guard);
+        self.shared.cv.notify_one();
+        Ok(Ticket { rx, token })
+    }
+
+    /// Process queued jobs on the calling thread until the queue is empty.
+    /// This is how a `workers: 0` service runs at all, and it's safe
+    /// alongside live workers (each job is popped exactly once).
+    pub fn drain(&self) {
+        loop {
+            let job = lock(&self.shared).queue.pop_front();
+            match job {
+                Some(j) => handle(&self.shared, j),
+                None => return,
+            }
+        }
+    }
+
+    /// Snapshot the runtime state.
+    pub fn health(&self) -> Health {
+        let inner = lock(&self.shared);
+        let mut breakers: Vec<BreakerView> = inner
+            .breakers
+            .iter()
+            .map(|(&algorithm, b)| BreakerView {
+                algorithm,
+                tier: b.tier(),
+                strain_streak: b.strain_streak(),
+                probing: b.probing(),
+            })
+            .collect();
+        breakers.sort_by_key(|b| b.algorithm);
+        Health {
+            queue_depth: inner.queue.len(),
+            in_flight: inner.in_flight,
+            shutting_down: inner.shutdown,
+            breakers,
+            stats: inner.metrics.service,
+        }
+    }
+
+    /// Clone of the service-wide aggregate metrics (simulator counters of
+    /// every absorbed request machine plus the `service` block).
+    pub fn metrics(&self) -> Metrics {
+        lock(&self.shared).metrics.clone()
+    }
+
+    /// Graceful stop: runs the remaining queue to completion (on this
+    /// thread and any live workers), joins the workers, and returns the
+    /// final aggregate metrics. New submissions fail with
+    /// [`ServiceError::ShuttingDown`].
+    pub fn shutdown(mut self) -> Metrics {
+        self.drain();
+        self.stop_workers();
+        let m = lock(&self.shared).metrics.clone();
+        m
+    }
+
+    fn stop_workers(&mut self) {
+        lock(&self.shared).shutdown = true;
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// Increment `tenant`'s rejection streak and return the doubled backoff
+/// hint (base · 2^(streak − 1), capped).
+fn bump_backoff(cfg: &ServiceConfig, inner: &mut Inner, tenant: &str) -> Duration {
+    let streak = inner
+        .reject_streak
+        .entry(tenant.to_owned())
+        .and_modify(|s| *s = s.saturating_add(1))
+        .or_insert(1);
+    let exp = streak.saturating_sub(1).min(20);
+    cfg.retry_after_base
+        .saturating_mul(1u32 << exp)
+        .min(cfg.retry_after_cap)
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut inner = lock(shared);
+            loop {
+                if let Some(j) = inner.queue.pop_front() {
+                    break j;
+                }
+                if inner.shutdown {
+                    return;
+                }
+                inner = shared.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        handle(shared, job);
+    }
+}
+
+fn finish_tenant(inner: &mut Inner, tenant: &str) {
+    if let Some(load) = inner.tenant_load.get_mut(tenant) {
+        *load -= 1;
+        if *load == 0 {
+            inner.tenant_load.remove(tenant);
+        }
+    }
+}
+
+/// What one executed request hands back: its machine's metrics (absorbed
+/// into the aggregate whether it succeeded or not) and the outcome.
+type RunReturn = (Metrics, Result<Response, RunError>);
+
+fn handle(shared: &Shared, job: Job) {
+    handle_with(shared, job, run_request)
+}
+
+/// The resolution path, parameterized over the runner so tests can drive
+/// the isolation machinery with a panicking or unwinding body.
+fn handle_with(
+    shared: &Shared,
+    job: Job,
+    runner: impl FnOnce(&ServiceConfig, &Request, Tier, CancelToken) -> RunReturn,
+) {
+    let Job { req, token, tx } = job;
+    let alg = req.workload.algorithm();
+
+    // Resolve without running if the request died while queued: an expired
+    // deadline is load shedding (typed, with a retry hint), an explicit
+    // cancel is the client's own typed abort.
+    if let Err(cause) = token.check() {
+        let mut guard = lock(shared);
+        let inner = &mut *guard;
+        finish_tenant(inner, &req.tenant);
+        let err = match cause {
+            CancelCause::DeadlineExceeded => {
+                inner.metrics.service.shed_expired += 1;
+                ServiceError::Rejected {
+                    reason: RejectReason::Expired,
+                    retry_after: shared.cfg.retry_after_base,
+                }
+            }
+            CancelCause::Cancelled => {
+                inner.metrics.service.cancelled += 1;
+                ServiceError::Run(RunError::Cancelled { algorithm: alg })
+            }
+        };
+        drop(guard);
+        let _ = tx.send(Err(err));
+        return;
+    }
+
+    // Let the algorithm's breaker pick the tier (possibly a half-open
+    // probe above it).
+    let plan: Plan = {
+        let mut guard = lock(shared);
+        let inner = &mut *guard;
+        inner.in_flight += 1;
+        let br = inner
+            .breakers
+            .entry(alg)
+            .or_insert_with(|| Breaker::new(shared.cfg.breaker));
+        br.plan(&mut inner.metrics.service)
+    };
+
+    // Run outside the lock, panic-isolated to this request.
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        runner(&shared.cfg, &req, plan.tier, token.clone())
+    }));
+
+    let mut guard = lock(shared);
+    let inner = &mut *guard;
+    inner.in_flight -= 1;
+    finish_tenant(inner, &req.tenant);
+    let (signal, result) = match caught {
+        Ok((metrics, outcome)) => {
+            inner.metrics.absorb(&metrics);
+            match outcome {
+                Ok(resp) => {
+                    inner.metrics.service.completed += 1;
+                    match plan.tier {
+                        Tier::Full => {}
+                        Tier::ReducedRetry => inner.metrics.service.degraded_tier1_runs += 1,
+                        Tier::Sequential => inner.metrics.service.degraded_tier2_runs += 1,
+                    }
+                    let signal = match resp.outcome {
+                        // A clean sequential run (no supervisor) also
+                        // counts as healthy: the probe path relies on it.
+                        Some(Outcome::FirstTry) | None => Signal::Clean,
+                        Some(Outcome::Retried(_)) | Some(Outcome::FellBack) => Signal::Strained,
+                    };
+                    (signal, Ok(resp))
+                }
+                Err(e) => {
+                    let signal = match &e {
+                        RunError::Cancelled { .. } => {
+                            inner.metrics.service.cancelled += 1;
+                            Signal::Neutral
+                        }
+                        RunError::DeadlineExceeded { .. } => {
+                            inner.metrics.service.deadline_exceeded += 1;
+                            Signal::Neutral
+                        }
+                        RunError::InvalidInput { .. } => {
+                            inner.metrics.service.invalid_inputs += 1;
+                            Signal::Neutral
+                        }
+                        _ => {
+                            inner.metrics.service.run_errors += 1;
+                            Signal::Strained
+                        }
+                    };
+                    (signal, Err(ServiceError::Run(e)))
+                }
+            }
+        }
+        Err(payload) => {
+            // Defence in depth: a cancellation unwind that escaped the
+            // supervisor (e.g. a machine poll outside any supervised
+            // scope) is still typed, not an isolated panic.
+            if let Some(cu) = payload.downcast_ref::<CancelUnwind>() {
+                match cu.cause {
+                    CancelCause::Cancelled => inner.metrics.service.cancelled += 1,
+                    CancelCause::DeadlineExceeded => inner.metrics.service.deadline_exceeded += 1,
+                }
+                (
+                    Signal::Neutral,
+                    Err(ServiceError::Run(RunError::from_cancel(alg, cu.cause))),
+                )
+            } else {
+                inner.metrics.service.panics_isolated += 1;
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                (
+                    Signal::Strained,
+                    Err(ServiceError::Run(RunError::Panic {
+                        algorithm: alg,
+                        detail,
+                    })),
+                )
+            }
+        }
+    };
+    let svc = &mut inner.metrics.service;
+    if let Some(br) = inner.breakers.get_mut(alg) {
+        br.report(plan, signal, svc);
+    }
+    drop(guard);
+    let _ = tx.send(result);
+}
+
+/// Execute one admitted request at `tier` on its own machine.
+fn run_request(cfg: &ServiceConfig, req: &Request, tier: Tier, token: CancelToken) -> RunReturn {
+    let mut m = Machine::new(req.seed);
+    if let Some(plan) = &req.chaos {
+        m.install_faults(plan.clone());
+    }
+    m.set_cancel_token(token);
+    let result = match tier {
+        Tier::Sequential => run_sequential(&mut m, req),
+        Tier::Full | Tier::ReducedRetry => {
+            let scfg = SuperviseConfig {
+                max_attempts: if tier == Tier::ReducedRetry {
+                    1
+                } else {
+                    cfg.max_attempts
+                },
+            };
+            run_supervised(&mut m, req, tier, &scfg)
+        }
+    };
+    (m.metrics.clone(), result)
+}
+
+fn run_supervised(
+    m: &mut Machine,
+    req: &Request,
+    tier: Tier,
+    scfg: &SuperviseConfig,
+) -> Result<Response, RunError> {
+    let (value, outcome, attempts) = match &req.workload {
+        Workload::Hull2d { points, algo } => match algo {
+            Hull2dAlgo::Unsorted => {
+                let s =
+                    upper_hull_unsorted_supervised(m, points, &UnsortedParams::default(), scfg)?;
+                (ResponseValue::Hull2d(s.value.0.hull), s.outcome, s.attempts)
+            }
+            Hull2dAlgo::Dac => {
+                let s = upper_hull_dac_supervised(m, points, false, scfg)?;
+                (ResponseValue::Hull2d(s.value.hull), s.outcome, s.attempts)
+            }
+        },
+        Workload::Hull3d { points } => {
+            let s = upper_hull3_unsorted_supervised(m, points, &Unsorted3Params::default(), scfg)?;
+            (
+                ResponseValue::Hull3d(s.value.0.facets),
+                s.outcome,
+                s.attempts,
+            )
+        }
+    };
+    Ok(Response {
+        value,
+        tier,
+        outcome: Some(outcome),
+        attempts,
+        sim_steps: m.metrics.steps,
+    })
+}
+
+/// The [`Tier::Sequential`] path: exact host-side algorithms, no
+/// randomized machinery, no supervisor — the breaker's last resort. Input
+/// validation and certificate verification still run (degraded never
+/// means unchecked), and the work is charged to the machine at p = 1 so
+/// the aggregate metrics stay honest.
+fn run_sequential(m: &mut Machine, req: &Request) -> Result<Response, RunError> {
+    let alg = req.workload.algorithm();
+    if let Some(cause) = m.cancel_token().and_then(|t| t.check().err()) {
+        return Err(RunError::from_cancel(alg, cause));
+    }
+    let value = match &req.workload {
+        Workload::Hull2d { points, .. } => {
+            validate_points2(points).map_err(|e| RunError::invalid_input(alg, e))?;
+            let mut stats = SeqStats::default();
+            let hull = monotone::upper_hull(points, &mut stats);
+            m.charge(stats.total(), stats.total());
+            verify_upper_hull(points, &hull).map_err(|detail| RunError::Verify {
+                algorithm: alg,
+                detail,
+            })?;
+            ResponseValue::Hull2d(hull)
+        }
+        Workload::Hull3d { points } => {
+            validate_points3(points).map_err(|e| RunError::invalid_input(alg, e))?;
+            let mut stats = Seq3Stats::default();
+            let facets = upper_hull3_giftwrap(points, &mut stats);
+            m.charge(stats.total(), stats.total());
+            verify_upper_hull3(points, &facets, true).map_err(|detail| RunError::Verify {
+                algorithm: alg,
+                detail,
+            })?;
+            ResponseValue::Hull3d(facets)
+        }
+    };
+    Ok(Response {
+        value,
+        tier: Tier::Sequential,
+        outcome: None,
+        attempts: 0,
+        sim_steps: m.metrics.steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ipch_geom::Point2;
+    use ipch_pram::FaultPlan;
+
+    fn pts(n: usize) -> Vec<Point2> {
+        // A strict parabola: distinct x, no duplicates, every point on the
+        // upper hull — cheap to generate and certificate-friendly.
+        (0..n)
+            .map(|i| {
+                let x = i as f64;
+                Point2 {
+                    x,
+                    y: -(x - n as f64 / 2.0).powi(2),
+                }
+            })
+            .collect()
+    }
+
+    fn req2(tenant: &str, seed: u64, n: usize) -> Request {
+        Request::new(
+            tenant,
+            seed,
+            Workload::Hull2d {
+                points: pts(n),
+                algo: Hull2dAlgo::Unsorted,
+            },
+        )
+    }
+
+    fn manual(cfg: ServiceConfig) -> Service {
+        Service::new(ServiceConfig { workers: 0, ..cfg })
+    }
+
+    fn assert_resolved(stats: &ServiceStats) {
+        assert_eq!(
+            stats.submitted,
+            stats.total_resolved(),
+            "resolution invariant violated: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn clean_request_completes_with_certificate_at_full_tier() {
+        let svc = manual(ServiceConfig::default());
+        let t = svc.submit(req2("acme", 7, 64)).unwrap();
+        svc.drain();
+        let resp = t.wait().unwrap();
+        assert_eq!(resp.tier, Tier::Full);
+        assert_eq!(resp.outcome, Some(Outcome::FirstTry));
+        match resp.value {
+            ResponseValue::Hull2d(h) => assert_eq!(h.vertices.len(), 64),
+            _ => panic!("wrong value kind"),
+        }
+        assert!(resp.sim_steps > 0);
+        let h = svc.health();
+        assert_eq!(h.queue_depth, 0);
+        assert_eq!(h.in_flight, 0);
+        assert_eq!(h.stats.submitted, 1);
+        assert_eq!(h.stats.admitted, 1);
+        assert_eq!(h.stats.completed, 1);
+        assert_resolved(&h.stats);
+        let m = svc.shutdown();
+        assert!(m.steps > 0, "request machine metrics were absorbed");
+    }
+
+    #[test]
+    fn queue_full_sheds_typed_with_doubling_backoff() {
+        let svc = manual(ServiceConfig {
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let t1 = svc.submit(req2("acme", 1, 16)).unwrap();
+        let t2 = svc.submit(req2("acme", 2, 16)).unwrap();
+        let e3 = svc.submit(req2("acme", 3, 16)).unwrap_err();
+        let e4 = svc.submit(req2("acme", 4, 16)).unwrap_err();
+        let (r3, r4) = match (&e3, &e4) {
+            (
+                ServiceError::Rejected {
+                    reason: RejectReason::QueueFull { depth: 2 },
+                    retry_after: r3,
+                },
+                ServiceError::Rejected {
+                    reason: RejectReason::QueueFull { depth: 2 },
+                    retry_after: r4,
+                },
+            ) => (*r3, *r4),
+            other => panic!("expected two queue-full sheds, got {other:?}"),
+        };
+        assert_eq!(r4, r3 * 2, "backoff hint doubles per consecutive reject");
+        assert!(e3.is_shed() && e4.is_shed());
+        svc.drain();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let st = svc.health().stats;
+        assert_eq!(st.rejected_queue_full, 2);
+        assert_eq!(st.completed, 2);
+        assert_resolved(&st);
+    }
+
+    #[test]
+    fn tenant_limit_sheds_only_the_noisy_tenant() {
+        let svc = manual(ServiceConfig {
+            per_tenant_inflight: 1,
+            ..ServiceConfig::default()
+        });
+        let t1 = svc.submit(req2("noisy", 1, 16)).unwrap();
+        let err = svc.submit(req2("noisy", 2, 16)).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Rejected {
+                reason: RejectReason::TenantLimit { in_flight: 1 },
+                ..
+            }
+        ));
+        let t2 = svc.submit(req2("quiet", 3, 16)).unwrap();
+        svc.drain();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        // The noisy tenant's slot freed up after the drain.
+        let t3 = svc.submit(req2("noisy", 4, 16)).unwrap();
+        svc.drain();
+        assert!(t3.wait().is_ok());
+        let st = svc.health().stats;
+        assert_eq!(st.rejected_tenant_limit, 1);
+        assert_resolved(&st);
+    }
+
+    #[test]
+    fn cancel_while_queued_resolves_typed_without_running() {
+        let svc = manual(ServiceConfig::default());
+        let t = svc.submit(req2("acme", 1, 16)).unwrap();
+        t.cancel();
+        svc.drain();
+        match t.wait() {
+            Err(ServiceError::Run(RunError::Cancelled { algorithm })) => {
+                assert_eq!(algorithm, "hull2d/unsorted");
+            }
+            other => panic!("expected typed cancellation, got {other:?}"),
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.cancelled, 1);
+        assert_eq!(st.completed, 0);
+        assert_resolved(&st);
+        // No machine ran, so no simulator metrics were absorbed.
+        assert_eq!(svc.metrics().steps, 0);
+    }
+
+    #[test]
+    fn expired_deadline_in_queue_is_shed_with_retry_hint() {
+        let svc = manual(ServiceConfig::default());
+        let mut req = req2("acme", 1, 16);
+        req.deadline = Some(Duration::ZERO);
+        let t = svc.submit(req).unwrap();
+        svc.drain();
+        match t.wait() {
+            Err(
+                e @ ServiceError::Rejected {
+                    reason: RejectReason::Expired,
+                    ..
+                },
+            ) => assert_eq!(e.code(), "shed_expired"),
+            other => panic!("expected expired shed, got {other:?}"),
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.shed_expired, 1);
+        assert_resolved(&st);
+    }
+
+    #[test]
+    fn default_deadline_applies_when_request_has_none() {
+        let svc = manual(ServiceConfig {
+            default_deadline: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        });
+        let t = svc.submit(req2("acme", 1, 16)).unwrap();
+        svc.drain();
+        assert!(matches!(
+            t.wait(),
+            Err(ServiceError::Rejected {
+                reason: RejectReason::Expired,
+                ..
+            })
+        ));
+        assert_resolved(&svc.health().stats);
+    }
+
+    #[test]
+    fn invalid_input_is_typed_and_neutral_for_the_breaker() {
+        let svc = manual(ServiceConfig::default());
+        let mut p = pts(16);
+        p[3].y = f64::NAN;
+        let t = svc
+            .submit(Request::new(
+                "acme",
+                1,
+                Workload::Hull2d {
+                    points: p,
+                    algo: Hull2dAlgo::Unsorted,
+                },
+            ))
+            .unwrap();
+        svc.drain();
+        match t.wait() {
+            Err(ServiceError::Run(e @ RunError::InvalidInput { .. })) => {
+                assert_eq!(e.code(), "invalid_input");
+            }
+            other => panic!("expected typed invalid input, got {other:?}"),
+        }
+        let h = svc.health();
+        assert_eq!(h.stats.invalid_inputs, 1);
+        assert_resolved(&h.stats);
+        let b = &h.breakers[0];
+        assert_eq!((b.tier, b.strain_streak), (Tier::Full, 0), "neutral signal");
+    }
+
+    #[test]
+    fn breaker_trips_through_tiers_and_recovers_via_probes() {
+        let svc = manual(ServiceConfig {
+            breaker: BreakerConfig {
+                trip_after: 2,
+                probe_after: 1,
+            },
+            ..ServiceConfig::default()
+        });
+        let chaos = FaultPlan {
+            corrupt_rate: 1.0,
+            ..FaultPlan::default()
+        };
+        let strained = |seed: u64| {
+            let mut r = req2("acme", seed, 32);
+            r.chaos = Some(chaos.clone());
+            r
+        };
+
+        // Strained traffic walks the breaker down Full → ReducedRetry →
+        // Sequential (with probe_after=1 some requests are half-open
+        // probes whose strained results just re-arm the window, so this
+        // takes a few more than 2·trip_after requests). At corrupt_rate
+        // 1.0 every commit is corrupted, so a run either falls back
+        // (strained success) or fails its certificate outright (typed
+        // error) — the fallback machine inherits the chaos plan too; both
+        // count as strain. Sequential runs are host-side and immune, so
+        // the walk terminates there.
+        for seed in 0..20u64 {
+            if svc.health().breakers.first().map(|b| b.tier) == Some(Tier::Sequential) {
+                break;
+            }
+            let t = svc.submit(strained(seed)).unwrap();
+            svc.drain();
+            match t.wait() {
+                Ok(resp) => assert_eq!(resp.outcome, Some(Outcome::FellBack)),
+                Err(ServiceError::Run(e)) => assert!(!e.is_terminal(), "strained error: {e}"),
+                other => panic!("unexpected resolution: {other:?}"),
+            }
+        }
+        let h = svc.health();
+        assert_eq!(h.breakers[0].tier, Tier::Sequential);
+        assert_eq!(h.stats.breaker_trips, 2);
+
+        // Sequential run (host-side, immune to the machine's chaos) serves
+        // degraded; with probe_after=1 the next request is a half-open
+        // probe at ReducedRetry. Feed it clean traffic to climb back.
+        let t = svc.submit(req2("acme", 10, 32)).unwrap();
+        svc.drain();
+        let resp = t.wait().unwrap();
+        assert_eq!(resp.tier, Tier::Sequential);
+        assert_eq!(resp.outcome, None);
+
+        let mut probe_tiers = Vec::new();
+        for seed in 11..20u64 {
+            let t = svc.submit(req2("acme", seed, 32)).unwrap();
+            svc.drain();
+            probe_tiers.push(t.wait().unwrap().tier);
+            if svc.health().breakers[0].tier == Tier::Full {
+                break;
+            }
+        }
+        let h = svc.health();
+        assert_eq!(h.breakers[0].tier, Tier::Full, "breaker recovered");
+        assert_eq!(h.stats.breaker_recoveries, 1, "counted on reaching Full");
+        assert!(h.stats.breaker_probes >= 2, "one probe per tier climbed");
+        assert!(
+            probe_tiers.contains(&Tier::ReducedRetry) && probe_tiers.contains(&Tier::Full),
+            "requests were observably served at the probe tiers: {probe_tiers:?}"
+        );
+        assert!(h.stats.degraded_tier1_runs > 0 && h.stats.degraded_tier2_runs > 0);
+        assert_resolved(&h.stats);
+    }
+
+    #[test]
+    fn sequential_tier_serves_hull3d_too() {
+        let svc = manual(ServiceConfig {
+            breaker: BreakerConfig {
+                trip_after: 1,
+                probe_after: 1000,
+            },
+            ..ServiceConfig::default()
+        });
+        let points: Vec<ipch_geom::Point3> = (0..20)
+            .map(|i| {
+                let x = (i % 5) as f64;
+                let y = (i / 5) as f64;
+                ipch_geom::Point3 {
+                    x,
+                    y,
+                    z: -(x * x + y * y) + 0.01 * i as f64,
+                }
+            })
+            .collect();
+        let mk = |seed: u64, chaos: Option<FaultPlan>| Request {
+            tenant: "acme".into(),
+            seed,
+            workload: Workload::Hull3d {
+                points: points.clone(),
+            },
+            deadline: None,
+            chaos,
+        };
+        // Two strained runs walk the 3-D breaker down to Sequential.
+        for seed in 0..2u64 {
+            let t = svc
+                .submit(mk(
+                    seed,
+                    Some(FaultPlan {
+                        corrupt_rate: 1.0,
+                        ..FaultPlan::default()
+                    }),
+                ))
+                .unwrap();
+            svc.drain();
+            t.wait().unwrap();
+        }
+        assert_eq!(svc.health().breakers[0].tier, Tier::Sequential);
+        let t = svc.submit(mk(9, None)).unwrap();
+        svc.drain();
+        let resp = t.wait().unwrap();
+        assert_eq!(resp.tier, Tier::Sequential);
+        match resp.value {
+            ResponseValue::Hull3d(f) => assert!(!f.is_empty()),
+            _ => panic!("wrong value kind"),
+        }
+        assert_resolved(&svc.health().stats);
+    }
+
+    #[test]
+    fn panics_are_isolated_per_request_and_typed() {
+        let svc = manual(ServiceConfig::default());
+        let t = svc.submit(req2("acme", 1, 16)).unwrap();
+        // Drive the resolution path with a runner that panics, standing in
+        // for any non-cancellation unwind escaping a request.
+        let job = lock(&svc.shared).queue.pop_front().unwrap();
+        handle_with(&svc.shared, job, |_, _, _, _| panic!("request blew up"));
+        match t.wait() {
+            Err(ServiceError::Run(RunError::Panic { detail, .. })) => {
+                assert!(detail.contains("request blew up"));
+            }
+            other => panic!("expected isolated panic, got {other:?}"),
+        }
+        let h = svc.health();
+        assert_eq!(h.stats.panics_isolated, 1);
+        assert_eq!(h.in_flight, 0, "in-flight count released");
+        assert_resolved(&h.stats);
+        // The breaker saw a strain, not a crash.
+        assert_eq!(h.breakers[0].strain_streak, 1);
+        // And the service still serves.
+        let t2 = svc.submit(req2("acme", 2, 16)).unwrap();
+        svc.drain();
+        assert!(t2.wait().is_ok());
+    }
+
+    #[test]
+    fn escaped_cancel_unwind_is_typed_not_a_panic() {
+        let svc = manual(ServiceConfig::default());
+        let t = svc.submit(req2("acme", 1, 16)).unwrap();
+        let job = lock(&svc.shared).queue.pop_front().unwrap();
+        handle_with(&svc.shared, job, |_, _, _, _| {
+            std::panic::panic_any(CancelUnwind {
+                cause: CancelCause::DeadlineExceeded,
+            })
+        });
+        match t.wait() {
+            Err(ServiceError::Run(RunError::DeadlineExceeded { .. })) => {}
+            other => panic!("expected typed deadline, got {other:?}"),
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.deadline_exceeded, 1);
+        assert_eq!(st.panics_isolated, 0);
+        assert_resolved(&st);
+    }
+
+    #[test]
+    fn worker_threads_serve_and_shutdown_joins() {
+        let svc = Service::new(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| svc.submit(req2("acme", i, 48)).unwrap())
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.completed, 8);
+        assert_resolved(&st);
+        let m = svc.shutdown();
+        assert_eq!(m.service.completed, 8);
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions_but_drains_the_queue() {
+        let svc = manual(ServiceConfig::default());
+        let t = svc.submit(req2("acme", 1, 16)).unwrap();
+        let m = svc.shutdown();
+        assert!(t.wait().is_ok(), "queued work ran during shutdown");
+        assert_eq!(m.service.completed, 1);
+        assert_resolved(&m.service);
+    }
+
+    #[test]
+    fn running_request_cancels_mid_flight_at_a_step_boundary() {
+        // One worker thread, a big slow request, cancel from the outside:
+        // the machine must abort cooperatively and resolve typed.
+        let svc = Service::new(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let t = svc.submit(req2("acme", 5, 200_000)).unwrap();
+        // Cancel as soon as the job is actually running (or immediately if
+        // it's still queued — both paths are typed).
+        while svc.health().in_flight == 0 && t.try_wait().is_none() {
+            std::thread::yield_now();
+        }
+        t.cancel();
+        match t.wait() {
+            Err(ServiceError::Run(RunError::Cancelled { .. })) => {}
+            Ok(_) => {} // raced to completion first: legal
+            other => panic!("expected cancel or completion, got {other:?}"),
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.cancelled + st.completed, 1);
+        assert_resolved(&st);
+    }
+}

@@ -1,0 +1,520 @@
+//! Chaos soak for the serving runtime (`ipch-service`).
+//!
+//! The service contract, asserted end to end: every submitted request
+//! resolves **exactly once**, into exactly one of
+//!
+//! 1. a certificate-verified, oracle-correct value,
+//! 2. a typed error (`ServiceError::Run` wrapping a typed `RunError`), or
+//! 3. a typed shed (`ServiceError::Rejected` with a retry hint),
+//!
+//! under any mix of injected faults, overload, tight deadlines, malformed
+//! inputs, and client cancellations — no panic escapes, no request is
+//! lost. The ledger is `ServiceStats`: `submitted` must equal the sum of
+//! terminal outcomes (`total_resolved`), which a silently dropped or
+//! double-resolved request would break.
+//!
+//! The breaker lifecycle (trip → half-open probe → recover) is asserted
+//! separately in deterministic single-threaded mode (`workers: 0` +
+//! `drain`), where every step of the walk is observable.
+
+use std::time::Duration;
+
+use ipch_geom::{Point2, Point3};
+use ipch_hull2d::seq::{monotone, SeqStats};
+use ipch_hull2d::verify_upper_hull;
+use ipch_hull3d::verify_upper_hull3;
+use ipch_pram::{Budget, FaultPlan, Outcome, RunError, ServiceStats};
+use ipch_service::{
+    BreakerConfig, Hull2dAlgo, RejectReason, Request, Response, ResponseValue, Service,
+    ServiceConfig, ServiceError, Ticket, Tier, Workload,
+};
+
+/// SplitMix64 — the suite's own pinned-seed stream.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(rng: &mut u64) -> f64 {
+    (mix(rng) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn points2(rng: &mut u64, n: usize) -> Vec<Point2> {
+    (0..n)
+        .map(|_| Point2 {
+            x: unit(rng),
+            y: unit(rng),
+        })
+        .collect()
+}
+
+fn points3(rng: &mut u64, n: usize) -> Vec<Point3> {
+    (0..n)
+        .map(|_| Point3 {
+            x: unit(rng),
+            y: unit(rng),
+            z: unit(rng),
+        })
+        .collect()
+}
+
+fn corrupt_plan(rate: f64) -> FaultPlan {
+    FaultPlan {
+        corrupt_rate: rate,
+        ..FaultPlan::default()
+    }
+}
+
+fn budget_plan(max_steps: u64) -> FaultPlan {
+    FaultPlan {
+        budget: Some(Budget {
+            max_steps,
+            max_work: u64::MAX,
+        }),
+        ..FaultPlan::default()
+    }
+}
+
+fn assert_ledger(stats: &ServiceStats) {
+    assert_eq!(
+        stats.submitted,
+        stats.total_resolved(),
+        "a request was lost or double-counted: {stats:?}"
+    );
+}
+
+/// Certificate + oracle check of a completed response against its input.
+fn check_response(req: &Request, resp: &Response) {
+    match (&req.workload, &resp.value) {
+        (Workload::Hull2d { points, .. }, ResponseValue::Hull2d(hull)) => {
+            verify_upper_hull(points, hull).expect("response certificate");
+            let mut stats = SeqStats::default();
+            let oracle = monotone::upper_hull(points, &mut stats);
+            assert_eq!(
+                hull.vertices, oracle.vertices,
+                "served hull disagrees with the sequential oracle"
+            );
+        }
+        (Workload::Hull3d { points }, ResponseValue::Hull3d(facets)) => {
+            verify_upper_hull3(points, facets, true).expect("response certificate");
+        }
+        _ => panic!("response value kind does not match the request workload"),
+    }
+}
+
+/// How one soak request was set up, so its resolution can be judged.
+struct Flight {
+    req: Request,
+    ticket: Ticket,
+    cancelled: bool,
+    malformed: bool,
+}
+
+/// ≥500 requests against a live two-worker service: fault plans on a
+/// slice of the traffic, queue overload from bursty submission, tight
+/// deadlines, malformed inputs, and client cancellations. Every request
+/// must land in exactly one of the three typed buckets.
+#[test]
+fn soak_500_requests_under_faults_overload_and_cancellation() {
+    const REQUESTS: usize = 520;
+    let svc = Service::new(ServiceConfig {
+        workers: 2,
+        queue_capacity: 24,
+        per_tenant_inflight: 10,
+        ..ServiceConfig::default()
+    });
+    let mut rng = 0x5EA5_0AC5_0000_0001u64;
+    let tenants = ["alpha", "beta", "gamma", "delta"];
+
+    let mut flights: Vec<Flight> = Vec::new();
+    let mut shed_at_admission = 0u64;
+
+    for i in 0..REQUESTS {
+        let r = mix(&mut rng);
+        let n = 8 + (r % 160) as usize;
+        let workload = match r % 3 {
+            0 => Workload::Hull2d {
+                points: points2(&mut rng, n),
+                algo: Hull2dAlgo::Unsorted,
+            },
+            1 => Workload::Hull2d {
+                points: points2(&mut rng, n),
+                algo: Hull2dAlgo::Dac,
+            },
+            _ => Workload::Hull3d {
+                points: points3(&mut rng, n),
+            },
+        };
+        let mut req = Request::new(tenants[i % tenants.len()], r, workload);
+        let mut malformed = false;
+        match r % 20 {
+            // Transient corruption: retries and fallbacks, still correct.
+            0..=3 => req.chaos = Some(corrupt_plan(0.5)),
+            // A step budget every attempt exceeds: deterministic fallback.
+            4 | 5 => req.chaos = Some(budget_plan(2)),
+            // Deadlines from instantly-expired to mid-run.
+            6 | 7 => req.deadline = Some(Duration::from_micros(r % 400)),
+            // Malformed input: typed rejection before any step.
+            8 => {
+                malformed = true;
+                match &mut req.workload {
+                    Workload::Hull2d { points, .. } => points[0].y = f64::NAN,
+                    Workload::Hull3d { points } => points[0].z = f64::INFINITY,
+                }
+            }
+            _ => {}
+        }
+        match svc.submit(req.clone()) {
+            Ok(ticket) => {
+                let cancelled = r % 16 == 9;
+                if cancelled {
+                    ticket.cancel();
+                }
+                flights.push(Flight {
+                    req,
+                    ticket,
+                    cancelled,
+                    malformed,
+                });
+            }
+            Err(e) => {
+                // Admission sheds must be typed rejections, nothing else.
+                match e {
+                    ServiceError::Rejected { retry_after, .. } => {
+                        assert!(retry_after > Duration::ZERO);
+                        shed_at_admission += 1;
+                    }
+                    other => panic!("admission returned a non-shed error: {other:?}"),
+                }
+            }
+        }
+        // Bursty but paced traffic: submission is instant while a run
+        // costs milliseconds, so without back-pressure the workers would
+        // shed nearly everything. Let the queue mostly drain after each
+        // burst — overflow (and tenant-limit) sheds still happen at the
+        // burst fronts.
+        if i % 30 == 29 {
+            while svc.health().queue_depth > 4 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+
+    let (mut completed, mut typed_errors, mut shed_in_queue) = (0u64, 0u64, 0u64);
+    for flight in flights {
+        // Exactly-once resolution: `wait` consumes the ticket, and every
+        // arm below is one of the three contract buckets.
+        match flight.ticket.wait() {
+            Ok(resp) => {
+                assert!(!flight.malformed, "malformed input served as a value");
+                check_response(&flight.req, &resp);
+                completed += 1;
+            }
+            Err(ServiceError::Rejected {
+                reason: RejectReason::Expired,
+                ..
+            }) => shed_in_queue += 1,
+            Err(ServiceError::Rejected { reason, .. }) => {
+                panic!("queued request shed for a non-deadline reason: {reason:?}")
+            }
+            Err(ServiceError::Run(e)) => {
+                assert!(!e.code().is_empty());
+                if flight.malformed {
+                    assert!(
+                        matches!(e, RunError::InvalidInput { .. }),
+                        "malformed input resolved as {e}"
+                    );
+                }
+                if matches!(e, RunError::Cancelled { .. }) {
+                    assert!(flight.cancelled, "spurious cancellation: {e}");
+                }
+                typed_errors += 1;
+            }
+            Err(ServiceError::ShuttingDown) => panic!("service dropped a live ticket"),
+        }
+    }
+
+    let health = svc.health();
+    let stats = health.stats;
+    assert_ledger(&stats);
+    assert_eq!(stats.submitted, REQUESTS as u64);
+    assert_eq!(
+        stats.admitted + stats.rejected_queue_full + stats.rejected_tenant_limit,
+        stats.submitted
+    );
+    assert_eq!(completed, stats.completed);
+    assert_eq!(
+        shed_at_admission,
+        stats.rejected_queue_full + stats.rejected_tenant_limit
+    );
+    assert_eq!(shed_in_queue, stats.shed_expired);
+    assert_eq!(
+        typed_errors,
+        stats.cancelled
+            + stats.deadline_exceeded
+            + stats.invalid_inputs
+            + stats.run_errors
+            + stats.panics_isolated
+    );
+    // The soak actually exercised what it claims to: work completed, load
+    // was shed, clients cancelled, malformed inputs were typed.
+    assert!(completed > 200, "soak barely completed anything: {stats:?}");
+    assert!(stats.total_shed() > 0, "no load shedding observed");
+    assert!(stats.cancelled > 0, "no cancellation observed");
+    assert!(stats.invalid_inputs > 0, "no input rejection observed");
+    // Every panic stayed inside its request (and none crossed `wait`,
+    // or this test itself would have died).
+    let m = svc.shutdown();
+    assert_eq!(m.service.submitted, stats.submitted);
+    assert!(
+        m.steps > 0,
+        "request metrics were absorbed into the aggregate"
+    );
+}
+
+/// The full breaker lifecycle, deterministically (`workers: 0`): strained
+/// traffic trips Full → ReducedRetry → Sequential, degraded service keeps
+/// completing (host-side exact hull), a half-open probe goes out, and
+/// clean traffic recovers the breaker tier by tier back to Full.
+#[test]
+fn breaker_trips_half_opens_and_recovers_deterministically() {
+    let svc = Service::new(ServiceConfig {
+        workers: 0,
+        breaker: BreakerConfig {
+            trip_after: 2,
+            probe_after: 2,
+        },
+        ..ServiceConfig::default()
+    });
+    let mut rng = 0xB4EA_4E40_0000_0002u64;
+    let mk = |rng: &mut u64, seed: u64, chaos: Option<FaultPlan>| {
+        let mut req = Request::new(
+            "acme",
+            seed,
+            Workload::Hull2d {
+                points: points2(rng, 48),
+                algo: Hull2dAlgo::Unsorted,
+            },
+        );
+        req.chaos = chaos;
+        req
+    };
+    let run = |req: Request| -> Result<Response, ServiceError> {
+        let t = svc.submit(req).unwrap();
+        svc.drain();
+        t.wait()
+    };
+    let tier = |svc: &Service| svc.health().breakers.first().map(|b| b.tier);
+
+    // Phase 1 — trip. A tiny step budget defeats every randomized attempt
+    // deterministically; each run falls back (strained success).
+    let mut tiers_seen = Vec::new();
+    for seed in 0..32u64 {
+        if tier(&svc) == Some(Tier::Sequential) {
+            break;
+        }
+        let resp = run(mk(&mut rng, seed, Some(budget_plan(2)))).expect("fallback certifies");
+        assert_eq!(resp.outcome, Some(Outcome::FellBack));
+        tiers_seen.push(resp.tier);
+    }
+    let h = svc.health();
+    assert_eq!(h.breakers[0].tier, Tier::Sequential, "breaker floored");
+    assert_eq!(h.stats.breaker_trips, 2, "one trip per tier walked down");
+    assert!(
+        tiers_seen.contains(&Tier::Full) && tiers_seen.contains(&Tier::ReducedRetry),
+        "requests were served at each tier on the way down: {tiers_seen:?}"
+    );
+
+    // Phase 2 — degraded service still serves, exactly and certified.
+    let resp = run(mk(&mut rng, 100, None)).expect("sequential tier serves");
+    assert_eq!(resp.tier, Tier::Sequential);
+    assert_eq!(resp.outcome, None, "no supervisor at the sequential tier");
+    assert_eq!(resp.attempts, 0);
+
+    // Phase 3 — recover. Clean traffic: after `probe_after` degraded
+    // completions a half-open probe goes out one tier up; each clean probe
+    // climbs one tier until the breaker is Full again.
+    let mut probe_observed = false;
+    for seed in 101..140u64 {
+        if tier(&svc) == Some(Tier::Full) {
+            break;
+        }
+        let before = tier(&svc).unwrap();
+        let resp = run(mk(&mut rng, seed, None)).expect("clean traffic");
+        if resp.tier < before {
+            // Served above the breaker's tier: that's the half-open probe.
+            probe_observed = true;
+            assert_eq!(resp.outcome, Some(Outcome::FirstTry));
+        }
+    }
+    let h = svc.health();
+    assert_eq!(h.breakers[0].tier, Tier::Full, "breaker recovered");
+    assert!(probe_observed, "a half-open probe was served above tier");
+    assert!(h.stats.breaker_probes >= 2);
+    assert_eq!(h.stats.breaker_recoveries, 1, "counted on reaching Full");
+    assert!(h.stats.degraded_tier1_runs > 0 && h.stats.degraded_tier2_runs > 0);
+    assert_ledger(&h.stats);
+}
+
+/// Overload against a tiny queue: exactly the overflow is shed, each shed
+/// is typed with a growing backoff hint, and every admitted request still
+/// completes.
+#[test]
+fn overload_sheds_exactly_the_overflow_and_serves_the_rest() {
+    const CAPACITY: usize = 8;
+    const BURST: usize = 20;
+    let svc = Service::new(ServiceConfig {
+        workers: 0,
+        queue_capacity: CAPACITY,
+        per_tenant_inflight: BURST,
+        ..ServiceConfig::default()
+    });
+    let mut rng = 0x0E4_10AD_0000_0003u64;
+    let mut tickets = Vec::new();
+    let mut hints = Vec::new();
+    for seed in 0..BURST as u64 {
+        let req = Request::new(
+            "burst",
+            seed,
+            Workload::Hull2d {
+                points: points2(&mut rng, 24),
+                algo: Hull2dAlgo::Dac,
+            },
+        );
+        match svc.submit(req) {
+            Ok(t) => tickets.push(t),
+            Err(ServiceError::Rejected {
+                reason: RejectReason::QueueFull { depth },
+                retry_after,
+            }) => {
+                assert_eq!(depth, CAPACITY);
+                hints.push(retry_after);
+            }
+            other => panic!("unexpected admission result: {other:?}"),
+        }
+    }
+    assert_eq!(tickets.len(), CAPACITY);
+    assert_eq!(hints.len(), BURST - CAPACITY);
+    assert!(
+        hints.windows(2).all(|w| w[1] >= w[0]),
+        "backoff hints never shrink within a rejection streak: {hints:?}"
+    );
+    assert!(hints[1] > hints[0], "backoff grows");
+    svc.drain();
+    for t in tickets {
+        t.wait().expect("admitted requests complete");
+    }
+    let stats = svc.health().stats;
+    assert_eq!(stats.rejected_queue_full, (BURST - CAPACITY) as u64);
+    assert_eq!(stats.completed, CAPACITY as u64);
+    assert_ledger(&stats);
+}
+
+/// A cancellation storm: every queued ticket cancelled before anything
+/// runs. All must resolve typed, none may run a single step, and the
+/// service keeps serving afterwards.
+#[test]
+fn cancellation_storm_resolves_every_ticket_typed() {
+    let svc = Service::new(ServiceConfig {
+        workers: 0,
+        queue_capacity: 64,
+        per_tenant_inflight: 64,
+        ..ServiceConfig::default()
+    });
+    let mut rng = 0xCA4C_E150_0000_0004u64;
+    let tickets: Vec<Ticket> = (0..50u64)
+        .map(|seed| {
+            svc.submit(Request::new(
+                "storm",
+                seed,
+                Workload::Hull2d {
+                    points: points2(&mut rng, 32),
+                    algo: Hull2dAlgo::Unsorted,
+                },
+            ))
+            .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        t.cancel();
+    }
+    svc.drain();
+    for t in tickets {
+        match t.wait() {
+            Err(ServiceError::Run(RunError::Cancelled { .. })) => {}
+            other => panic!("expected typed cancellation, got {other:?}"),
+        }
+    }
+    let stats = svc.health().stats;
+    assert_eq!(stats.cancelled, 50);
+    assert_ledger(&stats);
+    assert_eq!(svc.metrics().steps, 0, "cancelled-in-queue ran no steps");
+
+    // The storm left no residue: a fresh request is served normally.
+    let t = svc
+        .submit(Request::new(
+            "storm",
+            999,
+            Workload::Hull2d {
+                points: points2(&mut rng, 32),
+                algo: Hull2dAlgo::Unsorted,
+            },
+        ))
+        .unwrap();
+    svc.drain();
+    t.wait().expect("service serves after the storm");
+    assert_ledger(&svc.health().stats);
+}
+
+/// A deadline short enough to expire during the simulation: the machine
+/// aborts cooperatively (within one step of expiry), the error is typed,
+/// and the partial run's metrics still reach the service aggregate.
+#[test]
+fn deadline_expiring_mid_run_is_typed_and_keeps_partial_metrics() {
+    let svc = Service::new(ServiceConfig {
+        workers: 0,
+        ..ServiceConfig::default()
+    });
+    let mut rng = 0xDEAD_11E4_0000_0005u64;
+    let mut req = Request::new(
+        "acme",
+        7,
+        Workload::Hull2d {
+            points: points2(&mut rng, 120_000),
+            algo: Hull2dAlgo::Unsorted,
+        },
+    );
+    // Far too short for 120k points, but long enough to survive the queue
+    // (drained immediately below), so the expiry lands mid-simulation.
+    req.deadline = Some(Duration::from_millis(2));
+    let t = svc.submit(req).unwrap();
+    svc.drain();
+    match t.wait() {
+        Err(ServiceError::Run(RunError::DeadlineExceeded { algorithm })) => {
+            assert_eq!(algorithm, "hull2d/unsorted");
+            assert_eq!(svc.health().stats.deadline_exceeded, 1);
+            // If the expiry landed after the first simulated step (the
+            // common case at this input size), the aborted run's partial
+            // metrics must have reached the aggregate. The step-boundary
+            // abort-with-intact-metrics guarantee itself is proven
+            // deterministically in ipch-pram's cancel and supervise tests;
+            // this exercises it through the whole service stack.
+            let m = svc.metrics();
+            if m.steps > 0 {
+                assert!(m.work > 0, "partial metrics absorbed with the steps");
+            }
+        }
+        // On a pathologically slow host the deadline can lapse before the
+        // drain dequeues the job; that is the (equally typed) queue-shed
+        // path.
+        Err(ServiceError::Rejected {
+            reason: RejectReason::Expired,
+            ..
+        }) => assert_eq!(svc.health().stats.shed_expired, 1),
+        other => panic!("expected a typed deadline outcome, got {other:?}"),
+    }
+    assert_ledger(&svc.health().stats);
+}
