@@ -1,0 +1,227 @@
+//! Data-parallel kernel backend vs the sequential fused loops.
+//!
+//! Every pair runs the *same* PRAM program (bit-identical memory and
+//! metrics — the determinism suite proves it); the ratio is the multi-core
+//! win of chunked pool dispatch over the single-threaded fused loop:
+//!
+//! * `map-fused` / `map-par`       — dense `kernel_map` over a pid range
+//!   (the contiguous-subslice path: no atomics, no per-element bounds
+//!   checks, autovectorizable inner loop).
+//! * `map-gather-*`                — `kernel_map` over an id list (the
+//!   gather path real hull levels use).
+//! * `reduce-fused` / `reduce-par` — `kernel_reduce` CombineSum with
+//!   per-chunk partials folded in fixed chunk order.
+//! * `scatter-fused` / `scatter-par` — conflict-free conditional scatter.
+//!
+//! The worker count is whatever the host grants (`IPCH_THREADS` override
+//! honored); every CSV row records it — speedups are only meaningful with
+//! `threads > 1`, and a 1-core container records honest ~1.0x ratios.
+//!
+//! A custom `main` appends to `bench_results/kernels_par.csv`.
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use ipch_pram::{pool, KernelBackend, Machine, ReduceOp, Shm, Tuning};
+
+const SIZES: [usize; 4] = [1 << 12, 1 << 15, 1 << 18, 1 << 20];
+
+/// Backend variants compared at every size. The parallel rows force the
+/// dispatch threshold to 1 so even the small-n rows take the chunked code
+/// path — the threshold's own no-regression guarantee is shown by the
+/// `map-auto` rows, which leave `Tuning::default()` untouched (small n
+/// stays on the sequential fast path by threshold).
+fn tuning_for(backend: &str) -> Tuning {
+    match backend {
+        "fused" => Tuning {
+            kernel_backend: KernelBackend::Fused,
+            ..Tuning::default()
+        },
+        "par" => Tuning {
+            kernel_backend: KernelBackend::Parallel,
+            kernel_par_threshold: 1,
+            ..Tuning::default()
+        },
+        // default thresholded dispatch: sequential below 2^15, chunked above
+        _ => Tuning::default(),
+    }
+}
+
+fn machine(backend: &str) -> Machine {
+    let mut m = Machine::new(42);
+    m.tuning = tuning_for(backend);
+    m
+}
+
+fn bench_kernels_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_par");
+    group.sample_size(10);
+
+    for &n in &SIZES {
+        group.throughput(Throughput::Elements(n as u64));
+
+        // dense map over a pid range: out[i] = f(a[i])
+        for backend in ["fused", "par", "auto"] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("map-{backend}"), n),
+                &n,
+                |b, &n| {
+                    let mut m = machine(backend);
+                    let mut shm = Shm::new();
+                    let a = shm.alloc("a", n, 1);
+                    let out = shm.alloc("out", n, 0);
+                    b.iter(|| {
+                        m.kernel_map(&mut shm, 0..n, out, |t, i| {
+                            t.read(a, i).wrapping_mul(3).wrapping_add(1)
+                        });
+                        black_box(shm.get(out, n - 1))
+                    });
+                },
+            );
+        }
+
+        // gather map over an explicit id list (every hull level's shape)
+        for backend in ["fused", "par"] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("map-gather-{backend}"), n),
+                &n,
+                |b, &n| {
+                    let mut m = machine(backend);
+                    let mut shm = Shm::new();
+                    let a = shm.alloc("a", n, 1);
+                    let out = shm.alloc("out", n, 0);
+                    let ids: Vec<usize> = (0..n).collect();
+                    b.iter(|| {
+                        m.kernel_map(&mut shm, &ids, out, |t, i| t.read(a, i) + 1);
+                        black_box(shm.get(out, n - 1))
+                    });
+                },
+            );
+        }
+
+        // reduce: CombineSum of one contribution per processor
+        for backend in ["fused", "par"] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("reduce-{backend}"), n),
+                &n,
+                |b, &n| {
+                    let mut m = machine(backend);
+                    let mut shm = Shm::new();
+                    let a = shm.alloc("a", n, 1);
+                    let cell = shm.alloc("cell", 1, 0);
+                    b.iter(|| {
+                        m.kernel_reduce(&mut shm, 0..n, ReduceOp::Sum, cell, 0, |t, i| {
+                            Some(t.read(a, i))
+                        });
+                        black_box(shm.get(cell, 0))
+                    });
+                },
+            );
+        }
+
+        // conflict-free conditional scatter
+        for backend in ["fused", "par"] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("scatter-{backend}"), n),
+                &n,
+                |b, &n| {
+                    let mut m = machine(backend);
+                    let mut shm = Shm::new();
+                    let a = shm.alloc("a", n, 1);
+                    let out = shm.alloc("out", n, 0);
+                    b.iter(|| {
+                        m.kernel_scatter(&mut shm, 0..n, |t, i| {
+                            if t.read(a, i) != 0 && i % 4 != 3 {
+                                Some((out, i, i as i64))
+                            } else {
+                                None
+                            }
+                        });
+                        black_box(shm.get(out, 0))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn append_results(c: &Criterion, threads: usize) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("kernels_par.csv");
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if fresh {
+        writeln!(f, "id,threads,median_ns_per_iter,melem_per_s")?;
+    }
+    for m in &c.measurements {
+        writeln!(
+            f,
+            "{},{threads},{},{}",
+            m.id,
+            m.median.as_nanos(),
+            m.elements_per_sec()
+                .map(|r| format!("{:.3}", r / 1e6))
+                .unwrap_or_default()
+        )?;
+    }
+    Ok(path)
+}
+
+fn main() {
+    // `cargo test --benches` executes bench binaries with `--test`; bail.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let threads = pool::configured_lanes();
+    println!("kernels_par: {threads} configured lane(s) (IPCH_THREADS overrides)");
+    let mut c = Criterion::default();
+    bench_kernels_par(&mut c);
+
+    // speedup summary: sequential fused loop vs chunked parallel dispatch
+    for &n in &SIZES {
+        let t = |name: &str| {
+            c.measurements
+                .iter()
+                .find(|m| m.id == format!("kernels_par/{name}/{n}"))
+                .map(|m| m.median.as_nanos() as f64)
+        };
+        if let (
+            Some(mf),
+            Some(mp),
+            Some(ma),
+            Some(gf),
+            Some(gp),
+            Some(rf),
+            Some(rp),
+            Some(sf),
+            Some(sp),
+        ) = (
+            t("map-fused"),
+            t("map-par"),
+            t("map-auto"),
+            t("map-gather-fused"),
+            t("map-gather-par"),
+            t("reduce-fused"),
+            t("reduce-par"),
+            t("scatter-fused"),
+            t("scatter-par"),
+        ) {
+            println!(
+                "n={n} threads={threads}: map {:.2}x (auto {:.2}x), gather-map {:.2}x, reduce {:.2}x, scatter {:.2}x vs fused",
+                mf / mp,
+                mf / ma,
+                gf / gp,
+                rf / rp,
+                sf / sp,
+            );
+        }
+    }
+    match append_results(&c, threads) {
+        Ok(p) => println!("appended results: {}", p.display()),
+        Err(e) => eprintln!("could not append results: {e}"),
+    }
+}

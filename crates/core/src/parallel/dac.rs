@@ -68,10 +68,10 @@ pub fn upper_hull_dac_with(
                 // point id as payload; equal-x runs are then put into
                 // y-order host-side (the network is not stable; ties are
                 // rare outside the torture inputs) at one charged step
-                let pairs: Vec<(i64, i64)> = points
-                    .iter()
+                let pairs: Vec<(i64, i64)> = ipch_geom::soa::x_keys(points)
+                    .into_iter()
                     .enumerate()
-                    .map(|(i, p)| (ipch_lp::constraint::f64_key(p.x), i as i64))
+                    .map(|(i, k)| (k, i as i64))
                     .collect();
                 let sorted = ipch_pram::sort::sort_pairs(m, shm, &pairs);
                 let mut order: Vec<usize> = sorted.into_iter().map(|v| v as usize).collect();

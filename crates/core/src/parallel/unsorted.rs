@@ -30,6 +30,7 @@
 //! geometrically (Lemma 5.1 — experiment F1 measures the (15/16)^i
 //! envelope) and each level is O(1).
 
+use ipch_geom::soa::{f64_from_key, f64_key};
 use ipch_geom::{Point2, UpperHull};
 use ipch_lp::bridge::{bridge_brute, Bridge};
 use ipch_lp::inplace_bridge::{find_bridge_inplace, IbConfig};
@@ -156,6 +157,11 @@ pub fn upper_hull_unsorted(
             trace,
         );
     }
+    // precompute the order-isomorphic x-key column once (SoA layout): the
+    // per-problem Combining-Max/Min reductions then stream dense i64 loads
+    // instead of gathering Point2 structs and re-deriving keys per element,
+    // and the winning key decodes back to the bit-identical coordinate.
+    let xkeys = ipch_geom::soa::x_keys(points);
     let logn = (n.max(2) as f64).log2();
     let levels_per_phase = params
         .levels_per_phase
@@ -200,7 +206,15 @@ pub fn upper_hull_unsorted(
         for (j, ids) in problems.iter().enumerate() {
             let mut child = m.child((level as u64) << 32 | j as u64);
             let mut scratch = Shm::new();
-            sols[j] = solve_problem(&mut child, &mut scratch, points, ids, params, &mut edges);
+            sols[j] = solve_problem(
+                &mut child,
+                &mut scratch,
+                points,
+                &xkeys,
+                ids,
+                params,
+                &mut edges,
+            );
             if matches!(sols[j], Sol::Pending) {
                 failed.push(j);
             }
@@ -244,6 +258,7 @@ pub fn upper_hull_unsorted(
                     &mut child,
                     &mut scratch,
                     points,
+                    &xkeys,
                     &problems[j],
                     params,
                     &mut edges,
@@ -425,6 +440,7 @@ fn solve_problem(
     child: &mut Machine,
     scratch: &mut Shm,
     points: &[Point2],
+    xkeys: &[i64],
     ids: &[usize],
     params: &UnsortedParams,
     edges: &mut Vec<(usize, usize)>,
@@ -433,7 +449,7 @@ fn solve_problem(
         return Sol::Retire;
     }
     let universe = points.len();
-    let maxx = combine_max_x(child, scratch, points, ids);
+    let maxx = combine_max_x(child, scratch, xkeys, ids);
     let mut x0 = match params.splitter {
         SplitterPolicy::RandomVote => {
             // random vote (Corollary 3.1)
@@ -445,14 +461,14 @@ fn solve_problem(
             points[s].x
         }
         SplitterPolicy::MidExtent => {
-            let minx = -combine_max_x_neg(child, scratch, points, ids);
+            let minx = combine_min_x(child, scratch, xkeys, ids);
             (minx + maxx) / 2.0
         }
     };
     // splitter in the rightmost column? (one Combining-Max step)
     if x0 >= maxx {
         // probe the edge *arriving* at the rightmost column instead
-        let Some(second) = combine_max_x_below(child, scratch, points, ids, maxx) else {
+        let Some(second) = combine_max_x_below(child, scratch, xkeys, ids, maxx) else {
             return Sol::Retire; // single column: top is a hull vertex
         };
         x0 = (second + maxx) / 2.0;
@@ -480,6 +496,7 @@ fn sweep_problem(
     child: &mut Machine,
     scratch: &mut Shm,
     points: &[Point2],
+    xkeys: &[i64],
     ids: &[usize],
     params: &UnsortedParams,
     edges: &mut Vec<(usize, usize)>,
@@ -487,12 +504,12 @@ fn sweep_problem(
     if ids.len() <= 1 {
         return Sol::Retire;
     }
-    let maxx = combine_max_x(child, scratch, points, ids);
-    let Some(second) = combine_max_x_below(child, scratch, points, ids, maxx) else {
+    let maxx = combine_max_x(child, scratch, xkeys, ids);
+    let Some(second) = combine_max_x_below(child, scratch, xkeys, ids, maxx) else {
         return Sol::Retire;
     };
     // deterministic splitter: the middle of the problem's x-extent
-    let minx = -combine_max_x_neg(child, scratch, points, ids);
+    let minx = combine_min_x(child, scratch, xkeys, ids);
     let x0 = (minx + maxx) / 2.0;
     let x0 = if x0 >= maxx {
         (second + maxx) / 2.0
@@ -524,47 +541,44 @@ fn sweep_problem(
     }
 }
 
-fn combine_max_x(m: &mut Machine, shm: &mut Shm, points: &[Point2], ids: &[usize]) -> f64 {
+// The extent reductions run over the precomputed SoA key column
+// (`ipch_geom::soa::x_keys`): the kernel closure is a dense i64 load, and
+// the reduced key decodes back to the bit-identical coordinate via
+// `f64_from_key` — no host-side rescan of the id list.
+
+fn combine_max_x(m: &mut Machine, shm: &mut Shm, xkeys: &[i64], ids: &[usize]) -> f64 {
     let key = shm.scope(|shm| {
         let cell = shm.alloc("uns.maxx", 1, i64::MIN);
-        m.kernel_reduce(shm, ids, ReduceOp::Max, cell, 0, |_, i| {
-            Some(ipch_lp::constraint::f64_key(points[i].x))
-        });
+        m.kernel_reduce(shm, ids, ReduceOp::Max, cell, 0, |_, i| Some(xkeys[i]));
         shm.get(cell, 0)
     });
-    ids.iter()
-        .map(|&i| points[i].x)
-        .find(|&x| ipch_lp::constraint::f64_key(x) == key)
-        .unwrap()
+    f64_from_key(key)
 }
 
-fn combine_max_x_neg(m: &mut Machine, shm: &mut Shm, points: &[Point2], ids: &[usize]) -> f64 {
+fn combine_min_x(m: &mut Machine, shm: &mut Shm, xkeys: &[i64], ids: &[usize]) -> f64 {
     let key = shm.scope(|shm| {
-        let cell = shm.alloc("uns.minx", 1, i64::MIN);
-        m.kernel_reduce(shm, ids, ReduceOp::Max, cell, 0, |_, i| {
-            Some(ipch_lp::constraint::f64_key(-points[i].x))
-        });
+        let cell = shm.alloc("uns.minx", 1, i64::MAX);
+        m.kernel_reduce(shm, ids, ReduceOp::Min, cell, 0, |_, i| Some(xkeys[i]));
         shm.get(cell, 0)
     });
-    ids.iter()
-        .map(|&i| -points[i].x)
-        .find(|&x| ipch_lp::constraint::f64_key(x) == key)
-        .unwrap()
+    f64_from_key(key)
 }
 
 /// Max x strictly below `below`; `None` if the problem is a single column.
 fn combine_max_x_below(
     m: &mut Machine,
     shm: &mut Shm,
-    points: &[Point2],
+    xkeys: &[i64],
     ids: &[usize],
     below: f64,
 ) -> Option<f64> {
+    // strict monotonicity of the key mapping: x < below ⟺ key(x) < key(below)
+    let below_key = f64_key(below);
     let key = shm.scope(|shm| {
         let cell = shm.alloc("uns.max2", 1, i64::MIN);
         m.kernel_reduce(shm, ids, ReduceOp::Max, cell, 0, |_, i| {
-            if points[i].x < below {
-                Some(ipch_lp::constraint::f64_key(points[i].x))
+            if xkeys[i] < below_key {
+                Some(xkeys[i])
             } else {
                 None
             }
@@ -574,9 +588,7 @@ fn combine_max_x_below(
     if key == i64::MIN {
         return None;
     }
-    ids.iter()
-        .map(|&i| points[i].x)
-        .find(|&x| ipch_lp::constraint::f64_key(x) == key)
+    Some(f64_from_key(key))
 }
 
 fn run_fallback(

@@ -15,6 +15,9 @@
 //! * [`hullops`] — the *point-hull-invariant* primitives of paper §2.4
 //!   (Atallah–Goodrich two-polygon operations): line ∩ upper hull, common
 //!   tangent of two upper hulls, hull–hull intersection.
+//! * [`soa`] — structure-of-arrays point columns and the canonical
+//!   order-isomorphic f64 ↔ i64 key mapping, feeding the data-parallel
+//!   kernel backend contiguous, vectorizable inner loops.
 //! * [`generators`] / [`gen3d`] — workload generators with controlled hull
 //!   size `h` (the knob every output-sensitivity experiment sweeps).
 //! * [`validate`] — typed input validation ([`InputError`]) shared by the
@@ -28,9 +31,11 @@ pub mod hull_chain;
 pub mod hullops;
 pub mod point;
 pub mod predicates;
+pub mod soa;
 pub mod validate;
 
 pub use hull_chain::UpperHull;
 pub use point::{Point2, Point3};
 pub use predicates::{orient2d, orient3d, Orientation};
+pub use soa::PointsSoA;
 pub use validate::InputError;

@@ -157,6 +157,9 @@ pub fn upper_hull3_unsorted(
             trace,
         );
     }
+    // SoA columns, transposed once: the per-level quadrant classification
+    // streams the x/y columns instead of gathering 24-byte Point3 structs
+    let soa = ipch_geom::soa::Points3SoA::from_points(points);
     let logn = (n.max(2) as f64).log2();
     let fallback_threshold = params
         .fallback_threshold
@@ -345,12 +348,13 @@ pub fn upper_hull3_unsorted(
                 continue;
             };
             let (sx, sy) = (points[s].x, points[s].y);
+            let (xs, ys) = (soa.xs(), soa.ys());
             let mut quads: [Vec<usize>; 4] = Default::default();
             for &i in region {
                 if shm.get(alive, i) == 0 {
                     continue;
                 }
-                let q = (points[i].x > sx) as usize * 2 + (points[i].y > sy) as usize;
+                let q = (xs[i] > sx) as usize * 2 + (ys[i] > sy) as usize;
                 quads[q].push(i);
             }
             for q in quads {

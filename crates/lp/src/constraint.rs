@@ -128,10 +128,12 @@ pub fn compare_objectives(
 
 /// Order-isomorphic mapping f64 → i64 (total order on finite floats),
 /// letting PRAM Combining-Min steps minimize real-valued keys exactly.
+///
+/// Delegates to the canonical [`ipch_geom::soa::f64_key`] (kept here for
+/// API stability — every LP call site imports it from this module).
 #[inline]
 pub fn f64_key(v: f64) -> i64 {
-    let b = v.to_bits() as i64;
-    b ^ (((b >> 63) as u64) >> 1) as i64
+    ipch_geom::soa::f64_key(v)
 }
 
 #[cfg(test)]

@@ -10,12 +10,14 @@
 //! * at the **entry of every synchronous step** (generic
 //!   [`crate::Machine::step`] dispatch and every fused [`crate::kernel`]
 //!   entry point), *before* the step is recorded, and
-//! * **between chunks** of the fused kernel loops and the generic compute
-//!   phase when they run sequentially (a chunk is
-//!   `machine::CHUNK` = 8192 virtual processors), so even a single
-//!   enormous kernel-shaped step aborts within one chunk's worth of host
-//!   work. (Parallel chunk waves are one fan-out/join and are not polled
-//!   mid-wave; the wave itself is the granularity there.)
+//! * at **every chunk boundary** of the fused kernel loops and the generic
+//!   compute phase (a chunk is `machine::CHUNK` = 8192 virtual processors),
+//!   on both the sequential loops and the parallel backend's pool waves —
+//!   each lane polls the token as it claims a chunk, and once any lane
+//!   observes expiry the remaining chunks are skipped, so even a single
+//!   enormous kernel-shaped step aborts within roughly one chunk's worth of
+//!   host work per lane. The unwind itself is raised only after the wave
+//!   joins, so no pool worker ever outlives the state it borrows.
 //!
 //! When the poll observes expiry, the machine **unwinds** with the typed
 //! payload [`CancelUnwind`] (via [`std::panic::panic_any`], so no error

@@ -39,6 +39,29 @@
 //! memory and metrics are bit-identical, under every write policy and both
 //! sequential and parallel execution.
 //!
+//! # The data-parallel ("metal") backend
+//!
+//! Under [`crate::KernelBackend::Parallel`] (the default), a kernel whose
+//! processor count reaches [`crate::Tuning::kernel_par_threshold`] executes
+//! its chunk loop across the [`crate::pool`] instead of on the calling
+//! thread; smaller kernels stay on the sequential fused loops, so the
+//! small-n latency profile is that of [`crate::KernelBackend::Fused`].
+//! The fan-out is *proven* bit-identical — memory, [`crate::Metrics`]
+//! accounting and [`crate::AnalysisReport`]s — at every worker count,
+//! because nothing observable depends on lane assignment:
+//!
+//! * **Fixed chunk boundaries** — chunks are `CHUNK = 8192` consecutive
+//!   processors, a pure function of the active-set size.
+//! * **Fixed-shape combining** — reduce folds per-chunk `Partial`s on the
+//!   host in chunk order; map/permute/scatter chunks write disjoint state.
+//! * **Derived randomness** — per-(step, pid) RNG streams are derived, never
+//!   shared, so scheduling cannot perturb a coin flip.
+//!
+//! Parallel chunk loops poll the machine's [`crate::CancelToken`] at every
+//! chunk entry (the same granularity as the sequential loops), so the
+//! abort-within-one-step guarantee of [`crate::cancel`] holds on both
+//! backends.
+//!
 //! Kernel closures read the pre-step snapshot through a [`KCtx`], which
 //! refuses reads of the kernel's own output array (for `map`/`permute` the
 //! output buffer is detached during the loop, so the read the generic path
@@ -71,10 +94,11 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::time::Instant;
 
 use crate::analyze::{ReadEntry, ReadTrace, READ_ALL};
-use crate::machine::{ChunkCell, Ctx, Machine, Pids, WriteEntry, CHUNK};
+use crate::machine::{
+    run_chunks_cancellable, ChunkCell, Ctx, KernelBackend, Machine, Pids, WriteEntry, CHUNK,
+};
 use crate::memory::{ArrayId, Shm, ShmError};
 use crate::policy::WritePolicy;
-use crate::pool;
 use crate::Word;
 
 /// Sentinel for "no array is off-limits" in a [`KCtx`].
@@ -243,6 +267,22 @@ impl ReduceOp {
     }
 }
 
+/// `Sync` wrapper for the dense map path's detached-buffer base pointer;
+/// chunks write disjoint `clo..chi` subranges, which is what makes sharing
+/// it across pool lanes sound.
+struct SendWordPtr(*mut Word);
+
+// SAFETY: used only under the disjoint-subrange discipline above.
+unsafe impl Sync for SendWordPtr {}
+
+impl SendWordPtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Sync` wrapper, not the bare pointer.
+    fn get(&self) -> *mut Word {
+        self.0
+    }
+}
+
 /// Per-chunk accumulator of a fused reduce.
 struct Partial {
     /// Number of contributing processors in the chunk.
@@ -267,12 +307,53 @@ impl Partial {
 }
 
 impl Machine {
-    /// True when a compute loop over `count` processors should fan out over
-    /// the pool (same rule as the generic step's compute phase).
+    /// True when a fused kernel over `count` processors should fan out over
+    /// the pool: only under [`KernelBackend::Parallel`], and only once the
+    /// kernel is large enough ([`crate::Tuning::kernel_par_threshold`]) that
+    /// the fan-out pays for its synchronisation — smaller kernels stay on
+    /// the sequential fused loops ([`KernelBackend::Fused`] behaviour).
     #[inline]
-    pub(crate) fn parallel_compute(&self, count: usize) -> bool {
-        !self.tuning.force_sequential
-            && (self.tuning.force_parallel || count >= self.tuning.par_compute_threshold)
+    pub(crate) fn parallel_kernel(&self, count: usize) -> bool {
+        self.tuning.kernel_backend == KernelBackend::Parallel
+            && !self.tuning.force_sequential
+            && (self.tuning.force_parallel || count >= self.tuning.kernel_par_threshold)
+    }
+
+    /// Execute a fused kernel's chunk loop: fanned out over the pool (lane
+    /// cap [`crate::Tuning::num_threads`], cancellation polled at every
+    /// chunk entry) when [`Machine::parallel_kernel`] says so, otherwise
+    /// sequentially with the same poll granularity. Returns the cause if a
+    /// poll observed expiry mid-kernel; the chunks that ran are the caller's
+    /// to discard.
+    fn run_kernel_chunks(
+        &self,
+        count: usize,
+        nchunks: usize,
+        run_chunk: &(dyn Fn(usize) + Sync),
+    ) -> Option<crate::cancel::CancelCause> {
+        if self.parallel_kernel(count) {
+            run_chunks_cancellable(self.max_lanes(), nchunks, self.cancel.as_ref(), run_chunk)
+        } else {
+            for c in 0..nchunks {
+                if c > 0 {
+                    if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
+                        return Some(cause);
+                    }
+                }
+                run_chunk(c);
+            }
+            None
+        }
+    }
+
+    /// Record the lane count a fused kernel over `count` processors runs at.
+    fn record_kernel_threads(&mut self, count: usize) {
+        let lanes = if self.parallel_kernel(count) {
+            self.effective_lanes()
+        } else {
+            1
+        };
+        self.metrics.record_threads(lanes);
     }
 
     /// One synchronous step in which processor `pid` writes `f(pid)` to
@@ -282,7 +363,10 @@ impl Machine {
     /// runs a tight loop storing results directly, and the write log is
     /// skipped entirely. Charges one step, `|pids|` work, `|pids|` writes
     /// buffered and committed, zero conflicts — identical to the generic
-    /// path on this shape.
+    /// path on this shape. Contiguous pid ranges additionally take the
+    /// dense path (`Machine::fused_map_dense`): each chunk owns the
+    /// matching subslice of the output, so the inner loop is plain indexed
+    /// stores over `&mut [Word]` — the shape LLVM autovectorizes.
     ///
     /// Contract: pids are distinct (they address distinct cells) and `f`
     /// does not read `out` (enforced by [`KCtx`]).
@@ -301,7 +385,135 @@ impl Machine {
             });
             return;
         }
+        if let Pids::Range(lo, hi) = pids {
+            self.fused_map_dense(shm, lo, hi, out, f);
+            return;
+        }
         self.fused_write(shm, pids, out, |t, pid| (pid, f(t, pid)));
+    }
+
+    /// Dense [`Machine::kernel_map`] fast path for contiguous pid ranges:
+    /// destination cells `lo..hi` partition into per-chunk subslices of the
+    /// detached output buffer, so the inner loop needs no per-element atomic
+    /// stores, no per-element bounds checks and no destination bookkeeping —
+    /// one hoisted range check, then straight-line stores a vectorizer can
+    /// work with. Metrics, analyzer trace and cancellation behaviour are
+    /// those of [`Machine::fused_write`] on the same program.
+    fn fused_map_dense<F>(&mut self, shm: &mut Shm, lo: usize, hi: usize, out: ArrayId, f: F)
+    where
+        F: Fn(&KCtx, usize) -> Word + Sync,
+    {
+        self.poll_cancel();
+        let count = hi.saturating_sub(lo);
+        let step_no = self.step_counter;
+        self.step_counter += 1;
+        self.metrics.record_step(count as u64);
+        if count == 0 {
+            return;
+        }
+        let t_start = Instant::now();
+
+        let nchunks = count.div_ceil(CHUNK);
+        let mut analysis = self.analysis.take();
+        // Analyzer attached ⇒ also record the write log the generic path
+        // would produce (same entries, same chunk buffers).
+        let mut arena = analysis.as_ref().map(|_| std::mem::take(&mut self.arena));
+        if let Some(an) = &mut analysis {
+            an.prepare(nchunks);
+        }
+        if let Some(ar) = &mut arena {
+            ar.prepare(nchunks);
+        }
+
+        self.record_kernel_threads(count);
+        let mut buf = shm.take_array(out);
+        if hi > buf.len() {
+            // The error the generic path raises at its first offending pid.
+            let e = ShmError::OutOfBounds {
+                name: shm.slot_name(out.slot()).to_string(),
+                index: lo.max(buf.len()),
+                len: buf.len(),
+            };
+            shm.put_back(out, buf);
+            panic!("{e}");
+        }
+        let mid_abort;
+        {
+            let base = SendWordPtr(buf.as_mut_ptr());
+            let shm_ref: &Shm = shm;
+            let forbidden = out.slot();
+            let trace_bufs = analysis.as_deref().map(|a| &a.read_bufs[..nchunks]);
+            let write_bufs = arena.as_ref().map(|ar| &ar.chunk_bufs[..nchunks]);
+            let run_chunk = |c: usize| {
+                let clo = lo + c * CHUNK;
+                let chi = (clo + CHUNK).min(hi);
+                // SAFETY: chunks own disjoint subranges `clo..chi` of the
+                // detached buffer, all inside `0..buf.len()` (checked above).
+                let slots =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(clo), chi - clo) };
+                let trace = trace_bufs.map(|t| unsafe { &*t[c].0.get() });
+                let t = KCtx::for_chunk(shm_ref, forbidden, trace);
+                match write_bufs.map(|b| unsafe { b[c].get_mut_unchecked() }) {
+                    Some(w) => {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            let pid = clo + off;
+                            t.set_pid(pid);
+                            let v = f(&t, pid);
+                            *slot = v;
+                            w.push(WriteEntry {
+                                key: ((out.slot() as u64) << 32) | pid as u64,
+                                pidseq: (pid as u64) << 32,
+                                val: v,
+                            });
+                        }
+                    }
+                    // The hot case: no analyzer, no side bookkeeping — a
+                    // contiguous read-compute-store loop.
+                    None => {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            *slot = f(&t, clo + off);
+                        }
+                    }
+                }
+            };
+            mid_abort = self.run_kernel_chunks(count, nchunks, &run_chunk);
+        }
+        shm.put_back(out, buf);
+        if let Some(cause) = mid_abort {
+            // Same contract as `fused_write`: the buffer is re-attached, a
+            // prefix of this step's stores may be present, and a cancelled
+            // run's memory is never a result.
+            self.analysis = analysis;
+            if let Some(ar) = arena {
+                self.arena = ar;
+            }
+            crate::cancel::unwind(cause);
+        }
+
+        self.metrics.writes_buffered += count as u64;
+        self.metrics.writes_committed += count as u64;
+        self.metrics.kernel_steps += 1;
+        self.metrics
+            .record_host_ns(t_start.elapsed().as_nanos() as u64, 0);
+        if let (Some(an), Some(ar)) = (&mut analysis, &mut arena) {
+            let seed = self.seed();
+            let report = self.metrics.analysis.get_or_insert_with(Box::default);
+            crate::analyze::finish_step(
+                an,
+                report,
+                shm,
+                seed,
+                step_no,
+                self.policy,
+                nchunks,
+                &mut ar.chunk_bufs[..nchunks],
+                None, // faults installed ⇒ kernels already routed generic
+            );
+        }
+        if let Some(ar) = arena {
+            self.arena = ar;
+        }
+        self.analysis = analysis;
     }
 
     /// One synchronous step in which processor `pid` writes one value to a
@@ -362,7 +574,8 @@ impl Machine {
             ar.prepare(nchunks);
         }
 
-        let mut mid_abort: Option<crate::cancel::CancelCause> = None;
+        self.record_kernel_threads(count);
+        let mid_abort;
         let mut buf = shm.take_array(out);
         {
             // Distinct destinations mean distinct cells; the atomic relaxed
@@ -416,19 +629,7 @@ impl Machine {
                     }
                 }
             };
-            if self.parallel_compute(count) {
-                pool::global().run(nchunks, &run_chunk);
-            } else {
-                for c in 0..nchunks {
-                    if c > 0 {
-                        if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
-                            mid_abort = Some(cause);
-                            break;
-                        }
-                    }
-                    run_chunk(c);
-                }
-            }
+            mid_abort = self.run_kernel_chunks(count, nchunks, &run_chunk);
         }
         shm.put_back(out, buf);
         if let Some(cause) = mid_abort {
@@ -522,7 +723,8 @@ impl Machine {
         }
         let t_start = Instant::now();
 
-        let mut mid_abort: Option<crate::cancel::CancelCause> = None;
+        self.record_kernel_threads(count);
+        let mid_abort;
         let mut arena = std::mem::take(&mut self.arena);
         let nchunks = count.div_ceil(CHUNK);
         arena.prepare(nchunks);
@@ -559,19 +761,7 @@ impl Machine {
                     }
                 }
             };
-            if self.parallel_compute(count) {
-                pool::global().run(nchunks, &run_chunk);
-            } else {
-                for c in 0..nchunks {
-                    if c > 0 {
-                        if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
-                            mid_abort = Some(cause);
-                            break;
-                        }
-                    }
-                    run_chunk(c);
-                }
-            }
+            mid_abort = self.run_kernel_chunks(count, nchunks, &run_chunk);
         }
         if let Some(cause) = mid_abort {
             // Mid-kernel abort: buffered writes are discarded whole (this
@@ -650,7 +840,8 @@ impl Machine {
         }
         let t_start = Instant::now();
 
-        let mut mid_abort: Option<crate::cancel::CancelCause> = None;
+        self.record_kernel_threads(count);
+        let mid_abort;
         let nchunks = count.div_ceil(CHUNK);
         let mut analysis = self.analysis.take();
         // With the analyzer attached, record one write entry per contributor
@@ -702,19 +893,7 @@ impl Machine {
                     }
                 }
             };
-            if self.parallel_compute(count) {
-                pool::global().run(nchunks, &run_chunk);
-            } else {
-                for c in 0..nchunks {
-                    if c > 0 {
-                        if let Some(cause) = self.cancel.as_ref().and_then(|t| t.check().err()) {
-                            mid_abort = Some(cause);
-                            break;
-                        }
-                    }
-                    run_chunk(c);
-                }
-            }
+            mid_abort = self.run_kernel_chunks(count, nchunks, &run_chunk);
         }
         if let Some(cause) = mid_abort {
             // Mid-kernel abort: partials are host-local and simply dropped;

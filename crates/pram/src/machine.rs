@@ -320,6 +320,24 @@ impl<'a, 'b> Ctx<'a, 'b> {
     }
 }
 
+/// Execution backend of the fused [`crate::kernel`] layer.
+///
+/// Both backends run the same fused loops with the same fixed chunk
+/// boundaries (`CHUNK` = 8192 processors per chunk) and the same fixed-shape
+/// per-chunk combining, so memory, [`Metrics`] accounting, and
+/// [`crate::AnalysisReport`]s are bit-identical regardless of backend or
+/// worker count — the determinism suites assert exactly that.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// Tight sequential host loops on the calling thread (the PR 2
+    /// behaviour): lowest latency for small kernels, no fan-out ever.
+    Fused,
+    /// Chunked data-parallel execution over the [`crate::pool`] once a
+    /// kernel's processor count reaches [`Tuning::kernel_par_threshold`];
+    /// smaller kernels stay on the sequential fused loops.
+    Parallel,
+}
+
 /// Performance knobs. Defaults are right for production use; tests force
 /// specific paths to prove they are all equivalent.
 #[derive(Clone, Copy, Debug)]
@@ -341,10 +359,25 @@ pub struct Tuning {
     /// steps/work/conflict metrics); this switch exists so the equivalence
     /// tests can prove it.
     pub disable_kernels: bool,
+    /// How fused kernels execute ([`KernelBackend`]). Overridable
+    /// process-wide via `IPCH_KERNEL_BACKEND=fused|parallel` (read once, at
+    /// the first [`Tuning::default`]), which is how the CI `kernels-par`
+    /// job forces the whole test suite onto each backend.
+    pub kernel_backend: KernelBackend,
+    /// Processor count at which [`KernelBackend::Parallel`] kernels fan out
+    /// over the pool; below it they run the sequential fused loops (the
+    /// small-n fast path). Overridable via `IPCH_KERNEL_PAR_THRESHOLD=<n>`.
+    pub kernel_par_threshold: usize,
+    /// Cap on execution lanes (calling thread + pool workers) any parallel
+    /// phase of this machine may use. `None` = all pool lanes. The result
+    /// is bit-identical at every cap — this knob exists for capacity
+    /// control and for the worker-count-independence suites.
+    pub num_threads: Option<usize>,
 }
 
 impl Default for Tuning {
     fn default() -> Self {
+        let (backend, kernel_threshold) = env_kernel_overrides();
         Self {
             par_compute_threshold: 1 << 15,
             par_commit_threshold: 1 << 16,
@@ -352,12 +385,85 @@ impl Default for Tuning {
             force_parallel: false,
             disable_fast_path: false,
             disable_kernels: false,
+            kernel_backend: backend.unwrap_or(KernelBackend::Parallel),
+            kernel_par_threshold: kernel_threshold.unwrap_or(1 << 15),
+            num_threads: None,
         }
     }
 }
 
+/// Process-wide kernel-backend overrides from the environment, parsed once:
+/// `IPCH_KERNEL_BACKEND=fused|parallel` and `IPCH_KERNEL_PAR_THRESHOLD=<n>`.
+/// Unset or unparseable values leave the compiled defaults.
+fn env_kernel_overrides() -> (Option<KernelBackend>, Option<usize>) {
+    static OVERRIDES: std::sync::OnceLock<(Option<KernelBackend>, Option<usize>)> =
+        std::sync::OnceLock::new();
+    *OVERRIDES.get_or_init(|| {
+        let backend = std::env::var("IPCH_KERNEL_BACKEND").ok().and_then(|v| {
+            match v.trim().to_ascii_lowercase().as_str() {
+                "fused" => Some(KernelBackend::Fused),
+                "parallel" => Some(KernelBackend::Parallel),
+                _ => None,
+            }
+        });
+        let threshold = std::env::var("IPCH_KERNEL_PAR_THRESHOLD")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1);
+        (backend, threshold)
+    })
+}
+
 /// Processors per compute chunk (one pooled write buffer each).
+///
+/// Chunk boundaries are a pure function of the active-set size — never of
+/// the worker count — which is one of the three legs the parallel backend's
+/// bit-identical guarantee stands on (the others: per-chunk state is folded
+/// in fixed chunk order, and per-(step, pid) RNG streams are derived, not
+/// shared).
 pub(crate) const CHUNK: usize = 8192;
+
+/// Dispatch `job` over `0..nchunks` on the global pool with at most
+/// `max_lanes` execution lanes, polling `cancel` at every chunk entry.
+/// Once a poll observes expiry the remaining chunks are skipped (chunks
+/// already claimed run to completion, so the wave drains within one chunk
+/// per lane) and the first observed cause is returned *after* the join —
+/// the caller unwinds only once no pool worker still references its state.
+/// With no token this is a plain bounded dispatch with zero overhead.
+pub(crate) fn run_chunks_cancellable(
+    max_lanes: usize,
+    nchunks: usize,
+    cancel: Option<&CancelToken>,
+    job: &(dyn Fn(usize) + Sync),
+) -> Option<CancelCause> {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    let Some(tok) = cancel else {
+        pool::global().run_bounded(max_lanes, nchunks, job);
+        return None;
+    };
+    // 0 = live, 1 = cancelled, 2 = deadline. The flag short-circuits the
+    // per-chunk token poll once expiry has been observed by any lane.
+    let flag = AtomicU8::new(0);
+    pool::global().run_bounded(max_lanes, nchunks, &|c| {
+        if flag.load(Ordering::Relaxed) != 0 {
+            return;
+        }
+        if let Err(cause) = tok.check() {
+            let code = match cause {
+                CancelCause::Cancelled => 1,
+                CancelCause::DeadlineExceeded => 2,
+            };
+            flag.store(code, Ordering::Relaxed);
+            return;
+        }
+        job(c);
+    });
+    match flag.load(Ordering::Relaxed) {
+        1 => Some(CancelCause::Cancelled),
+        2 => Some(CancelCause::DeadlineExceeded),
+        _ => None,
+    }
+}
 
 /// A randomized CRCW PRAM.
 ///
@@ -407,8 +513,8 @@ pub struct Machine {
     /// costs one pointer and one branch per hook.
     pub(crate) faults: Option<Box<FaultState>>,
     /// Cooperative cancellation token, when installed
-    /// ([`Machine::set_cancel_token`]): polled at every step entry and
-    /// between sequential kernel chunks; see [`crate::cancel`].
+    /// ([`Machine::set_cancel_token`]): polled at every step entry and at
+    /// every chunk boundary of compute loops; see [`crate::cancel`].
     pub(crate) cancel: Option<CancelToken>,
 }
 
@@ -489,7 +595,8 @@ impl Machine {
     }
 
     /// Install a [`CancelToken`]: every subsequent step polls it on entry
-    /// (and sequential fused-kernel loops poll it between chunks), aborting
+    /// (and chunk loops — sequential or pool-parallel — poll it at every
+    /// chunk boundary), aborting
     /// with a typed [`crate::cancel::CancelUnwind`] once the token is
     /// cancelled or past its deadline. Children created after this call
     /// share the token. Replaces any previously installed token.
@@ -557,6 +664,20 @@ impl Machine {
     /// Record an analytic cost (see [`Metrics`] docs for the contract).
     pub fn charge(&mut self, steps: u64, work: u64) {
         self.metrics.record_charge(steps, work);
+    }
+
+    /// The lane cap of this machine's parallel phases
+    /// ([`Tuning::num_threads`]; `usize::MAX` when uncapped).
+    #[inline]
+    pub(crate) fn max_lanes(&self) -> usize {
+        self.tuning.num_threads.unwrap_or(usize::MAX).max(1)
+    }
+
+    /// Lanes a parallel phase of this machine actually uses: the tuning cap
+    /// clamped to the configured pool width. Does not spawn the pool.
+    #[inline]
+    pub(crate) fn effective_lanes(&self) -> usize {
+        self.max_lanes().min(pool::configured_lanes()).max(1)
     }
 
     /// Execute one synchronous step over `pids` with the machine policy.
@@ -693,11 +814,14 @@ impl Machine {
 
         let parallel = !self.tuning.force_sequential
             && (self.tuning.force_parallel || count >= self.tuning.par_compute_threshold);
+        self.metrics
+            .record_threads(if parallel { self.effective_lanes() } else { 1 });
         let mut mid_abort: Option<CancelCause> = None;
         if parallel {
-            // Parallel waves are one fan-out/join; the poll granularity
-            // here is the step boundary (see `crate::cancel`).
-            pool::global().run(nchunks, &run_chunk);
+            // Parallel waves poll the token at every chunk entry, same
+            // granularity as the sequential loop below (see `crate::cancel`).
+            mid_abort =
+                run_chunks_cancellable(self.max_lanes(), nchunks, self.cancel.as_ref(), &run_chunk);
         } else {
             for c in 0..nchunks {
                 if c > 0 {
@@ -796,9 +920,17 @@ impl Machine {
         }
         self.metrics.writes_buffered += total as u64;
 
+        let max_lanes = self.max_lanes();
         let parallel_commit = !self.tuning.force_sequential
             && (self.tuning.force_parallel || total >= self.tuning.par_commit_threshold)
+            && max_lanes > 1
             && pool::num_threads() > 1;
+        // Lanes used for commit partitioning (run boundaries, sort segments):
+        // partition-independent results, so any cap yields identical memory.
+        let lanes = max_lanes.min(pool::num_threads()).max(1);
+        if parallel_commit {
+            self.metrics.record_threads(lanes);
+        }
 
         // Fast path: if the concatenated log is strictly increasing by cell
         // key, every cell receives exactly one write — commit it verbatim.
@@ -808,7 +940,7 @@ impl Machine {
             let writer = ShmWriter::new(shm);
             if parallel_commit {
                 let bufs_ref = &bufs[..];
-                pool::global().run(nchunks, &|c| {
+                pool::global().run_bounded(max_lanes, nchunks, &|c| {
                     // SAFETY: strict monotonicity ⇒ all cells distinct, so
                     // chunks write disjoint cells; chunk c reads buffer c only.
                     let buf = unsafe { &*bufs_ref[c].0.get() };
@@ -837,7 +969,7 @@ impl Machine {
         }
 
         if parallel_commit {
-            par_sort(&mut arena.flat, &mut arena.scratch);
+            par_sort(&mut arena.flat, &mut arena.scratch, lanes);
         } else {
             arena.flat.sort_unstable_by_key(|e| e.sort_key());
         }
@@ -845,7 +977,7 @@ impl Machine {
         let seed = self.seed;
         let adversary = self.adversary_seed();
         let (committed, conflicts, adversarial) = if parallel_commit {
-            resolve_runs_parallel(shm, &arena.flat, policy, seed, step_no, adversary)
+            resolve_runs_parallel(shm, &arena.flat, policy, seed, step_no, adversary, lanes)
         } else {
             let writer = ShmWriter::new(shm);
             // SAFETY: single-threaded resolution; runs target distinct cells.
@@ -973,6 +1105,7 @@ unsafe fn resolve_runs(
 /// Parallel run resolution: partition the sorted log at run boundaries and
 /// resolve each range on the pool (ranges cover disjoint cells, so commits
 /// through the shared `ShmWriter` never race).
+#[allow(clippy::too_many_arguments)]
 fn resolve_runs_parallel(
     shm: &mut Shm,
     flat: &[WriteEntry],
@@ -980,8 +1113,8 @@ fn resolve_runs_parallel(
     seed: u64,
     step_no: u64,
     adversary: Option<u64>,
+    lanes: usize,
 ) -> (u64, u64, u64) {
-    let lanes = pool::num_threads().max(1);
     let n = flat.len();
     let mut bounds: Vec<usize> = Vec::with_capacity(lanes + 1);
     bounds.push(0);
@@ -1003,7 +1136,7 @@ fn resolve_runs_parallel(
         (0..nranges).map(|_| ChunkCell::new((0, 0, 0))).collect();
     let bounds_ref = &bounds;
     let tallies_ref = &tallies;
-    pool::global().run(nranges, &|r| {
+    pool::global().run_bounded(lanes, nranges, &|r| {
         let range = &flat[bounds_ref[r]..bounds_ref[r + 1]];
         // SAFETY: ranges are run-aligned ⇒ cell-disjoint; tally r is ours.
         let out = unsafe { resolve_runs(&writer, range, policy, seed, step_no, adversary) };
@@ -1024,9 +1157,8 @@ fn resolve_runs_parallel(
 /// Parallel merge sort by the unique packed key: segments are sorted on the
 /// pool, then merged pairwise in parallel rounds, ping-ponging between the
 /// log and the pooled scratch buffer.
-fn par_sort(flat: &mut Vec<WriteEntry>, scratch: &mut Vec<WriteEntry>) {
+fn par_sort(flat: &mut Vec<WriteEntry>, scratch: &mut Vec<WriteEntry>, lanes: usize) {
     let n = flat.len();
-    let lanes = pool::num_threads().max(1);
     if lanes == 1 || n < 2 * CHUNK {
         flat.sort_unstable_by_key(|e| e.sort_key());
         return;
@@ -1036,7 +1168,7 @@ fn par_sort(flat: &mut Vec<WriteEntry>, scratch: &mut Vec<WriteEntry>) {
 
     {
         let flat_ptr = SendMutPtr(flat.as_mut_ptr());
-        pool::global().run(nseg, &|s| {
+        pool::global().run_bounded(lanes, nseg, &|s| {
             let lo = (s * seg).min(n);
             let hi = ((s + 1) * seg).min(n);
             // SAFETY: segments are disjoint subslices of `flat`.
@@ -1065,7 +1197,7 @@ fn par_sort(flat: &mut Vec<WriteEntry>, scratch: &mut Vec<WriteEntry>) {
         };
         let npairs = n.div_ceil(2 * width);
         let dst_ptr = SendMutPtr(dst.as_mut_ptr());
-        pool::global().run(npairs, &|p| {
+        pool::global().run_bounded(lanes, npairs, &|p| {
             let lo = p * 2 * width;
             let mid = (lo + width).min(n);
             let hi = (lo + 2 * width).min(n);

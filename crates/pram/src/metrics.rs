@@ -73,6 +73,13 @@ pub struct Metrics {
     /// Kernel steps charge the same steps/work/write/conflict metrics as the
     /// generic path; this counter is host observability only.
     pub kernel_steps: u64,
+    /// Largest number of host execution lanes (calling thread + pool
+    /// workers) any phase of this run used: 1 while everything ran
+    /// sequentially, 0 until a step executes. Host observability only —
+    /// the simulated result is bit-identical at every lane count — recorded
+    /// so bench CSV rows carry the core count they ran on. Absorbs take the
+    /// maximum.
+    pub threads: u64,
     /// Dynamic-analysis report ([`crate::AnalysisReport`]), populated only
     /// when [`crate::Machine::enable_analysis`] is on. Boxed so the common
     /// disabled case costs one pointer. Child-machine reports fold into the
@@ -218,6 +225,11 @@ impl Metrics {
         }
     }
 
+    /// Record the host lane count of one executed phase (max-accumulating).
+    pub(crate) fn record_threads(&mut self, lanes: usize) {
+        self.threads = self.threads.max(lanes as u64);
+    }
+
     /// Total host wall time spent simulating, in nanoseconds.
     pub fn host_total_ns(&self) -> u64 {
         self.host_compute_ns + self.host_commit_ns
@@ -293,6 +305,7 @@ impl Metrics {
             self.write_conflicts += c.write_conflicts;
             self.fastpath_steps += c.fastpath_steps;
             self.kernel_steps += c.kernel_steps;
+            self.threads = self.threads.max(c.threads);
             self.faults.absorb(&c.faults);
             self.supervisor.absorb(&c.supervisor);
             self.service.absorb(&c.service);
@@ -325,6 +338,7 @@ impl Metrics {
         self.write_conflicts += other.write_conflicts;
         self.fastpath_steps += other.fastpath_steps;
         self.kernel_steps += other.kernel_steps;
+        self.threads = self.threads.max(other.threads);
         self.faults.absorb(&other.faults);
         self.supervisor.absorb(&other.supervisor);
         self.service.absorb(&other.service);

@@ -40,6 +40,13 @@ struct Slot {
     nchunks: usize,
     /// Workers currently executing the job.
     active: usize,
+    /// Workers admitted to the current epoch so far (monotone within an
+    /// epoch; never decremented, unlike `active`).
+    joined: usize,
+    /// Worker admission cap for the current epoch
+    /// ([`ThreadPool::run_bounded`]'s `max_lanes - 1`: the caller is the
+    /// extra lane).
+    max_workers: usize,
     /// Pool shutdown flag (used by tests; the global pool lives forever).
     shutdown: bool,
 }
@@ -68,6 +75,8 @@ impl ThreadPool {
                 job: None,
                 nchunks: 0,
                 active: 0,
+                joined: 0,
+                max_workers: 0,
                 shutdown: false,
             }),
             cursor: AtomicUsize::new(0),
@@ -93,10 +102,20 @@ impl ThreadPool {
     /// chunks are done. The caller participates; with zero workers this is
     /// an inline loop.
     pub fn run(&self, nchunks: usize, job: Job<'_>) {
+        self.run_bounded(usize::MAX, nchunks, job);
+    }
+
+    /// [`ThreadPool::run`] with at most `max_lanes` execution lanes (the
+    /// caller plus up to `max_lanes - 1` pool workers). `max_lanes <= 1`
+    /// degenerates to an inline sequential loop. Which lane executes a chunk
+    /// is scheduling-dependent either way; callers must keep chunks
+    /// data-independent, which is also what makes the observable result
+    /// independent of `max_lanes`.
+    pub fn run_bounded(&self, max_lanes: usize, nchunks: usize, job: Job<'_>) {
         if nchunks == 0 {
             return;
         }
-        if self.workers == 0 || nchunks == 1 {
+        if self.workers == 0 || nchunks == 1 || max_lanes <= 1 {
             for c in 0..nchunks {
                 job(c);
             }
@@ -115,6 +134,8 @@ impl ThreadPool {
             shared.cursor.store(0, Ordering::Relaxed);
             slot.job = Some(eternal);
             slot.nchunks = nchunks;
+            slot.joined = 0;
+            slot.max_workers = max_lanes.saturating_sub(1);
             slot.epoch += 1;
         }
         shared.work_cv.notify_all();
@@ -159,11 +180,15 @@ fn worker_loop(shared: &'static Shared) {
                 }
                 if slot.epoch != seen_epoch {
                     seen_epoch = slot.epoch;
-                    if let Some(job) = slot.job {
-                        slot.active += 1;
-                        break (job, slot.nchunks);
+                    if slot.joined < slot.max_workers {
+                        if let Some(job) = slot.job {
+                            slot.joined += 1;
+                            slot.active += 1;
+                            break (job, slot.nchunks);
+                        }
+                        // job already retired: keep waiting on the next epoch
                     }
-                    // job already retired: keep waiting on the next epoch
+                    // epoch full (bounded run): sit this one out
                 }
                 slot = shared.work_cv.wait(slot).unwrap();
             }
@@ -180,15 +205,34 @@ fn worker_loop(shared: &'static Shared) {
 }
 
 /// The process-wide pool, sized to the host (`available_parallelism - 1`
-/// workers, since the caller participates). Spawned lazily on first use.
+/// workers, since the caller participates) unless the `IPCH_THREADS`
+/// environment variable overrides the lane count (`IPCH_THREADS=1` forces a
+/// workerless, purely sequential pool; values above the core count
+/// oversubscribe, which the determinism suites use to vary the worker count
+/// on small hosts). Spawned lazily on first use; the size is fixed for the
+/// life of the process.
 pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let cores = thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        ThreadPool::with_workers(cores.saturating_sub(1))
+        let lanes = configured_lanes();
+        ThreadPool::with_workers(lanes.saturating_sub(1))
     })
+}
+
+/// The lane count the global pool is (or will be) built with: the
+/// `IPCH_THREADS` override when set to a positive integer, otherwise the
+/// host's `available_parallelism`. Does not spawn the pool.
+pub fn configured_lanes() -> usize {
+    if let Ok(v) = std::env::var("IPCH_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Total execution lanes (workers + the calling thread).
@@ -214,6 +258,36 @@ mod tests {
     #[test]
     fn zero_chunks_is_a_noop() {
         global().run(0, &|_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn bounded_runs_every_chunk_exactly_once_at_every_lane_cap() {
+        let pool = global();
+        for lanes in [1usize, 2, 3, usize::MAX] {
+            let hits: Vec<AtomicU64> = (0..67).map(|_| AtomicU64::new(0)).collect();
+            pool.run_bounded(lanes, 67, &|c| {
+                hits[c].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "lanes={lanes}: every chunk must run exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_then_unbounded_dispatches_share_the_pool() {
+        let pool = global();
+        let total = AtomicUsize::new(0);
+        for round in 1..=20 {
+            pool.run_bounded(1 + round % 3, round, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+            pool.run(round, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 2 * (1..=20).sum::<usize>());
     }
 
     #[test]

@@ -13,7 +13,9 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use ipch_pram::{AnalysisReport, AnalyzeConfig, Machine, ReduceOp, Shm, Tuning, Word, WritePolicy};
+use ipch_pram::{
+    AnalysisReport, AnalyzeConfig, KernelBackend, Machine, ReduceOp, Shm, Tuning, Word, WritePolicy,
+};
 
 const POLICIES: [WritePolicy; 6] = [
     WritePolicy::Arbitrary,
@@ -217,7 +219,7 @@ fn run_kernel_program(tuning: Tuning, lens: &[usize], program: &[KernelSpec]) ->
         .collect();
     // map/permute output (pid-indexed, so sized to the largest pid set) and
     // the reduce target cell
-    let out = shm.alloc("out", 3000, 0);
+    let out = shm.alloc("out", 20_000, 0);
     let cell = shm.alloc("cell", 1, 0);
 
     for spec in program {
@@ -316,5 +318,66 @@ proptest! {
             &program,
         );
         prop_assert_eq!(&fused, &generic_slow, "slow-path generic diverged from kernels");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend equivalence: the data-parallel kernel backend must be observably
+// identical — memory, Metrics counters, AnalysisReport — to the sequential
+// Fused backend at *every* worker-count cap (1 lane, 2 lanes, uncapped),
+// with the dispatch threshold forced to 1 so even tiny kernels take the
+// parallel code path, and with processor counts spanning multiple CHUNK
+// (8192) boundaries so cross-chunk combining is actually exercised.
+// ---------------------------------------------------------------------------
+
+/// `kernel_spec` with processor counts up to 20 000 (1–3 chunks).
+fn kernel_spec_large() -> impl Strategy<Value = KernelSpec> {
+    (0u8..4, 1usize..20_000, 0usize..6, 0usize..5, 1u64..64).prop_map(
+        |(shape, nprocs, pol, op, param)| KernelSpec {
+            shape,
+            nprocs,
+            policy: POLICIES[pol],
+            op: REDUCE_OPS[op],
+            param,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn kernel_backends_are_equivalent_at_every_worker_count(
+        lens in vec(1usize..300, 1..4),
+        program in vec(kernel_spec_large(), 1..5),
+    ) {
+        let fused = run_kernel_program(
+            Tuning { kernel_backend: KernelBackend::Fused, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        for lanes in [Some(1), Some(2), None] {
+            let par = run_kernel_program(
+                Tuning {
+                    kernel_backend: KernelBackend::Parallel,
+                    kernel_par_threshold: 1,
+                    num_threads: lanes,
+                    ..Tuning::default()
+                },
+                &lens,
+                &program,
+            );
+            prop_assert_eq!(
+                &fused, &par,
+                "parallel backend diverged at num_threads={:?}", lanes
+            );
+        }
+        // the parallel backend must also agree with the generic step path
+        let generic = run_kernel_program(
+            Tuning { disable_kernels: true, ..Tuning::default() },
+            &lens,
+            &program,
+        );
+        prop_assert_eq!(&fused, &generic, "generic path diverged at large n");
     }
 }

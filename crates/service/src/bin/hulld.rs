@@ -56,12 +56,20 @@ fn main() {
     let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
     let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0xD1CE);
 
-    let svc = Service::new(ServiceConfig {
+    let cfg = ServiceConfig {
         workers,
         queue_capacity: 32,
         per_tenant_inflight: 12,
         ..ServiceConfig::default()
-    });
+    };
+    println!(
+        "hulld: kernel backend {:?} (threshold {}), {} simulator lane(s) \
+         [IPCH_KERNEL_BACKEND / IPCH_KERNEL_PAR_THRESHOLD / IPCH_THREADS]",
+        cfg.tuning.kernel_backend,
+        cfg.tuning.kernel_par_threshold,
+        ipch_pram::pool::configured_lanes(),
+    );
+    let svc = Service::new(cfg);
 
     let mut rng = seed;
     let tenants = ["alpha", "beta", "gamma"];

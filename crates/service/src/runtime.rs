@@ -56,7 +56,7 @@ use ipch_hull3d::seq::Seq3Stats;
 use ipch_hull3d::verify_upper_hull3;
 use ipch_pram::{
     silence_cancel_unwinds, CancelCause, CancelToken, CancelUnwind, Machine, Metrics, Outcome,
-    RunError, ServiceStats, SuperviseConfig,
+    RunError, ServiceStats, SuperviseConfig, Tuning,
 };
 
 use crate::breaker::{Breaker, BreakerConfig, Plan, Signal, Tier};
@@ -84,6 +84,11 @@ pub struct ServiceConfig {
     pub retry_after_base: Duration,
     /// Ceiling for the `retry_after` hint.
     pub retry_after_cap: Duration,
+    /// Simulator tuning installed on every request's machine (kernel
+    /// backend, dispatch threshold, lane cap). The default picks up the
+    /// `IPCH_KERNEL_BACKEND` / `IPCH_KERNEL_PAR_THRESHOLD` env overrides,
+    /// and the pool itself honors `IPCH_THREADS`.
+    pub tuning: Tuning,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +102,7 @@ impl Default for ServiceConfig {
             breaker: BreakerConfig::default(),
             retry_after_base: Duration::from_millis(10),
             retry_after_cap: Duration::from_secs(1),
+            tuning: Tuning::default(),
         }
     }
 }
@@ -590,6 +596,7 @@ fn handle_with(
 /// Execute one admitted request at `tier` on its own machine.
 fn run_request(cfg: &ServiceConfig, req: &Request, tier: Tier, token: CancelToken) -> RunReturn {
     let mut m = Machine::new(req.seed);
+    m.tuning = cfg.tuning;
     if let Some(plan) = &req.chaos {
         m.install_faults(plan.clone());
     }

@@ -34,7 +34,8 @@ use ipch_inplace::supervised::{ragde_compact_supervised, random_sample_supervise
 use ipch_lp::inplace_bridge::IbConfig;
 use ipch_lp::supervised::{bridge_brute_supervised, find_bridge_inplace_supervised};
 use ipch_pram::{
-    Budget, FaultPlan, Machine, Outcome, RngBias, RunError, Shm, SuperviseConfig, EMPTY,
+    Budget, FaultPlan, KernelBackend, Machine, Outcome, RngBias, RunError, Shm, SuperviseConfig,
+    Tuning, EMPTY,
 };
 
 /// A machine with `plan` installed (empty plan = clean control run).
@@ -409,6 +410,57 @@ fn chaos_metrics_count_what_happened() {
         .errors
         .iter()
         .all(|e| matches!(e, RunError::BudgetExhausted { .. })));
+}
+
+#[test]
+fn chaos_fault_counters_identical_under_parallel_backend() {
+    // Fault injection must be execution-mode-blind: the same seeded run
+    // under the sequential Fused backend and under the data-parallel
+    // backend (at a 2-lane cap and uncapped) injects the *same* faults —
+    // identical `FaultCounters`, supervisor stats, and PRAM accounting —
+    // and produces the same verified hull. The fault schedule derives from
+    // (seed, step, pid), never from host threads or chunk scheduling.
+    let pts = uniform_disk(900, 36);
+    let run = |backend: KernelBackend, lanes: Option<usize>| {
+        let mut m = rig(23, &corrupt_plan(0.003));
+        m.tuning = Tuning {
+            kernel_backend: backend,
+            kernel_par_threshold: 1,
+            num_threads: lanes,
+            ..Tuning::default()
+        };
+        let s = upper_hull_unsorted_supervised(
+            &mut m,
+            &pts,
+            &UnsortedParams::default(),
+            &SuperviseConfig::default(),
+        )
+        .expect("supervised run answers under moderate corruption");
+        verify_upper_hull(&pts, &s.value.0.hull).expect("verified hull");
+        (
+            s.outcome,
+            s.value.0.hull.vertices.clone(),
+            m.metrics.faults,
+            m.metrics.supervisor,
+            m.metrics.steps,
+            m.metrics.work,
+            m.metrics.writes_buffered,
+            m.metrics.writes_committed,
+            m.metrics.write_conflicts,
+        )
+    };
+    let fused = run(KernelBackend::Fused, None);
+    assert!(
+        fused.2.total() > 0,
+        "the corruption plan must actually inject faults"
+    );
+    let par2 = run(KernelBackend::Parallel, Some(2));
+    let par = run(KernelBackend::Parallel, None);
+    assert_eq!(fused, par2, "2-lane parallel backend diverged under faults");
+    assert_eq!(
+        fused, par,
+        "uncapped parallel backend diverged under faults"
+    );
 }
 
 #[test]
