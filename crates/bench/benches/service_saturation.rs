@@ -1,0 +1,184 @@
+//! Saturation throughput of the serving runtime with batch admission.
+//!
+//! A closed-loop driver pushes `R` small same-algorithm requests (n = 32,
+//! far below `batch_point_cap`) at a drained single-threaded service and
+//! measures end-to-end requests per second — admission, coalescing, the
+//! fused batch kernel (or the per-request supervised path), resolution,
+//! and ticket delivery all inside the clock. The sweep crosses
+//!
+//! * `batch_max` ∈ {1, 4, 8, 16} — 1 is the unbatched baseline
+//!   (`batch_window: 0`, every request runs the full supervised path);
+//! * tenants ∈ {1, 4} — batches only form within a queue shard, and
+//!   tenant affinity spreads tenants across lanes, so multi-tenant
+//!   traffic exercises coalescing across interleaved streams.
+//!
+//! Small supervised runs are dominated by the simulator's per-step
+//! overhead (hundreds of steps each), while a fused batch election takes
+//! three machine steps regardless of batch size — so throughput should
+//! scale strongly with `batch_max`. Each measurement is the median of
+//! three repetitions; one `speedup` column relates every row to the
+//! unbatched row of the same tenant count.
+//!
+//! Results append to `bench_results/service_saturation.csv`. Runs are
+//! single-core honest: the `threads` column records the configured
+//! simulator lanes. `IPCH_SAT_SMOKE=1` shrinks the request count for CI.
+
+use std::time::Instant;
+
+use ipch_geom::generators::uniform_disk;
+use ipch_service::{Hull2dAlgo, Request, Service, ServiceConfig, Workload};
+
+const POINTS_PER_REQUEST: usize = 32;
+const BATCH_SWEEP: [usize; 4] = [1, 4, 8, 16];
+const TENANT_SWEEP: [usize; 2] = [1, 4];
+const REPS: usize = 3;
+
+struct Row {
+    batch_max: usize,
+    tenants: usize,
+    requests: usize,
+    elapsed_ms: f64,
+    reqs_per_s: f64,
+}
+
+/// One closed-loop measurement: submit `requests` pinned-seed requests,
+/// drain, wait on every ticket. Returns the wall-clock seconds.
+fn run_once(batch_max: usize, tenants: usize, requests: usize) -> f64 {
+    let tenant_names = ["alpha", "beta", "gamma", "delta"];
+    let cfg = ServiceConfig {
+        workers: 0,
+        queue_capacity: requests,
+        per_tenant_inflight: requests,
+        // batch_max == 1 is the unbatched baseline: coalescing off
+        batch_window: if batch_max > 1 { 2 * batch_max } else { 0 },
+        batch_max,
+        ..ServiceConfig::default()
+    };
+    let svc = Service::new(cfg);
+    // identical request bodies across configs: same points, same seeds
+    let pts = uniform_disk(POINTS_PER_REQUEST, 77);
+    let start = Instant::now();
+    let tickets: Vec<_> = (0..requests)
+        .map(|i| {
+            let req = Request::new(
+                tenant_names[i % tenants],
+                i as u64,
+                Workload::Hull2d {
+                    points: pts.clone(),
+                    algo: Hull2dAlgo::Unsorted,
+                },
+            );
+            svc.submit(req).expect("queue sized for the whole run")
+        })
+        .collect();
+    svc.drain();
+    for t in tickets {
+        t.wait().expect("clean saturation traffic completes");
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = svc.health().stats;
+    assert_eq!(stats.completed, requests as u64, "lost requests");
+    if batch_max > 1 {
+        assert!(stats.batches_formed > 0, "sweep point never batched");
+    }
+    secs
+}
+
+fn measure(batch_max: usize, tenants: usize, requests: usize) -> Row {
+    // warm-up (allocator, lazy pools), then median of REPS
+    run_once(batch_max, tenants, requests.min(32));
+    let mut times: Vec<f64> = (0..REPS)
+        .map(|_| run_once(batch_max, tenants, requests))
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[REPS / 2];
+    Row {
+        batch_max,
+        tenants,
+        requests,
+        elapsed_ms: median * 1e3,
+        reqs_per_s: requests as f64 / median,
+    }
+}
+
+fn append_results(rows: &[Row], threads: usize) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("service_saturation.csv");
+    let fresh = !path.exists();
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    if fresh {
+        writeln!(
+            f,
+            "id,batch_max,tenants,requests,n,threads,elapsed_ms,reqs_per_s,speedup_vs_unbatched"
+        )?;
+    }
+    for r in rows {
+        let base = rows
+            .iter()
+            .find(|b| b.tenants == r.tenants && b.batch_max == 1)
+            .map(|b| b.reqs_per_s)
+            .unwrap_or(r.reqs_per_s);
+        writeln!(
+            f,
+            "service_saturation/b{}/t{},{},{},{},{},{},{:.3},{:.1},{:.2}",
+            r.batch_max,
+            r.tenants,
+            r.batch_max,
+            r.tenants,
+            r.requests,
+            POINTS_PER_REQUEST,
+            threads,
+            r.elapsed_ms,
+            r.reqs_per_s,
+            r.reqs_per_s / base,
+        )?;
+    }
+    Ok(path)
+}
+
+fn main() {
+    // `cargo test --benches` executes bench binaries with `--test`; the
+    // sweep is seconds of wall clock, so bail out there.
+    if std::env::args().any(|a| a == "--test") {
+        return;
+    }
+    let smoke = std::env::var("IPCH_SAT_SMOKE").is_ok_and(|v| v == "1");
+    let requests = if smoke { 64 } else { 240 };
+    let threads = ipch_pram::pool::configured_lanes();
+
+    let mut rows = Vec::new();
+    for &tenants in &TENANT_SWEEP {
+        for &batch_max in &BATCH_SWEEP {
+            let row = measure(batch_max, tenants, requests);
+            println!(
+                "batch_max={:2} tenants={} : {:8.1} req/s ({:.1} ms for {} requests)",
+                row.batch_max, row.tenants, row.reqs_per_s, row.elapsed_ms, row.requests
+            );
+            rows.push(row);
+        }
+        let base = rows
+            .iter()
+            .find(|r| r.tenants == tenants && r.batch_max == 1)
+            .map(|r| r.reqs_per_s)
+            .unwrap();
+        for r in rows.iter().filter(|r| r.tenants == tenants) {
+            if r.batch_max > 1 {
+                println!(
+                    "  tenants={}: batch {:2} speedup {:.2}x",
+                    tenants,
+                    r.batch_max,
+                    r.reqs_per_s / base
+                );
+            }
+        }
+    }
+    match append_results(&rows, threads) {
+        Ok(p) => println!("appended results: {}", p.display()),
+        Err(e) => eprintln!("could not append results: {e}"),
+    }
+}

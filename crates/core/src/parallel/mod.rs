@@ -1,5 +1,6 @@
 //! Parallel (CRCW PRAM) convex-hull algorithms — the paper's contribution.
 
+pub mod batch;
 pub mod brute;
 pub mod dac;
 pub mod folklore;
@@ -7,6 +8,7 @@ pub mod invariant;
 pub mod logstar;
 pub mod merge;
 pub mod presorted;
+pub mod sharded;
 pub mod supervised;
 pub mod trace;
 pub mod unsorted;

@@ -1,6 +1,6 @@
 //! Supervised (Las Vegas) entry points for the 2-D hull algorithms.
 //!
-//! Each wrapper runs its algorithm under [`ipch_pram::supervise`]: an
+//! Each wrapper runs its algorithm under [`mod@ipch_pram::supervise`]: an
 //! attempt's result must pass the full certificate — chain convexity and
 //! coverage ([`verify_upper_hull`]) plus per-point pointer validity
 //! ([`HullOutput::verify_pointers`]) — before it is returned. Failed or

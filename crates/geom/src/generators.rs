@@ -4,7 +4,7 @@
 //! as an independent knob; classical distributions pin the *expected* hull
 //! size instead:
 //!
-//! | generator | E[h] |
+//! | generator | E\[h\] |
 //! |---|---|
 //! | [`uniform_square`] | Θ(log n) |
 //! | [`uniform_disk`] | Θ(n^{1/3}) |

@@ -3,6 +3,8 @@
 //! Geometry layer for the Ghouse–Goodrich SPAA'91 reproduction:
 //!
 //! * [`point`] — `Point2`/`Point3` value types.
+//! * [`batch`] — concatenated multi-instance layout (offset table + SoA
+//!   view) for the serving runtime's fused batch runs.
 //! * [`exact`] — floating-point expansion arithmetic (two-sum / two-product
 //!   building blocks à la Shewchuk) used by the exact predicate fallbacks.
 //! * [`predicates`] — robust `orient2d` / `orient3d`: a cheap f64 filter
@@ -24,6 +26,7 @@
 //!   public entry points: finite coordinates, distinct points, finite query
 //!   parameters.
 
+pub mod batch;
 pub mod exact;
 pub mod gen3d;
 pub mod generators;
@@ -34,6 +37,7 @@ pub mod predicates;
 pub mod soa;
 pub mod validate;
 
+pub use batch::ConcatPoints2;
 pub use hull_chain::UpperHull;
 pub use point::{Point2, Point3};
 pub use predicates::{orient2d, orient3d, Orientation};

@@ -1,5 +1,6 @@
 //! Parallel 3-D hull on the CRCW PRAM simulator.
 
 pub mod probe;
+pub mod sharded;
 pub mod supervised;
 pub mod unsorted3d;

@@ -1,6 +1,6 @@
 //! Supervised (Las Vegas) entry point for the 3-D hull (paper §4.3).
 //!
-//! The wrapper runs [`upper_hull3_unsorted`] under [`ipch_pram::supervise`]
+//! The wrapper runs [`upper_hull3_unsorted`] under [`mod@ipch_pram::supervise`]
 //! and demands the full independent certificate before returning: every
 //! facet CCW-from-above and supporting (no point strictly above its
 //! plane), every point covered ([`verify_upper_hull3`]), and every

@@ -148,6 +148,19 @@ pub struct ServiceStats {
     pub degraded_tier1_runs: u64,
     /// Requests served at the sequential-exact degradation tier.
     pub degraded_tier2_runs: u64,
+    /// Coalesced batches dispatched (two or more members fused into one
+    /// machine run). Observability only: every member still resolves
+    /// individually, so batch counters stay outside the resolution sum.
+    pub batches_formed: u64,
+    /// Members across all coalesced batches (mean batch size =
+    /// `batch_members / batches_formed`).
+    pub batch_members: u64,
+    /// Large requests split across shard workers (partial hulls merged via
+    /// the hull-of-hulls path).
+    pub shard_splits: u64,
+    /// Shard merges whose stitched hull failed the whole-hull certificate
+    /// (or the bridge invariant) and fell back to an unsharded run.
+    pub shard_merge_failures: u64,
 }
 
 impl ServiceStats {
@@ -169,6 +182,10 @@ impl ServiceStats {
         self.breaker_recoveries += other.breaker_recoveries;
         self.degraded_tier1_runs += other.degraded_tier1_runs;
         self.degraded_tier2_runs += other.degraded_tier2_runs;
+        self.batches_formed += other.batches_formed;
+        self.batch_members += other.batch_members;
+        self.shard_splits += other.shard_splits;
+        self.shard_merge_failures += other.shard_merge_failures;
     }
 
     /// Requests shed at or after admission (never dispatched).

@@ -6,12 +6,15 @@
 //! end. Usage:
 //!
 //! ```text
-//! hulld [REQUESTS] [WORKERS] [SEED]
+//! hulld [REQUESTS] [WORKERS] [SEED] [--shards S] [--batch-window W] [--batch-max B]
 //! ```
 //!
-//! Defaults: 200 requests, 2 workers, seed 0xD1CE. Exits non-zero if any
-//! request is lost (the resolution invariant fails) — the same guarantee
-//! the chaos suite enforces, here as an executable smoke test.
+//! Defaults: 200 requests, 2 workers, seed 0xD1CE. The sharding and
+//! batching knobs also read the environment (`IPCH_SHARDS`,
+//! `IPCH_BATCH_WINDOW`, `IPCH_BATCH_MAX`); an explicit flag wins over its
+//! env var. Exits non-zero if any request is lost (the resolution
+//! invariant fails) — the same guarantee the chaos suite enforces, here
+//! as an executable smoke test.
 
 use std::time::Duration;
 
@@ -50,16 +53,53 @@ fn points3(rng: &mut u64, n: usize) -> Vec<Point3> {
         .collect()
 }
 
+/// A knob sourced from an env var, overridable by a CLI flag.
+fn env_knob(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
 fn main() {
+    let defaults = ServiceConfig::default();
+    let mut shards = env_knob("IPCH_SHARDS", defaults.shards);
+    let mut batch_window = env_knob("IPCH_BATCH_WINDOW", defaults.batch_window);
+    let mut batch_max = env_knob("IPCH_BATCH_MAX", defaults.batch_max);
+
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let requests: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
-    let workers: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
-    let seed: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0xD1CE);
+    while let Some(a) = args.next() {
+        let flag = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{a} expects a number"))
+        };
+        match a.as_str() {
+            "--shards" => shards = flag(&mut args),
+            "--batch-window" => batch_window = flag(&mut args),
+            "--batch-max" => batch_max = flag(&mut args),
+            _ => positional.push(a),
+        }
+    }
+    let mut positional = positional.into_iter();
+    let requests: usize = positional
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200);
+    let workers: usize = positional.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let seed: u64 = positional
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0xD1CE);
 
     let cfg = ServiceConfig {
         workers,
         queue_capacity: 32,
         per_tenant_inflight: 12,
+        shards,
+        batch_window,
+        batch_max,
         ..ServiceConfig::default()
     };
     println!(
@@ -68,6 +108,11 @@ fn main() {
         cfg.tuning.kernel_backend,
         cfg.tuning.kernel_par_threshold,
         ipch_pram::pool::configured_lanes(),
+    );
+    println!(
+        "hulld: {} queue shard(s), batch window {} / max {} \
+         [IPCH_SHARDS / IPCH_BATCH_WINDOW / IPCH_BATCH_MAX]",
+        cfg.shards, cfg.batch_window, cfg.batch_max,
     );
     let svc = Service::new(cfg);
 

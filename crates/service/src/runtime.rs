@@ -14,6 +14,15 @@
 //! (`submitted == completed + sheds + cancelled + … + panics_isolated`)
 //! is checked by the chaos suite.
 //!
+//! # Sharded queues
+//!
+//! Admission is tenant-sharded: [`ServiceConfig::shards`] per-shard queues,
+//! a tenant hashing (FNV-1a) to one shard so a noisy tenant fills its own
+//! lane. `queue_capacity` bounds each shard's queue; workers and
+//! [`Service::drain`] pop shards round-robin through a shared cursor, so
+//! no lane starves. With the default `shards: 1` the behavior is exactly
+//! the single-queue runtime.
+//!
 //! # Execution
 //!
 //! Workers pop jobs and run them *outside* the lock. Each job gets its own
@@ -22,6 +31,38 @@
 //! cooperatively at the next step boundary once the deadline passes or the
 //! client cancels. The run is wrapped in `catch_unwind`: a panic is
 //! isolated to its request and surfaced as a typed [`RunError::Panic`].
+//!
+//! # Batch admission
+//!
+//! With [`ServiceConfig::batch_window`] enabled, a worker popping a small
+//! 2-D request scans up to `batch_window` queue entries behind it and
+//! coalesces same-algorithm, chaos-free requests of at most
+//! [`ServiceConfig::batch_point_cap`] points (up to
+//! [`ServiceConfig::batch_max`] members) into **one fused machine run**:
+//! concatenated SoA input plus an offset table
+//! ([`ipch_geom::batch::ConcatPoints2`]), a constant number of fused
+//! steps for the whole batch
+//! ([`ipch_hull2d::parallel::batch::upper_hulls_batch`]), and a
+//! per-member certificate. Every member still resolves individually —
+//! its own cancellation/deadline check, its own typed errors, its own
+//! ledger line — so one member aborting or failing never poisons its
+//! siblings: a member whose certificate (or the whole batch machine)
+//! fails is demoted to an ordinary solo run at its planned tier. Only
+//! requests planned at [`Tier::Full`] (and not half-open probes) fuse;
+//! a degraded breaker naturally disables batching for its algorithm.
+//! Because a certified upper hull is unique, fused results are
+//! bit-identical to what the same requests produce unbatched.
+//!
+//! # Shard-split of large requests
+//!
+//! A request of at least [`ServiceConfig::split_threshold`] points (at a
+//! supervised tier) is partitioned across [`ServiceConfig::shards`] shard
+//! workers, each computing a certified partial hull on its own child
+//! machine with the data-parallel kernel backend; the partials merge via
+//! the paper's hull-of-hulls path and the stitched result must pass the
+//! whole-input certificate ([`ipch_hull2d::parallel::sharded`],
+//! [`ipch_hull3d::parallel::sharded`]). Merge failures demote to an
+//! unsharded run and count in `ServiceStats::shard_merge_failures`.
 //!
 //! # Degradation
 //!
@@ -42,21 +83,26 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use ipch_geom::batch::ConcatPoints2;
 use ipch_geom::validate::{validate_points2, validate_points3};
+use ipch_hull2d::parallel::batch::upper_hulls_batch;
+use ipch_hull2d::parallel::sharded::upper_hull_sharded_supervised;
 use ipch_hull2d::parallel::supervised::{
     upper_hull_dac_supervised, upper_hull_unsorted_supervised,
 };
 use ipch_hull2d::parallel::unsorted::UnsortedParams;
 use ipch_hull2d::seq::{monotone, SeqStats};
 use ipch_hull2d::verify_upper_hull;
+use ipch_hull3d::parallel::sharded::upper_hull3_sharded_supervised;
 use ipch_hull3d::parallel::supervised::upper_hull3_unsorted_supervised;
 use ipch_hull3d::parallel::unsorted3d::Unsorted3Params;
 use ipch_hull3d::seq::giftwrap::upper_hull3_giftwrap;
 use ipch_hull3d::seq::Seq3Stats;
 use ipch_hull3d::verify_upper_hull3;
+use ipch_pram::batch::batch_machine;
 use ipch_pram::{
     silence_cancel_unwinds, CancelCause, CancelToken, CancelUnwind, Machine, Metrics, Outcome,
-    RunError, ServiceStats, SuperviseConfig, Tuning,
+    RunError, ServiceStats, Shm, SuperviseConfig, Tuning,
 };
 
 use crate::breaker::{Breaker, BreakerConfig, Plan, Signal, Tier};
@@ -89,6 +135,25 @@ pub struct ServiceConfig {
     /// `IPCH_KERNEL_BACKEND` / `IPCH_KERNEL_PAR_THRESHOLD` env overrides,
     /// and the pool itself honors `IPCH_THREADS`.
     pub tuning: Tuning,
+    /// Shard count: per-shard queues with tenant→shard affinity hashing,
+    /// and the worker fan-out of split large requests.
+    /// `queue_capacity` is **per shard**. The default `1` reproduces the
+    /// single-queue runtime exactly.
+    pub shards: usize,
+    /// Batch-coalescing lookahead: how many queue entries behind a popped
+    /// small 2-D request are scanned for fusable siblings. `0` (the
+    /// default) disables batching entirely.
+    pub batch_window: usize,
+    /// Maximum members in one fused batch (including the popped request).
+    pub batch_max: usize,
+    /// Only requests of at most this many points are batch-eligible
+    /// (batching exists to amortize per-step cost over *small* requests;
+    /// big ones do enough work per step already).
+    pub batch_point_cap: usize,
+    /// Requests of at least this many points are shard-split across
+    /// `shards` workers at supervised tiers. `None` (the default)
+    /// disables splitting.
+    pub split_threshold: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -103,8 +168,25 @@ impl Default for ServiceConfig {
             retry_after_base: Duration::from_millis(10),
             retry_after_cap: Duration::from_secs(1),
             tuning: Tuning::default(),
+            shards: 1,
+            batch_window: 0,
+            batch_max: 8,
+            batch_point_cap: 96,
+            split_threshold: None,
         }
     }
+}
+
+/// Tenant→shard affinity: FNV-1a over the tenant name, modulo the shard
+/// count. Stable across restarts, so a tenant's traffic always lands on
+/// the same lane.
+fn shard_of(tenant: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in tenant.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    (h % shards.max(1) as u64) as usize
 }
 
 /// An admitted request waiting in (or popped from) the queue.
@@ -116,7 +198,11 @@ struct Job {
 
 /// Everything the lock protects.
 struct Inner {
-    queue: VecDeque<Job>,
+    /// One bounded queue per shard; a tenant's requests always land on
+    /// `shard_of(tenant)`.
+    queues: Vec<VecDeque<Job>>,
+    /// Round-robin pop cursor shared by all workers (no lane starves).
+    next_shard: usize,
     /// Queued + running requests per tenant.
     tenant_load: HashMap<String, usize>,
     /// Consecutive rejections per tenant (drives the backoff hint).
@@ -187,8 +273,10 @@ pub struct BreakerView {
 /// `/health`-style snapshot of the runtime.
 #[derive(Clone, Debug)]
 pub struct Health {
-    /// Requests waiting in the queue.
+    /// Requests waiting across all shard queues.
     pub queue_depth: usize,
+    /// Per-shard queue depths (`queue_depth` is their sum).
+    pub shard_depths: Vec<usize>,
     /// Requests currently executing.
     pub in_flight: usize,
     /// The service no longer admits requests.
@@ -241,6 +329,22 @@ impl Health {
             st.degraded_tier1_runs,
             st.degraded_tier2_runs,
         );
+        let mean_batch = if st.batches_formed > 0 {
+            st.batch_members as f64 / st.batches_formed as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            s,
+            "shards={} shard_depths={:?} batches_formed={} batch_members={} \
+             mean_batch_size={mean_batch:.2} shard_splits={} shard_merge_failures={}",
+            self.shard_depths.len(),
+            self.shard_depths,
+            st.batches_formed,
+            st.batch_members,
+            st.shard_splits,
+            st.shard_merge_failures,
+        );
         s
     }
 }
@@ -267,9 +371,11 @@ impl Service {
         // Cancellation unwinds are routine control flow here; keep the
         // default panic hook from spamming stderr for each one.
         silence_cancel_unwinds();
+        let nshards = cfg.shards.max(1);
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
-                queue: VecDeque::new(),
+                queues: (0..nshards).map(|_| VecDeque::new()).collect(),
+                next_shard: 0,
                 tenant_load: HashMap::new(),
                 reject_streak: HashMap::new(),
                 breakers: HashMap::new(),
@@ -302,12 +408,15 @@ impl Service {
             return Err(ServiceError::ShuttingDown);
         }
         inner.metrics.service.submitted += 1;
-        if inner.queue.len() >= cfg.queue_capacity {
+        // Capacity is per shard: a tenant is shed when *its* lane is full,
+        // not when some other tenant's lane is.
+        let shard = shard_of(&req.tenant, inner.queues.len());
+        if inner.queues[shard].len() >= cfg.queue_capacity {
             inner.metrics.service.rejected_queue_full += 1;
             let retry_after = bump_backoff(cfg, inner, &req.tenant);
             return Err(ServiceError::Rejected {
                 reason: RejectReason::QueueFull {
-                    depth: inner.queue.len(),
+                    depth: inner.queues[shard].len(),
                 },
                 retry_after,
             });
@@ -329,7 +438,7 @@ impl Service {
             None => CancelToken::new(),
         };
         let (tx, rx) = mpsc::channel();
-        inner.queue.push_back(Job {
+        inner.queues[shard].push_back(Job {
             req,
             token: token.clone(),
             tx,
@@ -339,14 +448,14 @@ impl Service {
         Ok(Ticket { rx, token })
     }
 
-    /// Process queued jobs on the calling thread until the queue is empty.
-    /// This is how a `workers: 0` service runs at all, and it's safe
-    /// alongside live workers (each job is popped exactly once).
+    /// Process queued jobs on the calling thread until every shard queue
+    /// is empty. This is how a `workers: 0` service runs at all, and it's
+    /// safe alongside live workers (each job is popped exactly once).
     pub fn drain(&self) {
         loop {
-            let job = lock(&self.shared).queue.pop_front();
-            match job {
-                Some(j) => handle(&self.shared, j),
+            let work = pop_work(&self.shared.cfg, &mut lock(&self.shared));
+            match work {
+                Some(jobs) => handle_many(&self.shared, jobs),
                 None => return,
             }
         }
@@ -367,7 +476,8 @@ impl Service {
             .collect();
         breakers.sort_by_key(|b| b.algorithm);
         Health {
-            queue_depth: inner.queue.len(),
+            queue_depth: inner.queues.iter().map(|q| q.len()).sum(),
+            shard_depths: inner.queues.iter().map(|q| q.len()).collect(),
             in_flight: inner.in_flight,
             shutting_down: inner.shutdown,
             breakers,
@@ -423,11 +533,11 @@ fn bump_backoff(cfg: &ServiceConfig, inner: &mut Inner, tenant: &str) -> Duratio
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let jobs = {
             let mut inner = lock(shared);
             loop {
-                if let Some(j) = inner.queue.pop_front() {
-                    break j;
+                if let Some(jobs) = pop_work(&shared.cfg, &mut inner) {
+                    break jobs;
                 }
                 if inner.shutdown {
                     return;
@@ -435,7 +545,60 @@ fn worker_loop(shared: &Shared) {
                 inner = shared.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
             }
         };
-        handle(shared, job);
+        handle_many(shared, jobs);
+    }
+}
+
+/// True when a request may join a fused batch: a 2-D workload small enough
+/// that per-step overhead dominates, with no chaos plan (fault injection
+/// is per-request state the shared batch machine cannot isolate).
+fn batch_eligible(cfg: &ServiceConfig, req: &Request) -> bool {
+    req.chaos.is_none()
+        && matches!(
+            &req.workload,
+            Workload::Hull2d { points, .. } if points.len() <= cfg.batch_point_cap
+        )
+}
+
+/// Pop the next unit of work: the front job of the next non-empty shard
+/// (round-robin from the shared cursor), plus — when batching is on and
+/// the job is eligible — up to `batch_max − 1` fusable same-algorithm
+/// siblings from the first `batch_window` entries behind it. Ineligible
+/// entries keep their queue positions.
+fn pop_work(cfg: &ServiceConfig, inner: &mut Inner) -> Option<Vec<Job>> {
+    let ns = inner.queues.len();
+    let shard = (0..ns)
+        .map(|i| (inner.next_shard + i) % ns)
+        .find(|&s| !inner.queues[s].is_empty())?;
+    inner.next_shard = (shard + 1) % ns;
+    let q = &mut inner.queues[shard];
+    let first = q.pop_front().expect("shard found non-empty");
+    if cfg.batch_window == 0 || cfg.batch_max <= 1 || !batch_eligible(cfg, &first.req) {
+        return Some(vec![first]);
+    }
+    let key = first.req.workload.algorithm();
+    let mut batch = vec![first];
+    let mut idx = 0;
+    let mut scanned = 0;
+    while idx < q.len() && scanned < cfg.batch_window && batch.len() < cfg.batch_max {
+        scanned += 1;
+        let r = &q[idx].req;
+        if r.workload.algorithm() == key && batch_eligible(cfg, r) {
+            batch.push(q.remove(idx).expect("index in bounds"));
+        } else {
+            idx += 1;
+        }
+    }
+    Some(batch)
+}
+
+/// Dispatch one popped unit of work: a lone job goes down the classic
+/// path, a coalesced batch through the fused path.
+fn handle_many(shared: &Shared, mut jobs: Vec<Job>) {
+    if jobs.len() == 1 {
+        handle(shared, jobs.pop().expect("one job"));
+    } else {
+        handle_batch(shared, jobs);
     }
 }
 
@@ -513,13 +676,33 @@ fn handle_with(
     let inner = &mut *guard;
     inner.in_flight -= 1;
     finish_tenant(inner, &req.tenant);
-    let (signal, result) = match caught {
+    let (signal, result) = resolve_run(inner, alg, plan.tier, caught);
+    let svc = &mut inner.metrics.service;
+    if let Some(br) = inner.breakers.get_mut(alg) {
+        br.report(plan, signal, svc);
+    }
+    drop(guard);
+    let _ = tx.send(result);
+}
+
+/// Resolve one executed request under the lock: absorb its machine's
+/// metrics, bump the matching ledger counter exactly once, and map the
+/// outcome to the breaker signal. Shared by the solo path
+/// ([`handle_with`]) and every batch member that ran (or was demoted to)
+/// its own machine.
+fn resolve_run(
+    inner: &mut Inner,
+    alg: &'static str,
+    tier: Tier,
+    caught: std::thread::Result<RunReturn>,
+) -> (Signal, Result<Response, ServiceError>) {
+    match caught {
         Ok((metrics, outcome)) => {
             inner.metrics.absorb(&metrics);
             match outcome {
                 Ok(resp) => {
                     inner.metrics.service.completed += 1;
-                    match plan.tier {
+                    match tier {
                         Tier::Full => {}
                         Tier::ReducedRetry => inner.metrics.service.degraded_tier1_runs += 1,
                         Tier::Sequential => inner.metrics.service.degraded_tier2_runs += 1,
@@ -584,13 +767,227 @@ fn handle_with(
                 )
             }
         }
-    };
-    let svc = &mut inner.metrics.service;
-    if let Some(br) = inner.breakers.get_mut(alg) {
-        br.report(plan, signal, svc);
     }
-    drop(guard);
-    let _ = tx.send(result);
+}
+
+/// The fused batch path: one coalesced group of small same-algorithm 2-D
+/// requests through one shared machine run, every member still resolved
+/// individually.
+///
+/// Three phases. **A** (lock): count the batch, resolve members whose
+/// token already fired (identical to the solo queued-death path), charge
+/// in-flight and plan each survivor's tier. **B** (no lock): members
+/// planned at `Full` (and not probes) run fused —
+/// [`upper_hulls_batch`] on a [`batch_machine`] seeded from the member
+/// seeds; everyone else, plus any member whose fused certificate failed
+/// (or all members, if the shared machine panicked), runs an ordinary
+/// panic-isolated solo machine at its planned tier. **C** (lock): resolve
+/// every member exactly once — fused completions absorb the batch metrics
+/// a single time and report `Clean`; terminal fused errors
+/// (cancel/deadline/invalid) resolve typed and `Neutral`; solo members go
+/// through the same [`resolve_run`] as the classic path. The resolution
+/// invariant (`submitted == total_resolved`) holds member-by-member.
+fn handle_batch(shared: &Shared, jobs: Vec<Job>) {
+    type Send = (
+        mpsc::Sender<Result<Response, ServiceError>>,
+        Result<Response, ServiceError>,
+    );
+
+    // Phase A: admission bookkeeping under one lock round.
+    let mut live: Vec<(Job, Plan)> = Vec::with_capacity(jobs.len());
+    let mut early: Vec<Send> = Vec::new();
+    {
+        let mut guard = lock(shared);
+        let inner = &mut *guard;
+        for job in jobs {
+            let alg = job.req.workload.algorithm();
+            if let Err(cause) = job.token.check() {
+                finish_tenant(inner, &job.req.tenant);
+                let err = match cause {
+                    CancelCause::DeadlineExceeded => {
+                        inner.metrics.service.shed_expired += 1;
+                        ServiceError::Rejected {
+                            reason: RejectReason::Expired,
+                            retry_after: shared.cfg.retry_after_base,
+                        }
+                    }
+                    CancelCause::Cancelled => {
+                        inner.metrics.service.cancelled += 1;
+                        ServiceError::Run(RunError::Cancelled { algorithm: alg })
+                    }
+                };
+                early.push((job.tx, Err(err)));
+                continue;
+            }
+            inner.in_flight += 1;
+            let br = inner
+                .breakers
+                .entry(alg)
+                .or_insert_with(|| Breaker::new(shared.cfg.breaker));
+            let plan = br.plan(&mut inner.metrics.service);
+            live.push((job, plan));
+        }
+    }
+    for (tx, r) in early {
+        let _ = tx.send(r);
+    }
+
+    // Only healthy Full-tier members fuse; probes and degraded tiers keep
+    // their own machines so the breaker's feedback stays honest. A
+    // "batch" of one is just a solo run.
+    type PlannedJobs = Vec<(Job, Plan)>;
+    let (mut fused, mut solo): (PlannedJobs, PlannedJobs) = live
+        .into_iter()
+        .partition(|(_, plan)| plan.tier == Tier::Full && !plan.probe);
+    if fused.len() == 1 {
+        solo.append(&mut fused);
+    }
+    let fused_count = fused.len();
+
+    // Phase B: the fused run, outside the lock.
+    let mut fused_done: Vec<(Job, Plan, Response)> = Vec::new();
+    let mut fused_dead: Vec<(Job, Plan, RunError)> = Vec::new();
+    let mut batch_metrics: Option<Metrics> = None;
+    if !fused.is_empty() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let slices: Vec<&[ipch_geom::Point2]> = fused
+                .iter()
+                .map(|(j, _)| match &j.req.workload {
+                    Workload::Hull2d { points, .. } => points.as_slice(),
+                    Workload::Hull3d { .. } => {
+                        unreachable!("batch_eligible admits only 2-D workloads")
+                    }
+                })
+                .collect();
+            let cat = ConcatPoints2::from_members(&slices);
+            let mut bm = batch_machine(fused.iter().map(|(j, _)| j.req.seed), shared.cfg.tuning);
+            let mut shm = Shm::new();
+            let results = upper_hulls_batch(&mut bm, &mut shm, &cat);
+            (bm.metrics, results)
+        }));
+        match caught {
+            Ok((metrics, results)) => {
+                let steps = metrics.steps;
+                batch_metrics = Some(metrics);
+                for ((job, plan), result) in fused.drain(..).zip(results) {
+                    // Per-member deadline/cancel, checked at the batch
+                    // boundary: the shared machine carries no token, so one
+                    // member's abort cannot poison its siblings.
+                    if let Err(cause) = job.token.check() {
+                        let alg = job.req.workload.algorithm();
+                        fused_dead.push((job, plan, RunError::from_cancel(alg, cause)));
+                        continue;
+                    }
+                    match result {
+                        Ok(hull) => fused_done.push((
+                            job,
+                            plan,
+                            Response {
+                                value: ResponseValue::Hull2d(hull),
+                                tier: Tier::Full,
+                                outcome: Some(Outcome::FirstTry),
+                                attempts: 1,
+                                sim_steps: steps,
+                            },
+                        )),
+                        Err(e @ RunError::InvalidInput { .. }) => {
+                            fused_dead.push((job, plan, e));
+                        }
+                        // The certificate refused this member's fused
+                        // chain: demote it to a solo supervised run;
+                        // siblings keep their fused results.
+                        Err(_) => solo.push((job, plan)),
+                    }
+                }
+            }
+            Err(_) => {
+                // The shared machine blew up. No member is charged a
+                // panic for a sibling's poison: everyone re-runs alone
+                // (a solo panic is then isolated to its own request).
+                solo.append(&mut fused);
+            }
+        }
+    }
+
+    // Solo members (degraded/probe plans, demotions, or the whole batch
+    // after a shared-machine panic) each run their own machine.
+    let solo_runs: Vec<(Job, Plan, std::thread::Result<RunReturn>)> = solo
+        .into_iter()
+        .map(|(job, plan)| {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_request(&shared.cfg, &job.req, plan.tier, job.token.clone())
+            }));
+            (job, plan, caught)
+        })
+        .collect();
+
+    // Phase C: resolve every member exactly once under one lock round.
+    let mut sends: Vec<Send> = Vec::new();
+    {
+        let mut guard = lock(shared);
+        let inner = &mut *guard;
+        if fused_count >= 2 {
+            inner.metrics.service.batches_formed += 1;
+            inner.metrics.service.batch_members += fused_count as u64;
+        }
+        // The shared machine's metrics count once — not once per member.
+        if let Some(bm) = batch_metrics.take() {
+            inner.metrics.absorb(&bm);
+        }
+        for (job, plan, resp) in fused_done {
+            inner.in_flight -= 1;
+            finish_tenant(inner, &job.req.tenant);
+            inner.metrics.service.completed += 1;
+            let alg = job.req.workload.algorithm();
+            let svc = &mut inner.metrics.service;
+            if let Some(br) = inner.breakers.get_mut(alg) {
+                br.report(plan, Signal::Clean, svc);
+            }
+            sends.push((job.tx, Ok(resp)));
+        }
+        for (job, plan, err) in fused_dead {
+            inner.in_flight -= 1;
+            finish_tenant(inner, &job.req.tenant);
+            let signal = match &err {
+                RunError::Cancelled { .. } => {
+                    inner.metrics.service.cancelled += 1;
+                    Signal::Neutral
+                }
+                RunError::DeadlineExceeded { .. } => {
+                    inner.metrics.service.deadline_exceeded += 1;
+                    Signal::Neutral
+                }
+                RunError::InvalidInput { .. } => {
+                    inner.metrics.service.invalid_inputs += 1;
+                    Signal::Neutral
+                }
+                _ => {
+                    inner.metrics.service.run_errors += 1;
+                    Signal::Strained
+                }
+            };
+            let alg = job.req.workload.algorithm();
+            let svc = &mut inner.metrics.service;
+            if let Some(br) = inner.breakers.get_mut(alg) {
+                br.report(plan, signal, svc);
+            }
+            sends.push((job.tx, Err(ServiceError::Run(err))));
+        }
+        for (job, plan, caught) in solo_runs {
+            inner.in_flight -= 1;
+            finish_tenant(inner, &job.req.tenant);
+            let alg = job.req.workload.algorithm();
+            let (signal, result) = resolve_run(inner, alg, plan.tier, caught);
+            let svc = &mut inner.metrics.service;
+            if let Some(br) = inner.breakers.get_mut(alg) {
+                br.report(plan, signal, svc);
+            }
+            sends.push((job.tx, result));
+        }
+    }
+    for (tx, r) in sends {
+        let _ = tx.send(r);
+    }
 }
 
 /// Execute one admitted request at `tier` on its own machine.
@@ -611,10 +1008,45 @@ fn run_request(cfg: &ServiceConfig, req: &Request, tier: Tier, token: CancelToke
                     cfg.max_attempts
                 },
             };
-            run_supervised(&mut m, req, tier, &scfg)
+            match cfg.split_threshold {
+                Some(thr) if req.workload.len() >= thr => {
+                    run_sharded(&mut m, req, tier, &scfg, cfg.shards)
+                }
+                _ => run_supervised(&mut m, req, tier, &scfg),
+            }
         }
     };
     (m.metrics.clone(), result)
+}
+
+/// The shard-split path for large requests: certified partial hulls on
+/// `shards` child machines, merged and re-certified against the whole
+/// input. The 2-D split serves both `Hull2dAlgo` variants (the certified
+/// hull is the same unique chain either way).
+fn run_sharded(
+    m: &mut Machine,
+    req: &Request,
+    tier: Tier,
+    scfg: &SuperviseConfig,
+    shards: usize,
+) -> Result<Response, RunError> {
+    let (value, outcome, attempts) = match &req.workload {
+        Workload::Hull2d { points, .. } => {
+            let s = upper_hull_sharded_supervised(m, points, shards, scfg)?;
+            (ResponseValue::Hull2d(s.value), s.outcome, s.attempts)
+        }
+        Workload::Hull3d { points } => {
+            let s = upper_hull3_sharded_supervised(m, points, shards, scfg)?;
+            (ResponseValue::Hull3d(s.value), s.outcome, s.attempts)
+        }
+    };
+    Ok(Response {
+        value,
+        tier,
+        outcome: Some(outcome),
+        attempts,
+        sim_steps: m.metrics.steps,
+    })
 }
 
 fn run_supervised(
@@ -1048,7 +1480,7 @@ mod tests {
         let t = svc.submit(req2("acme", 1, 16)).unwrap();
         // Drive the resolution path with a runner that panics, standing in
         // for any non-cancellation unwind escaping a request.
-        let job = lock(&svc.shared).queue.pop_front().unwrap();
+        let job = lock(&svc.shared).queues[0].pop_front().unwrap();
         handle_with(&svc.shared, job, |_, _, _, _| panic!("request blew up"));
         match t.wait() {
             Err(ServiceError::Run(RunError::Panic { detail, .. })) => {
@@ -1072,7 +1504,7 @@ mod tests {
     fn escaped_cancel_unwind_is_typed_not_a_panic() {
         let svc = manual(ServiceConfig::default());
         let t = svc.submit(req2("acme", 1, 16)).unwrap();
-        let job = lock(&svc.shared).queue.pop_front().unwrap();
+        let job = lock(&svc.shared).queues[0].pop_front().unwrap();
         handle_with(&svc.shared, job, |_, _, _, _| {
             std::panic::panic_any(CancelUnwind {
                 cause: CancelCause::DeadlineExceeded,
@@ -1115,6 +1547,165 @@ mod tests {
         assert!(t.wait().is_ok(), "queued work ran during shutdown");
         assert_eq!(m.service.completed, 1);
         assert_resolved(&m.service);
+    }
+
+    #[test]
+    fn batched_traffic_completes_and_counts_batches() {
+        let svc = manual(ServiceConfig {
+            batch_window: 16,
+            batch_max: 8,
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| svc.submit(req2("acme", 100 + i, 32)).unwrap())
+            .collect();
+        svc.drain();
+        for t in tickets {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.tier, Tier::Full);
+            assert_eq!(resp.outcome, Some(Outcome::FirstTry));
+            match resp.value {
+                ResponseValue::Hull2d(h) => assert_eq!(h.vertices.len(), 32),
+                _ => panic!("wrong value kind"),
+            }
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.completed, 8);
+        assert_eq!(st.batches_formed, 1, "one fused dispatch");
+        assert_eq!(st.batch_members, 8);
+        assert_resolved(&st);
+    }
+
+    #[test]
+    fn batched_results_are_bit_identical_to_unbatched() {
+        let run = |batch_window: usize| -> Vec<ResponseValue> {
+            let svc = manual(ServiceConfig {
+                batch_window,
+                batch_max: 8,
+                ..ServiceConfig::default()
+            });
+            let tickets: Vec<Ticket> = (0..6)
+                .map(|i| svc.submit(req2("acme", 50 + i, 24 + i as usize)).unwrap())
+                .collect();
+            svc.drain();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap().value)
+                .collect()
+        };
+        assert_eq!(run(0), run(16), "fused and solo runs return one hull");
+    }
+
+    #[test]
+    fn mixed_batch_keeps_ineligible_members_solo() {
+        // A chaos-carrying request and a 3-D request interleave with small
+        // 2-D ones: the former must not fuse, and everyone resolves.
+        let svc = manual(ServiceConfig {
+            batch_window: 16,
+            batch_max: 8,
+            ..ServiceConfig::default()
+        });
+        let mut tickets = Vec::new();
+        for i in 0..3u64 {
+            tickets.push(svc.submit(req2("acme", i, 24)).unwrap());
+        }
+        let mut chaotic = req2("acme", 9, 24);
+        chaotic.chaos = Some(FaultPlan::default());
+        tickets.push(svc.submit(chaotic).unwrap());
+        for i in 4..6u64 {
+            tickets.push(svc.submit(req2("acme", i, 24)).unwrap());
+        }
+        svc.drain();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.completed, 6);
+        assert_eq!(st.batches_formed, 1);
+        assert_eq!(st.batch_members, 5, "chaos request stayed solo");
+        assert_resolved(&st);
+    }
+
+    #[test]
+    fn shard_split_serves_large_requests_with_counters() {
+        let svc = manual(ServiceConfig {
+            shards: 3,
+            split_threshold: Some(100),
+            ..ServiceConfig::default()
+        });
+        let t = svc.submit(req2("acme", 3, 600)).unwrap();
+        svc.drain();
+        let resp = t.wait().unwrap();
+        assert_eq!(resp.outcome, Some(Outcome::FirstTry));
+        match resp.value {
+            ResponseValue::Hull2d(h) => assert_eq!(h.vertices.len(), 600),
+            _ => panic!("wrong value kind"),
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.shard_splits, 1, "machine-side counter was absorbed");
+        assert_eq!(st.shard_merge_failures, 0);
+        assert_resolved(&st);
+
+        // below the threshold: no split
+        let t = svc.submit(req2("acme", 4, 64)).unwrap();
+        svc.drain();
+        assert!(t.wait().is_ok());
+        assert_eq!(svc.health().stats.shard_splits, 1);
+    }
+
+    #[test]
+    fn tenant_affinity_pins_each_tenant_to_one_shard() {
+        let svc = manual(ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        });
+        let mut tickets = Vec::new();
+        for i in 0..6u64 {
+            tickets.push(svc.submit(req2("pinned", i, 16)).unwrap());
+        }
+        let h = svc.health();
+        assert_eq!(h.shard_depths.len(), 4);
+        assert_eq!(h.queue_depth, 6);
+        assert_eq!(
+            h.shard_depths.iter().filter(|&&d| d > 0).count(),
+            1,
+            "one tenant lands on exactly one lane: {:?}",
+            h.shard_depths
+        );
+        assert!(h.render().contains("shards=4"));
+        svc.drain();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert_resolved(&svc.health().stats);
+    }
+
+    #[test]
+    fn cancelled_batch_member_resolves_typed_while_siblings_complete() {
+        let svc = manual(ServiceConfig {
+            batch_window: 16,
+            batch_max: 8,
+            ..ServiceConfig::default()
+        });
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| svc.submit(req2("acme", i, 24)).unwrap())
+            .collect();
+        tickets[2].cancel();
+        svc.drain();
+        for (i, t) in tickets.into_iter().enumerate() {
+            match t.wait() {
+                Ok(resp) => {
+                    assert_ne!(i, 2);
+                    assert_eq!(resp.outcome, Some(Outcome::FirstTry));
+                }
+                Err(ServiceError::Run(RunError::Cancelled { .. })) => assert_eq!(i, 2),
+                other => panic!("member {i}: unexpected {other:?}"),
+            }
+        }
+        let st = svc.health().stats;
+        assert_eq!(st.completed, 3);
+        assert_eq!(st.cancelled, 1);
+        assert_resolved(&st);
     }
 
     #[test]

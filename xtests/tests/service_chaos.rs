@@ -120,9 +120,16 @@ struct Flight {
 #[test]
 fn soak_500_requests_under_faults_overload_and_cancellation() {
     const REQUESTS: usize = 520;
+    // Two queue shards (capacity is per shard, so the same 24 slots in
+    // total) with batch admission on: the soak mixes fused batch members,
+    // solo runs, chaos, deadlines, and malformed inputs through the same
+    // ledger.
     let svc = Service::new(ServiceConfig {
         workers: 2,
-        queue_capacity: 24,
+        shards: 2,
+        queue_capacity: 12,
+        batch_window: 8,
+        batch_max: 6,
         per_tenant_inflight: 10,
         ..ServiceConfig::default()
     });
@@ -265,6 +272,11 @@ fn soak_500_requests_under_faults_overload_and_cancellation() {
     assert!(stats.total_shed() > 0, "no load shedding observed");
     assert!(stats.cancelled > 0, "no cancellation observed");
     assert!(stats.invalid_inputs > 0, "no input rejection observed");
+    assert!(
+        stats.batches_formed > 0,
+        "bursty small-request traffic never fused a batch: {stats:?}"
+    );
+    assert!(stats.batch_members >= 2 * stats.batches_formed);
     // Every panic stayed inside its request (and none crossed `wait`,
     // or this test itself would have died).
     let m = svc.shutdown();
@@ -361,13 +373,16 @@ fn breaker_trips_half_opens_and_recovers_deterministically() {
 
 /// Overload against a tiny queue: exactly the overflow is shed, each shed
 /// is typed with a growing backoff hint, and every admitted request still
-/// completes.
+/// completes. Capacity is per queue shard and a tenant hashes to exactly
+/// one shard, so a single-tenant burst sees the per-shard limit even with
+/// several shards configured — the depth assertion below is shard-aware.
 #[test]
 fn overload_sheds_exactly_the_overflow_and_serves_the_rest() {
     const CAPACITY: usize = 8;
     const BURST: usize = 20;
     let svc = Service::new(ServiceConfig {
         workers: 0,
+        shards: 3,
         queue_capacity: CAPACITY,
         per_tenant_inflight: BURST,
         ..ServiceConfig::default()
@@ -398,6 +413,14 @@ fn overload_sheds_exactly_the_overflow_and_serves_the_rest() {
     }
     assert_eq!(tickets.len(), CAPACITY);
     assert_eq!(hints.len(), BURST - CAPACITY);
+    let depths = svc.health().shard_depths;
+    assert_eq!(depths.len(), 3);
+    assert_eq!(
+        depths.iter().filter(|&&d| d == CAPACITY).count(),
+        1,
+        "the tenant's shard is full and the others untouched: {depths:?}"
+    );
+    assert_eq!(depths.iter().sum::<usize>(), CAPACITY);
     assert!(
         hints.windows(2).all(|w| w[1] >= w[0]),
         "backoff hints never shrink within a rejection streak: {hints:?}"
