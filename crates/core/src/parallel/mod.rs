@@ -12,3 +12,4 @@ pub mod sharded;
 pub mod supervised;
 pub mod trace;
 pub mod unsorted;
+pub mod verify_plans;

@@ -1,0 +1,53 @@
+//! Registry of this crate's symbolic step plans for the static checker.
+//!
+//! One [`AlgorithmPlan`] per paper entry point, authored next to each
+//! `*_CONTRACT` (see the `verify_plan()` functions in the sibling
+//! modules). The registry is what the verify suite sweeps and what the
+//! serving runtime's admission precheck draws from.
+
+use ipch_pram::verify::AlgorithmPlan;
+
+/// All hull2d entry-point plans, in the crate's canonical order.
+pub fn verify_plans() -> Vec<AlgorithmPlan> {
+    vec![
+        super::brute::verify_plan(),
+        super::folklore::verify_plan(),
+        super::presorted::verify_plan(),
+        super::logstar::verify_plan(),
+        super::unsorted::verify_plan(),
+        super::dac::verify_plan(),
+        super::batch::verify_plan(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use ipch_pram::verify::{verify_all, Verdict, VerifyConfig};
+
+    #[test]
+    fn all_hull2d_plans_verify() {
+        for n in [0usize, 1, 2, 64, 4096] {
+            let reports = verify_all(&super::verify_plans(), n, &VerifyConfig::default()).unwrap();
+            assert_eq!(reports.len(), 7);
+            for r in &reports {
+                assert_eq!(
+                    r.verdict,
+                    Verdict::VerifiedStatic,
+                    "{} at n={n}",
+                    r.algorithm
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dac_plan_proves_erew() {
+        let r = ipch_pram::verify::verify(
+            &super::super::dac::verify_plan(),
+            1024,
+            &VerifyConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.derived, ipch_pram::ModelClass::Erew);
+    }
+}

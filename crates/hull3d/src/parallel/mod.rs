@@ -4,3 +4,30 @@ pub mod probe;
 pub mod sharded;
 pub mod supervised;
 pub mod unsorted3d;
+
+/// All hull3d entry-point plans for the static checker
+/// ([`ipch_pram::verify`]), in the crate's canonical order.
+pub fn verify_plans() -> Vec<ipch_pram::verify::AlgorithmPlan> {
+    vec![unsorted3d::verify_plan(), probe::verify_plan()]
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use ipch_pram::verify::{verify_all, Verdict, VerifyConfig};
+
+    #[test]
+    fn all_hull3d_plans_verify() {
+        for n in [0usize, 1, 2, 64, 4096] {
+            let reports = verify_all(&super::verify_plans(), n, &VerifyConfig::default()).unwrap();
+            assert_eq!(reports.len(), 2);
+            for r in &reports {
+                assert_eq!(
+                    r.verdict,
+                    Verdict::VerifiedStatic,
+                    "{} at n={n}",
+                    r.algorithm
+                );
+            }
+        }
+    }
+}

@@ -123,6 +123,41 @@ pub const UNSORTED3_CONTRACT: ModelContract = ModelContract {
     races: RaceExpectation::Deterministic,
 };
 
+/// Symbolic step structure of [`upper_hull3_unsorted`] for the static
+/// checker ([`ipch_pram::verify`]): the (active point, new facet) facet
+/// assignment election — targets come through a host-side active-id
+/// table, so the write is declared by its bounds and resolved by Priority
+/// — plus the injective kill and failure-mark steps. The facet probe and
+/// the failure-sweep compaction carry their own contracts and plans.
+pub fn verify_plan() -> ipch_pram::verify::AlgorithmPlan {
+    use ipch_pram::verify::{Affine, AlgorithmPlan, IndexSet, StepPlan};
+    use ipch_pram::WritePolicy;
+    let mut p = AlgorithmPlan::new(UNSORTED3_CONTRACT);
+    let alive = p.array("u3.alive", Affine::n());
+    let face = p.array("u3.face", Affine::n());
+    let fail = p.array("u3.fail", Affine::n());
+    // (active, facet) pairs: ≤ n · #new-facets ≤ n² processors
+    p.step(
+        StepPlan::new("facet-assign", Affine::n2(), WritePolicy::PriorityMin).write(
+            face,
+            IndexSet::Within {
+                lo: Affine::k(0),
+                hi: Affine::n().minus(1),
+            },
+        ),
+    );
+    p.step(
+        StepPlan::new("kill-under", Affine::n(), WritePolicy::Arbitrary)
+            .read(alive, IndexSet::Exact(Affine::pid()))
+            .write_uniform(alive, IndexSet::Exact(Affine::pid())),
+    );
+    p.step(
+        StepPlan::new("fail-mark", Affine::n(), WritePolicy::Arbitrary)
+            .write(fail, IndexSet::Exact(Affine::pid())),
+    );
+    p
+}
+
 /// The §4.3 algorithm.
 ///
 /// # Examples

@@ -34,3 +34,37 @@ pub mod lp3d;
 pub mod seidel;
 pub mod seidel3;
 pub mod supervised;
+
+/// All LP entry-point plans for the static checker
+/// ([`ipch_pram::verify`]), in the crate's canonical order.
+pub fn verify_plans() -> Vec<ipch_pram::verify::AlgorithmPlan> {
+    vec![
+        brute::verify_plan(),
+        lp3d::verify_plan(),
+        alon_megiddo::verify_plan(),
+        bridge::bridge_verify_plan(),
+        bridge::facet_verify_plan(),
+        inplace_bridge::verify_plan(),
+    ]
+}
+
+#[cfg(test)]
+mod verify_tests {
+    use ipch_pram::verify::{verify_all, Verdict, VerifyConfig};
+
+    #[test]
+    fn all_lp_plans_verify() {
+        for n in [0usize, 1, 2, 64, 4096] {
+            let reports = verify_all(&super::verify_plans(), n, &VerifyConfig::default()).unwrap();
+            assert_eq!(reports.len(), 6);
+            for r in &reports {
+                assert_eq!(
+                    r.verdict,
+                    Verdict::VerifiedStatic,
+                    "{} at n={n}",
+                    r.algorithm
+                );
+            }
+        }
+    }
+}

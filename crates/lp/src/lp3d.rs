@@ -101,6 +101,51 @@ pub const LP3_BRUTE_CONTRACT: ModelContract = ModelContract {
     races: RaceExpectation::Deterministic,
 };
 
+/// Symbolic step structure of [`solve_lp3_brute`] for the static checker
+/// ([`ipch_pram::verify`]). The C(n,3) candidate triples are
+/// host-enumerated; the plan bounds them by n³ and the (triple,
+/// constraint) marking scatter — nt·n processors at run time — by its
+/// write footprint into the candidate array.
+pub fn verify_plan() -> ipch_pram::verify::AlgorithmPlan {
+    use ipch_pram::verify::{Affine, AlgorithmPlan, IndexSet, StepPlan};
+    let mut p = AlgorithmPlan::new(LP3_BRUTE_CONTRACT);
+    let bad = p.array("lp3.bad", Affine::n3());
+    let best = p.array("lp3.best", Affine::k(1));
+    let win = p.array("lp3.win", Affine::k(1));
+    p.step(
+        StepPlan::new("mark", Affine::n3(), WritePolicy::CombineOr).write_uniform(
+            bad,
+            IndexSet::Within {
+                lo: Affine::k(0),
+                hi: Affine::n3().plus(-1),
+            },
+        ),
+    );
+    p.step(
+        StepPlan::new("best-key", Affine::n3(), WritePolicy::CombineMin)
+            .read(bad, IndexSet::Exact(Affine::pid()))
+            .write(
+                best,
+                IndexSet::Within {
+                    lo: Affine::k(0),
+                    hi: Affine::k(0),
+                },
+            ),
+    );
+    p.step(
+        StepPlan::new("elect", Affine::n3(), WritePolicy::PriorityMin)
+            .read(bad, IndexSet::Exact(Affine::pid()))
+            .write(
+                win,
+                IndexSet::Within {
+                    lo: Affine::k(0),
+                    hi: Affine::k(0),
+                },
+            ),
+    );
+    p
+}
+
 /// Solve `minimize obj` over `constraints` by Observation 2.2 (d = 3).
 ///
 /// Costs O(1) executed steps and Θ(n⁴)-scale work. Like the 2-D solver,

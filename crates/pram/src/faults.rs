@@ -295,8 +295,10 @@ pub(crate) fn adversarial_pick(
 ) -> crate::Word {
     let take_max = event(fault_seed, KIND_ADVERSARY, step_no, key) & 1 == 0;
     if take_max {
+        // xlint: allow(unwrap): commit runs are non-empty by construction
         run_vals.max().expect("non-empty run")
     } else {
+        // xlint: allow(unwrap): commit runs are non-empty by construction
         run_vals.min().expect("non-empty run")
     }
 }

@@ -453,6 +453,8 @@ impl Machine {
                     unsafe { std::slice::from_raw_parts_mut(base.get().add(clo), chi - clo) };
                 let trace = trace_bufs.map(|t| unsafe { &*t[c].0.get() });
                 let t = KCtx::for_chunk(shm_ref, forbidden, trace);
+                // SAFETY: chunk `c` exclusively owns `chunk_bufs[c]`; no
+                // other lane touches it while this chunk runs.
                 match write_bufs.map(|b| unsafe { b[c].get_mut_unchecked() }) {
                     Some(w) => {
                         for (off, slot) in slots.iter_mut().enumerate() {
@@ -578,9 +580,10 @@ impl Machine {
         let mid_abort;
         let mut buf = shm.take_array(out);
         {
-            // Distinct destinations mean distinct cells; the atomic relaxed
-            // store keeps a contract violation a value race, never UB.
-            // (AtomicI64 has the same size and bit validity as i64.)
+            // SAFETY: AtomicI64 has the same size and bit validity as i64,
+            // so the cast view is valid. Distinct destinations mean distinct
+            // cells; the atomic relaxed store keeps a contract violation a
+            // value race, never UB.
             let cells: &[AtomicI64] = unsafe {
                 std::slice::from_raw_parts(buf.as_mut_ptr().cast::<AtomicI64>(), buf.len())
             };

@@ -61,6 +61,7 @@ pub mod rng;
 pub mod schedule;
 pub mod sort;
 pub mod supervise;
+pub mod verify;
 
 pub use analyze::{
     AnalysisReport, AnalyzeConfig, ModelClass, ModelContract, RaceExpectation, Violation,
@@ -77,6 +78,7 @@ pub use supervise::{
     attempt_machine, supervise, Fallback, Outcome, RunError, SuperviseConfig, Supervised,
     SupervisorStats,
 };
+pub use verify::{AlgorithmPlan, StaticReport, StepPlan, Verdict, VerifyConfig, VerifyError};
 
 /// The word type of simulated shared memory.
 ///

@@ -152,7 +152,8 @@ impl<T> ChunkCell<T> {
     /// the returned borrow (the pool's exactly-once chunk dispatch).
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn get_mut_unchecked(&self) -> &mut T {
-        &mut *self.0.get()
+        // SAFETY: uniqueness is forwarded from this function's contract.
+        unsafe { &mut *self.0.get() }
     }
 
     pub(crate) fn into_inner(self) -> T {
@@ -309,14 +310,14 @@ impl<'a, 'b> Ctx<'a, 'b> {
     /// steps that never flip coins skip the stream derivation entirely).
     #[inline]
     pub fn rng(&mut self) -> &mut SplitMix64 {
-        if self.rng.is_none() {
-            let mut r = SplitMix64::for_step_pid(self.seed, self.step_no, self.pid as u64);
-            if let Some(force) = self.bias {
+        let (seed, step_no, pid, bias) = (self.seed, self.step_no, self.pid, self.bias);
+        self.rng.get_or_insert_with(|| {
+            let mut r = SplitMix64::for_step_pid(seed, step_no, pid as u64);
+            if let Some(force) = bias {
                 r.set_bias(force);
             }
-            self.rng = Some(r);
-        }
-        self.rng.as_mut().unwrap()
+            r
+        })
     }
 }
 
@@ -1037,7 +1038,9 @@ impl<'a> ShmWriter<'a> {
         let (base, len) = self.arrays[a as usize];
         debug_assert!((idx as usize) < len, "commit out of bounds");
         let _ = len;
-        *base.add(idx as usize) = v;
+        // SAFETY: bounds and exclusivity forwarded from this function's
+        // contract; `base` points at a live array of `len` cells.
+        unsafe { *base.add(idx as usize) = v };
     }
 }
 
@@ -1077,7 +1080,9 @@ unsafe fn resolve_runs(
         let e = flat[i];
         // singleton run: direct commit, no policy, no tiebreak hash
         if i + 1 == n || flat[i + 1].key != e.key {
-            writer.commit(e.array(), e.idx(), e.val);
+            // SAFETY: exclusivity forwarded from this function's contract;
+            // entries come from the machine's own in-bounds write log.
+            unsafe { writer.commit(e.array(), e.idx(), e.val) };
             committed += 1;
             i += 1;
             continue;
@@ -1095,7 +1100,8 @@ unsafe fn resolve_runs(
             }
             _ => policy.resolve_run(run, cell_tiebreak(seed, step_no, e.key)),
         };
-        writer.commit(e.array(), e.idx(), v);
+        // SAFETY: as above — one committer per run, in-bounds entries.
+        unsafe { writer.commit(e.array(), e.idx(), v) };
         committed += 1;
         conflicts += 1;
     }
@@ -1124,7 +1130,7 @@ fn resolve_runs_parallel(
         while b < n && b > 0 && flat[b].key == flat[b - 1].key {
             b += 1;
         }
-        if b > *bounds.last().unwrap() && b < n {
+        if bounds.last().is_some_and(|&last| b > last) && b < n {
             bounds.push(b);
         }
     }

@@ -287,6 +287,8 @@ impl Shm {
         let slots = self
             .scopes
             .pop()
+            // xlint: allow(unwrap): documented panic — popping without a
+            // matching push is a caller bug, not a recoverable state.
             .expect("Shm::pop_scope without push_scope");
         for slot in slots {
             let buf = &mut self.arrays[slot as usize];

@@ -51,8 +51,8 @@ impl WritePolicy {
                 writes[i].1
             }
             WritePolicy::PriorityMin => writes[0].1,
-            WritePolicy::CombineMin => writes.iter().map(|&(_, v)| v).min().unwrap(),
-            WritePolicy::CombineMax => writes.iter().map(|&(_, v)| v).max().unwrap(),
+            WritePolicy::CombineMin => writes.iter().fold(i64::MAX, |a, &(_, v)| a.min(v)),
+            WritePolicy::CombineMax => writes.iter().fold(i64::MIN, |a, &(_, v)| a.max(v)),
             WritePolicy::CombineSum => writes.iter().fold(0i64, |a, &(_, v)| a.wrapping_add(v)),
             WritePolicy::CombineOr => writes.iter().fold(0i64, |a, &(_, v)| a | v),
         }
@@ -73,8 +73,8 @@ impl WritePolicy {
                 run[i].val
             }
             WritePolicy::PriorityMin => run[0].val,
-            WritePolicy::CombineMin => run.iter().map(|e| e.val).min().unwrap(),
-            WritePolicy::CombineMax => run.iter().map(|e| e.val).max().unwrap(),
+            WritePolicy::CombineMin => run.iter().fold(i64::MAX, |a, e| a.min(e.val)),
+            WritePolicy::CombineMax => run.iter().fold(i64::MIN, |a, e| a.max(e.val)),
             WritePolicy::CombineSum => run.iter().fold(0i64, |a, e| a.wrapping_add(e.val)),
             WritePolicy::CombineOr => run.iter().fold(0i64, |a, e| a | e.val),
         }

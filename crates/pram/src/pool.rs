@@ -87,6 +87,8 @@ impl ThreadPool {
         for _ in 0..workers {
             thread::Builder::new()
                 .name("pram-pool".into())
+                // xlint: allow(unwrap): fail-fast at pool construction —
+                // a host that cannot spawn threads cannot run at all.
                 .spawn(move || worker_loop(shared))
                 .expect("spawn pool worker");
         }
@@ -125,10 +127,14 @@ impl ThreadPool {
         let shared = self.shared;
         shared.poisoned.store(false, Ordering::Relaxed);
         {
-            let mut slot = shared.slot.lock().unwrap();
-            // Lifetime erasure: `job` outlives this call, and this call does
-            // not return until `slot.job` is cleared and no worker is active,
-            // so workers can never use the reference after it dies.
+            // Lock poisoning carries no invariant here (critical sections
+            // only assign plain fields), so recover the guard and continue;
+            // job panics are reported via the separate `poisoned` flag.
+            let mut slot = lock_slot(shared);
+            // SAFETY: lifetime erasure only — `job` outlives this call, and
+            // this call does not return until `slot.job` is cleared and no
+            // worker is active, so workers never use the reference after it
+            // dies.
             let eternal: &'static (dyn Fn(usize) + Sync) =
                 unsafe { std::mem::transmute::<Job<'_>, Job<'static>>(job) };
             shared.cursor.store(0, Ordering::Relaxed);
@@ -144,9 +150,12 @@ impl ThreadPool {
         execute_chunks(shared, nchunks, job);
 
         // Wait for stragglers, then retire the job before returning.
-        let mut slot = shared.slot.lock().unwrap();
+        let mut slot = lock_slot(shared);
         while slot.active > 0 {
-            slot = shared.done_cv.wait(slot).unwrap();
+            slot = shared
+                .done_cv
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         slot.job = None;
         drop(slot);
@@ -169,11 +178,21 @@ fn execute_chunks(shared: &Shared, nchunks: usize, job: Job<'_>) {
     }
 }
 
+/// Lock the job slot, recovering from poison: the slot's critical
+/// sections only assign plain fields, so a panicking lane cannot leave a
+/// broken invariant behind (job panics surface via `Shared::poisoned`).
+fn lock_slot(shared: &Shared) -> std::sync::MutexGuard<'_, Slot> {
+    shared
+        .slot
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 fn worker_loop(shared: &'static Shared) {
     let mut seen_epoch = 0u64;
     loop {
         let (job, nchunks) = {
-            let mut slot = shared.slot.lock().unwrap();
+            let mut slot = lock_slot(shared);
             loop {
                 if slot.shutdown {
                     return;
@@ -190,13 +209,16 @@ fn worker_loop(shared: &'static Shared) {
                     }
                     // epoch full (bounded run): sit this one out
                 }
-                slot = shared.work_cv.wait(slot).unwrap();
+                slot = shared
+                    .work_cv
+                    .wait(slot)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
             }
         };
 
         execute_chunks(shared, nchunks, job);
 
-        let mut slot = shared.slot.lock().unwrap();
+        let mut slot = lock_slot(shared);
         slot.active -= 1;
         if slot.active == 0 {
             shared.done_cv.notify_all();
@@ -306,14 +328,17 @@ mod tests {
     fn chunks_can_mutate_disjoint_state() {
         // the machine's usage pattern: each chunk owns cell c
         struct Cell(std::cell::UnsafeCell<u64>);
+        // SAFETY: the test touches cell c from exactly one chunk at a time.
         unsafe impl Sync for Cell {}
         let cells: Vec<Cell> = (0..64)
             .map(|_| Cell(std::cell::UnsafeCell::new(0)))
             .collect();
+        // SAFETY: chunk c is the only writer of cells[c].
         global().run(64, &|c| unsafe {
             *cells[c].0.get() = c as u64 * 3;
         });
         for (i, c) in cells.iter().enumerate() {
+            // SAFETY: the pool has quiesced; reads race with nothing.
             assert_eq!(unsafe { *c.0.get() }, i as u64 * 3);
         }
     }

@@ -6,15 +6,16 @@
 //! end. Usage:
 //!
 //! ```text
-//! hulld [REQUESTS] [WORKERS] [SEED] [--shards S] [--batch-window W] [--batch-max B]
+//! hulld [REQUESTS] [WORKERS] [SEED] [--shards S] [--batch-window W] [--batch-max B] [--no-precheck]
 //! ```
 //!
 //! Defaults: 200 requests, 2 workers, seed 0xD1CE. The sharding and
 //! batching knobs also read the environment (`IPCH_SHARDS`,
 //! `IPCH_BATCH_WINDOW`, `IPCH_BATCH_MAX`); an explicit flag wins over its
-//! env var. Exits non-zero if any request is lost (the resolution
-//! invariant fails) — the same guarantee the chaos suite enforces, here
-//! as an executable smoke test.
+//! env var. `--no-precheck` (or `IPCH_PRECHECK=0`) disables the static
+//! plan check at admission. Exits non-zero if any request is lost (the
+//! resolution invariant fails) — the same guarantee the chaos suite
+//! enforces, here as an executable smoke test.
 
 use std::time::Duration;
 
@@ -66,6 +67,7 @@ fn main() {
     let mut shards = env_knob("IPCH_SHARDS", defaults.shards);
     let mut batch_window = env_knob("IPCH_BATCH_WINDOW", defaults.batch_window);
     let mut batch_max = env_knob("IPCH_BATCH_MAX", defaults.batch_max);
+    let mut precheck = env_knob("IPCH_PRECHECK", usize::from(defaults.precheck_plans)) != 0;
 
     let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -79,6 +81,7 @@ fn main() {
             "--shards" => shards = flag(&mut args),
             "--batch-window" => batch_window = flag(&mut args),
             "--batch-max" => batch_max = flag(&mut args),
+            "--no-precheck" => precheck = false,
             _ => positional.push(a),
         }
     }
@@ -100,6 +103,7 @@ fn main() {
         shards,
         batch_window,
         batch_max,
+        precheck_plans: precheck,
         ..ServiceConfig::default()
     };
     println!(
@@ -113,6 +117,10 @@ fn main() {
         "hulld: {} queue shard(s), batch window {} / max {} \
          [IPCH_SHARDS / IPCH_BATCH_WINDOW / IPCH_BATCH_MAX]",
         cfg.shards, cfg.batch_window, cfg.batch_max,
+    );
+    println!(
+        "hulld: static plan precheck {} [--no-precheck / IPCH_PRECHECK]",
+        if cfg.precheck_plans { "on" } else { "off" },
     );
     let svc = Service::new(cfg);
 

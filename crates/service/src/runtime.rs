@@ -154,6 +154,11 @@ pub struct ServiceConfig {
     /// `shards` workers at supervised tiers. `None` (the default)
     /// disables splitting.
     pub split_threshold: Option<usize>,
+    /// Run the symbolic plan checker ([`ipch_pram::verify`]) on the
+    /// workload's algorithm plan at admission, rejecting requests whose
+    /// plan fails its static proof (a `plan_*` [`RunError`] code). Plans
+    /// that merely fall back to dynamic analysis still admit.
+    pub precheck_plans: bool,
 }
 
 impl Default for ServiceConfig {
@@ -173,8 +178,34 @@ impl Default for ServiceConfig {
             batch_max: 8,
             batch_point_cap: 96,
             split_threshold: None,
+            precheck_plans: true,
         }
     }
+}
+
+/// The symbolic plan registered for a served algorithm, if any. Plans are
+/// pure data; one copy per process serves every admission precheck.
+fn plan_for(algorithm: &str) -> Option<&'static ipch_pram::verify::AlgorithmPlan> {
+    use std::sync::OnceLock;
+    static PLANS: OnceLock<Vec<ipch_pram::verify::AlgorithmPlan>> = OnceLock::new();
+    PLANS
+        .get_or_init(|| {
+            let mut v = ipch_hull2d::parallel::verify_plans::verify_plans();
+            v.extend(ipch_hull3d::parallel::verify_plans());
+            v
+        })
+        .iter()
+        .find(|p| p.contract.algorithm == algorithm)
+}
+
+/// Statically check one plan at the request's size. `Ok` covers both the
+/// full static proof and the honest dynamic fallback — only a failed
+/// proof (out-of-bounds plan, contract violation, unprovable shape with
+/// fallback disabled) rejects.
+fn precheck_plan(plan: &ipch_pram::verify::AlgorithmPlan, n: usize) -> Result<(), RunError> {
+    ipch_pram::verify::verify(plan, n, &ipch_pram::verify::VerifyConfig::default())
+        .map(|_| ())
+        .map_err(|verify| RunError::PlanRejected { verify })
 }
 
 /// Tenant→shard affinity: FNV-1a over the tenant name, modulo the shard
@@ -307,12 +338,14 @@ impl Health {
         let st = &self.stats;
         let _ = writeln!(
             s,
-            "submitted={} admitted={} completed={} shed={} cancelled={} \
-             deadline_exceeded={} invalid_inputs={} run_errors={} panics_isolated={}",
+            "submitted={} admitted={} completed={} shed={} static_rejects={} \
+             cancelled={} deadline_exceeded={} invalid_inputs={} run_errors={} \
+             panics_isolated={}",
             st.submitted,
             st.admitted,
             st.completed,
             st.total_shed(),
+            st.static_rejects,
             st.cancelled,
             st.deadline_exceeded,
             st.invalid_inputs,
@@ -391,6 +424,8 @@ impl Service {
                 let sh = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("hulld-worker-{i}"))
+                    // xlint: allow(unwrap): fail-fast at service start — a
+                    // host that cannot spawn workers cannot serve at all.
                     .spawn(move || worker_loop(&sh))
                     .expect("spawn service worker")
             })
@@ -408,6 +443,17 @@ impl Service {
             return Err(ServiceError::ShuttingDown);
         }
         inner.metrics.service.submitted += 1;
+        // Static admission precheck: a request whose algorithm plan fails
+        // its symbolic proof never reaches the queue — the failure is a
+        // terminal plan defect, not load, so no backoff hint is issued.
+        if cfg.precheck_plans {
+            if let Some(plan) = plan_for(req.workload.algorithm()) {
+                if let Err(e) = precheck_plan(plan, req.workload.len()) {
+                    inner.metrics.service.static_rejects += 1;
+                    return Err(ServiceError::Run(e));
+                }
+            }
+        }
         // Capacity is per shard: a tenant is shed when *its* lane is full,
         // not when some other tenant's lane is.
         let shard = shard_of(&req.tenant, inner.queues.len());
@@ -572,7 +618,7 @@ fn pop_work(cfg: &ServiceConfig, inner: &mut Inner) -> Option<Vec<Job>> {
         .find(|&s| !inner.queues[s].is_empty())?;
     inner.next_shard = (shard + 1) % ns;
     let q = &mut inner.queues[shard];
-    let first = q.pop_front().expect("shard found non-empty");
+    let first = q.pop_front()?;
     if cfg.batch_window == 0 || cfg.batch_max <= 1 || !batch_eligible(cfg, &first.req) {
         return Some(vec![first]);
     }
@@ -584,6 +630,7 @@ fn pop_work(cfg: &ServiceConfig, inner: &mut Inner) -> Option<Vec<Job>> {
         scanned += 1;
         let r = &q[idx].req;
         if r.workload.algorithm() == key && batch_eligible(cfg, r) {
+            // xlint: allow(unwrap): `idx < q.len()` is the loop guard
             batch.push(q.remove(idx).expect("index in bounds"));
         } else {
             idx += 1;
@@ -595,10 +642,11 @@ fn pop_work(cfg: &ServiceConfig, inner: &mut Inner) -> Option<Vec<Job>> {
 /// Dispatch one popped unit of work: a lone job goes down the classic
 /// path, a coalesced batch through the fused path.
 fn handle_many(shared: &Shared, mut jobs: Vec<Job>) {
-    if jobs.len() == 1 {
-        handle(shared, jobs.pop().expect("one job"));
-    } else {
-        handle_batch(shared, jobs);
+    if jobs.len() > 1 {
+        return handle_batch(shared, jobs);
+    }
+    if let Some(job) = jobs.pop() {
+        handle(shared, job);
     }
 }
 
@@ -1169,6 +1217,50 @@ mod tests {
             stats.total_resolved(),
             "resolution invariant violated: {stats:?}"
         );
+    }
+
+    #[test]
+    fn precheck_admits_all_served_algorithms() {
+        // every served algorithm has a registered plan, and the canonical
+        // plans prove out — the precheck must be invisible to clean traffic
+        for alg in ["hull2d/unsorted", "hull2d/dac", "hull3d/unsorted3d"] {
+            let plan = plan_for(alg).unwrap_or_else(|| panic!("{alg} has no plan"));
+            for n in [0usize, 1, 16, 4096] {
+                precheck_plan(plan, n).unwrap_or_else(|e| panic!("{alg} at n={n}: {e}"));
+            }
+        }
+        let svc = manual(ServiceConfig::default());
+        let t = svc.submit(req2("acme", 3, 32)).unwrap();
+        svc.drain();
+        assert!(t.wait().is_ok());
+        let st = svc.health().stats;
+        assert_eq!(st.static_rejects, 0);
+        assert_resolved(&st);
+    }
+
+    #[test]
+    fn precheck_rejects_defective_plan_as_typed_run_error() {
+        use ipch_pram::verify::{Affine, AlgorithmPlan, IndexSet, StepPlan};
+        // an off-by-one scatter: writes [0, n] into an n-cell array
+        let mut plan = AlgorithmPlan::new(ipch_pram::ModelContract {
+            algorithm: "test/defective",
+            class: ipch_pram::ModelClass::Crcw,
+            races: ipch_pram::RaceExpectation::Deterministic,
+        });
+        let a = plan.array("t.a", Affine::n());
+        plan.step(
+            StepPlan::new(
+                "scatter",
+                Affine::n().plus(1),
+                ipch_pram::WritePolicy::Arbitrary,
+            )
+            .write(a, IndexSet::Exact(Affine::pid())),
+        );
+        let err = precheck_plan(&plan, 64).unwrap_err();
+        assert_eq!(err.code(), "plan_out_of_bounds");
+        assert!(err.is_terminal());
+        let wrapped = ServiceError::Run(err);
+        assert_eq!(wrapped.code(), "plan_out_of_bounds");
     }
 
     #[test]

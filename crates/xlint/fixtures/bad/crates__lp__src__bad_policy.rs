@@ -1,0 +1,6 @@
+// Fixture: an unannotated explicit Arbitrary election.
+pub fn elect(m: &mut Machine, shm: &Shm, n: usize) {
+    m.step_with_policy(shm, 0..n, WritePolicy::Arbitrary, |ctx| {
+        ctx.write("win", 0, ctx.pid() as u64);
+    });
+}

@@ -1,0 +1,9 @@
+// Fixture: unsafe without a SAFETY comment, and an unwrap in a pram path.
+pub fn read_first(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    unsafe { *p }
+}
+
+pub fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap()
+}

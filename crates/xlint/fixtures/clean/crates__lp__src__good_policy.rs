@@ -1,0 +1,13 @@
+// Fixture: an approved, annotated Arbitrary election site, plus a plan
+// constructor that mentions the policy without invoking it.
+pub fn elect(m: &mut Machine, shm: &Shm, n: usize) {
+    // xlint: allow(arbitrary-policy): all writers agree on the winner id,
+    // so any arbitrary survivor commits the same value.
+    m.step_with_policy(shm, 0..n, WritePolicy::Arbitrary, |ctx| {
+        ctx.write("win", 0, ctx.pid() as u64);
+    });
+}
+
+pub fn plan() -> StepPlan {
+    StepPlan::new("elect", Affine::n(), WritePolicy::Arbitrary)
+}

@@ -1,0 +1,27 @@
+// Fixture: correctly annotated unsafe, unwrap escapes, and tests.
+pub fn read_first(v: &[u8]) -> u8 {
+    let p = v.as_ptr();
+    // SAFETY: v is non-empty by the caller's contract, so p is valid.
+    unsafe { *p }
+}
+
+/// # Safety
+/// `p` must point to a live, initialized byte.
+pub unsafe fn deref(p: *const u8) -> u8 {
+    // SAFETY: forwarded from this function's own contract.
+    unsafe { *p }
+}
+
+pub fn first_line(s: &str) -> &str {
+    // xlint: allow(unwrap): input is validated non-empty at the API edge
+    s.lines().next().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Vec<u8> = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

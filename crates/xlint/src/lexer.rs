@@ -1,0 +1,289 @@
+//! A byte-level Rust "lexer" that is just smart enough to separate code
+//! from comments and literals.
+//!
+//! The lint rules are textual, so the only hard requirement is never to
+//! mistake the inside of a string (or a comment) for code and vice versa.
+//! [`mask`] produces two same-shaped views of a source file: one where
+//! every non-code byte is blanked, one where every non-comment byte is
+//! blanked. Newlines survive in both, so line numbers line up with the
+//! original file.
+
+/// Two same-length views of a source file (see module docs).
+pub struct Masked {
+    /// Source with comments and literal contents replaced by spaces.
+    pub code: String,
+    /// Source with everything except comment text replaced by spaces.
+    pub comments: String,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the payload is the depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string; the payload is the number of `#`s that close it.
+    RawStr(u32),
+    Char,
+}
+
+/// True when `b` can continue an identifier (used for word boundaries and
+/// the lifetime-vs-char-literal split).
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Split `src` into its code view and its comment view.
+pub fn mask(src: &str) -> Masked {
+    let bytes = src.as_bytes();
+    let mut code = vec![b' '; bytes.len()];
+    let mut comments = vec![b' '; bytes.len()];
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    comments[i] = b'/';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    i += 1;
+                } else if (b == b'r' || b == b'b')
+                    && !i
+                        .checked_sub(1)
+                        .map(|p| is_ident(bytes[p]))
+                        .unwrap_or(false)
+                {
+                    // raw / byte / raw-byte prefixes: r", r#"…"#, br", b", b'
+                    let mut j = i + 1;
+                    let raw = if b == b'b' && bytes.get(j) == Some(&b'r') {
+                        j += 1;
+                        true
+                    } else {
+                        b == b'r'
+                    };
+                    let mut hashes = 0u32;
+                    while raw && bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if raw && bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'"') {
+                        state = State::Str;
+                        i += 2;
+                    } else if b == b'b' && bytes.get(i + 1) == Some(&b'\'') {
+                        state = State::Char;
+                        i += 2;
+                    } else {
+                        code[i] = b;
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // lifetime or char literal? A char literal is 'x' or an
+                    // escape; a lifetime is 'ident not followed by a quote.
+                    let next = bytes.get(i + 1).copied();
+                    let after = bytes.get(i + 2).copied();
+                    let is_char = match next {
+                        Some(b'\\') => true,
+                        Some(n) if is_ident(n) => after == Some(b'\''),
+                        Some(_) => true, // e.g. '(' — only valid as a char
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::Char;
+                    } else {
+                        code[i] = b; // lifetime mark stays code
+                    }
+                    i += 1;
+                } else {
+                    code[i] = b;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comments[i] = b;
+                i += 1;
+            }
+            State::BlockComment(d) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    comments[i] = b'*';
+                    comments[i + 1] = b'/';
+                    state = if d == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(d - 1)
+                    };
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    state = State::BlockComment(d + 1);
+                    i += 2;
+                } else {
+                    comments[i] = b;
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    // A `\` at end of line is a string continuation; keep
+                    // the newline so line numbers stay in sync.
+                    if bytes.get(i + 1) == Some(&b'\n') {
+                        code[i + 1] = b'\n';
+                        comments[i + 1] = b'\n';
+                    }
+                    i += 2;
+                } else {
+                    if b == b'"' {
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+            }
+            State::RawStr(h) => {
+                if b == b'"' {
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < h && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == h {
+                        state = State::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            State::Char => {
+                if b == b'\\' {
+                    i += 2;
+                } else {
+                    if b == b'\'' {
+                        state = State::Code;
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Both views blank multi-byte UTF-8 with spaces, which is fine: every
+    // token the rules search for is ASCII.
+    let sanitize = |v: Vec<u8>| {
+        String::from_utf8(v).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+    };
+    Masked {
+        code: sanitize(code),
+        comments: sanitize(comments),
+    }
+}
+
+/// True when `line` contains `word` at identifier boundaries.
+pub fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len().max(1);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_not_code() {
+        let m = mask(r#"let x = "unsafe { } // SAFETY:"; call();"#);
+        assert!(!m.code.contains("unsafe"));
+        assert!(!m.comments.contains("SAFETY"));
+        assert!(m.code.contains("call()"));
+    }
+
+    #[test]
+    fn comments_are_split_out() {
+        let m = mask("foo(); // SAFETY: fine\nunsafe { bar() }\n");
+        assert!(m.comments.contains("SAFETY: fine"));
+        assert!(!m.code.contains("SAFETY"));
+        assert!(m.code.contains("unsafe { bar() }"));
+    }
+
+    #[test]
+    fn block_comments_nest() {
+        let m = mask("/* a /* b */ still comment */ code()");
+        assert!(m.comments.contains("still comment"));
+        assert!(m.code.contains("code()"));
+        assert!(!m.code.contains("still"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let m = mask(r##"let s = r#"unsafe " quote"# ; after()"##);
+        assert!(!m.code.contains("unsafe"));
+        assert!(m.code.contains("after()"));
+    }
+
+    #[test]
+    fn lifetimes_are_code_chars_are_not() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = 'u'; let n = '\\n'; g(x) }");
+        assert!(m.code.contains("'a str"));
+        assert!(!m.code.contains("'u'"));
+        assert!(m.code.contains("g(x)"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(!has_word("unsafe_op_in_unsafe_fn", "unsafe"));
+        assert!(!has_word("deny(unsafe_code)", "unsafe"));
+        assert!(has_word("pub unsafe fn x()", "unsafe"));
+    }
+
+    #[test]
+    fn line_numbers_survive() {
+        let src = "a\n\"multi\nline\nstring\"\nb\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(m.comments.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn string_continuations_keep_line_numbers() {
+        let src = "let s = \"first \\\n    second\";\nunsafe {}\n";
+        let m = mask(src);
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+        // the unsafe sits on line 3 in both views
+        assert!(m.code.lines().nth(2).unwrap().contains("unsafe"));
+    }
+}

@@ -1,0 +1,69 @@
+//! `xlint` CLI.
+//!
+//! ```text
+//! xlint [--root DIR] [--json]
+//! ```
+//!
+//! Lints every `.rs` file under `DIR` (default: current directory),
+//! skipping `target/`, `shims/`, `fixtures/`, `bench_results/`, and
+//! `.git/`. Text output is `path:line: [rule] message`, one finding per
+//! line; `--json` emits a machine-readable array instead.
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("xlint: --root expects a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: xlint [--root DIR] [--json]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("xlint: unknown argument {other:?} (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let findings = match xlint::lint_root(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("xlint: {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", xlint::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        eprintln!("xlint: {} finding(s) across {} rule(s)", findings.len(), {
+            let mut r: Vec<&str> = findings.iter().map(|f| f.rule).collect();
+            r.sort_unstable();
+            r.dedup();
+            r.len()
+        });
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

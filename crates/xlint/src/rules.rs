@@ -1,0 +1,457 @@
+//! The lint rules.
+//!
+//! Each rule is lexer-level: it works on the code/comment views of
+//! [`crate::lexer::mask`], line by line, with no type information. The
+//! rules are deliberately repo-specific — they encode this project's
+//! conventions, not general Rust style.
+
+use crate::lexer::{has_word, mask, Masked};
+
+/// One lint finding, pointing at a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number (0 for whole-repo findings).
+    pub line: usize,
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` (the text output format).
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+
+    /// Minimal JSON object (std-only; all fields escaped).
+    pub fn to_json(&self) -> String {
+        format!(
+            r#"{{"file":"{}","line":{},"rule":"{}","message":"{}"}}"#,
+            json_escape(&self.file),
+            self.line,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The paper entry points: every algorithm that declares a
+/// [`ModelContract`](https://docs.rs) must also register a symbolic plan.
+/// This table is the lint's ground truth; growing the paper surface means
+/// growing it (the `entry_contracts` rule fails loudly when a name
+/// disappears from the tree).
+pub const ENTRY_POINTS: &[&str] = &[
+    "hull2d/brute",
+    "hull2d/folklore",
+    "hull2d/presorted",
+    "hull2d/logstar",
+    "hull2d/unsorted",
+    "hull2d/dac",
+    "hull2d/batch",
+    "hull3d/unsorted3d",
+    "hull3d/find_facet",
+    "lp/brute2",
+    "lp/brute3",
+    "lp/alon_megiddo",
+    "lp/bridge_brute",
+    "lp/facet_brute",
+    "lp/inplace_bridge",
+    "inplace/ragde_det",
+    "inplace/ragde_rand",
+    "inplace/compact",
+    "inplace/sample",
+    "inplace/vote",
+];
+
+/// A loaded source file ready for linting.
+pub struct SourceFile {
+    /// Repo-relative path (forward slashes).
+    pub path: String,
+    /// Raw contents.
+    pub text: String,
+}
+
+/// Per-line lint context for one file.
+struct FileView<'a> {
+    path: &'a str,
+    code: Vec<&'a str>,
+    comments: Vec<&'a str>,
+    /// `true` for lines inside a `#[cfg(test)]` block.
+    test_region: Vec<bool>,
+}
+
+fn view<'a>(path: &'a str, masked: &'a Masked) -> FileView<'a> {
+    let code: Vec<&str> = masked.code.lines().collect();
+    let comments: Vec<&str> = masked.comments.lines().collect();
+    let test_region = test_regions(&code);
+    FileView {
+        path,
+        code,
+        comments,
+        test_region,
+    }
+}
+
+/// Mark the lines belonging to `#[cfg(test)]`-gated items by brace
+/// matching from the attribute (lexer-level, so the "item" is whatever
+/// block follows).
+fn test_regions(code: &[&str]) -> Vec<bool> {
+    let mut marked = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if code[i].contains("#[cfg(test)]") {
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            while j < code.len() {
+                marked[j] = true;
+                for b in code[j].bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    marked
+}
+
+/// True when any comment within `span` lines above `line` (inclusive of
+/// the line itself) contains `needle`.
+fn comment_above(v: &FileView<'_>, line: usize, span: usize, needle: &str) -> bool {
+    let lo = line.saturating_sub(span);
+    (lo..=line).any(|i| v.comments.get(i).is_some_and(|c| c.contains(needle)))
+}
+
+/// Rule `unsafe-safety`: every `unsafe` keyword is justified by a
+/// `// SAFETY:` comment (or a `# Safety` doc section for `unsafe fn`)
+/// within the five preceding lines. Applies everywhere, tests included —
+/// an unjustified unsafe block in a test is still an unsafe block.
+pub fn rule_unsafe_safety(file: &SourceFile, out: &mut Vec<Finding>) {
+    let masked = mask(&file.text);
+    let v = view(&file.path, &masked);
+    for (i, code) in v.code.iter().enumerate() {
+        if !has_word(code, "unsafe") {
+            continue;
+        }
+        if comment_above(&v, i, 5, "SAFETY:") || comment_above(&v, i, 5, "# Safety") {
+            continue;
+        }
+        out.push(Finding {
+            file: v.path.to_string(),
+            line: i + 1,
+            rule: "unsafe-safety",
+            message: "`unsafe` without a `// SAFETY:` comment in the 5 lines above".into(),
+        });
+    }
+}
+
+/// Rule `no-unwrap`: production crates (`crates/service`, `crates/pram`)
+/// never `.unwrap()` / `.expect(` outside tests. Justified uses carry an
+/// `xlint: allow(unwrap)` comment within the three preceding lines (the
+/// window covers builder chains where the comment sits above the chain).
+pub fn rule_no_unwrap(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !(file.path.contains("crates/service/src") || file.path.contains("crates/pram/src")) {
+        return;
+    }
+    let masked = mask(&file.text);
+    let v = view(&file.path, &masked);
+    for (i, code) in v.code.iter().enumerate() {
+        if v.test_region[i] {
+            continue;
+        }
+        if !(code.contains(".unwrap()") || code.contains(".expect(")) {
+            continue;
+        }
+        if comment_above(&v, i, 3, "xlint: allow(unwrap)") {
+            continue;
+        }
+        out.push(Finding {
+            file: v.path.to_string(),
+            line: i + 1,
+            rule: "no-unwrap",
+            message: "`.unwrap()`/`.expect()` in production code \
+                      (annotate `// xlint: allow(unwrap): why` if justified)"
+                .into(),
+        });
+    }
+}
+
+/// Rule `arbitrary-policy`: algorithm crates only request
+/// `WritePolicy::Arbitrary` explicitly (via a `*_with_policy` call) at
+/// approved election sites, marked `xlint: allow(arbitrary-policy)`.
+/// Everywhere else an Arbitrary election is a seed-dependence hazard the
+/// analyzer would flag at run time — catch it before it runs.
+pub fn rule_arbitrary_policy(file: &SourceFile, out: &mut Vec<Finding>) {
+    let algo_crate = [
+        "crates/core/src",
+        "crates/hull3d/src",
+        "crates/lp/src",
+        "crates/inplace/src",
+    ]
+    .iter()
+    .any(|p| file.path.contains(p));
+    if !algo_crate {
+        return;
+    }
+    let masked = mask(&file.text);
+    let v = view(&file.path, &masked);
+    for (i, code) in v.code.iter().enumerate() {
+        if v.test_region[i] {
+            continue;
+        }
+        // the policy argument may sit on the line after the call opener
+        let with_policy_near =
+            code.contains("_with_policy") || (i > 0 && v.code[i - 1].contains("_with_policy"));
+        if !(with_policy_near && code.contains("WritePolicy::Arbitrary")) {
+            continue;
+        }
+        if comment_above(&v, i, 3, "xlint: allow(arbitrary-policy)") {
+            continue;
+        }
+        out.push(Finding {
+            file: v.path.to_string(),
+            line: i + 1,
+            rule: "arbitrary-policy",
+            message: "explicit Arbitrary write policy outside an approved election site \
+                      (annotate `// xlint: allow(arbitrary-policy): why` if intended)"
+                .into(),
+        });
+    }
+}
+
+/// Rule `entry-contracts`: every paper entry point in [`ENTRY_POINTS`]
+/// declares its `ModelContract` in some module that also calls
+/// `declare_contract` and registers a `verify_plan` for the static
+/// checker. Whole-repo rule — findings point at the repo root.
+pub fn rule_entry_contracts(files: &[SourceFile], out: &mut Vec<Finding>) {
+    for name in ENTRY_POINTS {
+        // Search for the quoted name rather than `algorithm: "..."` —
+        // some contracts route the name through a `const` (hull2d/batch).
+        let needle = format!("\"{name}\"");
+        let defining: Vec<&SourceFile> =
+            files.iter().filter(|f| f.text.contains(&needle)).collect();
+        if defining.is_empty() {
+            out.push(Finding {
+                file: "<workspace>".into(),
+                line: 0,
+                rule: "entry-contracts",
+                message: format!("entry point {name} declares no ModelContract anywhere"),
+            });
+            continue;
+        }
+        let ok = defining
+            .iter()
+            .any(|f| f.text.contains("declare_contract") && f.text.contains("verify_plan"));
+        if !ok {
+            out.push(Finding {
+                file: defining[0].path.clone(),
+                line: 0,
+                rule: "entry-contracts",
+                message: format!(
+                    "entry point {name}: contract module lacks a declare_contract call \
+                     or a verify_plan for the static checker"
+                ),
+            });
+        }
+    }
+}
+
+/// Run every rule over `files` and return the combined findings, sorted
+/// by file and line.
+pub fn run_all(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        rule_unsafe_safety(f, &mut out);
+        rule_no_unwrap(f, &mut out);
+        rule_arbitrary_policy(f, &mut out);
+    }
+    rule_entry_contracts(files, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            path: path.into(),
+            text: text.into(),
+        }
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let mut out = Vec::new();
+        rule_unsafe_safety(
+            &src("crates/x/src/a.rs", "fn f() {\n    unsafe { g() }\n}\n"),
+            &mut out,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unsafe-safety");
+        assert_eq!(out[0].line, 2);
+
+        out.clear();
+        rule_unsafe_safety(
+            &src(
+                "crates/x/src/a.rs",
+                "fn f() {\n    // SAFETY: g upholds the invariant\n    unsafe { g() }\n}\n",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_string_is_ignored() {
+        let mut out = Vec::new();
+        rule_unsafe_safety(
+            &src("a.rs", "let s = \"unsafe\";\nlet r = r#\"unsafe\"#;\n"),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn doc_safety_section_counts() {
+        let mut out = Vec::new();
+        rule_unsafe_safety(
+            &src(
+                "a.rs",
+                "/// # Safety\n/// ptr must be valid\npub unsafe fn f(p: *const u8) {}\n",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_production_paths() {
+        let text = "fn f() { x.unwrap(); }\n";
+        let mut out = Vec::new();
+        rule_no_unwrap(&src("crates/pram/src/a.rs", text), &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        rule_no_unwrap(&src("crates/geom/src/a.rs", text), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unwrap_escape_hatch_and_tests() {
+        let mut out = Vec::new();
+        rule_no_unwrap(
+            &src(
+                "crates/service/src/a.rs",
+                "// xlint: allow(unwrap): startup is fail-fast\nfn f() { x.unwrap(); }\n\
+                 #[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n",
+            ),
+            &mut out,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn arbitrary_policy_needs_annotation() {
+        let bad = "m.step_with_policy(shm, 0..n, WritePolicy::Arbitrary, |ctx| {});\n";
+        let mut out = Vec::new();
+        rule_arbitrary_policy(&src("crates/lp/src/a.rs", bad), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "arbitrary-policy");
+
+        let good = "// xlint: allow(arbitrary-policy): winner-only write\n\
+                    m.step_with_policy(shm, 0..n, WritePolicy::Arbitrary, |ctx| {});\n";
+        out.clear();
+        rule_arbitrary_policy(&src("crates/lp/src/a.rs", good), &mut out);
+        assert!(out.is_empty());
+
+        // plan constructors mention Arbitrary without _with_policy — clean
+        let plan = "StepPlan::new(\"s\", Affine::n(), WritePolicy::Arbitrary)\n";
+        out.clear();
+        rule_arbitrary_policy(&src("crates/lp/src/a.rs", plan), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn entry_contract_rule_wants_plan_and_declaration() {
+        let good: Vec<SourceFile> = ENTRY_POINTS
+            .iter()
+            .map(|n| {
+                src(
+                    "crates/a/src/m.rs",
+                    &format!(
+                        "pub const C: ModelContract = ModelContract {{ algorithm: \"{n}\" }};\n\
+                         pub fn verify_plan() {{}}\nfn run(m: &mut M) {{ m.declare_contract(&C); }}\n"
+                    ),
+                )
+            })
+            .collect();
+        let mut out = Vec::new();
+        rule_entry_contracts(&good, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+
+        // drop one entry point entirely
+        let mut missing = Vec::new();
+        rule_entry_contracts(&good[1..], &mut missing);
+        assert_eq!(missing.len(), 1);
+        assert!(missing[0].message.contains(ENTRY_POINTS[0]));
+
+        // contract present but no verify_plan
+        let noplan = vec![src(
+            "crates/a/src/m.rs",
+            "const C: X = X { algorithm: \"hull2d/brute\" };\nfn r() { declare_contract(); }\n",
+        )];
+        let mut out2 = Vec::new();
+        rule_entry_contracts(&noplan, &mut out2);
+        assert!(out2
+            .iter()
+            .any(|f| f.rule == "entry-contracts" && f.message.contains("hull2d/brute")));
+    }
+
+    #[test]
+    fn json_output_escapes() {
+        let f = Finding {
+            file: "a\"b.rs".into(),
+            line: 3,
+            rule: "no-unwrap",
+            message: "line1\nline2".into(),
+        };
+        assert_eq!(
+            f.to_json(),
+            r#"{"file":"a\"b.rs","line":3,"rule":"no-unwrap","message":"line1\nline2"}"#
+        );
+    }
+}

@@ -1,0 +1,261 @@
+//! The static-verification acceptance suite.
+//!
+//! Sweeps every paper entry point's symbolic step plan through
+//! [`ipch_pram::verify`] and pins three properties:
+//!
+//! 1. **Coverage** — the four crate registries together cover exactly the
+//!    entry points `xlint` enforces contracts for, and every plan passes
+//!    at a range of input sizes with its expected verdict
+//!    (`VerifiedStatic` for the provable algorithms, an honest
+//!    `NeedsDynamic` for the randomized in-place primitives whose
+//!    indices are data-dependent).
+//! 2. **Rejection** — mutated plans (out-of-bounds scatter, a contract
+//!    claiming a weaker machine than the plan needs, undecidable shapes
+//!    with the fallback disabled) are rejected with the right typed
+//!    error and stable code.
+//! 3. **Agreement** — for algorithms that actually run here, the class
+//!    observed by the dynamic analyzer never exceeds the class the
+//!    static checker derived: the symbolic result is a true upper bound.
+//!
+//! The suite also runs the `xlint` rules over the repository itself, so
+//! `cargo test` fails if the tree regresses on the lint conventions.
+
+use ipch_geom::generators as g2;
+use ipch_geom::point::sorted_by_x;
+use ipch_pram::verify::{
+    verify, verify_all, Affine, AlgorithmPlan, IndexSet, StepPlan, Verdict, VerifyConfig,
+    VerifyError,
+};
+use ipch_pram::{
+    AnalyzeConfig, Machine, ModelClass, ModelContract, RaceExpectation, Shm, WritePolicy,
+};
+
+/// Every entry-point plan in the workspace, across all four registries.
+fn all_plans() -> Vec<AlgorithmPlan> {
+    let mut plans = ipch_hull2d::parallel::verify_plans::verify_plans();
+    plans.extend(ipch_hull3d::parallel::verify_plans());
+    plans.extend(ipch_lp::verify_plans());
+    plans.extend(ipch_inplace::verify_plans());
+    plans
+}
+
+/// The randomized in-place primitives whose plans honestly declare
+/// data-dependent (opaque) index shapes.
+const NEEDS_DYNAMIC: &[&str] = &[
+    "inplace/ragde_det",
+    "inplace/ragde_rand",
+    "inplace/compact",
+    "inplace/sample",
+];
+
+#[test]
+fn registries_cover_every_linted_entry_point() {
+    let plans = all_plans();
+    let mut planned: Vec<&str> = plans.iter().map(|p| p.contract.algorithm).collect();
+    planned.sort_unstable();
+    let mut linted: Vec<&str> = xlint::ENTRY_POINTS.to_vec();
+    linted.sort_unstable();
+    assert_eq!(
+        planned, linted,
+        "plan registries and the xlint entry-point table drifted apart"
+    );
+}
+
+#[test]
+fn every_plan_passes_with_its_expected_verdict() {
+    // n = 0 runs zero processors, so everything is trivially static;
+    // start at 1 where the opaque shapes actually appear.
+    for n in [1usize, 2, 17, 256, 4096] {
+        let reports = verify_all(&all_plans(), n, &VerifyConfig::default())
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
+        assert_eq!(reports.len(), xlint::ENTRY_POINTS.len());
+        for r in &reports {
+            let expected = if NEEDS_DYNAMIC.contains(&r.algorithm) {
+                Verdict::NeedsDynamic
+            } else {
+                Verdict::VerifiedStatic
+            };
+            assert_eq!(r.verdict, expected, "{} at n={n}", r.algorithm);
+            assert!(r.steps_checked > 0, "{}: empty plan", r.algorithm);
+            if r.verdict == Verdict::NeedsDynamic {
+                assert!(
+                    !r.dynamic_reasons.is_empty(),
+                    "{}: NeedsDynamic without reasons",
+                    r.algorithm
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_size_inputs_are_trivially_static() {
+    for r in verify_all(&all_plans(), 0, &VerifyConfig::default()).expect("n=0") {
+        assert_eq!(r.verdict, Verdict::VerifiedStatic, "{}", r.algorithm);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Negative controls: defective plans must be rejected, not waved through.
+// ---------------------------------------------------------------------------
+
+const MUTANT_CONTRACT: ModelContract = ModelContract {
+    algorithm: "xtests/mutant",
+    class: ModelClass::Crcw,
+    races: RaceExpectation::SeedDependent,
+};
+
+#[test]
+fn off_by_one_scatter_is_rejected() {
+    // n + 1 processors write pid into an n-cell array: provably out of
+    // bounds for every n ≥ 0 (pid = n hits index n).
+    let mut plan = AlgorithmPlan::new(MUTANT_CONTRACT);
+    let arr = plan.array("mutant.dst", Affine::n());
+    plan.step(
+        StepPlan::new("scatter", Affine::n().plus(1), WritePolicy::Arbitrary)
+            .write(arr, IndexSet::Exact(Affine::pid())),
+    );
+    let err = verify(&plan, 64, &VerifyConfig::default()).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            VerifyError::OutOfBoundsPlan {
+                step: "scatter",
+                ..
+            }
+        ),
+        "{err}"
+    );
+    assert_eq!(err.code(), "plan_out_of_bounds");
+    assert_eq!(err.algorithm(), "xtests/mutant");
+}
+
+#[test]
+fn crew_claim_on_a_crcw_election_is_rejected() {
+    // A contract that promises CREW (concurrent reads only) over a step
+    // where n processors all write cell 0: a provable write collision.
+    let mut plan = AlgorithmPlan::new(ModelContract {
+        algorithm: "xtests/mutant",
+        class: ModelClass::Crew,
+        races: RaceExpectation::Forbidden,
+    });
+    let win = plan.array("mutant.win", Affine::k(1));
+    plan.step(
+        StepPlan::new("elect", Affine::n(), WritePolicy::PriorityMin)
+            .write(win, IndexSet::Exact(Affine::k(0))),
+    );
+    let err = verify(&plan, 64, &VerifyConfig::default()).unwrap_err();
+    assert!(
+        matches!(err, VerifyError::ContractViolation { step: "elect", .. }),
+        "{err}"
+    );
+    assert_eq!(err.code(), "plan_contract_violation");
+}
+
+#[test]
+fn opaque_shapes_fail_when_the_fallback_is_disabled() {
+    let mut plan = AlgorithmPlan::new(MUTANT_CONTRACT);
+    let dst = plan.array("mutant.dst", Affine::n());
+    plan.step(
+        StepPlan::new("throw", Affine::n(), WritePolicy::Arbitrary).write(dst, IndexSet::Opaque),
+    );
+    let strict = VerifyConfig {
+        allow_dynamic_fallback: false,
+    };
+    let err = verify(&plan, 64, &strict).unwrap_err();
+    // Strict-mode rejection aggregates at plan level; the offending step
+    // is named in the detail.
+    match &err {
+        VerifyError::UnknownShape { detail, .. } => {
+            assert!(detail.contains("throw"), "{err}")
+        }
+        other => panic!("expected UnknownShape, got {other}"),
+    }
+    assert_eq!(err.code(), "plan_unknown_shape");
+    // With the default config the same plan is an honest NeedsDynamic.
+    let r = verify(&plan, 64, &VerifyConfig::default()).expect("fallback");
+    assert_eq!(r.verdict, Verdict::NeedsDynamic);
+}
+
+// ---------------------------------------------------------------------------
+// Static-vs-dynamic agreement.
+// ---------------------------------------------------------------------------
+
+/// Run `algorithm`'s plan through the static checker and the real code
+/// through the dynamic analyzer; the observed class must not exceed the
+/// statically derived upper bound.
+fn assert_agreement(label: &str, algorithm: &str, m: &Machine, n: usize) {
+    let plans = all_plans();
+    let plan = plans
+        .iter()
+        .find(|p| p.contract.algorithm == algorithm)
+        .unwrap_or_else(|| panic!("{label}: no plan for {algorithm}"));
+    let derived = verify(plan, n, &VerifyConfig::default())
+        .unwrap_or_else(|e| panic!("{label}: {e}"))
+        .derived;
+    let report = m
+        .analysis_report()
+        .unwrap_or_else(|| panic!("{label}: no dynamic report"));
+    assert!(
+        report.class <= derived,
+        "{label}: dynamic analyzer observed {} but the static checker derived {derived} \
+         — the symbolic upper bound is wrong",
+        report.class
+    );
+}
+
+fn analyzed(seed: u64) -> (Machine, Shm) {
+    let mut m = Machine::new(seed);
+    m.enable_analysis(AnalyzeConfig::default());
+    let mut shm = Shm::new();
+    shm.enable_shadow(true);
+    (m, shm)
+}
+
+#[test]
+fn static_bound_dominates_dynamic_observation() {
+    let n = 512;
+
+    let pts = g2::uniform_disk(n, 11);
+    let (mut m, mut shm) = analyzed(11);
+    ipch_hull2d::parallel::unsorted::upper_hull_unsorted(
+        &mut m,
+        &mut shm,
+        &pts,
+        &Default::default(),
+    );
+    assert_agreement("unsorted", "hull2d/unsorted", &m, n);
+
+    let pts = sorted_by_x(&g2::uniform_disk(n, 12));
+    let (mut m, mut shm) = analyzed(12);
+    ipch_hull2d::parallel::dac::upper_hull_dac(&mut m, &mut shm, &pts, false);
+    assert_agreement("dac", "hull2d/dac", &m, pts.len());
+
+    let pts = sorted_by_x(&g2::uniform_disk(n, 13));
+    let ids: Vec<usize> = (0..pts.len()).collect();
+    let (mut m, mut shm) = analyzed(13);
+    ipch_hull2d::parallel::folklore::upper_hull_folklore(&mut m, &mut shm, &pts, &ids, 3);
+    assert_agreement("folklore", "hull2d/folklore", &m, pts.len());
+}
+
+// ---------------------------------------------------------------------------
+// The repository itself stays lint-clean.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn repository_passes_xlint() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtests sits under the repo root")
+        .to_path_buf();
+    let findings = xlint::lint_root(&root).expect("walk repo");
+    assert!(
+        findings.is_empty(),
+        "xlint findings:\n{}",
+        findings
+            .iter()
+            .map(xlint::Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
